@@ -1,0 +1,225 @@
+(* smoothe: command-line front end for the e-graph extraction library.
+
+     smoothe list                        -- datasets and instances
+     smoothe stats NASRNN                -- e-graph statistics
+     smoothe dump fir_5 out.egraph       -- serialize an instance
+     smoothe extract fir_5 -m smoothe    -- run one extractor
+     smoothe compare fir_5               -- run every extractor
+*)
+
+open Cmdliner
+
+let load_egraph spec =
+  (* an instance name from the registry, or a path to a serialized file
+     (.json = extraction-gym format, anything else = the native text
+     format) *)
+  if Sys.file_exists spec then
+    if Filename.check_suffix spec ".json" then Gym.read_file spec
+    else Egraph.Serial.read_file spec
+  else
+    match Registry.find_instance spec with
+    | inst -> inst.Registry.build ()
+    | exception Not_found ->
+        Printf.eprintf "unknown instance or file %S (try `smoothe list`)\n" spec;
+        exit 1
+
+let instance_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"EGRAPH" ~doc:"Instance name (see $(b,list)) or serialized e-graph file.")
+
+(* ------------------------------------------------------------------ list *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun ds ->
+        Printf.printf "%-10s %-24s assumption=%s\n" ds.Registry.ds_name ds.Registry.task
+          ds.Registry.assumption;
+        List.iter
+          (fun i ->
+            let g = i.Registry.build () in
+            Printf.printf "    %-20s N=%-6d M=%-6d %s\n" i.Registry.inst_name
+              (Egraph.num_nodes g) (Egraph.num_classes g)
+              (if Egraph.is_cyclic g then "cyclic" else "acyclic"))
+          ds.Registry.instances)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List bundled datasets and e-graph instances.")
+    Term.(const run $ const ())
+
+(* ----------------------------------------------------------------- stats *)
+
+let stats_cmd =
+  let run spec =
+    let g = load_egraph spec in
+    Format.printf "%a@." Egraph.Stats.pp (Egraph.Stats.compute g)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print e-graph statistics.") Term.(const run $ instance_arg)
+
+(* ------------------------------------------------------------------ dump *)
+
+let dump_cmd =
+  let run spec path =
+    let g = load_egraph spec in
+    (if Filename.check_suffix path ".json" then Gym.write_file path g
+     else if Filename.check_suffix path ".dot" then Dot.write_file path g
+     else Egraph.Serial.write_file path g);
+    Printf.printf "wrote %s (%d e-nodes, %d e-classes)\n" path (Egraph.num_nodes g)
+      (Egraph.num_classes g)
+  in
+  let path =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Output path; extension selects the format: .json = extraction-gym, .dot = \
+             Graphviz, anything else = the native text format.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Serialize an instance (native text, extraction-gym JSON or DOT).")
+    Term.(const run $ instance_arg $ path)
+
+(* --------------------------------------------------------------- extract *)
+
+let method_conv =
+  Arg.enum
+    [
+      ("smoothe", `Smoothe);
+      ("greedy", `Greedy);
+      ("greedy-dag", `Greedy_dag);
+      ("ilp-cplex", `Ilp Bnb.cplex_like);
+      ("ilp-scip", `Ilp Bnb.scip_like);
+      ("ilp-cbc", `Ilp Bnb.cbc_like);
+      ("genetic", `Genetic);
+      ("annealing", `Annealing);
+      ("ilp-pruned", `Ilp_pruned);
+      ("portfolio", `Portfolio);
+    ]
+
+let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~show_term =
+  let result =
+    match method_ with
+    | `Greedy -> Greedy.extract g
+    | `Greedy_dag -> Greedy_dag.extract g
+    | `Ilp profile ->
+        let warm = (Greedy_dag.extract g).Extractor.solution in
+        Ilp.extract ~time_limit ?warm_start:warm ~profile g
+    | `Genetic ->
+        Genetic.extract
+          ~config:{ Genetic.default_config with Genetic.time_limit }
+          (Rng.create seed) g
+    | `Annealing ->
+        Annealing.extract
+          ~config:{ Annealing.default_config with Annealing.time_limit }
+          (Rng.create seed) g
+    | `Ilp_pruned -> Acyclic_prune.extract ~time_limit g
+    | `Portfolio ->
+        let out =
+          Portfolio.extract
+            ~config:{ Portfolio.default_config with Portfolio.time_budget = time_limit }
+            (Rng.create seed) g
+        in
+        List.iter
+          (fun m -> Format.printf "  member %a@." Extractor.pp m.Portfolio.result)
+          out.Portfolio.members;
+        out.Portfolio.best
+    | `Smoothe ->
+        let config =
+          {
+            Smoothe_config.default with
+            Smoothe_config.batch;
+            max_iters = iters;
+            time_limit;
+            seed;
+            assumption = Smoothe_config.assumption_of_string assumption;
+            lambda_ = lambda;
+          }
+        in
+        let run = Smoothe_extract.extract ~config g in
+        Printf.printf "iterations=%d batch=%d prop_iters=%d (loss %.2fs / grad %.2fs / sample %.2fs)\n"
+          run.Smoothe_extract.iterations run.Smoothe_extract.batch_used
+          run.Smoothe_extract.prop_iters
+          run.Smoothe_extract.profile.Smoothe_extract.loss_time
+          run.Smoothe_extract.profile.Smoothe_extract.grad_time
+          run.Smoothe_extract.profile.Smoothe_extract.sample_time;
+        run.Smoothe_extract.result
+  in
+  Format.printf "%a@." Extractor.pp result;
+  (match result.Extractor.solution with
+  | Some s when show_term ->
+      Printf.printf "%s\n" (Extract_term.render_dag (Extract_term.dag_of_solution g s))
+  | Some _ | None -> ());
+  result
+
+let method_flag =
+  Arg.(
+    value
+    & opt method_conv `Smoothe
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:
+          "Extraction method: $(b,smoothe), $(b,greedy), $(b,greedy-dag), $(b,ilp-cplex), \
+           $(b,ilp-scip), $(b,ilp-cbc), $(b,ilp-pruned), $(b,genetic), $(b,annealing) or \
+           $(b,portfolio).")
+
+let time_limit_flag =
+  Arg.(value & opt float 60.0 & info [ "t"; "time-limit" ] ~docv:"SECONDS" ~doc:"Time limit.")
+
+let batch_flag =
+  Arg.(value & opt int 16 & info [ "b"; "batch" ] ~docv:"B" ~doc:"SmoothE seed-batch size.")
+
+let iters_flag =
+  Arg.(value & opt int 150 & info [ "iters" ] ~docv:"K" ~doc:"SmoothE iteration cap.")
+
+let assumption_flag =
+  Arg.(
+    value
+    & opt (enum [ ("independent", "independent"); ("correlated", "correlated"); ("hybrid", "hybrid") ])
+        "hybrid"
+    & info [ "assumption" ] ~docv:"A" ~doc:"SmoothE correlation assumption.")
+
+let lambda_flag =
+  Arg.(value & opt float 100.0 & info [ "lambda" ] ~docv:"L" ~doc:"NOTEARS penalty weight.")
+
+let seed_flag = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let show_term_flag =
+  Arg.(value & flag & info [ "show-term" ] ~doc:"Print the extracted program (DAG form).")
+
+let extract_cmd =
+  let run spec method_ time_limit batch iters assumption lambda seed show_term =
+    let g = load_egraph spec in
+    ignore (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~show_term)
+  in
+  Cmd.v (Cmd.info "extract" ~doc:"Extract an optimised program from an e-graph.")
+    Term.(
+      const run $ instance_arg $ method_flag $ time_limit_flag $ batch_flag $ iters_flag
+      $ assumption_flag $ lambda_flag $ seed_flag $ show_term_flag)
+
+(* --------------------------------------------------------------- compare *)
+
+let compare_cmd =
+  let run spec time_limit =
+    let g = load_egraph spec in
+    Format.printf "%a@.@." Egraph.Stats.pp (Egraph.Stats.compute g);
+    let methods =
+      [ `Greedy; `Greedy_dag; `Genetic; `Annealing; `Ilp_pruned; `Ilp Bnb.cplex_like; `Smoothe ]
+    in
+    List.iter
+      (fun method_ ->
+        ignore
+          (run_method g ~method_ ~time_limit ~batch:16 ~iters:150 ~assumption:"hybrid"
+             ~lambda:100.0 ~seed:7 ~show_term:false))
+      methods
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Run every extraction method on one e-graph.")
+    Term.(const run $ instance_arg $ time_limit_flag)
+
+let () =
+  let info =
+    Cmd.info "smoothe" ~version:"1.0.0"
+      ~doc:"Differentiable e-graph extraction (SmoothE, ASPLOS 2025) and baselines."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; stats_cmd; dump_cmd; extract_cmd; compare_cmd ]))

@@ -1,0 +1,56 @@
+(* Interop pipeline: working with external e-graphs.
+
+   Three of the paper's datasets ship in the egraphs-good extraction-gym
+   JSON format. This example walks the full workshop loop on such a
+   file: import, inspect, extract with several methods (including the
+   TENSAT-style cycle-pruning ILP the paper discusses in §2 and the
+   simulated-annealing meta-heuristic), and render the winning
+   extraction as Graphviz.
+
+   Run with:  dune exec examples/interop_pipeline.exe *)
+
+let () =
+  (* 1. Produce a gym-format file (stands in for a downloaded dataset
+     dump; any extraction-gym JSON loads the same way). *)
+  let original = Tensat_ds.build "ResNet-50" in
+  let path = Filename.temp_file "resnet" ".json" in
+  Gym.write_file path original;
+  Printf.printf "wrote gym-format file: %s\n" path;
+
+  (* 2. Import and inspect. *)
+  let g = Gym.read_file path in
+  Sys.remove path;
+  Format.printf "imported: %a@.@." Egraph.Stats.pp (Egraph.Stats.compute g);
+
+  (* 3. Extract with a spread of methods. *)
+  let line label (r : Extractor.r) =
+    Printf.printf "%-14s cost %10.1f   time %6.2fs   %s\n" label r.Extractor.cost
+      r.Extractor.time_s
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) r.Extractor.notes))
+  in
+  line "greedy" (Greedy.extract g);
+  line "heuristic+" (Greedy_dag.extract g);
+  line "annealing" (Annealing.extract (Rng.create 3) g);
+  (* the §2 trade-off: pruning cycles first makes the ILP cheap but can
+     cost quality on graphs whose best derivations pass through cycles *)
+  line "ilp-pruned" (Acyclic_prune.extract ~time_limit:15.0 g);
+  line "ilp-full" (Ilp.extract ~time_limit:15.0 ~profile:Bnb.cplex_like g);
+  let config =
+    {
+      Smoothe_config.default with
+      Smoothe_config.assumption = Smoothe_config.Independent;
+      batch = 16;
+    }
+  in
+  let run = Smoothe_extract.extract ~config g in
+  line "smoothe" run.Smoothe_extract.result;
+
+  (* 4. Render the SmoothE extraction for graphviz. *)
+  match run.Smoothe_extract.result.Extractor.solution with
+  | Some s ->
+      let dot = Filename.temp_file "resnet" ".dot" in
+      Dot.write_file ~solution:s dot g;
+      Printf.printf "\nGraphviz rendering (selected e-nodes highlighted): %s\n" dot;
+      Printf.printf "  (render with: dot -Tpdf %s -o resnet.pdf)\n" dot
+  | None -> print_endline "no extraction to render"

@@ -1,0 +1,65 @@
+(* Tensor-graph superoptimisation (the tensat scenario, §5.2).
+
+   We write a small residual CNN as a term, saturate it with
+   TENSAT-style rewrite rules (operator fusion, matmul associativity,
+   conv composition...), and extract the cheapest equivalent graph with
+   SmoothE under a GPU-kernel-latency cost model. The identity-
+   introduction rule creates cyclic e-classes, so this example also
+   exercises the NOTEARS acyclicity machinery end-to-end.
+
+   Run with:  dune exec examples/tensor_compiler.exe *)
+
+let () =
+  let open Term in
+  (* a toy residual network: two residual blocks and a linear head *)
+  let block x i =
+    let branch =
+      app "conv" [ app "relu" [ app "conv" [ x; atom (Printf.sprintf "w_a%d" i) ] ];
+                   atom (Printf.sprintf "w_b%d" i) ]
+    in
+    app "relu" [ app "add" [ x; branch ] ]
+  in
+  let body = block (block (atom "input") 1) 2 in
+  let head =
+    app "add"
+      [
+        app "matmul" [ body; atom "w_head1" ];
+        app "matmul" [ body; atom "w_head2" ];
+      ]
+  in
+  Printf.printf "source graph (%d ops): %s\n\n" (size head) (to_string head);
+
+  let g = Saturate.create () in
+  let root = Saturate.add_term g head in
+  let report = Saturate.run ~node_limit:4000 g Tensat_ds.rules in
+  Printf.printf "saturation: %d rounds, %d e-nodes, %d e-classes, saturated=%b\n"
+    report.Saturate.iterations report.Saturate.final_nodes report.Saturate.final_classes
+    report.Saturate.saturated;
+  List.iter
+    (fun (rule, n) -> Printf.printf "  rule %-16s fired %d times\n" rule n)
+    report.Saturate.applied;
+
+  let egraph = Saturate.export ~name:"resnet-toy" g ~root ~cost:Tensat_ds.op_cost in
+  Format.printf "\ne-graph: %a@." Egraph.Stats.pp (Egraph.Stats.compute egraph);
+
+  (* baseline cost: the original graph (greedy extraction before any
+     sharing-aware optimisation approximates it) *)
+  let greedy = Greedy.extract egraph in
+  Printf.printf "\ngreedy extraction : %.0f\n" greedy.Extractor.cost;
+  let config =
+    {
+      Smoothe_config.default with
+      Smoothe_config.assumption = Smoothe_config.Independent;
+      batch = 16;
+    }
+  in
+  let run = Smoothe_extract.extract ~config egraph in
+  let smoothe = run.Smoothe_extract.result in
+  Printf.printf "SmoothE extraction: %.0f (%.2fs, %d iterations)\n" smoothe.Extractor.cost
+    smoothe.Extractor.time_s run.Smoothe_extract.iterations;
+
+  match smoothe.Extractor.solution with
+  | Some s ->
+      Printf.printf "\noptimised graph (DAG form):\n%s\n"
+        (Extract_term.render_dag (Extract_term.dag_of_solution egraph s))
+  | None -> print_endline "no valid extraction (unexpected)"

@@ -1,0 +1,386 @@
+type v = {
+  tp : tape;
+  value : Tensor.t;
+  mutable grad : Tensor.t option;
+  mutable pull : (unit -> unit) option;
+      (* reads this node's adjoint and accumulates into its parents *)
+}
+
+and tape = { nodes : v Vec.t }
+
+let tape () = { nodes = Vec.create () }
+let node_count tp = Vec.length tp.nodes
+
+let value n = n.value
+
+let grad_tensor n =
+  match n.grad with
+  | Some g -> g
+  | None ->
+      let g = Tensor.create ~batch:n.value.Tensor.batch ~width:n.value.Tensor.width in
+      n.grad <- Some g;
+      g
+
+let grad n = grad_tensor n
+
+let node tp value pull =
+  let n = { tp; value; grad = None; pull } in
+  Vec.push tp.nodes n;
+  n
+
+let const tp t = node tp t None
+let param tp t = node tp t None
+let owner n = n.tp
+
+let backward out =
+  let tp = owner out in
+  (* Seed with ones: differentiates the sum of the output's entries. *)
+  Tensor.fill (grad_tensor out) 1.0;
+  for i = Vec.length tp.nodes - 1 downto 0 do
+    let n = Vec.get tp.nodes i in
+    match n.pull, n.grad with
+    | Some pull, Some _ -> pull ()
+    | Some _, None | None, _ -> ()
+  done
+
+let add a b =
+  let tp = owner a in
+  let out = node tp (Tensor.add a.value b.value) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        Tensor.add_inplace (grad_tensor a) g;
+        Tensor.add_inplace (grad_tensor b) g);
+  out
+
+let sub a b =
+  let tp = owner a in
+  let out = node tp (Tensor.sub a.value b.value) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        Tensor.add_inplace (grad_tensor a) g;
+        Tensor.axpy (-1.0) g (grad_tensor b));
+  out
+
+let mul a b =
+  let tp = owner a in
+  let out = node tp (Tensor.mul a.value b.value) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        Tensor.add_inplace (grad_tensor a) (Tensor.mul g b.value);
+        Tensor.add_inplace (grad_tensor b) (Tensor.mul g a.value));
+  out
+
+let neg a =
+  let tp = owner a in
+  let out = node tp (Tensor.neg a.value) None in
+  out.pull <- Some (fun () -> Tensor.axpy (-1.0) (grad_tensor out) (grad_tensor a));
+  out
+
+let scale k a =
+  let tp = owner a in
+  let out = node tp (Tensor.scale k a.value) None in
+  out.pull <- Some (fun () -> Tensor.axpy k (grad_tensor out) (grad_tensor a));
+  out
+
+let add_scalar k a =
+  let tp = owner a in
+  let out = node tp (Tensor.add_scalar k a.value) None in
+  out.pull <- Some (fun () -> Tensor.add_inplace (grad_tensor a) (grad_tensor out));
+  out
+
+let one_minus a = add_scalar 1.0 (neg a)
+
+let log_floor = 1e-12
+
+let log_safe a =
+  let tp = owner a in
+  let out = node tp (Tensor.map (fun x -> Stdlib.log (Float.max x log_floor)) a.value) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let inv = Tensor.map (fun x -> 1.0 /. Float.max x log_floor) a.value in
+        Tensor.add_inplace (grad_tensor a) (Tensor.mul g inv));
+  out
+
+let relu a =
+  let tp = owner a in
+  let out = node tp (Tensor.relu a.value) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let mask = Tensor.map (fun x -> if x > 0.0 then 1.0 else 0.0) a.value in
+        Tensor.add_inplace (grad_tensor a) (Tensor.mul g mask));
+  out
+
+let gather a idx =
+  let tp = owner a in
+  let out = node tp (Segments.gather a.value idx) None in
+  out.pull <- Some (fun () -> Segments.scatter_add ~into:(grad_tensor a) idx (grad_tensor out));
+  out
+
+let segment_softmax a seg =
+  let tp = owner a in
+  let y = Segments.softmax a.value seg in
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        (* dθ_i = y_i (g_i - Σ_{j in seg} g_j y_j) *)
+        let g = grad_tensor out in
+        let gy = Tensor.mul g y in
+        let seg_dot = Segments.sum gy seg in
+        let owner_of = Segments.seg_of_index seg in
+        let spread = Segments.gather seg_dot owner_of in
+        let corr = Tensor.mul y (Tensor.sub g spread) in
+        Tensor.add_inplace (grad_tensor a) corr);
+  out
+
+let segment_sum a seg =
+  let tp = owner a in
+  let out = node tp (Segments.sum a.value seg) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let owner_of = Segments.seg_of_index seg in
+        let spread = Segments.gather (grad_tensor out) owner_of in
+        Tensor.add_inplace (grad_tensor a) spread);
+  out
+
+let segment_prod a seg =
+  let tp = owner a in
+  let out = node tp (Segments.prod a.value seg) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let others = Segments.prod_grad_scratch a.value seg in
+        let owner_of = Segments.seg_of_index seg in
+        let spread = Segments.gather (grad_tensor out) owner_of in
+        Tensor.add_inplace (grad_tensor a) (Tensor.mul spread others));
+  out
+
+let segment_max a seg =
+  let tp = owner a in
+  let y, argmax = Segments.max a.value seg in
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let ga = grad_tensor a in
+        let gd = Tensor.unsafe_data g and gad = Tensor.unsafe_data ga in
+        Array.iteri
+          (fun flat src_pos -> if src_pos >= 0 then gad.(src_pos) <- gad.(src_pos) +. gd.(flat))
+          argmax);
+  out
+
+let override_columns a pins =
+  let tp = owner a in
+  let y = Tensor.copy a.value in
+  List.iter
+    (fun (col, c) ->
+      for b = 0 to y.Tensor.batch - 1 do
+        Tensor.set y b col c
+      done)
+    pins;
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = Tensor.copy (grad_tensor out) in
+        List.iter
+          (fun (col, _) ->
+            for b = 0 to g.Tensor.batch - 1 do
+              Tensor.set g b col 0.0
+            done)
+          pins;
+        Tensor.add_inplace (grad_tensor a) g);
+  out
+
+let mean_rows a =
+  let tp = owner a in
+  let out = node tp (Tensor.mean_rows a.value) None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let ga = grad_tensor a in
+        let inv = 1.0 /. float_of_int (max 1 a.value.Tensor.batch) in
+        let gd = Tensor.unsafe_data g and gad = Tensor.unsafe_data ga in
+        let w = a.value.Tensor.width in
+        for b = 0 to a.value.Tensor.batch - 1 do
+          for i = 0 to w - 1 do
+            gad.((b * w) + i) <- gad.((b * w) + i) +. (gd.(i) *. inv)
+          done
+        done);
+  out
+
+let slice_row a b =
+  let tp = owner a in
+  let y = Tensor.of_row (Tensor.row a.value b) in
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let ga = grad_tensor a in
+        let w = a.value.Tensor.width in
+        let gd = Tensor.unsafe_data g and gad = Tensor.unsafe_data ga in
+        for i = 0 to w - 1 do
+          gad.((b * w) + i) <- gad.((b * w) + i) +. gd.(i)
+        done);
+  out
+
+let sum_width a =
+  let tp = owner a in
+  let sums = Tensor.sum_rows a.value in
+  let y = Tensor.of_array ~batch:a.value.Tensor.batch ~width:1 sums in
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let ga = grad_tensor a in
+        let w = a.value.Tensor.width in
+        let gd = Tensor.unsafe_data g and gad = Tensor.unsafe_data ga in
+        for b = 0 to a.value.Tensor.batch - 1 do
+          let gb = gd.(b) in
+          for i = 0 to w - 1 do
+            gad.((b * w) + i) <- gad.((b * w) + i) +. gb
+          done
+        done);
+  out
+
+let sum_all a =
+  let tp = owner a in
+  let y = Tensor.of_array ~batch:1 ~width:1 [| Tensor.sum a.value |] in
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = Tensor.get (grad_tensor out) 0 0 in
+        let ga = grad_tensor a in
+        let gad = Tensor.unsafe_data ga in
+        for i = 0 to Tensor.numel a.value - 1 do
+          gad.(i) <- gad.(i) +. g
+        done);
+  out
+
+let mean_all a =
+  let n = float_of_int (Tensor.numel a.value) in
+  scale (1.0 /. n) (sum_all a)
+
+let dot_const a u =
+  if Array.length u <> a.value.Tensor.width then invalid_arg "Ad.dot_const: width mismatch";
+  let tp = owner a in
+  let batch = a.value.Tensor.batch and w = a.value.Tensor.width in
+  let y = Tensor.create ~batch ~width:1 in
+  let ad = Tensor.unsafe_data a.value and yd = Tensor.unsafe_data y in
+  for b = 0 to batch - 1 do
+    let acc = ref 0.0 in
+    let base = b * w in
+    for i = 0 to w - 1 do
+      acc := !acc +. (ad.(base + i) *. u.(i))
+    done;
+    yd.(b) <- !acc
+  done;
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let ga = grad_tensor a in
+        let gd = Tensor.unsafe_data g and gad = Tensor.unsafe_data ga in
+        for b = 0 to batch - 1 do
+          let gb = gd.(b) in
+          let base = b * w in
+          for i = 0 to w - 1 do
+            gad.(base + i) <- gad.(base + i) +. (gb *. u.(i))
+          done
+        done);
+  out
+
+let linear ~input ~weight ~bias =
+  let tp = owner input in
+  let x = input.value and w = weight.value and b = bias.value in
+  if w.Tensor.width <> x.Tensor.width then invalid_arg "Ad.linear: in_features mismatch";
+  if b.Tensor.width <> w.Tensor.batch then invalid_arg "Ad.linear: bias width mismatch";
+  let y = Tensor.matmul_nt x w in
+  let yd = Tensor.unsafe_data y and bd = Tensor.unsafe_data b in
+  let h = w.Tensor.batch in
+  for row = 0 to y.Tensor.batch - 1 do
+    for j = 0 to h - 1 do
+      yd.((row * h) + j) <- yd.((row * h) + j) +. bd.(j)
+    done
+  done;
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        (* dX = G · W        : (B,H)x(H,N) -> (B,N) *)
+        Tensor.add_inplace (grad_tensor input) (Tensor.matmul g w);
+        (* dW = Gᵀ · X       : (H,B)x(B,N) -> (H,N) *)
+        Tensor.add_inplace (grad_tensor weight) (Tensor.matmul (Tensor.transpose g) x);
+        (* db = column sums of G *)
+        let gb = grad_tensor bias in
+        let gbd = Tensor.unsafe_data gb and gd = Tensor.unsafe_data g in
+        for row = 0 to g.Tensor.batch - 1 do
+          for j = 0 to h - 1 do
+            gbd.(j) <- gbd.(j) +. gd.((row * h) + j)
+          done
+        done);
+  out
+
+let mse ~pred ~target =
+  let diff = sub pred target in
+  mean_all (mul diff diff)
+
+let matrix_of_entries cp ~dim entries =
+  let tp = owner cp in
+  if cp.value.Tensor.batch <> 1 then invalid_arg "Ad.matrix_of_entries: expected a (1,N) input";
+  let a = Tensor.create ~batch:dim ~width:dim in
+  let src = Tensor.unsafe_data cp.value and dst = Tensor.unsafe_data a in
+  Array.iter (fun (col, i, j) -> dst.((i * dim) + j) <- dst.((i * dim) + j) +. src.(col)) entries;
+  let out = node tp a None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = grad_tensor out in
+        let gcp = grad_tensor cp in
+        let gd = Tensor.unsafe_data g and gcpd = Tensor.unsafe_data gcp in
+        Array.iter (fun (col, i, j) -> gcpd.(col) <- gcpd.(col) +. gd.((i * dim) + j)) entries);
+  out
+
+let expm_trace a =
+  let tp = owner a in
+  let e = Tensor.Matfun.expm a.value in
+  let y = Tensor.of_array ~batch:1 ~width:1 [| Tensor.Matfun.trace e |] in
+  let out = node tp y None in
+  out.pull <-
+    Some
+      (fun () ->
+        let g = Tensor.get (grad_tensor out) 0 0 in
+        Tensor.axpy g (Tensor.transpose e) (grad_tensor a));
+  out
+
+let finite_difference ~f ~x ~eps =
+  let g = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
+  let xd = Tensor.unsafe_data x and gd = Tensor.unsafe_data g in
+  for i = 0 to Tensor.numel x - 1 do
+    let saved = xd.(i) in
+    xd.(i) <- saved +. eps;
+    let up = f x in
+    xd.(i) <- saved -. eps;
+    let down = f x in
+    xd.(i) <- saved;
+    gd.(i) <- (up -. down) /. (2.0 *. eps)
+  done;
+  g

@@ -1,0 +1,63 @@
+type adam = {
+  params : Tensor.t array;
+  m : Tensor.t array;
+  v : Tensor.t array;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  mutable lr : float;
+  mutable step : int;
+}
+
+let like t = Tensor.create ~batch:t.Tensor.batch ~width:t.Tensor.width
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr params =
+  let params = Array.of_list params in
+  {
+    params;
+    m = Array.map like params;
+    v = Array.map like params;
+    beta1;
+    beta2;
+    eps;
+    lr;
+    step = 0;
+  }
+
+let set_lr opt lr = opt.lr <- lr
+
+let adam_step opt grads =
+  let grads = Array.of_list grads in
+  if Array.length grads <> Array.length opt.params then
+    invalid_arg "Optim.adam_step: gradient count mismatch";
+  opt.step <- opt.step + 1;
+  let t = float_of_int opt.step in
+  let bc1 = 1.0 -. (opt.beta1 ** t) in
+  let bc2 = 1.0 -. (opt.beta2 ** t) in
+  Array.iteri
+    (fun k g ->
+      let p = opt.params.(k) and m = opt.m.(k) and v = opt.v.(k) in
+      let pd = Tensor.unsafe_data p
+      and md = Tensor.unsafe_data m
+      and vd = Tensor.unsafe_data v
+      and gd = Tensor.unsafe_data g in
+      for i = 0 to Tensor.numel p - 1 do
+        let gi = gd.(i) in
+        md.(i) <- (opt.beta1 *. md.(i)) +. ((1.0 -. opt.beta1) *. gi);
+        vd.(i) <- (opt.beta2 *. vd.(i)) +. ((1.0 -. opt.beta2) *. gi *. gi);
+        let mhat = md.(i) /. bc1 and vhat = vd.(i) /. bc2 in
+        pd.(i) <- pd.(i) -. (opt.lr *. mhat /. (sqrt vhat +. opt.eps))
+      done)
+    grads
+
+let sgd_step ~lr ~params ~grads =
+  List.iter2 (fun p g -> Tensor.axpy (-.lr) g p) params grads
+
+let clip_grad_norm ~max_norm grads =
+  let sq = List.fold_left (fun acc g -> acc +. Tensor.dot g g) 0.0 grads in
+  let norm = sqrt sq in
+  if norm > max_norm && norm > 0.0 then begin
+    let k = max_norm /. norm in
+    List.iter (Tensor.scale_inplace k) grads
+  end;
+  norm

@@ -1,0 +1,24 @@
+(** First-order optimisers over tensor parameters.
+
+    The paper optimises the relaxed objective with gradient descent
+    (§3.5); in the released implementation this is Adam, which we
+    reproduce, plus plain SGD for tests and the MLP trainer. Parameters
+    are persistent tensors mutated in place between tape iterations. *)
+
+type adam
+
+val adam :
+  ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> Tensor.t list -> adam
+(** Standard Adam (Kingma & Ba) with bias correction; defaults
+    beta1 = 0.9, beta2 = 0.999, eps = 1e-8. *)
+
+val adam_step : adam -> Tensor.t list -> unit
+(** [adam_step opt grads] applies one update. [grads] aligns one-to-one
+    with the parameter list given at construction. *)
+
+val set_lr : adam -> float -> unit
+
+val sgd_step : lr:float -> params:Tensor.t list -> grads:Tensor.t list -> unit
+
+val clip_grad_norm : max_norm:float -> Tensor.t list -> float
+(** Global-norm gradient clipping; returns the pre-clip norm. *)

@@ -1,0 +1,29 @@
+(** Exact selection marginals, by enumeration.
+
+    §3.3 must *assume* how the parent e-nodes of an e-class correlate
+    (independent, fully correlated, or a hybrid) because computing the
+    true marginals is exponential — the paper points at the Junction
+    Tree algorithm's O(2^k) cost. For small e-graphs we can afford the
+    exact computation, which gives the reproduction a ground truth to
+    grade the three assumptions against (see the [ablation_phi] bench).
+
+    Semantics: the conditional probabilities cp define a distribution
+    over decoded selections — starting from the root, every *needed*
+    e-class independently draws one member according to its cp — and the
+    marginal of e-node n is the probability that n appears in the
+    decoded selection. Cyclic draws are not re-rolled; a node "selected"
+    on a cyclic path still counts as selected (matching what the relaxed
+    propagation estimates). *)
+
+val node_marginals : Egraph.t -> cp:float array -> float array
+(** [node_marginals g ~cp] enumerates all per-class choices reachable
+    from the root (weighted by cp) and returns exact per-node selection
+    probabilities. Exponential in the number of multi-member classes;
+    intended for e-graphs with ≤ ~20 such classes.
+    @raise Invalid_argument when the choice space exceeds [2^22]. *)
+
+val assumption_error :
+  Egraph.t -> cp:float array -> Smoothe_config.assumption -> float
+(** Mean absolute difference between the exact marginals and the
+    propagation of {!Relaxation.forward} under the given assumption —
+    the quantity the [ablation_phi] experiment reports. *)

@@ -1,0 +1,100 @@
+type member = { member_name : string; result : Extractor.r }
+
+type outcome = { best : Extractor.r; members : member list }
+
+type config = {
+  time_budget : float;
+  use_ilp : bool;
+  use_smoothe : bool;
+  use_annealing : bool;
+  use_genetic : bool;
+  smoothe : Smoothe_config.t;
+}
+
+let default_config =
+  {
+    time_budget = 30.0;
+    use_ilp = true;
+    use_smoothe = true;
+    use_annealing = true;
+    use_genetic = false;
+    smoothe = Smoothe_config.default;
+  }
+
+let extract ?(config = default_config) ?model rng g =
+  let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
+  let members = ref [] in
+  let record name (r : Extractor.r) =
+    (* re-score under the evaluation model so members are comparable *)
+    let rescored =
+      Extractor.make_with_model ~trace:r.Extractor.trace ~notes:r.Extractor.notes
+        ~proved_optimal:r.Extractor.proved_optimal ~method_name:r.Extractor.method_name
+        ~time_s:r.Extractor.time_s ~model g r.Extractor.solution
+    in
+    members := { member_name = name; result = rescored } :: !members
+  in
+  (* free heuristics first *)
+  record "heuristic" (Greedy.extract g);
+  record "heuristic+" (Greedy_dag.extract g);
+  (* split the remaining budget between the enabled anytime members *)
+  let anytime_members =
+    List.filter snd
+      [
+        ("smoothe", config.use_smoothe);
+        ("ilp", config.use_ilp);
+        ("annealing", config.use_annealing);
+        ("genetic", config.use_genetic);
+      ]
+  in
+  let share =
+    config.time_budget /. float_of_int (max 1 (List.length anytime_members))
+  in
+  List.iter
+    (fun (name, _) ->
+      match name with
+      | "smoothe" ->
+          let smoothe_config = { config.smoothe with Smoothe_config.time_limit = share } in
+          record "smoothe" (Smoothe_extract.extract ~config:smoothe_config ~model g).Smoothe_extract.result
+      | "ilp" ->
+          (* ILP optimises the linear part only; with a non-linear model
+             its solution is re-scored by [record] (the ILP* of §5.5) *)
+          let warm = (Greedy_dag.extract g).Extractor.solution in
+          let name = if Cost_model.is_linear model then "ilp" else "ilp*" in
+          record name (Ilp.extract ~time_limit:share ?warm_start:warm ~profile:Bnb.cplex_like g)
+      | "annealing" ->
+          record "annealing"
+            (Annealing.extract
+               ~config:{ Annealing.default_config with Annealing.time_limit = share }
+               ~model rng g)
+      | "genetic" ->
+          record "genetic"
+            (Genetic.extract
+               ~config:{ Genetic.default_config with Genetic.time_limit = share }
+               ~model rng g)
+      | _ -> ())
+    anytime_members;
+  let members = List.rev !members in
+  let winner =
+    List.fold_left
+      (fun acc m ->
+        match acc with
+        | None -> Some m
+        | Some best ->
+            if m.result.Extractor.cost < best.result.Extractor.cost then Some m else Some best)
+      None members
+  in
+  match winner with
+  | None -> { best = Extractor.failed ~method_name:"portfolio" ~time_s:0.0; members }
+  | Some w ->
+      let total_time =
+        List.fold_left (fun acc m -> acc +. m.result.Extractor.time_s) 0.0 members
+      in
+      let best =
+        {
+          w.result with
+          Extractor.method_name = "portfolio";
+          time_s = total_time;
+          notes = ("winner", w.member_name) :: w.result.Extractor.notes;
+        }
+      in
+      { best; members }

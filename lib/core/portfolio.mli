@@ -1,0 +1,37 @@
+(** Portfolio extraction: run several extractors under one budget and
+    keep the best solution.
+
+    The paper's comparative study (§5) shows no single method dominating
+    everywhere: heuristics win on diospyros-like graphs, ILP on small
+    NP-hard conversions, SmoothE on large graphs with reuse. A
+    downstream user who just wants the best extraction can run the
+    portfolio: the instant heuristics first, then the anytime methods
+    with the remaining budget split between them. This is also how the
+    evaluation harness builds its oracle baselines. *)
+
+type member = {
+  member_name : string;
+  result : Extractor.r;
+}
+
+type outcome = {
+  best : Extractor.r;  (** method_name "portfolio"; notes name the winner *)
+  members : member list;  (** every method's individual result *)
+}
+
+type config = {
+  time_budget : float;  (** total seconds, split across the anytime members *)
+  use_ilp : bool;
+  use_smoothe : bool;
+  use_annealing : bool;
+  use_genetic : bool;
+  smoothe : Smoothe_config.t;
+}
+
+val default_config : config
+
+val extract : ?config:config -> ?model:Cost_model.t -> Rng.t -> Egraph.t -> outcome
+(** Heuristics always run (they are effectively free). With a non-linear
+    [model], the ILP member is skipped (it can only optimise the linear
+    part, cf. ILP* in §5.5) unless [use_ilp] forces the linear
+    approximation, whose solution is then re-scored under [model]. *)

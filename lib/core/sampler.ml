@@ -1,0 +1,85 @@
+(* Root-first decode with a per-class candidate rank: rank 0 takes the
+   argmax-cp member, rank r the (r+1)-th best. Ranks are all 0 for the
+   paper's schedule; the repair loop bumps ranks on cycle-closing
+   classes. *)
+let decode_with_ranks g ~row ~ranks =
+  let pick =
+    Array.init (Egraph.num_classes g) (fun c ->
+        let members = g.Egraph.class_nodes.(c) in
+        if ranks.(c) = 0 then begin
+          (* common case: plain argmax, no sort *)
+          let best = ref members.(0) in
+          Array.iter (fun k -> if row.(k) > row.(!best) then best := k) members;
+          !best
+        end
+        else begin
+          let pairs = Array.map (fun k -> k, row.(k)) members in
+          Array.sort (fun (_, a) (_, b) -> compare b a) pairs;
+          let r = min ranks.(c) (Array.length members - 1) in
+          fst pairs.(r)
+        end)
+  in
+  Egraph.Solution.of_node_choice g pick
+
+(* Find one class on a directed cycle of the selected class graph. *)
+let find_cycle_class g s =
+  let m = Egraph.num_classes g in
+  let colour = Array.make m 0 in
+  let witness = ref None in
+  let rec dfs c =
+    if !witness = None then begin
+      match s.Egraph.Solution.choice.(c) with
+      | None -> colour.(c) <- 2
+      | Some node ->
+          colour.(c) <- 1;
+          Array.iter
+            (fun child ->
+              if !witness = None then
+                if colour.(child) = 1 then witness := Some c
+                else if colour.(child) = 0 then dfs child)
+            g.Egraph.children.(node);
+          if colour.(c) = 1 then colour.(c) <- 2
+    end
+  in
+  dfs g.Egraph.root;
+  !witness
+
+let sample_seed ?(repair = false) g ~cp ~seed =
+  let row = Tensor.row cp seed in
+  let ranks = Array.make (Egraph.num_classes g) 0 in
+  let first = decode_with_ranks g ~row ~ranks in
+  if not repair then first
+  else begin
+    let rec attempt s tries =
+      match Egraph.Solution.validate g s with
+      | Egraph.Solution.Valid | Egraph.Solution.No_root | Egraph.Solution.Incomplete _ -> s
+      | Egraph.Solution.Cyclic when tries <= 0 -> s
+      | Egraph.Solution.Cyclic -> (
+          match find_cycle_class g s with
+          | None -> s
+          | Some c ->
+              let size = Array.length g.Egraph.class_nodes.(c) in
+              if ranks.(c) + 1 >= size then s
+              else begin
+                ranks.(c) <- ranks.(c) + 1;
+                attempt (decode_with_ranks g ~row ~ranks) (tries - 1)
+              end)
+    in
+    attempt first 16
+  end
+
+let sample_all ?repair g ~cp =
+  Array.init cp.Tensor.batch (fun seed -> sample_seed ?repair g ~cp ~seed)
+
+let best_of_batch ?repair g ~model ~cp =
+  let samples = sample_all ?repair g ~cp in
+  let best = ref None in
+  Array.iteri
+    (fun seed s ->
+      let cost = Cost_model.dense_solution model g s in
+      if Float.is_finite cost then
+        match !best with
+        | Some (_, _, c) when c <= cost -> ()
+        | Some _ | None -> best := Some (seed, s, cost))
+    samples;
+  !best

@@ -1,0 +1,168 @@
+type profile = {
+  loss_time : float;
+  grad_time : float;
+  sample_time : float;
+  total_time : float;
+}
+
+type history_point = {
+  iter : int;
+  elapsed : float;
+  relaxed_loss : float;
+  sampled_cost : float;
+  incumbent : float;
+}
+
+type run = {
+  result : Extractor.r;
+  iterations : int;
+  best_seed : int;
+  batch_used : int;
+  prop_iters : int;
+  profile : profile;
+  history : history_point list;
+  oom : bool;
+}
+
+let init_theta rng ~batch ~width ~std =
+  Tensor.init ~batch ~width (fun _ _ -> std *. Rng.gaussian rng)
+
+let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) g =
+  let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
+  let compiled = Relaxation.compile config g in
+  let fp =
+    Device.footprint g ~prop_iters:compiled.Relaxation.prop_iters
+      ~scc_decomposition:config.Smoothe_config.scc_decomposition
+      ~batched_matexp:config.Smoothe_config.batched_matexp
+  in
+  let max_batch = Device.max_batch device fp in
+  if max_batch = 0 then
+    {
+      result =
+        {
+          (Extractor.failed ~method_name:"smoothe" ~time_s:0.0) with
+          Extractor.notes = [ ("oom", device.Device.device_name) ];
+        };
+      iterations = 0;
+      best_seed = -1;
+      batch_used = 0;
+      prop_iters = compiled.Relaxation.prop_iters;
+      profile = { loss_time = 0.0; grad_time = 0.0; sample_time = 0.0; total_time = 0.0 };
+      history = [];
+      oom = true;
+    }
+  else begin
+    let batch = min config.Smoothe_config.batch max_batch in
+    let rng = Rng.create config.Smoothe_config.seed in
+    let n = Egraph.num_nodes g in
+    let theta = init_theta rng ~batch ~width:n ~std:config.Smoothe_config.init_std in
+    let opt = Optim.adam ~lr:config.Smoothe_config.lr [ theta ] in
+    let deadline = Timer.deadline_after config.Smoothe_config.time_limit in
+    let loss_time = ref 0.0 and grad_time = ref 0.0 and sample_time = ref 0.0 in
+    let best_cost = ref infinity in
+    let best_solution = ref None in
+    let best_seed = ref (-1) in
+    let last_improvement = ref 0 in
+    let trace = ref [] in
+    let history = ref [] in
+    let iters_done = ref 0 in
+    let repair = config.Smoothe_config.repair_sampling in
+    Device.run device (fun () ->
+        let iter = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !iter < config.Smoothe_config.max_iters do
+          incr iter;
+          iters_done := !iter;
+          (* forward, under the (possibly annealed) temperature *)
+          let temperature =
+            Float.max config.Smoothe_config.min_temperature
+              (config.Smoothe_config.temperature
+              *. (config.Smoothe_config.temperature_decay ** float_of_int (!iter - 1)))
+          in
+          let fwd, t_fwd =
+            Timer.time (fun () -> Relaxation.forward ~temperature compiled ~config ~model ~theta)
+          in
+          loss_time := !loss_time +. t_fwd;
+          (* backward + step *)
+          let (), t_bwd =
+            Timer.time (fun () ->
+                Ad.backward fwd.Relaxation.loss;
+                let grad = Ad.grad fwd.Relaxation.theta in
+                ignore (Optim.clip_grad_norm ~max_norm:100.0 [ grad ]);
+                Optim.adam_step opt [ grad ])
+          in
+          grad_time := !grad_time +. t_bwd;
+          (* sample every iteration (§3.5) *)
+          let sampled, t_smp =
+            Timer.time (fun () ->
+                Sampler.best_of_batch ~repair g ~model ~cp:(Ad.value fwd.Relaxation.cp))
+          in
+          sample_time := !sample_time +. t_smp;
+          let sampled_cost =
+            match sampled with
+            | Some (seed, s, cost) ->
+                if cost < !best_cost -. 1e-12 then begin
+                  best_cost := cost;
+                  best_solution := Some s;
+                  best_seed := seed;
+                  last_improvement := !iter;
+                  trace := (Timer.elapsed deadline, cost) :: !trace
+                end;
+                cost
+            | None -> infinity
+          in
+          (* relaxed loss of the best seed this iteration, for Fig. 9 *)
+          let relaxed_loss =
+            let per_seed = Ad.value fwd.Relaxation.per_seed_cost in
+            let h = Tensor.get (Ad.value fwd.Relaxation.penalty) 0 0 in
+            let best = ref infinity in
+            for b = 0 to batch - 1 do
+              let v = Tensor.get per_seed b 0 in
+              if v < !best then best := v
+            done;
+            !best +. (config.Smoothe_config.lambda_ *. h)
+          in
+          history :=
+            {
+              iter = !iter;
+              elapsed = Timer.elapsed deadline;
+              relaxed_loss;
+              sampled_cost;
+              incumbent = !best_cost;
+            }
+            :: !history;
+          if Timer.expired deadline then stop := true
+          else if
+            !best_solution <> None
+            && !iter - !last_improvement >= config.Smoothe_config.patience
+          then stop := true
+        done);
+    let total = !loss_time +. !grad_time +. !sample_time in
+    let result =
+      Extractor.make_with_model
+        ~trace:(List.rev !trace)
+        ~notes:
+          [
+            ("assumption", Smoothe_config.assumption_name config.Smoothe_config.assumption);
+            ("batch", string_of_int batch);
+            ("device", device.Device.device_name);
+          ]
+        ~method_name:"smoothe" ~time_s:total ~model g !best_solution
+    in
+    {
+      result;
+      iterations = !iters_done;
+      best_seed = !best_seed;
+      batch_used = batch;
+      prop_iters = compiled.Relaxation.prop_iters;
+      profile =
+        {
+          loss_time = !loss_time;
+          grad_time = !grad_time;
+          sample_time = !sample_time;
+          total_time = total;
+        };
+      history = List.rev !history;
+      oom = false;
+    }
+  end

@@ -1,0 +1,46 @@
+(** The SmoothE extraction loop (§3.5, §4).
+
+    Each iteration: one autodiff forward/backward over the relaxation
+    (loss = cost model + λ·NOTEARS), one Adam step on the per-seed θ
+    logits, and one sampling pass that decodes all seeds and keeps the
+    cheapest valid selection seen so far. Stops on patience (no
+    improvement), on the iteration cap, or on the wall-clock limit —
+    and, like the paper's anytime evaluation (Figure 4), records the
+    incumbent trajectory. *)
+
+type profile = {
+  loss_time : float;  (** forward passes (the "Loss Calculation" share of Fig. 8) *)
+  grad_time : float;  (** backward + Adam ("Gradient Descent") *)
+  sample_time : float;  (** decoding + scoring ("Sampling") *)
+  total_time : float;
+}
+
+type history_point = {
+  iter : int;
+  elapsed : float;
+  relaxed_loss : float;  (** best per-seed f(p) + λ·h this iteration (Fig. 9's optimisation loss) *)
+  sampled_cost : float;  (** best sampled discrete cost this iteration (Fig. 9's sampling loss) *)
+  incumbent : float;  (** best cost so far *)
+}
+
+type run = {
+  result : Extractor.r;
+  iterations : int;
+  best_seed : int;  (** which seed produced the incumbent; -1 if none *)
+  batch_used : int;  (** after device memory derating *)
+  prop_iters : int;
+  profile : profile;
+  history : history_point list;  (** chronological *)
+  oom : bool;  (** the device could not fit even one seed *)
+}
+
+val extract :
+  ?config:Smoothe_config.t ->
+  ?model:Cost_model.t ->
+  ?device:Device.t ->
+  Egraph.t ->
+  run
+(** [model] defaults to the e-graph's linear costs; [device] defaults to
+    {!Device.a100}. The device's memory model derates the configured
+    batch (Table 5) and its backend selects vectorised or scalar kernels
+    (Figure 6). *)

@@ -1,0 +1,103 @@
+type t = {
+  dims : int array;  (* [| n; 64; 64; 8; 1 |] *)
+  weights : Tensor.t array;  (* layer k: (dims.(k+1), dims.(k)) *)
+  biases : Tensor.t array;  (* layer k: (1, dims.(k+1)) *)
+}
+
+let input_dim mlp = mlp.dims.(0)
+
+let create rng ~input_dim =
+  let dims = [| input_dim; 64; 64; 8; 1 |] in
+  let layers = Array.length dims - 1 in
+  let weights =
+    Array.init layers (fun k ->
+        let fan_in = dims.(k) in
+        let std = sqrt (2.0 /. float_of_int fan_in) in
+        Tensor.init ~batch:dims.(k + 1) ~width:dims.(k) (fun _ _ -> std *. Rng.gaussian rng))
+  in
+  let biases = Array.init layers (fun k -> Tensor.create ~batch:1 ~width:dims.(k + 1)) in
+  { dims; weights; biases }
+
+let forward_with lift tape mlp x =
+  let layers = Array.length mlp.weights in
+  let params = ref [] in
+  let wrap t =
+    let v = lift tape t in
+    params := v :: !params;
+    v
+  in
+  let out = ref x in
+  for k = 0 to layers - 1 do
+    let w = wrap mlp.weights.(k) and b = wrap mlp.biases.(k) in
+    let z = Ad.linear ~input:!out ~weight:w ~bias:b in
+    out := if k < layers - 1 then Ad.relu z else z
+  done;
+  !out, List.rev !params
+
+let forward tape mlp x = fst (forward_with Ad.const tape mlp x)
+let forward_trainable tape mlp x = forward_with Ad.param tape mlp x
+
+(* Weight/bias interleaved in layer order, matching forward_trainable. *)
+let parameters mlp =
+  let acc = ref [] in
+  for k = Array.length mlp.weights - 1 downto 0 do
+    acc := mlp.weights.(k) :: mlp.biases.(k) :: !acc
+  done;
+  !acc
+
+let predict_batch mlp x =
+  let tape = Ad.tape () in
+  let out = forward tape mlp (Ad.const tape x) in
+  let v = Ad.value out in
+  Array.init v.Tensor.batch (fun b -> Tensor.get v b 0)
+
+let predict mlp input =
+  if Array.length input <> input_dim mlp then invalid_arg "Mlp.predict: dimension mismatch";
+  (predict_batch mlp (Tensor.of_row input)).(0)
+
+type training_report = { epochs : int; final_loss : float; initial_loss : float }
+
+let train ?(epochs = 60) ?(lr = 1e-3) ?(batch_size = 32) rng mlp ~inputs ~targets =
+  let n = Array.length inputs in
+  if n = 0 || n <> Array.length targets then invalid_arg "Mlp.train: bad dataset";
+  let dim = input_dim mlp in
+  let opt = Optim.adam ~lr (parameters mlp) in
+  let order = Array.init n Fun.id in
+  let run_batch idxs =
+    let bsz = Array.length idxs in
+    let x = Tensor.create ~batch:bsz ~width:dim in
+    let y = Tensor.create ~batch:bsz ~width:1 in
+    Array.iteri
+      (fun row i ->
+        Tensor.blit_row ~src:inputs.(i) x row;
+        Tensor.set y row 0 targets.(i))
+      idxs;
+    let tape = Ad.tape () in
+    let pred, params = forward_trainable tape mlp (Ad.const tape x) in
+    let loss = Ad.mse ~pred ~target:(Ad.const tape y) in
+    Ad.backward loss;
+    let grads = List.map Ad.grad params in
+    ignore (Optim.clip_grad_norm ~max_norm:10.0 grads);
+    Optim.adam_step opt grads;
+    Tensor.get (Ad.value loss) 0 0
+  in
+  let epoch_loss () =
+    let total = ref 0.0 and batches = ref 0 in
+    Rng.shuffle rng order;
+    let i = ref 0 in
+    while !i < n do
+      let len = min batch_size (n - !i) in
+      total := !total +. run_batch (Array.sub order !i len);
+      incr batches;
+      i := !i + len
+    done;
+    !total /. float_of_int !batches
+  in
+  let initial_loss = ref nan in
+  let final_loss = ref nan in
+  for e = 1 to epochs do
+    let l = epoch_loss () in
+    if e = 1 then initial_loss := l;
+    final_loss := l
+  done;
+  { epochs; final_loss = !final_loss; initial_loss = !initial_loss }

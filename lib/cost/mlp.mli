@@ -1,0 +1,45 @@
+(** The multi-layer-perceptron cost model of §5.5.
+
+    Architecture exactly as the paper describes: an input layer of size N
+    mapped to 64 neurons, two hidden layers of 64 and 8 neurons with ReLU
+    non-linearities, and a scalar output — i.e. N→64→64→8→1. The model
+    is differentiable, so SmoothE can optimise through it; baselines that
+    only handle binary inputs evaluate it with {!predict}. *)
+
+type t
+
+val input_dim : t -> int
+
+val create : Rng.t -> input_dim:int -> t
+(** He-initialised weights. *)
+
+val forward : Ad.tape -> t -> Ad.v -> Ad.v
+(** [forward tape mlp p] with [p : (B, N)] returns per-seed predicted
+    costs [(B, 1)]. Weights enter the tape as constants (frozen), which
+    is the extraction-time configuration. *)
+
+val forward_trainable : Ad.tape -> t -> Ad.v -> Ad.v * Ad.v list
+(** As {!forward} but weights enter as parameters; also returns the
+    parameter nodes in a fixed order for the optimiser. *)
+
+val parameters : t -> Tensor.t list
+(** The persistent weight tensors, in the {!forward_trainable} order. *)
+
+val predict : t -> float array -> float
+(** Scalar prediction on one dense input vector. *)
+
+val predict_batch : t -> Tensor.t -> float array
+
+type training_report = { epochs : int; final_loss : float; initial_loss : float }
+
+val train :
+  ?epochs:int ->
+  ?lr:float ->
+  ?batch_size:int ->
+  Rng.t ->
+  t ->
+  inputs:float array array ->
+  targets:float array ->
+  training_report
+(** Mini-batch Adam regression (MSE), the synthetic-data fitting
+    procedure of §5.5. *)

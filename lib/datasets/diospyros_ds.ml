@@ -1,0 +1,203 @@
+let scalar_mul_cost = 1.0
+let scalar_add_cost = 1.0
+let load_cost = 0.3
+let vec_op_cost = 1.3  (* one 4-lane op costs slightly more than one scalar op *)
+let vec_load_cost = 0.5
+let broadcast_cost = 0.4
+let pack_cost = 0.6
+let lanes = 4
+
+type ctx = { b : Egraph.Builder.b; memo : (string, int) Hashtbl.t }
+
+let node ctx ~cls ~op ~cost children =
+  ignore (Egraph.Builder.add_node ctx.b ~cls ~op ~cost ~children)
+
+let cls_memo ctx key fill =
+  match Hashtbl.find_opt ctx.memo key with
+  | Some c -> c
+  | None ->
+      let c = Egraph.Builder.add_class ctx.b in
+      Hashtbl.add ctx.memo key c;
+      fill c;
+      c
+
+let load ctx name = cls_memo ctx ("load:" ^ name) (fun c -> node ctx ~cls:c ~op:"load" ~cost:load_cost [])
+
+let smul ctx a bb key =
+  cls_memo ctx ("smul:" ^ key) (fun c -> node ctx ~cls:c ~op:"mul" ~cost:scalar_mul_cost [ a; bb ])
+
+let sadd ctx a bb key =
+  cls_memo ctx ("sadd:" ^ key) (fun c -> node ctx ~cls:c ~op:"add" ~cost:scalar_add_cost [ a; bb ])
+
+let vload ctx name =
+  cls_memo ctx ("vload:" ^ name) (fun c -> node ctx ~cls:c ~op:"vload" ~cost:vec_load_cost [])
+
+let vbroadcast ctx src key =
+  cls_memo ctx ("vbcast:" ^ key) (fun c -> node ctx ~cls:c ~op:"vbroadcast" ~cost:broadcast_cost [ src ])
+
+(* n×n matmul: out(i,j) = Σ_k A(i,k)·B(k,j).
+   Scalar family: per-output multiply/add chains over shared loads.
+   Vector family: per output column j, a chain of vector FMAs
+   vacc_k = vfma(vacc_{k-1}, vloadA_col(k), broadcast B(k,j)); the vector
+   loads of A's columns are shared across all output columns. *)
+let matmul ~name ~n =
+  let ctx = { b = Egraph.Builder.create ~name (); memo = Hashtbl.create 256 } in
+  let a i k = load ctx (Printf.sprintf "A%d_%d" i k) in
+  let bmat k j = load ctx (Printf.sprintf "B%d_%d" k j) in
+  let scalar_out i j =
+    let terms =
+      List.init n (fun k -> smul ctx (a i k) (bmat k j) (Printf.sprintf "A%d%dB%d%d" i k k j))
+    in
+    match terms with
+    | [] -> invalid_arg "matmul: n = 0"
+    | first :: rest ->
+        List.fold_left
+          (fun acc (idx, t) -> sadd ctx acc t (Printf.sprintf "o%d%d_%d" i j idx))
+          first
+          (List.mapi (fun idx t -> idx, t) rest)
+  in
+  let vec_col j gi =
+    (* accumulate over k with vector FMAs; one vector covers the rows of
+       lane chunk gi. A-column vector loads are shared across output
+       columns j — the reuse that makes vectorisation pay. *)
+    let va k = vload ctx (Printf.sprintf "Acol%d_g%d" k gi) in
+    let vb k = vbroadcast ctx (bmat k j) (Printf.sprintf "B%d_%d" k j) in
+    let rec chain k acc =
+      if k = n then acc
+      else begin
+        let key = Printf.sprintf "vfma_c%d_g%d_k%d" j gi k in
+        let c =
+          cls_memo ctx key (fun cl ->
+              node ctx ~cls:cl ~op:"vfma" ~cost:vec_op_cost [ acc; va k; vb k ])
+        in
+        chain (k + 1) c
+      end
+    in
+    let zero = cls_memo ctx "vzero" (fun c -> node ctx ~cls:c ~op:"vzero" ~cost:0.1 []) in
+    chain 0 zero
+  in
+  (* each output group (column, up-to-4 rows) can be a pack of scalars or
+     a slice of the column's vector pipeline result *)
+  let groups = ref [] in
+  for j = 0 to n - 1 do
+    let rows_per_group = (n + lanes - 1) / lanes in
+    for gi = 0 to rows_per_group - 1 do
+      let group =
+        cls_memo ctx
+          (Printf.sprintf "out_g%d_%d" gi j)
+          (fun c ->
+            let scalars =
+              List.init (min lanes (n - (gi * lanes))) (fun r -> scalar_out ((gi * lanes) + r) j)
+            in
+            node ctx ~cls:c ~op:"pack" ~cost:pack_cost scalars;
+            node ctx ~cls:c ~op:"vresult" ~cost:0.1 [ vec_col j gi ])
+      in
+      groups := group :: !groups
+    done
+  done;
+  let root = Egraph.Builder.add_class ctx.b in
+  node ctx ~cls:root ~op:"bundle" ~cost:0.0 (List.rev !groups);
+  Egraph.Builder.freeze ctx.b ~root
+
+(* conv2d: out(y,x) = Σ_{dy,dx} img(y+dy, x+dx)·k(dy,dx); vector family
+   slides 4-wide vector loads (shared between adjacent outputs). *)
+let conv2d ~name ~image ~kernel =
+  let ctx = { b = Egraph.Builder.create ~name (); memo = Hashtbl.create 256 } in
+  let out = image - kernel + 1 in
+  let img y x = load ctx (Printf.sprintf "I%d_%d" y x) in
+  let ker dy dx = load ctx (Printf.sprintf "K%d_%d" dy dx) in
+  let scalar_out y x =
+    let terms = ref [] in
+    for dy = 0 to kernel - 1 do
+      for dx = 0 to kernel - 1 do
+        terms :=
+          smul ctx (img (y + dy) (x + dx)) (ker dy dx) (Printf.sprintf "c%d%d_%d%d" y x dy dx)
+          :: !terms
+      done
+    done;
+    match !terms with
+    | [] -> invalid_arg "conv2d: empty kernel"
+    | first :: rest ->
+        List.fold_left
+          (fun acc (i, t) -> sadd ctx acc t (Printf.sprintf "s%d%d_%d" y x i))
+          first
+          (List.mapi (fun i t -> i, t) rest)
+  in
+  (* vector loads are keyed by (input row, lane chunk) so adjacent output
+     rows share them — the reuse diospyros' shuffle search exploits *)
+  let vrow row ch = vload ctx (Printf.sprintf "Irow%d_c%d" row ch) in
+  let vec_out_row y ch =
+    let zero = cls_memo ctx "vzero" (fun c -> node ctx ~cls:c ~op:"vzero" ~cost:0.1 []) in
+    let acc = ref zero in
+    for dy = 0 to kernel - 1 do
+      for dx = 0 to kernel - 1 do
+        let key = Printf.sprintf "vconv%d_%d_%d_%d" y ch dy dx in
+        let vk = vbroadcast ctx (ker dy dx) (Printf.sprintf "K%d_%d" dy dx) in
+        acc :=
+          cls_memo ctx key (fun c ->
+              node ctx ~cls:c ~op:"vfma" ~cost:vec_op_cost [ !acc; vrow (y + dy) ch; vk ])
+      done
+    done;
+    !acc
+  in
+  let groups = ref [] in
+  for y = 0 to out - 1 do
+    let chunks = (out + lanes - 1) / lanes in
+    for ch = 0 to chunks - 1 do
+      let group =
+        cls_memo ctx
+          (Printf.sprintf "outrow%d_c%d" y ch)
+          (fun c ->
+            let width = min lanes (out - (ch * lanes)) in
+            let scalars = List.init width (fun x -> scalar_out y ((ch * lanes) + x)) in
+            node ctx ~cls:c ~op:"pack" ~cost:pack_cost scalars;
+            node ctx ~cls:c ~op:"vresult" ~cost:0.1 [ vec_out_row y ch ])
+      in
+      groups := group :: !groups
+    done
+  done;
+  let root = Egraph.Builder.add_class ctx.b in
+  node ctx ~cls:root ~op:"bundle" ~cost:0.0 (List.rev !groups);
+  Egraph.Builder.freeze ctx.b ~root
+
+let dot ~name ~len =
+  let ctx = { b = Egraph.Builder.create ~name (); memo = Hashtbl.create 64 } in
+  let a i = load ctx (Printf.sprintf "a%d" i) in
+  let bv i = load ctx (Printf.sprintf "b%d" i) in
+  let scalar =
+    let terms = List.init len (fun i -> smul ctx (a i) (bv i) (Printf.sprintf "ab%d" i)) in
+    match terms with
+    | [] -> invalid_arg "dot: len = 0"
+    | first :: rest ->
+        List.fold_left
+          (fun acc (i, t) -> sadd ctx acc t (Printf.sprintf "acc%d" i))
+          first
+          (List.mapi (fun i t -> i, t) rest)
+  in
+  let vec =
+    let zero = cls_memo ctx "vzero" (fun c -> node ctx ~cls:c ~op:"vzero" ~cost:0.1 []) in
+    let chunks = (len + lanes - 1) / lanes in
+    let acc = ref zero in
+    for ch = 0 to chunks - 1 do
+      let va = vload ctx (Printf.sprintf "va%d" ch) in
+      let vb = vload ctx (Printf.sprintf "vb%d" ch) in
+      acc :=
+        cls_memo ctx (Printf.sprintf "vdot%d" ch) (fun c ->
+            node ctx ~cls:c ~op:"vfma" ~cost:vec_op_cost [ !acc; va; vb ])
+    done;
+    cls_memo ctx "vreduce" (fun c -> node ctx ~cls:c ~op:"vreduce" ~cost:1.0 [ !acc ])
+  in
+  let root = Egraph.Builder.add_class ctx.b in
+  node ctx ~cls:root ~op:"result" ~cost:0.0 [ scalar ];
+  node ctx ~cls:root ~op:"result" ~cost:0.0 [ vec ];
+  Egraph.Builder.freeze ctx.b ~root
+
+let instances =
+  [
+    ("mat-mul_2x2", fun () -> matmul ~name:"mat-mul_2x2" ~n:2);
+    ("mat-mul_3x3", fun () -> matmul ~name:"mat-mul_3x3" ~n:3);
+    ("mat-mul_4x4", fun () -> matmul ~name:"mat-mul_4x4" ~n:4);
+    ("2d-conv_3x3_3x3", fun () -> conv2d ~name:"2d-conv_3x3_3x3" ~image:5 ~kernel:3);
+    ("2d-conv_8x8_3x3", fun () -> conv2d ~name:"2d-conv_8x8_3x3" ~image:8 ~kernel:3);
+    ("dot_16", fun () -> dot ~name:"dot_16" ~len:16);
+  ]

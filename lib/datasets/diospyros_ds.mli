@@ -1,0 +1,22 @@
+(** The diospyros dataset: DSP auto-vectorisation e-graphs (VanHattum et
+    al., [48] in the paper).
+
+    Diospyros explores, per linear-algebra kernel, the space of scalar
+    computations versus packed SIMD alternatives. Our generator builds
+    both implementation families for each kernel: the scalar expression
+    DAG (hash-consed, so repeated subterms share e-classes) and a
+    vectorised pipeline (vector loads shared across lanes, broadcasts,
+    fused multiply-accumulate chains, final packs). Per Table 2 the
+    heuristic already extracts near-optimal solutions on this dataset —
+    the vector alternatives dominate with little cross-alternative reuse
+    tension — and the reproduction preserves that property. *)
+
+val matmul : name:string -> n:int -> Egraph.t
+(** Dense n×n matrix multiply. *)
+
+val conv2d : name:string -> image:int -> kernel:int -> Egraph.t
+(** 2-D convolution of an image×image input with a kernel×kernel filter. *)
+
+val dot : name:string -> len:int -> Egraph.t
+
+val instances : (string * (unit -> Egraph.t)) list

@@ -1,0 +1,56 @@
+let op_cost op _arity =
+  match op with
+  | "+" -> 2.0
+  | "sq" -> 5.0
+  | "recip" -> 5.0
+  | "sec" | "cos" | "tan" -> 10.0
+  | "one" | "alpha" -> 0.0
+  | _ -> 1.0
+
+let egraph () =
+  let b = Egraph.Builder.create ~name:"fig1" () in
+  let c_alpha = Egraph.Builder.add_class b in
+  let c_tan = Egraph.Builder.add_class b in
+  let c_cos = Egraph.Builder.add_class b in
+  let c_sec = Egraph.Builder.add_class b in
+  let c_tansq = Egraph.Builder.add_class b in
+  let c_one = Egraph.Builder.add_class b in
+  let c_sq = Egraph.Builder.add_class b in
+  let c_root = Egraph.Builder.add_class b in
+  let add cls op children =
+    ignore
+      (Egraph.Builder.add_node b ~cls ~op ~cost:(op_cost op (List.length children)) ~children)
+  in
+  add c_alpha "alpha" [];
+  add c_tan "tan" [ c_alpha ];
+  add c_cos "cos" [ c_alpha ];
+  add c_sec "sec" [ c_alpha ];
+  add c_sec "recip" [ c_cos ];
+  add c_tansq "sq" [ c_tan ];
+  add c_one "one" [];
+  add c_sq "sq" [ c_sec ];
+  add c_sq "+" [ c_one; c_tansq ];
+  add c_root "+" [ c_sq; c_tan ];
+  Egraph.Builder.freeze b ~root:c_root
+
+let egraph_via_saturation () =
+  let g = Saturate.create () in
+  let open Term in
+  (* sec²α + tan α *)
+  let initial = app "+" [ app "sq" [ app "sec" [ atom "alpha" ] ]; app "tan" [ atom "alpha" ] ] in
+  let root = Saturate.add_term g initial in
+  let rules =
+    [
+      (* sec a -> 1/cos a *)
+      rule ~name:"sec-recip" (papp "sec" [ pvar "a" ]) (papp "recip" [ papp "cos" [ pvar "a" ] ]);
+      (* sec²a -> 1 + tan²a *)
+      rule ~name:"pythagorean"
+        (papp "sq" [ papp "sec" [ pvar "a" ] ])
+        (papp "+" [ patom "one"; papp "sq" [ papp "tan" [ pvar "a" ] ] ]);
+    ]
+  in
+  ignore (Saturate.run g rules);
+  Saturate.export ~name:"fig1-saturated" g ~root ~cost:op_cost
+
+let heuristic_cost = 27.0
+let optimal_cost = 19.0

@@ -1,0 +1,21 @@
+(** The paper's running example (Figures 1–3): sec²α + tan α.
+
+    Two rewrites — sec α → 1/cos α and sec²α → 1 + tan²α — expand the
+    initial term into an e-graph with eight e-classes. Costs follow
+    Figure 2: [+]=2, [x²]=5, [1/x]=5, [sec]=[cos]=[tan]=10, constants
+    and α free. The greedy heuristic extracts cost 27 (Fig. 2b); the
+    optimum reuses tan α and costs 19 (Fig. 2c). *)
+
+val egraph : unit -> Egraph.t
+(** Built directly, class by class. *)
+
+val egraph_via_saturation : unit -> Egraph.t
+(** The same e-graph produced by running the two rewrites through the
+    equality-saturation engine on the initial term — the test-suite
+    checks both constructions agree on extraction costs. *)
+
+val heuristic_cost : float
+(** 27, the cost the paper reports for the greedy extractor. *)
+
+val optimal_cost : float
+(** 19, the optimum with tan α reused. *)

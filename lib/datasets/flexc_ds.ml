@@ -1,0 +1,95 @@
+(* Functional-unit costs: a plain ALU op, the same op routed through a
+   memory-adjacent unit (cheaper for loads, pricier for arithmetic), and
+   fused units. *)
+let alu_cost = 2.0
+let mem_unit_cost = 3.0
+let load_cost = 1.0
+let mac_cost = 2.5  (* one fused unit vs. 2+2 for separate mul+add *)
+let shift_cost = 1.0
+
+type opkind = Load | Add of int * int | Mul of int * int | Shl1 of int | Sub of int * int
+
+let kernel ~name ~seed ~ops =
+  let rng = Rng.create seed in
+  let b = Egraph.Builder.create ~name () in
+  (* First synthesise a random DFG (values 0..ops-1, operands strictly
+     earlier), then emit an e-class per value with its implementation
+     alternatives. *)
+  let kinds =
+    Array.init ops (fun i ->
+        if i < 4 then Load
+        else begin
+          let pick () = Rng.int rng i in
+          match Rng.int rng 10 with
+          | 0 | 1 | 2 | 3 -> Add (pick (), pick ())
+          | 4 | 5 | 6 -> Mul (pick (), pick ())
+          | 7 -> Shl1 (pick ())
+          | 8 | 9 -> Sub (pick (), pick ())
+          | _ -> assert false
+        end)
+  in
+  let classes = Array.init ops (fun _ -> Egraph.Builder.add_class b) in
+  let add_node cls op cost children =
+    ignore (Egraph.Builder.add_node b ~cls ~op ~cost ~children)
+  in
+  Array.iteri
+    (fun i kind ->
+      let c = classes.(i) in
+      match kind with
+      | Load ->
+          add_node c "load" load_cost [];
+          add_node c "load_via_mem_unit" (load_cost *. 0.8) []
+      | Add (x, y) ->
+          add_node c "add" alu_cost [ classes.(x); classes.(y) ];
+          add_node c "add_mem_unit" mem_unit_cost [ classes.(x); classes.(y) ];
+          (* fused MAC when one operand is itself a multiply *)
+          (match kinds.(x) with
+          | Mul (u, v) -> add_node c "mac" mac_cost [ classes.(u); classes.(v); classes.(y) ]
+          | Load | Add _ | Shl1 _ | Sub _ -> ());
+          (match kinds.(y) with
+          | Mul (u, v) -> add_node c "mac" mac_cost [ classes.(x); classes.(u); classes.(v) ]
+          | Load | Add _ | Shl1 _ | Sub _ -> ());
+          (* x + x = x << 1 *)
+          if x = y then add_node c "shl1" shift_cost [ classes.(x) ]
+      | Mul (x, y) ->
+          add_node c "mul" alu_cost [ classes.(x); classes.(y) ];
+          add_node c "mul_mem_unit" mem_unit_cost [ classes.(x); classes.(y) ]
+      | Shl1 x ->
+          add_node c "shl1" shift_cost [ classes.(x) ];
+          (* strength-increase alternative: x*2 on the multiplier *)
+          add_node c "mul2" alu_cost [ classes.(x) ];
+          add_node c "add_self" alu_cost [ classes.(x); classes.(x) ]
+      | Sub (x, y) ->
+          add_node c "sub" alu_cost [ classes.(x); classes.(y) ];
+          add_node c "sub_mem_unit" mem_unit_cost [ classes.(x); classes.(y) ])
+    kinds;
+  (* The kernel's outputs: the last few values plus any value nothing
+     consumes, bundled under the root. *)
+  let consumed = Array.make ops false in
+  Array.iter
+    (fun kind ->
+      match kind with
+      | Load -> ()
+      | Add (x, y) | Mul (x, y) | Sub (x, y) ->
+          consumed.(x) <- true;
+          consumed.(y) <- true
+      | Shl1 x -> consumed.(x) <- true)
+    kinds;
+  let outputs = ref [] in
+  for i = ops - 1 downto 0 do
+    if (not consumed.(i)) && kinds.(i) <> Load then outputs := classes.(i) :: !outputs
+  done;
+  if !outputs = [] then outputs := [ classes.(ops - 1) ];
+  let root = Egraph.Builder.add_class b in
+  ignore (Egraph.Builder.add_node b ~cls:root ~op:"store" ~cost:0.0 ~children:!outputs);
+  Egraph.Builder.freeze b ~root
+
+let instances =
+  [
+    ("bzip2_1", fun () -> kernel ~name:"bzip2_1" ~seed:411 ~ops:120);
+    ("bzip2_2", fun () -> kernel ~name:"bzip2_2" ~seed:412 ~ops:200);
+    ("ffmpeg_1", fun () -> kernel ~name:"ffmpeg_1" ~seed:421 ~ops:160);
+    ("ffmpeg_2", fun () -> kernel ~name:"ffmpeg_2" ~seed:422 ~ops:260);
+    ("ffmpeg_3", fun () -> kernel ~name:"ffmpeg_3" ~seed:423 ~ops:340);
+    ("adpcm", fun () -> kernel ~name:"adpcm" ~seed:431 ~ops:90);
+  ]

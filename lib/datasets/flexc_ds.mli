@@ -1,0 +1,15 @@
+(** The flexc dataset: CGRA-mapping e-graphs (Woodruff et al., [51] in
+    the paper), built from loop-kernel dataflow graphs of the style flexc
+    harvests from bzip2 and FFmpeg.
+
+    A random (seeded, reproducible) arithmetic dataflow graph is
+    generated per workload; rewriting alternatives model what a CGRA
+    mapper can choose between: fused multiply-accumulate covering a
+    mul+add pair, strength-reduced shifts for ×2ⁿ, doubled operands
+    (x+x = x≪1), and per-operation functional-unit choices with
+    different costs. Degree stays low (paper: d(v)=1.8) and e-classes
+    stay small, the regime where both heuristics and SmoothE do well. *)
+
+val kernel : name:string -> seed:int -> ops:int -> Egraph.t
+
+val instances : (string * (unit -> Egraph.t)) list

@@ -1,0 +1,71 @@
+(* Operands are symbolic bit-slices of the two inputs; a multiplication
+   class is keyed by its (left operand, right operand, width) so that
+   sub-products shared between schoolbook and Karatsuba decompositions
+   land in the same e-class. *)
+type operand = Slice of char * int * int | Sum of operand * operand
+
+let rec operand_id = function
+  | Slice (v, lo, hi) -> Printf.sprintf "%c[%d:%d]" v lo hi
+  | Sum (a, b) -> Printf.sprintf "(%s+%s)" (operand_id a) (operand_id b)
+
+let dsp_cost = 30.0
+let lut_add_cost w = 0.5 *. float_of_int w
+
+type ctx = { b : Egraph.Builder.b; memo : (string, int) Hashtbl.t }
+
+let rec mul_class ctx ~width ~base a bb =
+  let key = Printf.sprintf "%s*%s@%d" (operand_id a) (operand_id bb) width in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some c -> c
+  | None ->
+      let c = Egraph.Builder.add_class ctx.b in
+      Hashtbl.add ctx.memo key c;
+      if width <= base then
+        ignore
+          (Egraph.Builder.add_node ctx.b ~cls:c ~op:"dsp_mul" ~cost:dsp_cost ~children:[])
+      else begin
+        let h = width / 2 in
+        let split = function
+          | Slice (v, lo, hi) ->
+              let mid = (lo + hi) / 2 in
+              Slice (v, lo, mid), Slice (v, mid, hi)
+          | Sum _ as s ->
+              (* a sum operand behaves like a fresh value of the same
+                 width; split it positionally through its id *)
+              let id = operand_id s in
+              Slice (Char.chr (Char.code 's' + (Hashtbl.hash id mod 8)), 0, h),
+              Slice (Char.chr (Char.code 's' + (Hashtbl.hash (id ^ "#") mod 8)), h, 2 * h)
+        in
+        let a_lo, a_hi = split a in
+        let b_lo, b_hi = split bb in
+        (* schoolbook: ll, lh, hl, hh + 3 wide additions *)
+        let ll = mul_class ctx ~width:h ~base a_lo b_lo in
+        let lh = mul_class ctx ~width:h ~base a_lo b_hi in
+        let hl = mul_class ctx ~width:h ~base a_hi b_lo in
+        let hh = mul_class ctx ~width:h ~base a_hi b_hi in
+        ignore
+          (Egraph.Builder.add_node ctx.b ~cls:c ~op:"schoolbook"
+             ~cost:(3.0 *. lut_add_cost width)
+             ~children:[ ll; lh; hl; hh ]);
+        (* karatsuba: ll, hh, (a_lo+a_hi)(b_lo+b_hi) + 6 additions *)
+        let mid = mul_class ctx ~width:h ~base (Sum (a_lo, a_hi)) (Sum (b_lo, b_hi)) in
+        ignore
+          (Egraph.Builder.add_node ctx.b ~cls:c ~op:"karatsuba"
+             ~cost:(6.0 *. lut_add_cost width)
+             ~children:[ ll; hh; mid ])
+      end;
+      c
+
+let multiply ~name ~width ~base =
+  let ctx = { b = Egraph.Builder.create ~name (); memo = Hashtbl.create 256 } in
+  let root =
+    mul_class ctx ~width ~base (Slice ('a', 0, width)) (Slice ('b', 0, width))
+  in
+  Egraph.Builder.freeze ctx.b ~root
+
+let instances =
+  [
+    ("mul_128", fun () -> multiply ~name:"mul_128" ~width:128 ~base:16);
+    ("mul_256", fun () -> multiply ~name:"mul_256" ~width:256 ~base:16);
+    ("mul_512", fun () -> multiply ~name:"mul_512" ~width:512 ~base:16);
+  ]

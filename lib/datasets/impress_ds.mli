@@ -1,0 +1,18 @@
+(** The impress dataset: FPGA HLS e-graphs for large integer
+    multiplication (Ustun et al., [47] in the paper).
+
+    IMpress rewrites w-bit multiplications into recursive decompositions:
+    schoolbook (four w/2 sub-multiplies) versus Karatsuba (three
+    sub-multiplies at the price of extra additions). The low/low and
+    high/high sub-products are *shared* between the two alternatives at
+    every level, producing deep common-subexpression structure — Table 2
+    shows plain greedy losing 280% on the worst impress graph while
+    heuristic+ and ILP recover the optimum. Costs model FPGA resources:
+    DSP-block base multipliers plus LUT adders proportional to width. *)
+
+val multiply : name:string -> width:int -> base:int -> Egraph.t
+(** E-graph of all recursive decompositions of a [width]-bit multiply
+    down to [base]-bit DSP primitives. *)
+
+val instances : (string * (unit -> Egraph.t)) list
+(** Three e-graphs (as in Table 1): 128-, 256- and 512-bit multipliers. *)

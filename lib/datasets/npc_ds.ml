@@ -1,0 +1,161 @@
+let gen_set_cover_instance rng ~universe ~sets ~max_set_size =
+  (* Every element must be coverable: seed each set with random members,
+     then force-cover any orphaned element. *)
+  let membership = Array.make sets [] in
+  for s = 0 to sets - 1 do
+    let size = 2 + Rng.int rng (max 1 (max_set_size - 1)) in
+    let seen = Hashtbl.create size in
+    for _ = 1 to size do
+      let e = Rng.int rng universe in
+      if not (Hashtbl.mem seen e) then begin
+        Hashtbl.add seen e ();
+        membership.(s) <- e :: membership.(s)
+      end
+    done
+  done;
+  let covered = Array.make universe false in
+  Array.iter (fun members -> List.iter (fun e -> covered.(e) <- true) members) membership;
+  for e = 0 to universe - 1 do
+    if not covered.(e) then begin
+      let s = Rng.int rng sets in
+      membership.(s) <- e :: membership.(s)
+    end
+  done;
+  let weights = Array.init sets (fun _ -> 1.0 +. float_of_int (Rng.int rng 9)) in
+  membership, weights
+
+let set_cover ~name ~seed ~universe ~sets ~max_set_size =
+  let rng = Rng.create seed in
+  let membership, weights = gen_set_cover_instance rng ~universe ~sets ~max_set_size in
+  let b = Egraph.Builder.create ~name () in
+  let set_class = Array.init sets (fun _ -> Egraph.Builder.add_class b) in
+  Array.iteri
+    (fun s c ->
+      ignore
+        (Egraph.Builder.add_node b ~cls:c
+           ~op:(Printf.sprintf "set%d" s)
+           ~cost:weights.(s) ~children:[]))
+    set_class;
+  let element_class = Array.init universe (fun _ -> Egraph.Builder.add_class b) in
+  Array.iteri
+    (fun s members ->
+      List.iter
+        (fun e ->
+          ignore
+            (Egraph.Builder.add_node b ~cls:element_class.(e)
+               ~op:(Printf.sprintf "cover%d_by%d" e s)
+               ~cost:0.0
+               ~children:[ set_class.(s) ]))
+        members)
+    membership;
+  let root = Egraph.Builder.add_class b in
+  ignore
+    (Egraph.Builder.add_node b ~cls:root ~op:"cover_all" ~cost:0.0
+       ~children:(Array.to_list element_class));
+  Egraph.Builder.freeze b ~root
+
+let set_cover_optimum_upper g =
+  (* Recover the instance from the e-graph structure: element classes are
+     the root node's children; their nodes point at set classes. *)
+  let root_node = g.Egraph.class_nodes.(g.Egraph.root).(0) in
+  let element_classes = g.Egraph.children.(root_node) in
+  let set_of_class = Hashtbl.create 64 in
+  Array.iter
+    (fun ec ->
+      Array.iter
+        (fun n ->
+          Array.iter
+            (fun sc ->
+              let elems = Option.value ~default:[] (Hashtbl.find_opt set_of_class sc) in
+              Hashtbl.replace set_of_class sc (ec :: elems))
+            g.Egraph.children.(n))
+        g.Egraph.class_nodes.(ec))
+    element_classes;
+  let uncovered = Hashtbl.create (Array.length element_classes) in
+  Array.iter (fun ec -> Hashtbl.replace uncovered ec ()) element_classes;
+  let total = ref 0.0 in
+  while Hashtbl.length uncovered > 0 do
+    (* classic greedy: cheapest cost per newly covered element *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun sc elems ->
+        let gain = List.length (List.filter (Hashtbl.mem uncovered) elems) in
+        if gain > 0 then begin
+          let weight = g.Egraph.costs.(g.Egraph.class_nodes.(sc).(0)) in
+          let ratio = weight /. float_of_int gain in
+          match !best with
+          | Some (r, _, _) when r <= ratio -> ()
+          | Some _ | None -> best := Some (ratio, sc, elems)
+        end)
+      set_of_class;
+    match !best with
+    | None -> Hashtbl.reset uncovered (* defensive: should not happen *)
+    | Some (_, sc, elems) ->
+        total := !total +. g.Egraph.costs.(g.Egraph.class_nodes.(sc).(0));
+        List.iter (Hashtbl.remove uncovered) elems;
+        Hashtbl.remove set_of_class sc
+  done;
+  !total
+
+let maxsat ~name ~seed ~vars ~clauses =
+  let rng = Rng.create seed in
+  let b = Egraph.Builder.create ~name () in
+  let pos = Array.init vars (fun _ -> Egraph.Builder.add_class b) in
+  let neg = Array.init vars (fun _ -> Egraph.Builder.add_class b) in
+  for v = 0 to vars - 1 do
+    ignore
+      (Egraph.Builder.add_node b ~cls:pos.(v) ~op:(Printf.sprintf "x%d" v) ~cost:1.0 ~children:[]);
+    ignore
+      (Egraph.Builder.add_node b ~cls:neg.(v)
+         ~op:(Printf.sprintf "not_x%d" v)
+         ~cost:1.0 ~children:[])
+  done;
+  let clause_classes = ref [] in
+  for c = 0 to clauses - 1 do
+    let cls = Egraph.Builder.add_class b in
+    clause_classes := cls :: !clause_classes;
+    (* 3 distinct literals *)
+    let seen = Hashtbl.create 3 in
+    let lits = ref 0 in
+    while !lits < 3 do
+      let v = Rng.int rng vars in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        incr lits;
+        let polarity = Rng.bool rng in
+        let target = if polarity then pos.(v) else neg.(v) in
+        ignore
+          (Egraph.Builder.add_node b ~cls
+             ~op:(Printf.sprintf "c%d_%s%d" c (if polarity then "p" else "n") v)
+             ~cost:0.0 ~children:[ target ])
+      end
+    done
+  done;
+  let root = Egraph.Builder.add_class b in
+  ignore
+    (Egraph.Builder.add_node b ~cls:root ~op:"all_clauses" ~cost:0.0
+       ~children:(List.rev !clause_classes));
+  Egraph.Builder.freeze b ~root
+
+let set_instances =
+  [
+    ( "set_cover_small",
+      fun () -> set_cover ~name:"set_cover_small" ~seed:501 ~universe:30 ~sets:60 ~max_set_size:6 );
+    ( "set_cover_mid",
+      fun () -> set_cover ~name:"set_cover_mid" ~seed:502 ~universe:60 ~sets:120 ~max_set_size:8 );
+    ( "set_cover_dense",
+      fun () -> set_cover ~name:"set_cover_dense" ~seed:503 ~universe:40 ~sets:90 ~max_set_size:14 );
+    ( "set_cover_large",
+      fun () ->
+        set_cover ~name:"set_cover_large" ~seed:504 ~universe:100 ~sets:200 ~max_set_size:10 );
+  ]
+
+let maxsat_instances =
+  [
+    ("maxsat_40_150", fun () -> maxsat ~name:"maxsat_40_150" ~seed:601 ~vars:40 ~clauses:150);
+    ("maxsat_30_90", fun () -> maxsat ~name:"maxsat_30_90" ~seed:602 ~vars:30 ~clauses:90);
+    ("maxsat_50_180", fun () -> maxsat ~name:"maxsat_50_180" ~seed:603 ~vars:50 ~clauses:180);
+    ("maxsat_25_120", fun () -> maxsat ~name:"maxsat_25_120" ~seed:604 ~vars:25 ~clauses:120);
+    ("maxsat_60_210", fun () -> maxsat ~name:"maxsat_60_210" ~seed:605 ~vars:60 ~clauses:210);
+    ("maxsat_35_140", fun () -> maxsat ~name:"maxsat_35_140" ~seed:606 ~vars:35 ~clauses:140);
+  ]

@@ -1,0 +1,33 @@
+(** The adversarial NP-hard datasets of §5.3: minimum set cover and
+    MaxSAT instances converted to e-graph extraction problems, following
+    the reductions of Stepp [42] and Zhang [55].
+
+    These conversions produce e-graphs saturated with common
+    subexpressions (every element/clause class points into shared
+    set/assignment classes), the regime where the paper shows heuristics
+    losing 2–6× while ILP solves to optimality within seconds and
+    SmoothE lands in between. *)
+
+val set_cover :
+  name:string -> seed:int -> universe:int -> sets:int -> max_set_size:int -> Egraph.t
+(** Reduction: the root e-node depends on one e-class per universe
+    element; an element's e-class holds one (free) e-node per covering
+    set, pointing at that set's singleton e-class whose e-node costs the
+    set's weight. DAG cost of a valid extraction = total weight of the
+    chosen cover (each set counted once); tree cost overcounts per
+    element, which is exactly what defeats the greedy heuristic. *)
+
+val set_cover_optimum_upper : Egraph.t -> float
+(** A cheap upper bound on the optimum from the classic ln-n greedy
+    set-cover algorithm run on the recovered instance (diagnostics). *)
+
+val maxsat :
+  name:string -> seed:int -> vars:int -> clauses:int -> Egraph.t
+(** Reduction: the root depends on one e-class per clause; a clause's
+    class holds a free e-node per satisfying literal, each pointing at a
+    polarity e-class (cost 1) of its variable. Selecting both polarities
+    of a variable costs 2, one polarity costs 1 — so the optimum of a
+    satisfiable instance is the number of distinct variables used. *)
+
+val set_instances : (string * (unit -> Egraph.t)) list
+val maxsat_instances : (string * (unit -> Egraph.t)) list

@@ -1,0 +1,98 @@
+type instance = { inst_name : string; build : unit -> Egraph.t }
+
+type dataset = {
+  ds_name : string;
+  task : string;
+  workloads : string;
+  assumption : string;
+  adversarial : bool;
+  instances : instance list;
+}
+
+let mk_instances pairs = List.map (fun (inst_name, build) -> { inst_name; build }) pairs
+
+let diospyros =
+  {
+    ds_name = "diospyros";
+    task = "DSP vectorization";
+    workloads = "Linear algebra kernels";
+    assumption = "independent";
+    adversarial = false;
+    instances = mk_instances Diospyros_ds.instances;
+  }
+
+let flexc =
+  {
+    ds_name = "flexc";
+    task = "CGRA mapping";
+    workloads = "Bzip2, FFmpeg";
+    assumption = "correlated";
+    adversarial = false;
+    instances = mk_instances Flexc_ds.instances;
+  }
+
+let impress =
+  {
+    ds_name = "impress";
+    task = "FPGA HLS";
+    workloads = "Large integer multiplication";
+    assumption = "correlated";
+    adversarial = false;
+    instances = mk_instances Impress_ds.instances;
+  }
+
+let rover =
+  {
+    ds_name = "rover";
+    task = "Datapath";
+    workloads = "DSP and graphics kernels";
+    assumption = "independent";
+    adversarial = false;
+    instances = mk_instances Rover_ds.instances;
+  }
+
+let tensat =
+  {
+    ds_name = "tensat";
+    task = "Tensor graph";
+    workloads = "ResNet-50, BERT";
+    assumption = "independent";
+    adversarial = false;
+    instances = mk_instances Tensat_ds.instances;
+  }
+
+let set_cover =
+  {
+    ds_name = "set";
+    task = "NP-hard problem";
+    workloads = "Minimum set covering";
+    assumption = "independent";
+    adversarial = true;
+    instances = mk_instances Npc_ds.set_instances;
+  }
+
+let maxsat =
+  {
+    ds_name = "maxsat";
+    task = "NP-hard problem";
+    workloads = "Maximum satisfiability";
+    assumption = "independent";
+    adversarial = true;
+    instances = mk_instances Npc_ds.maxsat_instances;
+  }
+
+let realistic = [ diospyros; flexc; impress; rover; tensat ]
+let adversarial = [ set_cover; maxsat ]
+let all = realistic @ adversarial
+
+let find name = List.find (fun d -> d.ds_name = name) all
+
+let find_instance name =
+  let rec search = function
+    | [] -> raise Not_found
+    | d :: rest -> (
+        match List.find_opt (fun i -> i.inst_name = name) d.instances with
+        | Some i -> i
+        | None -> search rest)
+  in
+  search all

@@ -1,0 +1,37 @@
+(** The dataset registry: the seven benchmark suites of Table 1 with
+    their per-dataset metadata (task description, representative
+    workloads, and the per-dataset correlation assumption the paper's
+    Table 2 caption specifies for SmoothE). *)
+
+type instance = { inst_name : string; build : unit -> Egraph.t }
+
+type dataset = {
+  ds_name : string;
+  task : string;
+  workloads : string;
+  assumption : string;  (** "independent" | "correlated" | "hybrid" (Table 2 caption) *)
+  adversarial : bool;
+  instances : instance list;
+}
+
+val diospyros : dataset
+val flexc : dataset
+val impress : dataset
+val rover : dataset
+val tensat : dataset
+val set_cover : dataset
+val maxsat : dataset
+
+val realistic : dataset list
+(** The five realistic suites of Table 2, in the paper's order. *)
+
+val adversarial : dataset list
+(** set and maxsat (Table 4). *)
+
+val all : dataset list
+
+val find : string -> dataset
+(** @raise Not_found on unknown names. *)
+
+val find_instance : string -> instance
+(** Look up a named e-graph across all datasets ("fir_5", "BERT", ...). *)

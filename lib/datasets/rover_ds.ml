@@ -1,0 +1,201 @@
+let bitwidth v =
+  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc + 1) in
+  max 1 (loop v 0)
+
+let adder_cost v = 8.0 +. float_of_int (bitwidth v)
+let shift_cost = 0.5
+let reg_cost = 1.0
+
+(* Multiplier-block builder: memoised e-class per (input, constant)
+   fundamental, with alternative shift/add/sub decompositions. *)
+type mcm_ctx = {
+  b : Egraph.Builder.b;
+  rng : Rng.t;
+  memo : (int * int, int) Hashtbl.t;  (* (input class, value) -> class *)
+}
+
+let rec class_of_value ctx ~input v =
+  assert (v >= 1);
+  match Hashtbl.find_opt ctx.memo (input, v) with
+  | Some c -> c
+  | None ->
+      let c = Egraph.Builder.add_class ctx.b in
+      Hashtbl.add ctx.memo (input, v) c;
+      if v = 1 then
+        (* the (possibly shifted/registered) input itself: a wire *)
+        ignore (Egraph.Builder.add_node ctx.b ~cls:c ~op:"wire" ~cost:0.0 ~children:[ input ])
+      else if v land 1 = 0 then begin
+        (* even: shift of the odd part; k chosen maximal *)
+        let rec odd_part v k = if v land 1 = 0 then odd_part (v lsr 1) (k + 1) else v, k in
+        let u, k = odd_part v 0 in
+        let cu = class_of_value ctx ~input u in
+        ignore
+          (Egraph.Builder.add_node ctx.b ~cls:c
+             ~op:(Printf.sprintf "shl%d" k)
+             ~cost:shift_cost ~children:[ cu ])
+      end
+      else begin
+        (* odd > 1: a few additive/subtractive decompositions *)
+        let add_pair a bb =
+          let ca = class_of_value ctx ~input a in
+          let cb = class_of_value ctx ~input bb in
+          ignore
+            (Egraph.Builder.add_node ctx.b ~cls:c ~op:"add" ~cost:(adder_cost v)
+               ~children:[ ca; cb ])
+        in
+        (* v = (v-1) + 1 : always available *)
+        add_pair (v - 1) 1;
+        (* v = 2^k + (v - 2^k) with the largest power of two below v *)
+        let p = 1 lsl (bitwidth v - 1) in
+        if p < v && v - p <> 1 then add_pair p (v - p);
+        (* v = (v+1) - 1 : subtractor via the next even value *)
+        let cu = class_of_value ctx ~input (v + 1) in
+        let c1 = class_of_value ctx ~input 1 in
+        ignore
+          (Egraph.Builder.add_node ctx.b ~cls:c ~op:"sub" ~cost:(adder_cost v)
+             ~children:[ cu; c1 ]);
+        (* occasionally a random balanced split for diversity *)
+        if v > 5 && Rng.bool ctx.rng then begin
+          let a = 2 * (1 + Rng.int ctx.rng ((v / 2) - 1)) in
+          let bb = v - a in
+          if bb >= 1 && a <> v - 1 then add_pair a bb
+        end
+      end;
+      c
+
+(* Summation ranges [i, j) with alternative association splits; leaves
+   come from [leaf i]. *)
+let rec sum_range ctx memo leaf i j =
+  match Hashtbl.find_opt memo (i, j) with
+  | Some c -> c
+  | None ->
+      if j - i = 1 then begin
+        let c = leaf i in
+        Hashtbl.add memo (i, j) c;
+        c
+      end
+      else begin
+        let c = Egraph.Builder.add_class ctx.b in
+        Hashtbl.add memo (i, j) c;
+        let splits =
+          if j - i = 2 then [ i + 1 ]
+          else
+            List.sort_uniq compare [ i + 1; (i + j) / 2; j - 1 ]
+        in
+        List.iter
+          (fun k ->
+            let ca = sum_range ctx memo leaf i k in
+            let cb = sum_range ctx memo leaf k j in
+            ignore
+              (Egraph.Builder.add_node ctx.b ~cls:c ~op:"add"
+                 ~cost:(adder_cost (16 * (j - i)))
+                 ~children:[ ca; cb ]))
+          splits;
+        c
+      end
+
+let fresh_ctx ~name ~seed =
+  let b = Egraph.Builder.create ~name () in
+  { b; rng = Rng.create seed; memo = Hashtbl.create 64 }
+
+let input_class ctx =
+  let c = Egraph.Builder.add_class ctx.b in
+  ignore (Egraph.Builder.add_node ctx.b ~cls:c ~op:"x" ~cost:0.0 ~children:[]);
+  c
+
+let random_odd_constants rng count limit =
+  let seen = Hashtbl.create count in
+  let acc = ref [] in
+  while List.length !acc < count do
+    let v = (2 * Rng.int rng (limit / 2)) + 3 in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      acc := v :: !acc
+    end
+  done;
+  List.rev !acc
+
+let mcm ~name ~seed ~constants =
+  let ctx = fresh_ctx ~name ~seed in
+  let x = input_class ctx in
+  let outs = List.map (fun v -> class_of_value ctx ~input:x v) constants in
+  let root = Egraph.Builder.add_class ctx.b in
+  ignore (Egraph.Builder.add_node ctx.b ~cls:root ~op:"bundle" ~cost:0.0 ~children:outs);
+  Egraph.Builder.freeze ctx.b ~root
+
+let fir ~name ~seed ~taps =
+  let ctx = fresh_ctx ~name ~seed in
+  let x = input_class ctx in
+  let coeffs = Array.of_list (random_odd_constants ctx.rng taps 200) in
+  (* tap i: registered (delayed) input multiplied by coeff i *)
+  let delayed = Array.make taps x in
+  for i = 1 to taps - 1 do
+    let c = Egraph.Builder.add_class ctx.b in
+    ignore
+      (Egraph.Builder.add_node ctx.b ~cls:c ~op:"reg" ~cost:reg_cost
+         ~children:[ delayed.(i - 1) ]);
+    delayed.(i) <- c
+  done;
+  let tap i = class_of_value ctx ~input:delayed.(i) coeffs.(i) in
+  let taps_memo = Hashtbl.create taps in
+  let leaf i =
+    match Hashtbl.find_opt taps_memo i with
+    | Some c -> c
+    | None ->
+        let c = tap i in
+        Hashtbl.add taps_memo i c;
+        c
+  in
+  let ranges = Hashtbl.create 32 in
+  let root = sum_range ctx ranges leaf 0 taps in
+  Egraph.Builder.freeze ctx.b ~root
+
+let box ~name ~seed ~taps =
+  let ctx = fresh_ctx ~name ~seed in
+  let x = input_class ctx in
+  let coeff = 2 * (3 + Rng.int ctx.rng 40) + 1 in
+  let delayed = Array.make taps x in
+  for i = 1 to taps - 1 do
+    let c = Egraph.Builder.add_class ctx.b in
+    ignore
+      (Egraph.Builder.add_node ctx.b ~cls:c ~op:"reg" ~cost:reg_cost
+         ~children:[ delayed.(i - 1) ]);
+    delayed.(i) <- c
+  done;
+  (* alternative A: sum the delayed inputs, then one constant multiply *)
+  let ranges_in = Hashtbl.create 16 in
+  let sum_inputs = sum_range ctx ranges_in (fun i -> delayed.(i)) 0 taps in
+  let mul_after = class_of_value ctx ~input:sum_inputs coeff in
+  (* alternative B: multiply each delayed input, then sum the products *)
+  let prod_memo = Hashtbl.create taps in
+  let prod i =
+    match Hashtbl.find_opt prod_memo i with
+    | Some c -> c
+    | None ->
+        let c = class_of_value ctx ~input:delayed.(i) coeff in
+        Hashtbl.add prod_memo i c;
+        c
+  in
+  let ranges_out = Hashtbl.create 16 in
+  let sum_products = sum_range ctx ranges_out prod 0 taps in
+  let root = Egraph.Builder.add_class ctx.b in
+  ignore (Egraph.Builder.add_node ctx.b ~cls:root ~op:"wire" ~cost:0.0 ~children:[ mul_after ]);
+  ignore (Egraph.Builder.add_node ctx.b ~cls:root ~op:"wire" ~cost:0.0 ~children:[ sum_products ]);
+  Egraph.Builder.freeze ctx.b ~root
+
+let instances =
+  [
+    ("fir_5", fun () -> fir ~name:"fir_5" ~seed:105 ~taps:10);
+    ("fir_6", fun () -> fir ~name:"fir_6" ~seed:106 ~taps:12);
+    ("fir_7", fun () -> fir ~name:"fir_7" ~seed:107 ~taps:14);
+    ("fir_8", fun () -> fir ~name:"fir_8" ~seed:108 ~taps:16);
+    ("box_3", fun () -> box ~name:"box_3" ~seed:203 ~taps:6);
+    ("box_4", fun () -> box ~name:"box_4" ~seed:204 ~taps:8);
+    ("box_5", fun () -> box ~name:"box_5" ~seed:205 ~taps:10);
+    ( "mcm_8",
+      fun () ->
+        mcm ~name:"mcm_8" ~seed:308 ~constants:(random_odd_constants (Rng.create 308) 8 300) );
+    ( "mcm_9",
+      fun () ->
+        mcm ~name:"mcm_9" ~seed:309 ~constants:(random_odd_constants (Rng.create 309) 9 300) );
+  ]

@@ -1,0 +1,28 @@
+(** The rover dataset: datapath-synthesis e-graphs (Coward et al., cited
+    as [12] in the paper) — FIR filters, box filters and multiple
+    constant multiplication (MCM) blocks, the workloads of Table 3.
+
+    Construction mirrors how the ROVER rewriter explores datapaths: each
+    constant multiplication has alternative adder-graph decompositions
+    (shift / add / subtract over shared "fundamentals"), and each
+    summation has alternative association trees over shared partial-sum
+    ranges. Costs model combinational area: adders pay per output bit,
+    shifts are wiring (cheap), registers are small. The resulting
+    e-graphs are rich in common subexpressions — exactly the regime
+    where, per Table 3, greedy misses reuse on mcm_* while ILP and
+    SmoothE find it. *)
+
+val mcm : name:string -> seed:int -> constants:int list -> Egraph.t
+(** An MCM block: multiply one input by each constant, sharing
+    intermediate fundamentals. *)
+
+val fir : name:string -> seed:int -> taps:int -> Egraph.t
+(** An N-tap FIR filter: per-tap constant multiplies (with MCM sharing)
+    feeding an output summation with alternative tree shapes. *)
+
+val box : name:string -> seed:int -> taps:int -> Egraph.t
+(** A box filter: equal coefficients, so sum-then-multiply competes with
+    multiply-then-sum (distributivity alternatives). *)
+
+val instances : (string * (unit -> Egraph.t)) list
+(** The Table 3 instance list: fir_5..fir_8, box_3..box_5, mcm_8, mcm_9. *)

@@ -1,0 +1,116 @@
+open Term
+
+let rules =
+  List.concat
+    [
+      bidirectional ~name:"matmul-assoc"
+        (papp "matmul" [ papp "matmul" [ pvar "a"; pvar "b" ]; pvar "c" ])
+        (papp "matmul" [ pvar "a"; papp "matmul" [ pvar "b"; pvar "c" ] ]);
+      bidirectional ~name:"matmul-fuse"
+        (papp "add" [ papp "matmul" [ pvar "a"; pvar "b" ]; papp "matmul" [ pvar "a"; pvar "c" ] ])
+        (papp "matmul" [ pvar "a"; papp "add" [ pvar "b"; pvar "c" ] ]);
+      bidirectional ~name:"add-assoc"
+        (papp "add" [ papp "add" [ pvar "a"; pvar "b" ]; pvar "c" ])
+        (papp "add" [ pvar "a"; papp "add" [ pvar "b"; pvar "c" ] ]);
+      bidirectional ~name:"conv-compose"
+        (papp "conv" [ papp "conv" [ pvar "x"; pvar "w1" ]; pvar "w2" ])
+        (papp "conv" [ pvar "x"; papp "compose" [ pvar "w1"; pvar "w2" ] ]);
+      [
+        rule ~name:"relu-idempotent"
+          (papp "relu" [ papp "relu" [ pvar "x" ] ])
+          (papp "relu" [ pvar "x" ]);
+        rule ~name:"add-comm"
+          (papp "add" [ pvar "a"; pvar "b" ])
+          (papp "add" [ pvar "b"; pvar "a" ]);
+        (* Identity introduction: puts (add x zero) in x's own e-class,
+           creating the self-referential (cyclic) classes that make the
+           acyclicity constraint non-trivial on tensat graphs. *)
+        rule ~name:"add-zero-intro" (pvar "x") (papp "add" [ pvar "x"; patom "zero" ]);
+        rule ~name:"concat-split"
+          (papp "concat" [ papp "split0" [ pvar "x" ]; papp "split1" [ pvar "x" ] ])
+          (pvar "x");
+      ];
+    ]
+
+let op_cost op _arity =
+  match op with
+  | "conv" -> 20.0
+  | "matmul" -> 12.0
+  | "compose" -> 28.0
+  | "add" -> 2.0
+  | "relu" -> 1.0
+  | "concat" -> 2.0
+  | "split0" | "split1" -> 1.0
+  | "zero" -> 0.0
+  | _ when String.length op > 0 && (op.[0] = 'w' || op.[0] = 'x' || op.[0] = 'h') -> 0.0
+  | _ -> 1.0
+
+let conv x w = app "conv" [ x; w ]
+let mm a b = app "matmul" [ a; b ]
+let add a b = app "add" [ a; b ]
+let relu x = app "relu" [ x ]
+let w name = atom ("w" ^ name)
+
+let vgg () =
+  let rec chain x d =
+    if d = 0 then x else chain (relu (conv x (w (Printf.sprintf "vgg%d" d)))) (d - 1)
+  in
+  chain (atom "x0") 14
+
+let resnet () =
+  let block x i =
+    let branch = conv (relu (conv x (w (Printf.sprintf "rA%d" i)))) (w (Printf.sprintf "rB%d" i)) in
+    relu (add x branch)
+  in
+  let rec stack x i = if i = 0 then x else stack (block x i) (i - 1) in
+  stack (atom "x0") 10
+
+let bert () =
+  let layer h i =
+    let attn = add h (mm (relu (mm h (w (Printf.sprintf "q%d" i)))) (w (Printf.sprintf "o%d" i))) in
+    add attn (mm (relu (mm attn (w (Printf.sprintf "f%d" i)))) (w (Printf.sprintf "g%d" i)))
+  in
+  let rec stack h i = if i = 0 then h else stack (layer h i) (i - 1) in
+  stack (atom "x0") 6
+
+let nasnet_a () =
+  let cell prev cur i =
+    let b1 = relu (conv cur (w (Printf.sprintf "n1_%d" i))) in
+    let b2 = add (conv cur (w (Printf.sprintf "n2_%d" i))) (conv prev (w (Printf.sprintf "n3_%d" i))) in
+    let b3 = add (relu prev) (conv cur (w (Printf.sprintf "n4_%d" i))) in
+    app "concat" [ b1; app "concat" [ b2; b3 ] ]
+  in
+  let rec stack prev cur i =
+    if i = 0 then cur
+    else begin
+      let next = cell prev cur i in
+      stack cur next (i - 1)
+    end
+  in
+  stack (atom "x0") (atom "x1") 6
+
+let nasrnn () =
+  (* shared weights across unrolled steps: the common-subexpression-rich
+     member of the family (SmoothE beats the heuristics here, Table 3) *)
+  let step h x = relu (add (mm h (w "hh")) (mm x (w "xh"))) in
+  let rec unroll h t = if t = 0 then h else unroll (step h (atom (Printf.sprintf "x%d" t))) (t - 1) in
+  unroll (atom "h0") 12
+
+let network = function
+  | "NASNet-A" -> nasnet_a ()
+  | "NASRNN" -> nasrnn ()
+  | "BERT" -> bert ()
+  | "VGG" -> vgg ()
+  | "ResNet-50" -> resnet ()
+  | name -> invalid_arg (Printf.sprintf "Tensat_ds.network: unknown network %S" name)
+
+let build ?(node_limit = 6000) name =
+  let g = Saturate.create () in
+  let root = Saturate.add_term g (network name) in
+  ignore (Saturate.run ~node_limit ~iter_limit:8 g rules);
+  Saturate.export ~name g ~root ~cost:op_cost
+
+let instances =
+  List.map
+    (fun name -> name, fun () -> build name)
+    [ "NASNet-A"; "NASRNN"; "BERT"; "VGG"; "ResNet-50" ]

@@ -1,0 +1,25 @@
+(** The tensat dataset: tensor-graph superoptimisation e-graphs (Yang et
+    al., [53] in the paper) over the five networks of Table 3 — NASNet-A,
+    NASRNN, BERT, VGG and ResNet-50 style models.
+
+    Unlike the hand-constructed datasets, these e-graphs come out of the
+    repository's own equality-saturation engine: a seed computation
+    graph per network is rewritten with TENSAT-style rules (matmul
+    associativity and distributivity-fusion, conv-conv composition, relu
+    idempotence, identity introduction — the latter creates the *cyclic*
+    e-classes that exercise the acyclicity machinery). Per-operator
+    costs model GPU kernel execution times. *)
+
+val rules : Term.rule list
+
+val op_cost : string -> int -> float
+
+val network : string -> Term.t
+(** The seed computation graph of a named network.
+    @raise Invalid_argument for unknown names. *)
+
+val build : ?node_limit:int -> string -> Egraph.t
+(** Saturate the named network and export the e-graph. *)
+
+val instances : (string * (unit -> Egraph.t)) list
+(** NASNet-A, NASRNN, BERT, VGG, ResNet-50. *)

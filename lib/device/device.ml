@@ -1,0 +1,68 @@
+type t = {
+  device_name : string;
+  memory_bytes : float;
+  backend : Tensor.Backend.mode;
+}
+
+let gib = 1024.0 *. 1024.0 *. 1024.0
+
+let a100 = { device_name = "A100-80GB"; memory_bytes = 80.0 *. gib; backend = Tensor.Backend.Vectorized }
+
+let rtx2080ti =
+  { device_name = "RTX2080Ti-11GB"; memory_bytes = 11.0 *. gib; backend = Tensor.Backend.Vectorized }
+
+let cpu_baseline =
+  (* a 256 GB workstation: big enough for every optimised configuration,
+     small enough that the unoptimised full-M-squared matrix exponential
+     on the largest e-graphs exceeds it (the OOM entries of Fig. 6) *)
+  { device_name = "CPU-baseline"; memory_bytes = 256.0 *. gib; backend = Tensor.Backend.Scalar }
+
+let calibration_scale = 2000.0
+
+type footprint = {
+  per_seed_bytes : float;
+  matexp_bytes : float;
+  matexp_per_seed : bool;
+}
+
+(* The PyTorch tape holds, per propagation iteration, activations and
+   gradient buffers proportional to the e-node vector (N), the e-class
+   vector (M), and the parent edge list (E); the matrix-exponential adds
+   ~10 dense d×d workspaces (Padé numerator/denominator, powers, LU). *)
+let footprint g ~prop_iters ~scc_decomposition ~batched_matexp =
+  let n = float_of_int (Egraph.num_nodes g) in
+  let m = float_of_int (Egraph.num_classes g) in
+  let e = float_of_int (Egraph.num_edges g) in
+  let per_seed_bytes =
+    calibration_scale *. 8.0 *. float_of_int prop_iters *. (n +. m +. (2.0 *. e))
+  in
+  let matexp_cells =
+    if scc_decomposition then
+      Array.fold_left
+        (fun acc scc ->
+          let d = float_of_int (Array.length scc) in
+          acc +. (d *. d))
+        0.0 g.Egraph.sccs
+    else m *. m
+  in
+  let matexp_bytes = calibration_scale *. 8.0 *. 10.0 *. matexp_cells in
+  { per_seed_bytes; matexp_bytes; matexp_per_seed = not batched_matexp }
+
+let bytes_for_batch fp batch =
+  let b = float_of_int batch in
+  let matexp = if fp.matexp_per_seed then fp.matexp_bytes *. b else fp.matexp_bytes in
+  (fp.per_seed_bytes *. b) +. matexp
+
+let fits dev fp ~batch = bytes_for_batch fp batch <= dev.memory_bytes
+
+let max_batch dev fp =
+  if not (fits dev fp ~batch:1) then 0
+  else begin
+    (* footprint is affine in the batch, solve directly then clamp *)
+    let fixed = if fp.matexp_per_seed then 0.0 else fp.matexp_bytes in
+    let slope = fp.per_seed_bytes +. (if fp.matexp_per_seed then fp.matexp_bytes else 0.0) in
+    let b = int_of_float ((dev.memory_bytes -. fixed) /. slope) in
+    max 1 b
+  end
+
+let run dev f = Tensor.Backend.with_mode dev.backend f

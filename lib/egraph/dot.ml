@@ -1,0 +1,59 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?solution g =
+  let buf = Buffer.create 1024 in
+  let selected =
+    match solution with
+    | None -> [||]
+    | Some s ->
+        let marks = Array.make (Egraph.num_nodes g) false in
+        List.iter (fun n -> marks.(n) <- true) (Egraph.Solution.selected_nodes g s);
+        marks
+  in
+  Buffer.add_string buf "digraph egraph {\n";
+  Buffer.add_string buf "  compound=true;\n  node [shape=box, fontsize=10];\n";
+  for c = 0 to Egraph.num_classes g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d {\n" c);
+    Buffer.add_string buf "    style=dashed;\n";
+    if c = g.Egraph.root then Buffer.add_string buf "    label=\"root\";\n";
+    Array.iter
+      (fun i ->
+        let fill =
+          if Array.length selected > 0 && selected.(i) then
+            ", style=filled, fillcolor=lightblue"
+          else ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "    n%d [label=\"%s (%.3g)\"%s];\n" i (escape g.Egraph.ops.(i))
+             g.Egraph.costs.(i) fill))
+      g.Egraph.class_nodes.(c);
+    Buffer.add_string buf "  }\n"
+  done;
+  (* edges: e-node -> representative node of the child class, clipped to
+     the class cluster *)
+  for i = 0 to Egraph.num_nodes g - 1 do
+    Array.iter
+      (fun child ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [lhead=cluster_%d];\n" i
+             g.Egraph.class_nodes.(child).(0)
+             child))
+      g.Egraph.children.(i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?solution path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?solution g))

@@ -1,0 +1,11 @@
+(** Graphviz DOT rendering of e-graphs.
+
+    Mirrors egg's visualisation convention: each e-class is a dashed
+    cluster containing its e-nodes; edges run from e-nodes to child
+    e-class clusters (exactly the layout of the paper's Figure 1). An
+    extraction solution can be overlaid, filling the selected e-nodes —
+    the paper's Figure 2 colouring. *)
+
+val to_dot : ?solution:Egraph.Solution.s -> Egraph.t -> string
+
+val write_file : ?solution:Egraph.Solution.s -> string -> Egraph.t -> unit

@@ -1,0 +1,122 @@
+type report = {
+  removed_nodes : int;
+  removed_classes : int;
+  egraph : Egraph.t option;
+  old_node_of_new : int array;
+}
+
+(* A node is pruned when (a) one of its child-class edges stays inside a
+   non-trivial SCC (it could participate in a cycle), or (b) one of its
+   child classes has lost every member — cascading until stable. *)
+let prune g =
+  let n = Egraph.num_nodes g in
+  let m = Egraph.num_classes g in
+  let removed = Array.make n false in
+  let scc = g.Egraph.scc_of_class in
+  let scc_size = Array.make (Array.length g.Egraph.sccs) 0 in
+  Array.iteri (fun ci members -> scc_size.(ci) <- Array.length members) g.Egraph.sccs;
+  (* (a) cycle participation *)
+  for i = 0 to n - 1 do
+    let ci = g.Egraph.node_class.(i) in
+    Array.iter
+      (fun j ->
+        if scc.(j) = scc.(ci) && (scc_size.(scc.(j)) > 1 || j = ci) then removed.(i) <- true)
+      g.Egraph.children.(i)
+  done;
+  (* (b) cascade: nodes depending on emptied classes *)
+  let class_alive c =
+    Array.exists (fun i -> not removed.(i)) g.Egraph.class_nodes.(c)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if
+        (not removed.(i)) && Array.exists (fun j -> not (class_alive j)) g.Egraph.children.(i)
+      then begin
+        removed.(i) <- true;
+        changed := true
+      end
+    done
+  done;
+  let removed_nodes = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 removed in
+  let removed_classes = ref 0 in
+  for c = 0 to m - 1 do
+    if not (class_alive c) then incr removed_classes
+  done;
+  if not (class_alive g.Egraph.root) then
+    { removed_nodes; removed_classes = !removed_classes; egraph = None; old_node_of_new = [||] }
+  else begin
+    (* rebuild with original class layout; freeze strips dead classes.
+       Builder and freeze keep classes in id order and nodes in insertion
+       order, so the old-id mapping below mirrors the renumbering. *)
+    let b = Egraph.Builder.create ~name:(g.Egraph.name ^ "-pruned") () in
+    let ids = Array.init m (fun _ -> Egraph.Builder.add_class b) in
+    for i = 0 to n - 1 do
+      if not removed.(i) then
+        ignore
+          (Egraph.Builder.add_node b
+             ~cls:ids.(g.Egraph.node_class.(i))
+             ~op:g.Egraph.ops.(i) ~cost:g.Egraph.costs.(i)
+             ~children:(Array.to_list (Array.map (fun c -> ids.(c)) g.Egraph.children.(i))))
+    done;
+    let pruned = Egraph.Builder.freeze b ~root:g.Egraph.root in
+    (* replicate freeze's ordering: kept classes ascending, surviving
+       nodes of each kept class in original id order *)
+    let succ =
+      Array.init m (fun c ->
+          if class_alive c then begin
+            let acc = Vec.create () in
+            Array.iter
+              (fun i -> if not removed.(i) then Array.iter (Vec.push acc) g.Egraph.children.(i))
+              g.Egraph.class_nodes.(c);
+            Vec.to_array acc
+          end
+          else [||])
+    in
+    let reach = Graph_algo.reachable succ [ g.Egraph.root ] in
+    let mapping = Vec.create () in
+    for c = 0 to m - 1 do
+      if reach.(c) && class_alive c then
+        Array.iter (fun i -> if not removed.(i) then Vec.push mapping i) g.Egraph.class_nodes.(c)
+    done;
+    let old_node_of_new = Vec.to_array mapping in
+    assert (Array.length old_node_of_new = Egraph.num_nodes pruned);
+    {
+      removed_nodes;
+      removed_classes = !removed_classes;
+      egraph = Some pruned;
+      old_node_of_new;
+    }
+  end
+
+let extract ?(time_limit = 60.0) ?(profile = Bnb.cplex_like) g =
+  let (rep, prune_time) = Timer.time (fun () -> prune g) in
+  match rep.egraph with
+  | None -> Extractor.failed ~method_name:"ilp-pruned" ~time_s:prune_time
+  | Some pruned ->
+      let r = Ilp.extract ~time_limit ~profile pruned in
+      let lifted =
+        match r.Extractor.solution with
+        | None -> None
+        | Some s ->
+            (* translate the selection back to original node ids *)
+            let pairs =
+              List.map
+                (fun new_node ->
+                  let old_node = rep.old_node_of_new.(new_node) in
+                  (g.Egraph.node_class.(old_node), old_node))
+                (Egraph.Solution.selected_nodes pruned s)
+            in
+            Some (Egraph.Solution.of_choices g pairs)
+      in
+      Extractor.make
+        ~proved_optimal:false (* optimal for the pruned space only *)
+        ~notes:
+          [
+            ("pruned_nodes", string_of_int rep.removed_nodes);
+            ("pruned_classes", string_of_int rep.removed_classes);
+          ]
+        ~method_name:"ilp-pruned"
+        ~time_s:(prune_time +. r.Extractor.time_s)
+        g lifted

@@ -1,0 +1,35 @@
+(** Cycle pruning, the TENSAT preprocessing strategy.
+
+    §2 of the paper: "Tensat prunes e-graphs by removing all cycles as a
+    preprocessing step, allowing the acyclicity constraint to be ignored
+    and significantly reducing the time required by ILP. However, such
+    preprocessing reduces the feasible solution space, potentially
+    compromising the quality of the final solution."
+
+    This module reproduces that trade-off: {!prune} deletes every e-node
+    that participates in a class-graph cycle (iterating, since removals
+    can empty classes and cascade), producing an acyclic sub-e-graph on
+    which the Eq. (1) encoding needs no big-M ordering rows; {!extract}
+    runs the ILP baseline on the pruned graph. Costs of the surviving
+    nodes are unchanged, so any solution of the pruned graph is a valid,
+    equally-priced solution of the original — possibly missing the true
+    optimum, which is exactly the quality loss the paper warns about. *)
+
+type report = {
+  removed_nodes : int;
+  removed_classes : int;  (** classes emptied (and their dependants) *)
+  egraph : Egraph.t option;  (** [None] when pruning destroys derivability of the root *)
+  old_node_of_new : int array;
+      (** maps the pruned e-graph's node ids back to the original's, so
+          solutions lift back to the original e-graph *)
+}
+
+val prune : Egraph.t -> report
+(** Remove cycle-participating e-nodes until the class graph is acyclic.
+    Idempotent on acyclic inputs (removes nothing). *)
+
+val extract :
+  ?time_limit:float -> ?profile:Bnb.profile -> Egraph.t -> Extractor.r
+(** Prune, then run the ILP extractor on the acyclic remainder and
+    validate the solution against the *original* e-graph. Reports method
+    name "ilp-pruned". Fails when pruning removes every derivation. *)

@@ -1,0 +1,96 @@
+type config = {
+  steps : int;
+  t_start : float;
+  t_end : float;
+  restarts : int;
+  time_limit : float;
+}
+
+let default_config =
+  { steps = 4000; t_start = 10.0; t_end = 0.05; restarts = 3; time_limit = 20.0 }
+
+let genes_of_solution g s =
+  Array.init (Egraph.num_classes g) (fun c ->
+      match s.Egraph.Solution.choice.(c) with
+      | Some node ->
+          let idx = ref 0 in
+          Array.iteri (fun k n -> if n = node then idx := k) g.Egraph.class_nodes.(c);
+          !idx
+      | None -> 0)
+
+let decode g genes =
+  let pick = Array.mapi (fun c gene -> g.Egraph.class_nodes.(c).(gene)) genes in
+  Egraph.Solution.of_node_choice g pick
+
+let extract ?(config = default_config) ?model rng g =
+  let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
+  let deadline = Timer.deadline_after config.time_limit in
+  let m = Egraph.num_classes g in
+  let best_cost = ref infinity in
+  let best = ref None in
+  let trace = ref [] in
+  let consider s cost =
+    if cost < !best_cost -. 1e-12 then begin
+      best_cost := cost;
+      best := Some s;
+      trace := (Timer.elapsed deadline, cost) :: !trace
+    end
+  in
+  (* only classes with a real choice are worth flipping *)
+  let flippable =
+    Array.of_list
+      (List.filter
+         (fun c -> Array.length g.Egraph.class_nodes.(c) > 1)
+         (List.init m Fun.id))
+  in
+  let run_one start_genes =
+    let genes = Array.copy start_genes in
+    let current = decode g genes in
+    let current_cost = ref (Cost_model.dense_solution model g current) in
+    if Float.is_finite !current_cost then consider current !current_cost;
+    let cooling =
+      if config.steps <= 1 then 1.0
+      else (config.t_end /. config.t_start) ** (1.0 /. float_of_int (config.steps - 1))
+    in
+    let temp = ref config.t_start in
+    (try
+       for step = 1 to config.steps do
+         if step land 255 = 0 && Timer.expired deadline then raise Exit;
+         if Array.length flippable > 0 then begin
+           let c = flippable.(Rng.int rng (Array.length flippable)) in
+           let old_gene = genes.(c) in
+           let size = Array.length g.Egraph.class_nodes.(c) in
+           let fresh = (old_gene + 1 + Rng.int rng (size - 1)) mod size in
+           genes.(c) <- fresh;
+           let candidate = decode g genes in
+           let cost = Cost_model.dense_solution model g candidate in
+           let accept =
+             if not (Float.is_finite cost) then false
+             else if cost <= !current_cost then true
+             else Rng.uniform rng < Float.exp ((!current_cost -. cost) /. Float.max 1e-9 !temp)
+           in
+           if accept then begin
+             current_cost := cost;
+             consider candidate cost
+           end
+           else genes.(c) <- old_gene
+         end;
+         temp := !temp *. cooling
+       done
+     with Exit -> ())
+  in
+  let run () =
+    (* restart 0: greedy seed; later restarts: random valid solutions *)
+    (match (Greedy.extract g).Extractor.solution with
+    | Some s -> run_one (genes_of_solution g s)
+    | None -> ());
+    for _ = 2 to config.restarts do
+      if not (Timer.expired deadline) then
+        match Random_walk.solution rng g with
+        | Some s -> run_one (genes_of_solution g s)
+        | None -> ()
+    done
+  in
+  let (), time_s = Timer.time run in
+  Extractor.make_with_model ~trace:(List.rev !trace) ~method_name:"annealing" ~time_s ~model g
+    !best

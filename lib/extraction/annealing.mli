@@ -1,0 +1,25 @@
+(** Simulated-annealing extractor.
+
+    A second meta-heuristic baseline in the family the paper situates the
+    genetic algorithm in (§5.5): like the GA it handles arbitrary cost
+    models (including non-linear ones) and explores the discrete choice
+    space directly; unlike the GA it walks a single state — one candidate
+    e-node per e-class — flipping one class's choice per step and
+    accepting uphill moves with the Metropolis probability under a
+    geometric temperature schedule. Useful as an ablation point between
+    greedy (T = 0) and random search (T = ∞). *)
+
+type config = {
+  steps : int;
+  t_start : float;  (** initial temperature, in cost units *)
+  t_end : float;
+  restarts : int;  (** independent annealing runs; the best wins *)
+  time_limit : float;  (** seconds; <= 0 = unlimited *)
+}
+
+val default_config : config
+
+val extract :
+  ?config:config -> ?model:Cost_model.t -> Rng.t -> Egraph.t -> Extractor.r
+(** The walk starts from the greedy solution (plus random-walk restarts);
+    infeasible (cyclic) decodes are rejected moves. *)

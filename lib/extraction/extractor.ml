@@ -1,0 +1,41 @@
+type r = {
+  method_name : string;
+  solution : Egraph.Solution.s option;
+  cost : float;
+  time_s : float;
+  proved_optimal : bool;
+  trace : (float * float) list;
+  notes : (string * string) list;
+}
+
+let make_with_model ?(proved_optimal = false) ?(trace = []) ?(notes = []) ~method_name ~time_s
+    ~model g solution =
+  let solution, cost =
+    match solution with
+    | None -> None, infinity
+    | Some s ->
+        let c = Cost_model.dense_solution model g s in
+        if Float.is_finite c then Some s, c else None, infinity
+  in
+  { method_name; solution; cost; time_s; proved_optimal; trace; notes }
+
+let make ?proved_optimal ?trace ?notes ~method_name ~time_s g solution =
+  make_with_model ?proved_optimal ?trace ?notes ~method_name ~time_s
+    ~model:(Cost_model.of_egraph g) g solution
+
+let failed ~method_name ~time_s =
+  {
+    method_name;
+    solution = None;
+    cost = infinity;
+    time_s;
+    proved_optimal = false;
+    trace = [];
+    notes = [];
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "%-12s cost=%s time=%.2fs%s" r.method_name
+    (if Float.is_finite r.cost then Printf.sprintf "%.4g" r.cost else "FAILED")
+    r.time_s
+    (if r.proved_optimal then " (optimal)" else "")

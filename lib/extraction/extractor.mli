@@ -1,0 +1,43 @@
+(** Common result type shared by every extraction method.
+
+    All extractors in this repository — the heuristics, the ILP
+    baselines, the genetic algorithm and SmoothE — report through this
+    record so the evaluation harness can tabulate them uniformly
+    (Tables 2–5). *)
+
+type r = {
+  method_name : string;
+  solution : Egraph.Solution.s option;  (** [None] when the method failed to find a valid one *)
+  cost : float;  (** DAG cost under the evaluation model; [infinity] on failure *)
+  time_s : float;
+  proved_optimal : bool;
+  trace : (float * float) list;
+      (** anytime curve: (seconds, best cost so far) improvements *)
+  notes : (string * string) list;
+}
+
+val make :
+  ?proved_optimal:bool ->
+  ?trace:(float * float) list ->
+  ?notes:(string * string) list ->
+  method_name:string ->
+  time_s:float ->
+  Egraph.t ->
+  Egraph.Solution.s option ->
+  r
+(** Validates and costs the solution with the e-graph's linear costs. *)
+
+val make_with_model :
+  ?proved_optimal:bool ->
+  ?trace:(float * float) list ->
+  ?notes:(string * string) list ->
+  method_name:string ->
+  time_s:float ->
+  model:Cost_model.t ->
+  Egraph.t ->
+  Egraph.Solution.s option ->
+  r
+
+val failed : method_name:string -> time_s:float -> r
+
+val pp : Format.formatter -> r -> unit

@@ -1,0 +1,118 @@
+type config = {
+  population : int;
+  generations : int;
+  tournament : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  elitism : int;
+  time_limit : float;
+}
+
+let default_config =
+  {
+    population = 48;
+    generations = 200;
+    tournament = 3;
+    crossover_rate = 0.9;
+    mutation_rate = 0.03;
+    elitism = 2;
+    time_limit = 30.0;
+  }
+
+(* A chromosome fixes, for every e-class, which member e-node the decode
+   would pick when the class is needed. *)
+type individual = { genes : int array; mutable fitness : float }
+
+let decode g genes =
+  let pick = Array.mapi (fun c gene -> g.Egraph.class_nodes.(c).(gene)) genes in
+  Egraph.Solution.of_node_choice g pick
+
+let genes_of_solution g s =
+  Array.init (Egraph.num_classes g) (fun c ->
+      match s.Egraph.Solution.choice.(c) with
+      | Some node ->
+          let members = g.Egraph.class_nodes.(c) in
+          let idx = ref 0 in
+          Array.iteri (fun k n -> if n = node then idx := k) members;
+          !idx
+      | None -> 0)
+
+let random_genes rng g =
+  Array.init (Egraph.num_classes g) (fun c ->
+      Rng.int rng (Array.length g.Egraph.class_nodes.(c)))
+
+let extract ?(config = default_config) ?model rng g =
+  let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
+  let deadline = Timer.deadline_after config.time_limit in
+  let trace = ref [] in
+  let best = ref None in
+  let best_fitness = ref infinity in
+  let evaluate ind =
+    if Float.is_nan ind.fitness then begin
+      let s = decode g ind.genes in
+      ind.fitness <- Cost_model.dense_solution model g s;
+      if ind.fitness < !best_fitness then begin
+        best_fitness := ind.fitness;
+        best := Some s;
+        trace := (Timer.elapsed deadline, ind.fitness) :: !trace
+      end
+    end;
+    ind.fitness
+  in
+  let fresh genes = { genes; fitness = nan } in
+  let run () =
+    (* Seed: greedy solution + random valid solutions + uniform noise. *)
+    let seeds = Vec.create () in
+    (match (Greedy.extract g).Extractor.solution with
+    | Some s -> Vec.push seeds (fresh (genes_of_solution g s))
+    | None -> ());
+    List.iter
+      (fun s -> Vec.push seeds (fresh (genes_of_solution g s)))
+      (Random_walk.solutions rng g ~count:(config.population / 3));
+    while Vec.length seeds < config.population do
+      Vec.push seeds (fresh (random_genes rng g))
+    done;
+    let pop = ref (Vec.to_array seeds) in
+    Array.iter (fun ind -> ignore (evaluate ind)) !pop;
+    let tournament_select () =
+      let winner = ref !pop.(Rng.int rng (Array.length !pop)) in
+      for _ = 2 to config.tournament do
+        let challenger = !pop.(Rng.int rng (Array.length !pop)) in
+        if evaluate challenger < evaluate !winner then winner := challenger
+      done;
+      !winner
+    in
+    let crossover a b =
+      let genes = Array.copy a.genes in
+      if Rng.uniform rng < config.crossover_rate then
+        Array.iteri (fun c _ -> if Rng.bool rng then genes.(c) <- b.genes.(c)) genes;
+      genes
+    in
+    let mutate genes =
+      Array.iteri
+        (fun c _ ->
+          if Rng.uniform rng < config.mutation_rate then
+            genes.(c) <- Rng.int rng (Array.length g.Egraph.class_nodes.(c)))
+        genes
+    in
+    let gen = ref 0 in
+    while !gen < config.generations && not (Timer.expired deadline) do
+      incr gen;
+      let sorted = Array.copy !pop in
+      Array.sort (fun a b -> compare (evaluate a) (evaluate b)) sorted;
+      let next = Vec.create () in
+      for e = 0 to min config.elitism (Array.length sorted) - 1 do
+        Vec.push next sorted.(e)
+      done;
+      while Vec.length next < config.population do
+        let a = tournament_select () and b = tournament_select () in
+        let genes = crossover a b in
+        mutate genes;
+        Vec.push next (fresh genes)
+      done;
+      pop := Vec.to_array next;
+      Array.iter (fun ind -> ignore (evaluate ind)) !pop
+    done
+  in
+  let (), time_s = Timer.time run in
+  Extractor.make_with_model ~trace:(List.rev !trace) ~method_name:"genetic" ~time_s ~model g !best

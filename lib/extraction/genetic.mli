@@ -1,0 +1,25 @@
+(** Genetic-algorithm extractor (§5.5's meta-heuristic baseline).
+
+    Chromosomes assign one candidate e-node per e-class; decoding
+    materialises the selection reachable from the root, and fitness is
+    the cost model applied to the decoded solution (infeasible decodes
+    score infinity). Tournament selection, per-class uniform crossover,
+    point mutation, elitism. Flexibly supports non-linear cost models —
+    but, as the paper finds, tends to get stuck in local minima on large
+    search spaces. *)
+
+type config = {
+  population : int;
+  generations : int;  (** upper bound; the deadline can stop earlier *)
+  tournament : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  elitism : int;
+  time_limit : float;  (** seconds; <= 0 = unlimited *)
+}
+
+val default_config : config
+
+val extract : ?config:config -> ?model:Cost_model.t -> Rng.t -> Egraph.t -> Extractor.r
+(** [model] defaults to the e-graph's linear costs. The population is
+    seeded with random valid solutions plus the greedy solution. *)

@@ -1,0 +1,55 @@
+let class_costs_with g costs =
+  let n = Egraph.num_nodes g and m = Egraph.num_classes g in
+  let class_cost = Array.make m infinity in
+  let best_node = Array.make m (-1) in
+  let queue = Queue.create () in
+  let in_queue = Array.make n false in
+  let enqueue i =
+    if not in_queue.(i) then begin
+      in_queue.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  (* Start from leaves: e-nodes without child e-classes. *)
+  for i = 0 to n - 1 do
+    if Array.length g.Egraph.children.(i) = 0 then enqueue i
+  done;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    in_queue.(i) <- false;
+    let agg =
+      Array.fold_left
+        (fun acc child -> acc +. class_cost.(child))
+        costs.(i) g.Egraph.children.(i)
+    in
+    let c = g.Egraph.node_class.(i) in
+    if agg < class_cost.(c) then begin
+      class_cost.(c) <- agg;
+      best_node.(c) <- i;
+      (* Wake every parent e-node of this class. *)
+      let seg = g.Egraph.parent_seg in
+      let start = seg.Segments.starts.(c) and len = seg.Segments.lens.(c) in
+      for k = start to start + len - 1 do
+        enqueue g.Egraph.parent_edge_node.(k)
+      done
+    end
+  done;
+  class_cost, best_node
+
+let class_costs g = class_costs_with g g.Egraph.costs
+
+let decode g best_node =
+  if best_node.(g.Egraph.root) < 0 then None
+  else begin
+    (* Every class reachable through best choices is derivable, so the
+       picks can be materialised directly. *)
+    let pick = Array.map (fun b -> if b >= 0 then b else 0) best_node in
+    let s = Egraph.Solution.of_node_choice g pick in
+    if Egraph.Solution.is_valid g s then Some s else None
+  end
+
+let extract_with_costs g ~costs =
+  let (_, best_node), time_s = Timer.time (fun () -> class_costs_with g costs) in
+  Extractor.make ~method_name:"heuristic" ~time_s g (decode g best_node)
+
+let extract g = extract_with_costs g ~costs:g.Egraph.costs

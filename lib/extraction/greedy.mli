@@ -1,0 +1,20 @@
+(** The egg default heuristic extractor (§2, "Heuristic Methods").
+
+    Bottom-up cost propagation with a queue-based worklist: every
+    e-class carries the minimum *tree* cost of any term derivable from
+    it; when an e-node's aggregated cost (its own cost plus its child
+    classes' costs) improves its class, the class's parents re-enter the
+    queue. The resulting selection is always acyclic, but — as the
+    paper's Figure 2 illustrates — it ignores common-subexpression
+    reuse and can be arbitrarily suboptimal on DAG cost. *)
+
+val class_costs : Egraph.t -> float array * int array
+(** Converged per-class tree costs and the argmin e-node of each class
+    ([infinity] / -1 for underivable classes). *)
+
+val extract : Egraph.t -> Extractor.r
+
+val extract_with_costs : Egraph.t -> costs:float array -> Extractor.r
+(** Greedy under an alternative cost vector (used by the random-walk
+    valid-solution sampler). The reported [cost] is still the true
+    e-graph linear cost. *)

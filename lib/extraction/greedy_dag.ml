@@ -1,0 +1,39 @@
+module Iset = Set.Make (Int)
+
+let extract ?(max_passes = 64) g =
+  let run () =
+    let n = Egraph.num_nodes g and m = Egraph.num_classes g in
+    let class_cost = Array.make m infinity in
+    let class_set = Array.make m Iset.empty in
+    let best_node = Array.make m (-1) in
+    let changed = ref true in
+    let passes = ref 0 in
+    while !changed && !passes < max_passes do
+      changed := false;
+      incr passes;
+      for i = 0 to n - 1 do
+        let kids = g.Egraph.children.(i) in
+        if Array.for_all (fun c -> Float.is_finite class_cost.(c)) kids then begin
+          let set =
+            Array.fold_left (fun acc c -> Iset.union acc class_set.(c)) (Iset.singleton i) kids
+          in
+          let cost = Iset.fold (fun j acc -> acc +. g.Egraph.costs.(j)) set 0.0 in
+          let c = g.Egraph.node_class.(i) in
+          if cost < class_cost.(c) -. 1e-12 then begin
+            class_cost.(c) <- cost;
+            class_set.(c) <- set;
+            best_node.(c) <- i;
+            changed := true
+          end
+        end
+      done
+    done;
+    if best_node.(g.Egraph.root) < 0 then None
+    else begin
+      let pick = Array.map (fun b -> if b >= 0 then b else 0) best_node in
+      let s = Egraph.Solution.of_node_choice g pick in
+      if Egraph.Solution.is_valid g s then Some s else None
+    end
+  in
+  let solution, time_s = Timer.time run in
+  Extractor.make ~method_name:"heuristic+" ~time_s g solution

@@ -1,0 +1,20 @@
+let random_costs rng g =
+  Array.init (Egraph.num_nodes g) (fun _ -> Rng.float rng 1.0 +. 1e-3)
+
+let solution rng g =
+  let r = Greedy.extract_with_costs g ~costs:(random_costs rng g) in
+  r.Extractor.solution
+
+let solutions rng g ~count =
+  let rec loop k acc =
+    if k = 0 then List.rev acc
+    else
+      match solution rng g with
+      | Some s -> loop (k - 1) (s :: acc)
+      | None -> List.rev acc
+  in
+  loop count []
+
+let dense_dataset rng g ~count =
+  let sols = solutions rng g ~count in
+  Array.of_list (List.map (Egraph.Solution.to_dense g) sols)

@@ -1,0 +1,19 @@
+(** Random *valid* extraction sampling.
+
+    §5.5 trains the MLP cost model on "random discrete valid solutions";
+    the genetic baseline also needs a diverse valid population. Rejection
+    sampling over per-class choices breaks down on cyclic e-graphs, so we
+    sample by running the (always-acyclic, always-complete) bottom-up
+    greedy extractor under independently randomised node costs: each draw
+    is the greedy optimum of a random cost landscape, giving broad
+    coverage of the feasible set at worklist cost. *)
+
+val solution : Rng.t -> Egraph.t -> Egraph.Solution.s option
+(** One random valid solution; [None] only if the e-graph admits no
+    finite extraction at all. *)
+
+val solutions : Rng.t -> Egraph.t -> count:int -> Egraph.Solution.s list
+
+val dense_dataset : Rng.t -> Egraph.t -> count:int -> float array array
+(** Dense indicator vectors of [count] random valid solutions —
+    the MLP training inputs of §5.5. *)

@@ -1,0 +1,33 @@
+type t = {
+  ilp_time : float;
+  oracle_time : float;
+  smoothe_runs : int;
+  smoothe : Smoothe_config.t;
+  genetic : Genetic.config;
+  mlp_train_epochs : int;
+  seed_sweep : int list;
+}
+
+let default =
+  {
+    ilp_time = 8.0;
+    oracle_time = 25.0;
+    smoothe_runs = 3;
+    smoothe =
+      { Smoothe_config.default with Smoothe_config.batch = 16; max_iters = 150; patience = 40 };
+    genetic = { Genetic.default_config with Genetic.time_limit = 8.0; generations = 120 };
+    mlp_train_epochs = 12;
+    seed_sweep = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ];
+  }
+
+let quick =
+  {
+    ilp_time = 1.5;
+    oracle_time = 3.0;
+    smoothe_runs = 2;
+    smoothe =
+      { Smoothe_config.default with Smoothe_config.batch = 8; max_iters = 60; patience = 20 };
+    genetic = { Genetic.default_config with Genetic.time_limit = 1.0; generations = 20 };
+    mlp_train_epochs = 8;
+    seed_sweep = [ 1; 4; 16; 64 ];
+  }

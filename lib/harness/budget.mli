@@ -1,0 +1,20 @@
+(** Evaluation budgets.
+
+    The paper gives ILP solvers a 15-minute limit and obtains oracles
+    from 10-hour CPLEX runs on an A100 server; this pure-OCaml
+    reproduction scales the budgets down together with the e-graph sizes
+    (see DESIGN.md). Two presets: [default] regenerates every table and
+    figure in tens of minutes; [quick] smoke-tests the harness. *)
+
+type t = {
+  ilp_time : float;  (** per-instance time limit for each ILP profile (the "15 min") *)
+  oracle_time : float;  (** extra budget for the oracle ILP run (the "10 h") *)
+  smoothe_runs : int;  (** repetitions for the ± max-difference error bars *)
+  smoothe : Smoothe_config.t;
+  genetic : Genetic.config;
+  mlp_train_epochs : int;
+  seed_sweep : int list;  (** batch sizes for the Figure 7 sweep *)
+}
+
+val default : t
+val quick : t

@@ -1,0 +1,725 @@
+let ilp_profiles = [ Bnb.cplex_like; Bnb.scip_like; Bnb.cbc_like ]
+
+(* ------------------------------------------------------------- Table 1 *)
+
+let table1 bank =
+  Report.heading "Table 1: dataset statistics";
+  Report.set_columns [ 10; 20; 4; 6; 8; 8; 12; 28 ];
+  Report.row [ "Dataset"; "Task"; "#G"; "d(v)"; "max(N)"; "max(M)"; "Avg.Density"; "Workload(s)" ];
+  Report.rule ();
+  List.iter
+    (fun ds ->
+      let stats =
+        List.map (fun i -> Egraph.Stats.compute (Runbank.egraph bank i)) ds.Registry.instances
+      in
+      let avg f = Stats.mean (Array.of_list (List.map f stats)) in
+      let maxi f = List.fold_left (fun acc s -> max acc (f s)) 0 stats in
+      Report.row
+        [
+          ds.Registry.ds_name;
+          ds.Registry.task;
+          string_of_int (List.length ds.Registry.instances);
+          Printf.sprintf "%.1f" (avg (fun s -> s.Egraph.Stats.avg_degree));
+          string_of_int (maxi (fun s -> s.Egraph.Stats.nodes));
+          string_of_int (maxi (fun s -> s.Egraph.Stats.classes));
+          Printf.sprintf "%.1e" (avg (fun s -> s.Egraph.Stats.density));
+          ds.Registry.workloads;
+        ])
+    Registry.all
+
+(* -------------------------------------------------------- Tables 2 & 4 *)
+
+(* Per-dataset aggregation of one deterministic method. *)
+let aggregate_method bank ds results =
+  let times = Array.of_list (List.map (fun (r : Extractor.r) -> r.Extractor.time_s) results) in
+  let increases =
+    List.map2
+      (fun inst (r : Extractor.r) -> Runbank.quality_increase bank ds inst r.Extractor.cost)
+      ds.Registry.instances results
+  in
+  let fails = List.length (List.filter (fun x -> not (Float.is_finite x)) increases) in
+  let finite = Array.of_list (List.filter Float.is_finite increases) in
+  (* paper convention: "worst" is Failed when any e-graph failed, "avg"
+     is the geometric mean over the e-graphs with feasible solutions *)
+  let worst =
+    if fails > 0 || Array.length finite = 0 then infinity else snd (Stats.min_max finite)
+  in
+  let avg = if Array.length finite = 0 then infinity else Stats.geomean_ratio finite in
+  Stats.mean times, fails, worst, avg
+
+let smoothe_aggregate bank ds =
+  (* per-run aggregates, then mean ± max-difference across runs *)
+  let runs_per_instance = List.map (fun i -> Runbank.smoothe_runs bank ds i) ds.Registry.instances in
+  let nruns = Runbank.budget bank |> fun b -> b.Budget.smoothe_runs in
+  let per_run k =
+    let results =
+      List.map (fun runs -> (List.nth runs k).Smoothe_extract.result) runs_per_instance
+    in
+    aggregate_method bank ds results
+  in
+  let agg = List.init nruns per_run in
+  let series f = Array.of_list (List.map f agg) in
+  let times = series (fun (t, _, _, _) -> t) in
+  let fails = List.fold_left (fun acc (_, f, _, _) -> max acc f) 0 agg in
+  let worsts = series (fun (_, _, w, _) -> w) in
+  let avgs = series (fun (_, _, _, a) -> a) in
+  times, fails, worsts, avgs
+
+let comparison_table bank ~title datasets =
+  Report.heading title;
+  Report.set_columns [ 10; 16; 16; 16; 15; 15; 22 ];
+  Report.row [ "Dataset"; "CPLEX-like"; "SCIP-like"; "CBC-like"; "Heuristic"; "Heuristic+"; "SmoothE (ours)" ];
+  Report.row [ ""; "time(fails)"; "time(fails)"; "time(fails)"; "time"; "time"; "time" ];
+  Report.row [ ""; "worst/avg"; "worst/avg"; "worst/avg"; "worst/avg"; "worst/avg"; "worst/avg" ];
+  Report.rule ();
+  List.iter
+    (fun ds ->
+      let deterministic runs =
+        let t, fails, worst, avg = aggregate_method bank ds runs in
+        ( Printf.sprintf "%s%s" (Report.secs t)
+            (if fails > 0 then Printf.sprintf " (%d)" fails else ""),
+          Printf.sprintf "%s / %s" (Report.pct worst) (Report.pct avg) )
+      in
+      let cells_det =
+        List.map
+          (fun profile ->
+            deterministic (List.map (fun i -> Runbank.ilp bank profile i) ds.Registry.instances))
+          ilp_profiles
+        @ [
+            deterministic (List.map (fun i -> Runbank.heuristic bank i) ds.Registry.instances);
+            deterministic (List.map (fun i -> Runbank.heuristic_plus bank i) ds.Registry.instances);
+          ]
+      in
+      let times, fails, worsts, avgs = smoothe_aggregate bank ds in
+      let smoothe_time =
+        Printf.sprintf "%s%s"
+          (Report.pm (Stats.mean times) (Stats.max_abs_diff times))
+          (if fails > 0 then Printf.sprintf " (%d)" fails else "")
+      in
+      let finite xs = Array.of_list (List.filter Float.is_finite (Array.to_list xs)) in
+      let fw = finite worsts and fa = finite avgs in
+      let smoothe_quality =
+        if Array.length fw = 0 then "Failed"
+        else
+          Printf.sprintf "%s / %s"
+            (Report.pct_pm (Stats.mean fw) (Stats.max_abs_diff fw))
+            (Report.pct_pm (Stats.mean fa) (Stats.max_abs_diff fa))
+      in
+      Report.row (ds.Registry.ds_name :: List.map fst cells_det @ [ smoothe_time ]);
+      Report.row ("" :: List.map snd cells_det @ [ smoothe_quality ]);
+      Report.rule ())
+    datasets
+
+let table2 bank =
+  comparison_table bank
+    ~title:"Table 2: linear cost model, realistic datasets (normalised to oracle)"
+    Registry.realistic;
+  print_endline
+    "Assumptions per dataset (Table 2 caption): diospyros/rover/tensat independent,\n\
+     flexc/impress correlated. Time limits scaled per DESIGN.md."
+
+let table4 bank =
+  comparison_table bank ~title:"Table 4: synthetic NP-hard datasets (set, maxsat)"
+    Registry.adversarial
+
+(* ------------------------------------------------------------- Table 3 *)
+
+let table3 bank =
+  Report.heading "Table 3: tensat and rover breakdown (cost / time)";
+  Report.set_columns [ 8; 11; 18; 18; 18; 15; 15; 24 ];
+  Report.row
+    [ "Dataset"; "E-Graph"; "CPLEX-like"; "SCIP-like"; "CBC-like"; "Heuristic"; "Heuristic+"; "SmoothE (ours)" ];
+  Report.rule ();
+  List.iter
+    (fun ds_name ->
+      let ds = Registry.find ds_name in
+      List.iter
+        (fun inst ->
+          let cost_time (r : Extractor.r) =
+            if Float.is_finite r.Extractor.cost then
+              Printf.sprintf "%.4g / %s%s" r.Extractor.cost (Report.secs r.Extractor.time_s)
+                (if r.Extractor.proved_optimal then "*" else "")
+            else Printf.sprintf "Fails / %s" (Report.secs r.Extractor.time_s)
+          in
+          let runs = Runbank.smoothe_runs bank ds inst in
+          let costs =
+            Array.of_list
+              (List.map (fun r -> r.Smoothe_extract.result.Extractor.cost) runs)
+          in
+          let times =
+            Array.of_list (List.map (fun r -> r.Smoothe_extract.result.Extractor.time_s) runs)
+          in
+          let smoothe_cell =
+            Printf.sprintf "%s / %s"
+              (Report.pm (Stats.mean costs) (Stats.max_abs_diff costs))
+              (Report.pm (Stats.mean times) (Stats.max_abs_diff times))
+          in
+          Report.row
+            ([ ds_name; inst.Registry.inst_name ]
+            @ List.map (fun p -> cost_time (Runbank.ilp bank p inst)) ilp_profiles
+            @ [
+                cost_time (Runbank.heuristic bank inst);
+                cost_time (Runbank.heuristic_plus bank inst);
+                smoothe_cell;
+              ]))
+        ds.Registry.instances)
+    [ "tensat"; "rover" ];
+  print_endline "* = proved optimal before the time limit."
+
+(* ------------------------------------------------------------- Table 5 *)
+
+let table5 bank =
+  Report.heading "Table 5: performance portability across devices";
+  let budget = Runbank.budget bank in
+  (* the largest member of each realistic dataset, plus oversized
+     e-graphs whose per-seed footprint exceeds the small GPU's memory *)
+  let biggest ds =
+    let best = ref None in
+    List.iter
+      (fun i ->
+        let n = Egraph.num_nodes (Runbank.egraph bank i) in
+        match !best with
+        | Some (_, n') when n' >= n -> ()
+        | _ -> best := Some (i, n))
+      (Registry.find ds).Registry.instances;
+    let i, _ = Option.get !best in
+    ds, i.Registry.inst_name, Runbank.egraph bank i
+  in
+  let xl =
+    [
+      ( "impress",
+        "mul_1024 (XL)",
+        Impress_ds.multiply ~name:"mul_1024" ~width:1024 ~base:16 );
+      ( "diospyros",
+        "2d-conv_16x16 (XL)",
+        Diospyros_ds.conv2d ~name:"2d-conv_16x16_3x3" ~image:16 ~kernel:3 );
+    ]
+  in
+  let cases = List.map biggest [ "diospyros"; "flexc"; "impress"; "rover"; "tensat" ] @ xl in
+  Report.set_columns [ 10; 20; 22; 22 ];
+  Report.row [ "Dataset"; "E-Graph"; "A100-80GB"; "RTX2080Ti-11GB" ];
+  Report.row [ ""; ""; "batch cost/time"; "batch cost/time" ];
+  Report.rule ();
+  List.iter
+    (fun (ds_name, inst_name, g) ->
+      let ds = Registry.find ds_name in
+      let assumption = Smoothe_config.assumption_of_string ds.Registry.assumption in
+      let config = { budget.Budget.smoothe with Smoothe_config.assumption } in
+      let cell device =
+        let run = Smoothe_extract.extract ~config ~device g in
+        if run.Smoothe_extract.oom then "OOM"
+        else
+          Printf.sprintf "B=%d %.4g/%s" run.Smoothe_extract.batch_used
+            run.Smoothe_extract.result.Extractor.cost
+            (Report.secs run.Smoothe_extract.result.Extractor.time_s)
+      in
+      Report.row [ ds_name; inst_name; cell Device.a100; cell Device.rtx2080ti ])
+    cases;
+  print_endline
+    "OOM = modelled per-seed memory exceeds device capacity (Device.footprint);\n\
+     batch sizes derate with device memory, reproducing the paper's 8x gap."
+
+(* -------------------------------------------------------------- Fig. 4 *)
+
+let fig4_instances = [ "NASRNN"; "BERT"; "box_4"; "fir_7" ]
+
+let fig4 bank =
+  Report.heading "Figure 4: anytime results (SmoothE vs CPLEX-like ILP)";
+  List.iter
+    (fun name ->
+      let inst = Registry.find_instance name in
+      let ds = Registry.find (if List.mem name [ "NASRNN"; "BERT" ] then "tensat" else "rover") in
+      Report.subheading name;
+      let ilp = Runbank.ilp bank Bnb.cplex_like inst in
+      let smoothe = List.hd (Runbank.smoothe_runs bank ds inst) in
+      Report.set_columns [ 10; 14; 14 ];
+      Report.row [ "series"; "time(s)"; "cost" ];
+      Report.rule ();
+      List.iter
+        (fun (t, c) -> Report.row [ "ilp"; Report.secs t; Printf.sprintf "%.4g" c ])
+        ilp.Extractor.trace;
+      List.iter
+        (fun (t, c) -> Report.row [ "smoothe"; Report.secs t; Printf.sprintf "%.4g" c ])
+        smoothe.Smoothe_extract.result.Extractor.trace)
+    fig4_instances
+
+(* -------------------------------------------------------------- Fig. 5 *)
+
+let fig5 bank =
+  Report.heading "Figure 5: non-linear (MLP) cost model, increase normalised to SmoothE";
+  let budget = Runbank.budget bank in
+  Report.set_columns [ 10; 14; 14; 20; 14 ];
+  Report.row [ "Dataset"; "SmoothE"; "ILP*"; "Genetic (±max)"; "GeneticFails" ];
+  Report.rule ();
+  List.iter
+    (fun ds ->
+      (* two representative instances per dataset keep the MLP training
+         budget reasonable *)
+      let insts =
+        match ds.Registry.instances with a :: b :: _ -> [ a; b ] | rest -> rest
+      in
+      let per_instance inst =
+        let g = Runbank.egraph bank inst in
+        let rng = Rng.create 4242 in
+        let inputs = Random_walk.dense_dataset rng g ~count:48 in
+        let targets = Array.init (Array.length inputs) (fun _ -> -.Rng.float rng 5.0) in
+        let mlp = Mlp.create rng ~input_dim:(Egraph.num_nodes g) in
+        ignore (Mlp.train ~epochs:budget.Budget.mlp_train_epochs rng mlp ~inputs ~targets);
+        let model = Cost_model.mlp_corrected ~linear:g.Egraph.costs mlp in
+        let assumption = Smoothe_config.assumption_of_string ds.Registry.assumption in
+        (* non-linear models need more optimisation steps (§5.5) *)
+        let config =
+          {
+            budget.Budget.smoothe with
+            Smoothe_config.assumption;
+            batch = max 32 budget.Budget.smoothe.Smoothe_config.batch;
+            max_iters = 2 * budget.Budget.smoothe.Smoothe_config.max_iters;
+            patience = 2 * budget.Budget.smoothe.Smoothe_config.patience;
+          }
+        in
+        let smoothe = (Smoothe_extract.extract ~config ~model g).Smoothe_extract.result in
+        (* ILP*: the linear-model oracle solution re-evaluated under the
+           non-linear model (§5.5) *)
+        let ilp_star =
+          let r = Runbank.ilp bank Bnb.cplex_like inst in
+          match r.Extractor.solution with
+          | Some s -> Cost_model.dense_solution model g s
+          | None -> infinity
+        in
+        let genetic_costs =
+          List.init 3 (fun k ->
+              let r =
+                Genetic.extract ~config:budget.Budget.genetic ~model (Rng.create (97 + k)) g
+              in
+              r.Extractor.cost)
+        in
+        smoothe.Extractor.cost, ilp_star, genetic_costs
+      in
+      let rows = List.map per_instance insts in
+      (* normalise each instance's costs to SmoothE's; costs are
+         negative-leaning (savings), so report differences relative to
+         |SmoothE| *)
+      let norm base v =
+        if not (Float.is_finite v) then infinity
+        else (v -. base) /. Float.max 1e-9 (Float.abs base)
+      in
+      let ilp_incs =
+        Array.of_list (List.map (fun (s, i, _) -> norm s i) rows) |> fun a ->
+        Array.of_list (List.filter Float.is_finite (Array.to_list a))
+      in
+      let gen_all =
+        List.concat_map (fun (s, _, gs) -> List.map (norm s) gs) rows
+        |> List.filter Float.is_finite
+      in
+      let gen_fails =
+        List.concat_map (fun (_, _, gs) -> gs) rows
+        |> List.filter (fun c -> not (Float.is_finite c))
+        |> List.length
+      in
+      let gen_arr = Array.of_list gen_all in
+      Report.row
+        [
+          ds.Registry.ds_name;
+          "0.0% (ref)";
+          (if Array.length ilp_incs = 0 then "Failed" else Report.pct (Stats.mean ilp_incs));
+          (if Array.length gen_arr = 0 then "Failed"
+           else Report.pct_pm (Stats.mean gen_arr) (Stats.max_abs_diff gen_arr));
+          string_of_int gen_fails;
+        ])
+    Registry.realistic
+
+(* -------------------------------------------------------------- Fig. 6 *)
+
+let fig6 bank =
+  Report.heading "Figure 6: speedup over the CPU baseline (tensat)";
+  let budget = Runbank.budget bank in
+  Report.set_columns [ 11; 12; 12; 12; 12; 12 ];
+  Report.row [ "E-Graph"; "CPU(s)"; "+GPU(s)"; "+MatExp(s)"; "GPU speedup"; "MatExp speedup" ];
+  Report.rule ();
+  let ds = Registry.find "tensat" in
+  List.iter
+    (fun inst ->
+      let g = Runbank.egraph bank inst in
+      let config =
+        {
+          budget.Budget.smoothe with
+          Smoothe_config.assumption = Smoothe_config.Independent;
+          batch = min 8 budget.Budget.smoothe.Smoothe_config.batch;
+          max_iters = min 60 budget.Budget.smoothe.Smoothe_config.max_iters;
+          time_limit = 120.0;
+        }
+      in
+      let unoptimised =
+        { config with Smoothe_config.scc_decomposition = false; batched_matexp = false }
+      in
+      let time_of device cfg =
+        let run = Smoothe_extract.extract ~config:cfg ~device g in
+        if run.Smoothe_extract.oom then nan
+        else run.Smoothe_extract.profile.Smoothe_extract.total_time
+      in
+      let cpu = time_of Device.cpu_baseline unoptimised in
+      let gpu = time_of Device.a100 unoptimised in
+      let matexp = time_of Device.a100 config in
+      let show t = if Float.is_nan t then "OOM" else Report.secs t in
+      let speedup a b =
+        if Float.is_nan a || Float.is_nan b then "-" else Printf.sprintf "%.1fx" (a /. b)
+      in
+      Report.row
+        [
+          inst.Registry.inst_name;
+          show cpu;
+          show gpu;
+          show matexp;
+          speedup cpu gpu;
+          speedup gpu matexp;
+        ])
+    ds.Registry.instances;
+  print_endline
+    "CPU = scalar backend without SCC/batched-matexp optimisations;\n\
+     +GPU = vectorised backend; +MatExp adds SCC decomposition + Eq. (11) batching."
+
+(* -------------------------------------------------------------- Fig. 7 *)
+
+let fig7 bank =
+  Report.heading "Figure 7: seed batching on rover/box_3 (cost & latency vs B)";
+  let budget = Runbank.budget bank in
+  let g = Runbank.egraph bank (Registry.find_instance "box_3") in
+  Report.set_columns [ 6; 16; 12; 12 ];
+  Report.row [ "B"; "avg cost(±max)"; "variance"; "latency(s)" ];
+  Report.rule ();
+  List.iter
+    (fun b ->
+      let costs, times =
+        List.split
+          (List.init 3 (fun k ->
+               let config =
+                 {
+                   budget.Budget.smoothe with
+                   Smoothe_config.batch = b;
+                   assumption = Smoothe_config.Independent;
+                   seed = 17 + (1000 * k);
+                 }
+               in
+               let run = Smoothe_extract.extract ~config g in
+               ( run.Smoothe_extract.result.Extractor.cost,
+                 run.Smoothe_extract.profile.Smoothe_extract.total_time )))
+      in
+      let costs = Array.of_list costs and times = Array.of_list times in
+      Report.row
+        [
+          string_of_int b;
+          Report.pm (Stats.mean costs) (Stats.max_abs_diff costs);
+          Printf.sprintf "%.3g" (Stats.variance costs);
+          Report.secs (Stats.mean times);
+        ])
+    budget.Budget.seed_sweep
+
+(* -------------------------------------------------------------- Fig. 8 *)
+
+let fig8 bank =
+  Report.heading "Figure 8: runtime profiling (share of wall-clock per component)";
+  Report.set_columns [ 10; 14; 16; 12 ];
+  Report.row [ "Dataset"; "LossCalc"; "GradDescent"; "Sampling" ];
+  Report.rule ();
+  List.iter
+    (fun ds ->
+      let shares =
+        List.map
+          (fun inst ->
+            let run = List.hd (Runbank.smoothe_runs bank ds inst) in
+            let p = run.Smoothe_extract.profile in
+            let total = Float.max 1e-9 p.Smoothe_extract.total_time in
+            ( p.Smoothe_extract.loss_time /. total,
+              p.Smoothe_extract.grad_time /. total,
+              p.Smoothe_extract.sample_time /. total ))
+          ds.Registry.instances
+      in
+      let mean f = Stats.mean (Array.of_list (List.map f shares)) in
+      Report.row
+        [
+          ds.Registry.ds_name;
+          Printf.sprintf "%.1f%%" (100.0 *. mean (fun (a, _, _) -> a));
+          Printf.sprintf "%.1f%%" (100.0 *. mean (fun (_, b, _) -> b));
+          Printf.sprintf "%.1f%%" (100.0 *. mean (fun (_, _, c) -> c));
+        ])
+    Registry.realistic
+
+(* -------------------------------------------------------------- Fig. 9 *)
+
+let fig9 bank =
+  Report.heading "Figure 9: optimisation loss vs sampling loss";
+  List.iter
+    (fun name ->
+      let inst = Registry.find_instance name in
+      let ds = Registry.find (if List.mem name [ "NASRNN"; "BERT" ] then "tensat" else "rover") in
+      let run = List.hd (Runbank.smoothe_runs bank ds inst) in
+      Report.subheading name;
+      Report.set_columns [ 6; 16; 16; 14 ];
+      Report.row [ "iter"; "relaxed f(p)+λh"; "sampled f_b(s)"; "incumbent" ];
+      Report.rule ();
+      let history = run.Smoothe_extract.history in
+      let len = List.length history in
+      let stride = max 1 (len / 12) in
+      List.iteri
+        (fun k h ->
+          if k mod stride = 0 || k = len - 1 then
+            Report.row
+              [
+                string_of_int h.Smoothe_extract.iter;
+                Printf.sprintf "%.5g" h.Smoothe_extract.relaxed_loss;
+                (if Float.is_finite h.Smoothe_extract.sampled_cost then
+                   Printf.sprintf "%.5g" h.Smoothe_extract.sampled_cost
+                 else "invalid");
+                Printf.sprintf "%.5g" h.Smoothe_extract.incumbent;
+              ])
+        history)
+    [ "NASRNN"; "BERT"; "box_4"; "fir_7" ]
+
+(* ------------------------------------------------------------ ablations *)
+
+let ablation_lambda bank =
+  Report.heading "Ablation: NOTEARS weight λ (cyclic tensat/NASRNN)";
+  let budget = Runbank.budget bank in
+  let g = Runbank.egraph bank (Registry.find_instance "NASRNN") in
+  Report.set_columns [ 8; 12; 18 ];
+  Report.row [ "lambda"; "cost"; "invalid samples" ];
+  Report.rule ();
+  List.iter
+    (fun lambda_ ->
+      let config =
+        {
+          budget.Budget.smoothe with
+          Smoothe_config.lambda_;
+          assumption = Smoothe_config.Independent;
+        }
+      in
+      let run = Smoothe_extract.extract ~config g in
+      let invalid =
+        List.length
+          (List.filter
+             (fun h -> not (Float.is_finite h.Smoothe_extract.sampled_cost))
+             run.Smoothe_extract.history)
+      in
+      Report.row
+        [
+          Printf.sprintf "%g" lambda_;
+          Printf.sprintf "%.4g" run.Smoothe_extract.result.Extractor.cost;
+          Printf.sprintf "%d / %d" invalid run.Smoothe_extract.iterations;
+        ])
+    [ 0.0; 0.1; 1.0; 10.0; 100.0 ]
+
+let ablation_repair bank =
+  Report.heading "Ablation: cycle-aware sampling repair (our extension)";
+  let budget = Runbank.budget bank in
+  Report.set_columns [ 11; 16; 16 ];
+  Report.row [ "E-Graph"; "repair off"; "repair on" ];
+  Report.rule ();
+  List.iter
+    (fun name ->
+      let g = Runbank.egraph bank (Registry.find_instance name) in
+      let cell repair_sampling =
+        let config =
+          {
+            budget.Budget.smoothe with
+            Smoothe_config.repair_sampling;
+            assumption = Smoothe_config.Independent;
+            lambda_ = 0.1 (* weak penalty so raw sampling actually hits cycles *);
+          }
+        in
+        let run = Smoothe_extract.extract ~config g in
+        Printf.sprintf "%.4g" run.Smoothe_extract.result.Extractor.cost
+      in
+      Report.row [ name; cell false; cell true ])
+    [ "NASRNN"; "BERT"; "VGG"; "ResNet-50" ]
+
+let ablation_assumption bank =
+  Report.heading "Ablation: correlation assumption (Eq. 6 vs Eq. 7 vs hybrid)";
+  let budget = Runbank.budget bank in
+  Report.set_columns [ 10; 11; 14; 14; 14 ];
+  Report.row [ "Dataset"; "E-Graph"; "independent"; "correlated"; "hybrid" ];
+  Report.rule ();
+  List.iter
+    (fun ds_name ->
+      let ds = Registry.find ds_name in
+      let inst = List.hd ds.Registry.instances in
+      let g = Runbank.egraph bank inst in
+      let cell assumption =
+        let config = { budget.Budget.smoothe with Smoothe_config.assumption } in
+        let run = Smoothe_extract.extract ~config g in
+        Printf.sprintf "%.4g" run.Smoothe_extract.result.Extractor.cost
+      in
+      Report.row
+        [
+          ds_name;
+          inst.Registry.inst_name;
+          cell Smoothe_config.Independent;
+          cell Smoothe_config.Correlated;
+          cell Smoothe_config.Hybrid;
+        ])
+    [ "diospyros"; "flexc"; "impress"; "rover"; "tensat"; "set"; "maxsat" ]
+
+let ablation_fusion bank =
+  Report.heading "Ablation: pairwise fusion cost model (future-work direction, §6)";
+  let budget = Runbank.budget bank in
+  Report.set_columns [ 11; 12; 12; 12; 12 ];
+  Report.row [ "E-Graph"; "linear-opt"; "SmoothE"; "genetic"; "ILP*" ];
+  Report.rule ();
+  List.iter
+    (fun name ->
+      let inst = Registry.find_instance name in
+      let g = Runbank.egraph bank inst in
+      let model = Cost_model.fusion_of_egraph (Rng.create 7) ~discount:0.4 g in
+      let config =
+        {
+          budget.Budget.smoothe with
+          Smoothe_config.assumption = Smoothe_config.Independent;
+          max_iters = 2 * budget.Budget.smoothe.Smoothe_config.max_iters;
+        }
+      in
+      let smoothe = (Smoothe_extract.extract ~config ~model g).Smoothe_extract.result in
+      let genetic = Genetic.extract ~config:budget.Budget.genetic ~model (Rng.create 31) g in
+      let linear_opt = Runbank.ilp bank Bnb.cplex_like inst in
+      let ilp_star =
+        match linear_opt.Extractor.solution with
+        | Some s -> Cost_model.dense_solution model g s
+        | None -> infinity
+      in
+      let show c = if Float.is_finite c then Printf.sprintf "%.4g" c else "Fails" in
+      Report.row
+        [
+          name;
+          show linear_opt.Extractor.cost;
+          show smoothe.Extractor.cost;
+          show genetic.Extractor.cost;
+          show ilp_star;
+        ])
+    [ "mcm_8"; "bzip2_1"; "mat-mul_4x4"; "maxsat_30_90" ];
+  print_endline
+    "Fusion discounts apply only when both e-nodes of a pair are selected; a\n\
+     linear-model optimum (ILP*) ignores them, SmoothE optimises through them."
+
+let ablation_phi bank =
+  Report.heading "Ablation: accuracy of the correlation assumptions vs exact marginals";
+  ignore bank;
+  Report.set_columns [ 22; 14; 14; 14 ];
+  Report.row [ "e-graph (random cp)"; "independent"; "correlated"; "hybrid" ];
+  Report.rule ();
+  (* small e-graphs where the exact enumeration is tractable: the fig. 1
+     example plus random DAGs and random cyclic e-graphs *)
+  let cases =
+    ("fig1", Fig1.egraph ())
+    :: List.concat_map
+         (fun cyclic ->
+           List.map
+             (fun seed ->
+               let rng = Rng.create seed in
+               let b = Egraph.Builder.create ~name:"rnd" () in
+               (* 6 classes, 2 nodes each: 64 assignments *)
+               let ids = Array.init 6 (fun _ -> Egraph.Builder.add_class b) in
+               for c = 5 downto 0 do
+                 for _ = 1 to 2 do
+                   let children = ref [] in
+                   if c < 5 then children := [ ids.(c + 1 + Rng.int rng (5 - c)) ];
+                   if cyclic && Rng.uniform rng < 0.3 then
+                     children := ids.(Rng.int rng 6) :: !children;
+                   ignore
+                     (Egraph.Builder.add_node b ~cls:ids.(c)
+                        ~op:(Printf.sprintf "o%d" (Rng.int rng 4))
+                        ~cost:1.0 ~children:!children)
+                 done
+               done;
+               ( Printf.sprintf "%s-%d" (if cyclic then "cyclic" else "dag") seed,
+                 Egraph.Builder.freeze b ~root:ids.(0) ))
+             [ 1; 2; 3 ])
+         [ false; true ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let rng = Rng.create 99 in
+      (* random cp summing to 1 per class *)
+      let cp = Array.make (Egraph.num_nodes g) 0.0 in
+      Array.iter
+        (fun members ->
+          let raw = Array.map (fun _ -> 0.1 +. Rng.uniform rng) members in
+          let total = Array.fold_left ( +. ) 0.0 raw in
+          Array.iteri (fun k node -> cp.(node) <- raw.(k) /. total) members)
+        g.Egraph.class_nodes;
+      let err a = Exact_marginals.assumption_error g ~cp a in
+      Report.row
+        [
+          name;
+          Printf.sprintf "%.4f" (err Smoothe_config.Independent);
+          Printf.sprintf "%.4f" (err Smoothe_config.Correlated);
+          Printf.sprintf "%.4f" (err Smoothe_config.Hybrid);
+        ])
+    cases;
+  print_endline
+    "Mean |exact - propagated| marginal per e-node. The exact marginals come from\n\
+     full enumeration (Exact_marginals); the paper instead must assume a parent\n\
+     correlation structure (section 3.3). Lower is better."
+
+let ablation_temperature bank =
+  Report.heading "Ablation: softmax temperature annealing and entropy bonus (our extensions)";
+  let budget = Runbank.budget bank in
+  let g = Runbank.egraph bank (Registry.find_instance "box_4") in
+  Report.set_columns [ 34; 12; 12 ];
+  Report.row [ "configuration"; "cost"; "iterations" ];
+  Report.rule ();
+  List.iter
+    (fun (label, temperature, temperature_decay, entropy_weight) ->
+      let config =
+        {
+          budget.Budget.smoothe with
+          Smoothe_config.assumption = Smoothe_config.Independent;
+          temperature;
+          temperature_decay;
+          entropy_weight;
+        }
+      in
+      let run = Smoothe_extract.extract ~config g in
+      Report.row
+        [
+          label;
+          Printf.sprintf "%.4g" run.Smoothe_extract.result.Extractor.cost;
+          string_of_int run.Smoothe_extract.iterations;
+        ])
+    [
+      ("paper default (tau=1, no entropy)", 1.0, 1.0, 0.0);
+      ("hot start, annealed (tau 2 -> 0.2)", 2.0, 0.97, 0.0);
+      ("entropy bonus w=0.5", 1.0, 1.0, 0.5);
+      ("annealed + entropy", 2.0, 0.97, 0.5);
+      ("cold (tau=0.5)", 0.5, 1.0, 0.0);
+    ]
+
+(* -------------------------------------------------------------- driver *)
+
+let registry =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("ablation_lambda", ablation_lambda);
+    ("ablation_repair", ablation_repair);
+    ("ablation_assumption", ablation_assumption);
+    ("ablation_fusion", ablation_fusion);
+    ("ablation_phi", ablation_phi);
+    ("ablation_temperature", ablation_temperature);
+  ]
+
+let names = List.map fst registry
+let by_name name = List.assoc_opt name registry
+
+let all bank =
+  List.iter
+    (fun (name, f) ->
+      let (), t = Timer.time (fun () -> f bank) in
+      Printf.printf "[%s completed in %.1fs]\n%!" name t)
+    registry

@@ -1,0 +1,64 @@
+(** Experiment runners: one function per table and figure of the paper's
+    evaluation (§5), plus the ablations DESIGN.md calls out. Each prints
+    a plain-text rendition of the corresponding exhibit. All share one
+    {!Runbank.t} so Table 2/3 runs, oracles and traces are computed
+    once. *)
+
+val table1 : Runbank.t -> unit
+(** Dataset statistics. *)
+
+val table2 : Runbank.t -> unit
+(** Linear-cost comparison across the five realistic datasets. *)
+
+val table3 : Runbank.t -> unit
+(** Per-e-graph breakdown on tensat and rover. *)
+
+val table4 : Runbank.t -> unit
+(** The adversarial NP-hard datasets (set, maxsat). *)
+
+val table5 : Runbank.t -> unit
+(** Device portability: A100-class vs RTX-2080Ti-class memory budgets,
+    including the out-of-memory cases on oversized e-graphs. *)
+
+val fig4 : Runbank.t -> unit
+(** Anytime curves: SmoothE vs the cplex-like ILP. *)
+
+val fig5 : Runbank.t -> unit
+(** Non-linear (MLP) cost models: SmoothE vs genetic vs ILP*. *)
+
+val fig6 : Runbank.t -> unit
+(** Performance ablation: CPU baseline → vectorised → +matexp opts. *)
+
+val fig7 : Runbank.t -> unit
+(** Seed batching sweep on rover/box_3. *)
+
+val fig8 : Runbank.t -> unit
+(** Runtime profiling shares (loss / gradient / sampling). *)
+
+val fig9 : Runbank.t -> unit
+(** Optimisation loss vs sampling loss trajectories. *)
+
+val ablation_lambda : Runbank.t -> unit
+(** Sweep of the NOTEARS weight λ on a cyclic e-graph. *)
+
+val ablation_repair : Runbank.t -> unit
+(** Cycle-aware sampling repair on vs off. *)
+
+val ablation_assumption : Runbank.t -> unit
+(** Independent / correlated / hybrid assumption comparison. *)
+
+val ablation_fusion : Runbank.t -> unit
+(** The pairwise fusion-discount cost model (paper §6 future work):
+    SmoothE vs genetic vs the linear-model optimum re-scored. *)
+
+val ablation_phi : Runbank.t -> unit
+(** Accuracy of the §3.3 correlation assumptions against exact
+    (enumerated) selection marginals on small e-graphs. *)
+
+val ablation_temperature : Runbank.t -> unit
+(** Softmax temperature annealing and entropy bonus (our extensions). *)
+
+val all : Runbank.t -> unit
+
+val by_name : string -> (Runbank.t -> unit) option
+val names : string list

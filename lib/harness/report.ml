@@ -1,0 +1,47 @@
+let columns = ref []
+
+let set_columns widths = columns := widths
+
+let heading title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let row cells =
+  let rec zip widths cells =
+    match widths, cells with
+    | _, [] -> []
+    | [], c :: rest -> c :: zip [] rest
+    | w :: ws, c :: rest -> pad w c :: zip ws rest
+  in
+  print_endline (String.concat " " (zip !columns cells))
+
+let rule () =
+  let total = List.fold_left (fun acc w -> acc + w + 1) 0 !columns in
+  print_endline (String.make (max 8 total) '-')
+
+let pct x =
+  if not (Float.is_finite x) then "Failed"
+  else if Float.abs x >= 1.0 then Printf.sprintf "%.1fx" x
+  else Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let secs t =
+  if not (Float.is_finite t) then "-"
+  else if t >= 100.0 then Printf.sprintf "%.0f" t
+  else if t >= 10.0 then Printf.sprintf "%.1f" t
+  else Printf.sprintf "%.2f" t
+
+let pm a b =
+  if not (Float.is_finite a) then "-"
+  else if a >= 100.0 then Printf.sprintf "%.0f±%.0f" a b
+  else Printf.sprintf "%.2f±%.2f" a b
+
+let pct_pm a b =
+  if not (Float.is_finite a) then "Failed"
+  else if Float.abs a >= 1.0 then Printf.sprintf "%.1fx±%.1f" a b
+  else Printf.sprintf "%.1f%%±%.1f%%" (100.0 *. a) (100.0 *. b)

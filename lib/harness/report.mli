@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the bench harness. *)
+
+val heading : string -> unit
+(** Boxed section title. *)
+
+val subheading : string -> unit
+
+val row : string list -> unit
+(** Print one row under the current column widths (set by {!set_columns}). *)
+
+val set_columns : int list -> unit
+(** Column widths for subsequent {!row} calls. *)
+
+val rule : unit -> unit
+(** Horizontal rule matching the current columns. *)
+
+val pct : float -> string
+(** Format a quality increase: "2.8%", "6.3x" for large values, "Failed"
+    for infinity — the Table 2/4 conventions. *)
+
+val secs : float -> string
+
+val pm : float -> float -> string
+(** ["a±b"] with compact formatting. *)
+
+val pct_pm : float -> float -> string

@@ -1,0 +1,103 @@
+type t = {
+  budget : Budget.t;
+  egraphs : (string, Egraph.t) Hashtbl.t;
+  results : (string * string, Extractor.r) Hashtbl.t;
+  smoothe : (string, Smoothe_extract.run list) Hashtbl.t;
+  oracles : (string, float) Hashtbl.t;
+}
+
+let create budget =
+  {
+    budget;
+    egraphs = Hashtbl.create 64;
+    results = Hashtbl.create 256;
+    smoothe = Hashtbl.create 64;
+    oracles = Hashtbl.create 64;
+  }
+
+let budget t = t.budget
+
+let egraph t inst =
+  match Hashtbl.find_opt t.egraphs inst.Registry.inst_name with
+  | Some g -> g
+  | None ->
+      let g = inst.Registry.build () in
+      Hashtbl.replace t.egraphs inst.Registry.inst_name g;
+      g
+
+let memo t inst method_name run =
+  let key = inst.Registry.inst_name, method_name in
+  match Hashtbl.find_opt t.results key with
+  | Some r -> r
+  | None ->
+      let r = run () in
+      Hashtbl.replace t.results key r;
+      r
+
+let heuristic t inst = memo t inst "heuristic" (fun () -> Greedy.extract (egraph t inst))
+
+let heuristic_plus t inst =
+  memo t inst "heuristic+" (fun () -> Greedy_dag.extract (egraph t inst))
+
+let ilp t profile inst =
+  memo t inst ("ilp-" ^ profile.Bnb.profile_name) (fun () ->
+      let g = egraph t inst in
+      let warm =
+        if profile.Bnb.use_warm_start then (heuristic_plus t inst).Extractor.solution else None
+      in
+      Ilp.extract ~time_limit:t.budget.Budget.ilp_time ?warm_start:warm ~profile g)
+
+let smoothe_runs t ds inst =
+  match Hashtbl.find_opt t.smoothe inst.Registry.inst_name with
+  | Some runs -> runs
+  | None ->
+      let g = egraph t inst in
+      let assumption = Smoothe_config.assumption_of_string ds.Registry.assumption in
+      let base = { t.budget.Budget.smoothe with Smoothe_config.assumption } in
+      let runs =
+        List.init t.budget.Budget.smoothe_runs (fun k ->
+            Smoothe_extract.extract
+              ~config:{ base with Smoothe_config.seed = base.Smoothe_config.seed + (1000 * k) }
+              g)
+      in
+      Hashtbl.replace t.smoothe inst.Registry.inst_name runs;
+      runs
+
+let genetic t inst =
+  memo t inst "genetic" (fun () ->
+      Genetic.extract ~config:t.budget.Budget.genetic (Rng.create 2024) (egraph t inst))
+
+let oracle t ds inst =
+  match Hashtbl.find_opt t.oracles inst.Registry.inst_name with
+  | Some v -> v
+  | None ->
+      let g = egraph t inst in
+      let best_heuristic =
+        Float.min (heuristic t inst).Extractor.cost (heuristic_plus t inst).Extractor.cost
+      in
+      let smoothe_best =
+        List.fold_left
+          (fun acc run -> Float.min acc run.Smoothe_extract.result.Extractor.cost)
+          infinity (smoothe_runs t ds inst)
+      in
+      let warm =
+        let hp = heuristic_plus t inst in
+        match hp.Extractor.solution with
+        | Some _ as s -> s
+        | None -> (heuristic t inst).Extractor.solution
+      in
+      let long_ilp =
+        Ilp.extract
+          ~time_limit:(t.budget.Budget.ilp_time +. t.budget.Budget.oracle_time)
+          ?warm_start:warm ~profile:Bnb.cplex_like g
+      in
+      let v = Float.min long_ilp.Extractor.cost (Float.min best_heuristic smoothe_best) in
+      Hashtbl.replace t.oracles inst.Registry.inst_name v;
+      v
+
+let quality_increase t ds inst cost =
+  if not (Float.is_finite cost) then infinity
+  else begin
+    let base = oracle t ds inst in
+    if base <= 0.0 then 0.0 else (cost /. base) -. 1.0
+  end

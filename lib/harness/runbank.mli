@@ -1,0 +1,36 @@
+(** Memoised experiment runner.
+
+    Tables 2 and 3 (and Figures 4, 8 and 9) consume the *same* per-
+    instance runs, and the oracle normalisation reuses every method's
+    best-known solution, so all results are cached per (instance,
+    method) within one bench invocation. All runs are deterministic
+    given the budget. *)
+
+type t
+
+val create : Budget.t -> t
+val budget : t -> Budget.t
+
+val egraph : t -> Registry.instance -> Egraph.t
+
+val heuristic : t -> Registry.instance -> Extractor.r
+val heuristic_plus : t -> Registry.instance -> Extractor.r
+
+val ilp : t -> Bnb.profile -> Registry.instance -> Extractor.r
+(** The cplex-like profile is warm-started from heuristic+ (mirroring a
+    commercial solver's primal heuristics); scip/cbc are cold. *)
+
+val smoothe_runs : t -> Registry.dataset -> Registry.instance -> Smoothe_extract.run list
+(** [budget.smoothe_runs] repetitions with distinct seeds, under the
+    dataset's Table 2 correlation assumption. *)
+
+val genetic : t -> Registry.instance -> Extractor.r
+
+val oracle : t -> Registry.dataset -> Registry.instance -> float
+(** Best-known cost: an extended-budget warm-started ILP run plus the
+    minimum over every other cached method — the stand-in for the
+    paper's 10-hour CPLEX oracle. *)
+
+val quality_increase : t -> Registry.dataset -> Registry.instance -> float -> float
+(** [(cost / oracle) - 1], the normalised increase of Tables 2–4.
+    Infinite when [cost] is infinite. *)

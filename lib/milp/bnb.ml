@@ -1,0 +1,189 @@
+type branch_rule = Most_fractional | First_fractional
+type search_order = Best_bound | Depth_first
+
+type profile = {
+  profile_name : string;
+  branch_rule : branch_rule;
+  search : search_order;
+  rounding_every : int option;
+  use_warm_start : bool;
+}
+
+let cplex_like =
+  {
+    profile_name = "cplex-like";
+    branch_rule = Most_fractional;
+    search = Best_bound;
+    rounding_every = Some 1;
+    use_warm_start = true;
+  }
+
+let scip_like =
+  {
+    profile_name = "scip-like";
+    branch_rule = Most_fractional;
+    search = Best_bound;
+    rounding_every = Some 20;
+    use_warm_start = false;
+  }
+
+let cbc_like =
+  {
+    profile_name = "cbc-like";
+    branch_rule = First_fractional;
+    search = Depth_first;
+    rounding_every = None;
+    use_warm_start = false;
+  }
+
+type options = {
+  profile : profile;
+  time_limit : float;
+  node_limit : int;
+  warm_start : float array option;
+}
+
+let default_options profile =
+  { profile; time_limit = 60.0; node_limit = 200_000; warm_start = None }
+
+type outcome = {
+  incumbent : float array option;
+  objective : float;
+  best_bound : float;
+  proved_optimal : bool;
+  nodes : int;
+  solve_time : float;
+  trace : (float * float) list;
+}
+
+let int_tol = 1e-6
+
+(* A node fixes a subset of binaries: value 0 is encoded by dropping the
+   upper bound to 0; value 1 by an extra equality row. *)
+type bnode = { fixes : (int * int) list; bound : float; depth : int }
+
+let is_integral x j = Float.abs (x.(j) -. Float.round x.(j)) <= int_tol
+
+let apply_fixes (p : Lp.problem) fixes =
+  let upper = Array.copy p.upper in
+  let extra = ref [] in
+  List.iter
+    (fun (j, v) ->
+      if v = 0 then upper.(j) <- 0.0
+      else extra := { Lp.coeffs = [ (j, 1.0) ]; rel = Lp.Eq; rhs = 1.0 } :: !extra)
+    fixes;
+  { p with Lp.upper; constraints = !extra @ p.Lp.constraints }
+
+let solve (p : Lp.problem) ~integer_vars options =
+  Array.iter
+    (fun j ->
+      if p.Lp.upper.(j) > 1.0 +. int_tol then
+        invalid_arg "Bnb.solve: integer variables must be binary (upper bound 1)")
+    integer_vars;
+  let deadline = Timer.deadline_after options.time_limit in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let trace = ref [] in
+  let accept x obj =
+    if obj < !incumbent_obj -. 1e-9 then begin
+      incumbent := Some (Array.copy x);
+      incumbent_obj := obj;
+      trace := (Timer.elapsed deadline, obj) :: !trace
+    end
+  in
+  (match options.warm_start with
+  | Some x when options.profile.use_warm_start ->
+      if Lp.check_feasible p x && Array.for_all (fun j -> is_integral x j) integer_vars then
+        accept x (Lp.eval_objective p x)
+  | Some _ | None -> ());
+  let try_rounding x =
+    let rounded = Array.copy x in
+    Array.iter (fun j -> rounded.(j) <- Float.round rounded.(j)) integer_vars;
+    if Lp.check_feasible p rounded then accept rounded (Lp.eval_objective p rounded)
+  in
+  let pick_branch x =
+    match options.profile.branch_rule with
+    | First_fractional ->
+        let found = ref (-1) in
+        (try
+           Array.iter
+             (fun j ->
+               if not (is_integral x j) then begin
+                 found := j;
+                 raise Exit
+               end)
+             integer_vars
+         with Exit -> ());
+        !found
+    | Most_fractional ->
+        let best = ref (-1) and best_frac = ref int_tol in
+        Array.iter
+          (fun j ->
+            let f = Float.abs (x.(j) -. Float.round x.(j)) in
+            if f > !best_frac then begin
+              best_frac := f;
+              best := j
+            end)
+          integer_vars;
+        !best
+  in
+  (* Frontier: a heap for best-bound, used as a LIFO-ish stack for DFS by
+     ordering on depth (deepest first). *)
+  let leq =
+    match options.profile.search with
+    | Best_bound -> fun a b -> a.bound <= b.bound
+    | Depth_first -> fun a b -> a.depth >= b.depth
+  in
+  let frontier = Heap.create ~leq in
+  Heap.push frontier { fixes = []; bound = neg_infinity; depth = 0 };
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let hit_limit = ref false in
+  let frontier_min_bound () =
+    (* For best-bound search the heap top is the global bound; for DFS we
+       conservatively report the weakest (smallest) open bound. *)
+    match options.profile.search with
+    | Best_bound -> (
+        match Heap.peek frontier with Some n -> n.bound | None -> !incumbent_obj)
+    | Depth_first -> if Heap.is_empty frontier then !incumbent_obj else neg_infinity
+  in
+  let rec loop () =
+    if Heap.is_empty frontier then exhausted := true
+    else if Timer.expired deadline || !nodes >= options.node_limit then hit_limit := true
+    else begin
+      let node = Heap.pop frontier in
+      if node.bound >= !incumbent_obj -. 1e-9 then loop ()
+      else begin
+        incr nodes;
+        let sub = apply_fixes p node.fixes in
+        (match Lp.solve ~deadline sub with
+        | Lp.Timeout -> hit_limit := true
+        | Lp.Infeasible -> ()
+        | Lp.Unbounded -> ()
+        | Lp.Optimal { x; obj } ->
+            if obj < !incumbent_obj -. 1e-9 then begin
+              let j = pick_branch x in
+              if j < 0 then accept x obj
+              else begin
+                (match options.profile.rounding_every with
+                | Some k when !nodes mod k = 0 -> try_rounding x
+                | Some _ | None -> ());
+                Heap.push frontier { fixes = (j, 0) :: node.fixes; bound = obj; depth = node.depth + 1 };
+                Heap.push frontier { fixes = (j, 1) :: node.fixes; bound = obj; depth = node.depth + 1 }
+              end
+            end);
+        if not !hit_limit then loop ()
+      end
+    end
+  in
+  loop ();
+  let best_bound = if !exhausted then !incumbent_obj else frontier_min_bound () in
+  {
+    incumbent = !incumbent;
+    objective = !incumbent_obj;
+    best_bound;
+    proved_optimal = !exhausted && !incumbent <> None;
+    nodes = !nodes;
+    solve_time = Timer.elapsed deadline;
+    trace = List.rev !trace;
+  }

@@ -1,0 +1,58 @@
+(** Mixed-integer linear programming by LP-based branch-and-bound.
+
+    The reproduction's stand-in for the CPLEX / SCIP / CBC solvers of the
+    paper's evaluation (§5.1). Binary variables only (which is all the
+    extraction encoding of Eq. (1) needs). Features: best-bound or
+    depth-first search, most-/first-fractional branching, LP rounding
+    heuristic, warm-started incumbents, hard time limits, and an anytime
+    incumbent trace (for the Figure 4 comparison).
+
+    The three bundled {!profile}s differ in search strategy and heuristic
+    effort, mirroring the commercial-vs-open-source quality split the
+    paper observes; see DESIGN.md for the substitution argument. *)
+
+type branch_rule = Most_fractional | First_fractional
+type search_order = Best_bound | Depth_first
+
+type profile = {
+  profile_name : string;
+  branch_rule : branch_rule;
+  search : search_order;
+  rounding_every : int option;  (** run the rounding heuristic every k nodes *)
+  use_warm_start : bool;
+}
+
+val cplex_like : profile
+(** Best-bound search, most-fractional branching, rounding at every
+    node, accepts warm starts — the strongest configuration. *)
+
+val scip_like : profile
+(** Best-bound search, most-fractional branching, occasional rounding,
+    no warm start. *)
+
+val cbc_like : profile
+(** Depth-first search, first-fractional branching, no rounding
+    heuristic — the weakest configuration. *)
+
+type options = {
+  profile : profile;
+  time_limit : float;  (** seconds; <= 0 means unlimited *)
+  node_limit : int;
+  warm_start : float array option;  (** a feasible point to seed the incumbent *)
+}
+
+val default_options : profile -> options
+
+type outcome = {
+  incumbent : float array option;
+  objective : float;  (** [infinity] when no feasible point was found *)
+  best_bound : float;  (** proven lower bound on the optimum *)
+  proved_optimal : bool;
+  nodes : int;
+  solve_time : float;
+  trace : (float * float) list;  (** (seconds-since-start, incumbent objective) improvements *)
+}
+
+val solve : Lp.problem -> integer_vars:int array -> options -> outcome
+(** @raise Invalid_argument if an integer variable's bounds are not
+    within [0, 1] (binaries only). *)

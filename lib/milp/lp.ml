@@ -1,0 +1,281 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; rel : relation; rhs : float }
+
+type problem = {
+  nvars : int;
+  objective : float array;
+  constraints : constr list;
+  upper : float array;
+}
+
+type result =
+  | Optimal of { x : float array; obj : float }
+  | Infeasible
+  | Unbounded
+  | Timeout
+
+let eps = 1e-9
+let feas_tol = 1e-6
+
+(* Dense-tableau capacity: beyond this the solver would need gigabytes;
+   real solvers switch to sparse revised simplex, ours declines (the
+   caller sees a Timeout, i.e. "no solution within resources"). *)
+let max_tableau_cells = 30_000_000
+
+let eval_objective p x =
+  let acc = ref 0.0 in
+  for j = 0 to p.nvars - 1 do
+    acc := !acc +. (p.objective.(j) *. x.(j))
+  done;
+  !acc
+
+let check_feasible ?(tol = feas_tol) p x =
+  let ok = ref true in
+  for j = 0 to p.nvars - 1 do
+    if x.(j) < -.tol || x.(j) > p.upper.(j) +. tol then ok := false
+  done;
+  List.iter
+    (fun c ->
+      let lhs = List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0.0 c.coeffs in
+      (match c.rel with
+      | Le -> if lhs > c.rhs +. tol then ok := false
+      | Ge -> if lhs < c.rhs -. tol then ok := false
+      | Eq -> if Float.abs (lhs -. c.rhs) > tol then ok := false))
+    p.constraints;
+  !ok
+
+(* Dense standard-form tableau:
+     rows    : one per constraint (upper bounds included as Le rows)
+     columns : structural vars | slacks/surpluses | artificials | rhs
+   Phase 1 minimises the artificial sum; phase 2 the true objective with
+   artificial columns barred from entering. *)
+type tableau = {
+  m : int;  (* rows *)
+  ncols : int;  (* columns excluding rhs *)
+  t : float array array;  (* m rows of (ncols + 1) *)
+  basis : int array;  (* basic column of each row *)
+  art_start : int;  (* first artificial column *)
+}
+
+let build_tableau p =
+  let bound_rows =
+    let acc = ref [] in
+    for j = p.nvars - 1 downto 0 do
+      if p.upper.(j) < infinity then
+        acc := { coeffs = [ (j, 1.0) ]; rel = Le; rhs = p.upper.(j) } :: !acc
+    done;
+    !acc
+  in
+  let rows = Array.of_list (p.constraints @ bound_rows) in
+  let m = Array.length rows in
+  (* Count slack and artificial columns. *)
+  let nslack = ref 0 and nart = ref 0 in
+  Array.iter
+    (fun c ->
+      (* After sign normalisation (rhs >= 0): Le gets a slack; Ge gets a
+         surplus and an artificial; Eq gets an artificial. *)
+      let rel = if c.rhs < 0.0 then (match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq) else c.rel in
+      match rel with
+      | Le -> incr nslack
+      | Ge ->
+          incr nslack;
+          incr nart
+      | Eq -> incr nart)
+    rows;
+  let ncols = p.nvars + !nslack + !nart in
+  let art_start = p.nvars + !nslack in
+  let t = Array.make_matrix m (ncols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let next_slack = ref p.nvars and next_art = ref art_start in
+  Array.iteri
+    (fun i c ->
+      let flip = c.rhs < 0.0 in
+      let sign = if flip then -1.0 else 1.0 in
+      List.iter (fun (j, a) -> t.(i).(j) <- t.(i).(j) +. (sign *. a)) c.coeffs;
+      t.(i).(ncols) <- sign *. c.rhs;
+      let rel = if flip then (match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq) else c.rel in
+      (match rel with
+      | Le ->
+          t.(i).(!next_slack) <- 1.0;
+          basis.(i) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          t.(i).(!next_slack) <- -1.0;
+          incr next_slack;
+          t.(i).(!next_art) <- 1.0;
+          basis.(i) <- !next_art;
+          incr next_art
+      | Eq ->
+          t.(i).(!next_art) <- 1.0;
+          basis.(i) <- !next_art;
+          incr next_art))
+    rows;
+  { m; ncols; t; basis; art_start }
+
+let pivot tb row col =
+  let t = tb.t in
+  let prow = t.(row) in
+  let pv = prow.(col) in
+  let inv = 1.0 /. pv in
+  for j = 0 to tb.ncols do
+    prow.(j) <- prow.(j) *. inv
+  done;
+  for i = 0 to tb.m - 1 do
+    if i <> row then begin
+      let f = t.(i).(col) in
+      if Float.abs f > 0.0 then begin
+        let r = t.(i) in
+        for j = 0 to tb.ncols do
+          r.(j) <- r.(j) -. (f *. prow.(j))
+        done;
+        r.(col) <- 0.0
+      end
+    end
+  done;
+  prow.(col) <- 1.0;
+  tb.basis.(row) <- col
+
+type phase_result = Popt | Punbounded | Ptimeout
+
+(* Minimise cᵀx over the current tableau. [allowed j] bars columns from
+   entering (artificials in phase 2). *)
+let run_phase ?(deadline = Timer.no_deadline) tb cost ~allowed =
+  let reduced = Array.make tb.ncols 0.0 in
+  let iter_cap = (50 * (tb.m + tb.ncols)) + 1000 in
+  let rec loop iter bland =
+    if iter land 63 = 0 && Timer.expired deadline then Ptimeout
+    else if iter > iter_cap then Ptimeout
+    else begin
+      (* reduced costs: c_j - c_B B^{-1} A_j, read off the tableau *)
+      Array.blit cost 0 reduced 0 tb.ncols;
+      for i = 0 to tb.m - 1 do
+        let cb = cost.(tb.basis.(i)) in
+        if cb <> 0.0 then begin
+          let row = tb.t.(i) in
+          for j = 0 to tb.ncols - 1 do
+            reduced.(j) <- reduced.(j) -. (cb *. row.(j))
+          done
+        end
+      done;
+      (* entering column *)
+      let entering = ref (-1) in
+      if bland then begin
+        (try
+           for j = 0 to tb.ncols - 1 do
+             if allowed j && reduced.(j) < -.eps then begin
+               entering := j;
+               raise Exit
+             end
+           done
+         with Exit -> ())
+      end
+      else begin
+        let best = ref (-.eps) in
+        for j = 0 to tb.ncols - 1 do
+          if allowed j && reduced.(j) < !best then begin
+            best := reduced.(j);
+            entering := j
+          end
+        done
+      end;
+      if !entering < 0 then Popt
+      else begin
+        (* ratio test *)
+        let e = !entering in
+        let leave = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to tb.m - 1 do
+          let a = tb.t.(i).(e) in
+          if a > eps then begin
+            let ratio = tb.t.(i).(tb.ncols) /. a in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps && !leave >= 0
+                 && tb.basis.(i) < tb.basis.(!leave))
+            then begin
+              best_ratio := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then Punbounded
+        else begin
+          pivot tb !leave e;
+          (* switch to Bland's rule if we appear to be stalling *)
+          let bland = bland || iter > 5 * (tb.m + tb.ncols) in
+          loop (iter + 1) bland
+        end
+      end
+    end
+  in
+  loop 0 false
+
+let tableau_cells p =
+  let bound_rows = Array.fold_left (fun acc u -> if u < infinity then acc + 1 else acc) 0 p.upper in
+  let rows = List.length p.constraints + bound_rows in
+  (* columns <= nvars + one slack + one artificial per row *)
+  rows * (p.nvars + (2 * rows) + 1)
+
+let solve ?(deadline = Timer.no_deadline) p =
+  if p.nvars = 0 then Optimal { x = [||]; obj = 0.0 }
+  else if tableau_cells p > max_tableau_cells then Timeout
+  else begin
+    let tb = build_tableau p in
+    let has_artificials = tb.art_start < tb.ncols in
+    let phase1_outcome =
+      if not has_artificials then Popt
+      else begin
+        let cost1 = Array.make tb.ncols 0.0 in
+        for j = tb.art_start to tb.ncols - 1 do
+          cost1.(j) <- 1.0
+        done;
+        run_phase ~deadline tb cost1 ~allowed:(fun _ -> true)
+      end
+    in
+    match phase1_outcome with
+    | Ptimeout -> Timeout
+    | Punbounded -> Infeasible (* phase 1 is bounded below by 0; treat as numerical failure *)
+    | Popt ->
+        let art_value = ref 0.0 in
+        if has_artificials then
+          for i = 0 to tb.m - 1 do
+            if tb.basis.(i) >= tb.art_start then art_value := !art_value +. tb.t.(i).(tb.ncols)
+          done;
+        if !art_value > feas_tol then Infeasible
+        else begin
+          (* Drive remaining (zero-valued) artificials out of the basis. *)
+          for i = 0 to tb.m - 1 do
+            if tb.basis.(i) >= tb.art_start then begin
+              let found = ref (-1) in
+              (try
+                 for j = 0 to tb.art_start - 1 do
+                   if Float.abs tb.t.(i).(j) > eps then begin
+                     found := j;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !found >= 0 then pivot tb i !found
+              (* else: redundant row; leave the artificial basic at 0 *)
+            end
+          done;
+          let cost2 = Array.make tb.ncols 0.0 in
+          Array.blit p.objective 0 cost2 0 p.nvars;
+          let allowed j = j < tb.art_start in
+          match run_phase ~deadline tb cost2 ~allowed with
+          | Ptimeout -> Timeout
+          | Punbounded -> Unbounded
+          | Popt ->
+              let x = Array.make p.nvars 0.0 in
+              for i = 0 to tb.m - 1 do
+                let b = tb.basis.(i) in
+                if b < p.nvars then x.(b) <- tb.t.(i).(tb.ncols)
+              done;
+              (* clean tiny negatives produced by roundoff *)
+              for j = 0 to p.nvars - 1 do
+                if x.(j) < 0.0 && x.(j) > -.feas_tol then x.(j) <- 0.0
+              done;
+              Optimal { x; obj = eval_objective p x }
+        end
+  end

@@ -1,0 +1,39 @@
+(** Linear programming by dense two-phase primal simplex.
+
+    Substrate for the ILP e-graph extraction baselines (Eq. 1 of the
+    paper). Minimises cᵀx subject to linear constraints and box bounds
+    [0 ≤ x ≤ u]. Uses Dantzig pricing with a switch to Bland's rule
+    after a stall threshold to guarantee termination, and supports an
+    external deadline so branch-and-bound can honour the paper's
+    15-minute-style time limits. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse (variable, coefficient) *)
+  rel : relation;
+  rhs : float;
+}
+
+type problem = {
+  nvars : int;
+  objective : float array;  (** minimisation coefficients, length nvars *)
+  constraints : constr list;
+  upper : float array;  (** per-variable upper bound, [infinity] = free above; lower bound is 0 *)
+}
+
+type result =
+  | Optimal of { x : float array; obj : float }
+  | Infeasible
+  | Unbounded
+  | Timeout
+      (** deadline expired, the iteration cap was hit, or the dense
+          tableau would exceed the solver's memory capacity *)
+
+val solve : ?deadline:Timer.deadline -> problem -> result
+
+val check_feasible : ?tol:float -> problem -> float array -> bool
+(** Constraint + bound satisfaction check for a candidate point —
+    used by rounding heuristics and by the test-suite. *)
+
+val eval_objective : problem -> float array -> float

@@ -1,0 +1,135 @@
+(* Iterative Tarjan: explicit stack of (node, next-edge-index) frames so
+   that large SCCs (e.g. e-graphs with tens of thousands of e-classes) do
+   not overflow the OCaml call stack. *)
+let tarjan_scc succ =
+  let n = Array.length succ in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Vec.create () in
+  let next_index = ref 0 in
+  let components = Vec.create () in
+  let frames = Vec.create () in
+  let start_node v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Vec.push stack v;
+    on_stack.(v) <- true;
+    Vec.push frames (v, ref 0)
+  in
+  let finish_node v =
+    if lowlink.(v) = index.(v) then begin
+      let comp = Vec.create () in
+      let rec pop_members () =
+        let w = Vec.pop stack in
+        on_stack.(w) <- false;
+        Vec.push comp w;
+        if w <> v then pop_members ()
+      in
+      pop_members ();
+      Vec.push components (Vec.to_array comp)
+    end
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      start_node root;
+      while not (Vec.is_empty frames) do
+        let v, edge = Vec.last frames in
+        if !edge < Array.length succ.(v) then begin
+          let w = succ.(v).(!edge) in
+          incr edge;
+          if index.(w) < 0 then start_node w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          ignore (Vec.pop frames);
+          finish_node v;
+          if not (Vec.is_empty frames) then begin
+            let parent, _ = Vec.last frames in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  Vec.to_array components
+
+let scc_ids succ =
+  let comps = tarjan_scc succ in
+  let n = Array.length succ in
+  let comp = Array.make n (-1) in
+  Array.iteri (fun ci members -> Array.iter (fun v -> comp.(v) <- ci) members) comps;
+  comp, Array.length comps
+
+let topological_order succ =
+  let n = Array.length succ in
+  let indeg = Array.make n 0 in
+  Array.iter (fun ws -> Array.iter (fun w -> indeg.(w) <- indeg.(w) + 1) ws) succ;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = Vec.create () in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Vec.push order v;
+    Array.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      succ.(v)
+  done;
+  if Vec.length order = n then Some (Vec.to_array order) else None
+
+let is_acyclic succ = topological_order succ <> None
+
+let reachable succ roots =
+  let n = Array.length succ in
+  let seen = Array.make n false in
+  let stack = Vec.create () in
+  let visit v =
+    if v >= 0 && v < n && not seen.(v) then begin
+      seen.(v) <- true;
+      Vec.push stack v
+    end
+  in
+  List.iter visit roots;
+  while not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    Array.iter visit succ.(v)
+  done;
+  seen
+
+(* Colour-based DFS restricted to nodes reachable from [roots]:
+   grey = on the current path, black = fully explored. *)
+let has_cycle_from succ roots =
+  let n = Array.length succ in
+  let colour = Array.make n 0 in
+  let found = ref false in
+  let frames = Vec.create () in
+  let enter v =
+    colour.(v) <- 1;
+    Vec.push frames (v, ref 0)
+  in
+  let run root =
+    if colour.(root) = 0 then begin
+      enter root;
+      while (not !found) && not (Vec.is_empty frames) do
+        let v, edge = Vec.last frames in
+        if !edge < Array.length succ.(v) then begin
+          let w = succ.(v).(!edge) in
+          incr edge;
+          if colour.(w) = 1 then found := true
+          else if colour.(w) = 0 then enter w
+        end
+        else begin
+          ignore (Vec.pop frames);
+          colour.(v) <- 2
+        end
+      done;
+      Vec.clear frames
+    end
+  in
+  List.iter run roots;
+  !found

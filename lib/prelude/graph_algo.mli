@@ -1,0 +1,34 @@
+(** Directed-graph algorithms over dense integer node ids.
+
+    These back the e-graph analyses the paper relies on: strongly
+    connected component decomposition for the NOTEARS matrix-exponential
+    optimisation (§4.3), topological ordering for acyclic probability
+    propagation, and cycle detection for validating sampled extractions.
+
+    Graphs are given as adjacency arrays: [succ.(u)] lists the successors
+    of node [u]. *)
+
+val tarjan_scc : int array array -> int array array
+(** [tarjan_scc succ] returns the strongly connected components in
+    reverse topological order (every edge leaving a component points to a
+    component appearing *earlier* in the result). Each component lists
+    its member nodes. Iterative implementation; safe on deep graphs. *)
+
+val scc_ids : int array array -> int array * int
+(** [scc_ids succ] is [(comp, k)] where [comp.(u)] is the component index
+    of node [u] (indices follow {!tarjan_scc} order) and [k] the number
+    of components. *)
+
+val topological_order : int array array -> int array option
+(** [topological_order succ] is [Some order] (nodes listed with every
+    node before its successors) when the graph is acyclic, [None]
+    otherwise. Kahn's algorithm. *)
+
+val is_acyclic : int array array -> bool
+
+val has_cycle_from : int array array -> int list -> bool
+(** [has_cycle_from succ roots] detects a cycle among nodes reachable
+    from [roots] only. *)
+
+val reachable : int array array -> int list -> bool array
+(** Nodes reachable from the given roots (roots included). *)

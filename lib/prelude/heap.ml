@@ -1,0 +1,47 @@
+type 'a t = { leq : 'a -> 'a -> bool; items : 'a Vec.t }
+
+let create ~leq = { leq; items = Vec.create () }
+let length h = Vec.length h.items
+let is_empty h = Vec.is_empty h.items
+let clear h = Vec.clear h.items
+
+let swap h i j =
+  let tmp = Vec.get h.items i in
+  Vec.set h.items i (Vec.get h.items j);
+  Vec.set h.items j tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.leq (Vec.get h.items i) (Vec.get h.items parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h.items in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && h.leq (Vec.get h.items l) (Vec.get h.items !smallest) then smallest := l;
+  if r < n && h.leq (Vec.get h.items r) (Vec.get h.items !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  Vec.push h.items x;
+  sift_up h (Vec.length h.items - 1)
+
+let pop h =
+  if is_empty h then invalid_arg "Heap.pop: empty";
+  let top = Vec.get h.items 0 in
+  let last = Vec.pop h.items in
+  if not (is_empty h) then begin
+    Vec.set h.items 0 last;
+    sift_down h 0
+  end;
+  top
+
+let peek h = if is_empty h then None else Some (Vec.get h.items 0)

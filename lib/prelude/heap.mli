@@ -1,0 +1,20 @@
+(** Binary min-heap with a caller-supplied priority.
+
+    Used as the best-bound frontier of the branch-and-bound MILP solver
+    and as the worklist of cost-propagation extractors. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~leq] orders elements so that [leq x y] means [x] pops
+    before [y]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit

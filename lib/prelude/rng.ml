@@ -1,0 +1,94 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands a small seed into well-distributed state words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 rng =
+  let open Int64 in
+  let result = mul (rotl (mul rng.s1 5L) 7) 9L in
+  let t = shift_left rng.s1 17 in
+  rng.s2 <- logxor rng.s2 rng.s0;
+  rng.s3 <- logxor rng.s3 rng.s1;
+  rng.s1 <- logxor rng.s1 rng.s2;
+  rng.s0 <- logxor rng.s0 rng.s3;
+  rng.s2 <- logxor rng.s2 t;
+  rng.s3 <- rotl rng.s3 45;
+  result
+
+let split rng =
+  let state = ref (int64 rng) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy rng = { s0 = rng.s0; s1 = rng.s1; s2 = rng.s2; s3 = rng.s3 }
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62. *)
+  let x = Int64.shift_right_logical (int64 rng) 2 in
+  Int64.to_int (Int64.rem x (Int64.of_int bound))
+
+let uniform rng =
+  (* 53 high bits -> uniform double in [0,1). *)
+  let x = Int64.shift_right_logical (int64 rng) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let float rng bound = uniform rng *. bound
+
+let gaussian rng =
+  let rec nonzero () =
+    let u = uniform rng in
+    if u <= 1e-300 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = uniform rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let bool rng = Int64.logand (int64 rng) 1L = 1L
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose rng a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int rng (Array.length a))
+
+let choose_weighted rng w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Rng.choose_weighted: empty array";
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then int rng n
+  else begin
+    let target = float rng total in
+    let rec loop i acc =
+      if i = n - 1 then i
+      else begin
+        let acc = acc +. w.(i) in
+        if target < acc then i else loop (i + 1) acc
+      end
+    in
+    loop 0 0.0
+  end

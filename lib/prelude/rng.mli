@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation (xoshiro256starstar).
+
+    Every stochastic component of the reproduction — SmoothE seed
+    batching (§4.2), the genetic algorithm, random-walk solution
+    sampling, dataset generators — draws from an explicit [Rng.t] so
+    experiments are reproducible bit-for-bit from an integer seed.
+
+    The generator is xoshiro256starstar (Blackman & Vigna), seeded through
+    splitmix64 as its authors recommend. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split rng] derives an independent generator; also advances [rng].
+    Used to hand child components their own streams. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform in [[0, bound)]. *)
+
+val uniform : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val choose_weighted : t -> float array -> int
+(** [choose_weighted rng w] draws index [i] with probability
+    [w.(i) / sum w]. Weights must be non-negative with a positive sum;
+    falls back to uniform if the sum is zero. *)

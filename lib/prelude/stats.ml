@@ -1,0 +1,62 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x < 0.0 then invalid_arg "Stats.geomean: negative value";
+        (* log 0 = -inf propagates to a 0 geomean, which is the right answer. *)
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let geomean_ratio xs = geomean (Array.map (fun x -> 1.0 +. x) xs) -. 1.0
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  let lo = ref xs.(0) and hi = ref xs.(0) in
+  Array.iter
+    (fun x ->
+      if x < !lo then lo := x;
+      if x > !hi then hi := x)
+    xs;
+  !lo, !hi
+
+let max_abs_diff xs =
+  let lo, hi = min_max xs in
+  hi -. lo
+
+let percentile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if q < 0.0 || q > 100.0 then invalid_arg "Stats.percentile: q outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0

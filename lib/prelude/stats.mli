@@ -1,0 +1,34 @@
+(** Small statistics helpers used by the evaluation harness.
+
+    The paper reports geometric means across e-graphs (Table 2 caption)
+    and max-difference error bars over repeated runs; these helpers keep
+    those computations in one audited place. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 on an empty array.
+    @raise Invalid_argument if any value is negative. *)
+
+val geomean_ratio : float array -> float
+(** Geometric mean of [1 + x] values minus 1 — the paper normalises cost
+    increases as ratios over an oracle, and aggregates multiplicatively;
+    this keeps 0%-increase entries meaningful. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on an empty array. *)
+
+val max_abs_diff : float array -> float
+(** [max_abs_diff xs] is [max xs - min xs]: the "maximum difference"
+    error bar the paper attaches to SmoothE results over 3 runs. *)
+
+val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] with [q] in [0,100], linear interpolation. *)

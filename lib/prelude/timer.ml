@@ -1,0 +1,21 @@
+let now () = Unix.gettimeofday ()
+
+type deadline = { start : float; limit : float }
+
+let deadline_after s =
+  let start = now () in
+  if s <= 0.0 then { start; limit = infinity } else { start; limit = start +. s }
+
+let no_deadline = { start = 0.0; limit = infinity }
+
+let expired d = now () >= d.limit
+
+let remaining d =
+  if d.limit = infinity then infinity else Float.max 0.0 (d.limit -. now ())
+
+let elapsed d = now () -. d.start
+
+let time f =
+  let start = now () in
+  let result = f () in
+  result, now () -. start

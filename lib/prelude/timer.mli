@@ -1,0 +1,28 @@
+(** Wall-clock timing and deadline management.
+
+    The paper's evaluation is dominated by time-limited runs (15-minute
+    ILP budgets, anytime curves, patience-based stopping). [Timer]
+    provides monotonic-ish wall-clock stamps and a [Deadline] that every
+    long-running solver polls. *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+type deadline
+
+val deadline_after : float -> deadline
+(** [deadline_after s] expires [s] seconds from now. Non-positive [s]
+    means "no limit". *)
+
+val no_deadline : deadline
+
+val expired : deadline -> bool
+
+val remaining : deadline -> float
+(** Seconds left; [infinity] for {!no_deadline}, 0 when expired. *)
+
+val elapsed : deadline -> float
+(** Seconds since the deadline was created. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)

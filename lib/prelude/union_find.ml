@@ -1,0 +1,48 @@
+type t = { parent : int Vec.t; rank : int Vec.t }
+
+let create () = { parent = Vec.create (); rank = Vec.create () }
+
+let fresh uf =
+  let id = Vec.length uf.parent in
+  Vec.push uf.parent id;
+  Vec.push uf.rank 0;
+  id
+
+let with_size n =
+  let uf = create () in
+  for _ = 1 to n do
+    ignore (fresh uf)
+  done;
+  uf
+
+let size uf = Vec.length uf.parent
+
+let rec find uf x =
+  let p = Vec.get uf.parent x in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    Vec.set uf.parent x root;
+    root
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra = rb then ra
+  else begin
+    let ka = Vec.get uf.rank ra and kb = Vec.get uf.rank rb in
+    let win, lose = if ka >= kb then ra, rb else rb, ra in
+    Vec.set uf.parent lose win;
+    if ka = kb then Vec.set uf.rank win (ka + 1);
+    win
+  end
+
+let same uf a b = find uf a = find uf b
+
+let count_sets uf =
+  let n = size uf in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if Vec.get uf.parent i = i then incr count
+  done;
+  !count

@@ -1,0 +1,32 @@
+(** Union-find (disjoint sets) with path compression and union by rank.
+
+    This is the substrate beneath e-class merging during equality
+    saturation (Tarjan 1975, as cited by the paper in §2). Elements are
+    dense integer ids allocated through {!fresh}. *)
+
+type t
+
+val create : unit -> t
+(** An empty forest. *)
+
+val with_size : int -> t
+(** [with_size n] pre-allocates singletons [0 .. n-1]. *)
+
+val fresh : t -> int
+(** [fresh uf] allocates a new singleton and returns its id. *)
+
+val size : t -> int
+(** Number of allocated elements. *)
+
+val find : t -> int -> int
+(** [find uf x] is the canonical representative of [x]'s set, compressing
+    paths as a side effect. *)
+
+val union : t -> int -> int -> int
+(** [union uf a b] merges the two sets and returns the surviving
+    representative. *)
+
+val same : t -> int -> int -> bool
+
+val count_sets : t -> int
+(** Number of distinct sets currently represented. *)

@@ -1,0 +1,42 @@
+let require_valid g s =
+  if not (Egraph.Solution.is_valid g s) then
+    invalid_arg "Extract_term: invalid solution (incomplete or cyclic)"
+
+let of_solution g s =
+  require_valid g s;
+  let rec term_of_class c =
+    match s.Egraph.Solution.choice.(c) with
+    | None -> invalid_arg "Extract_term.of_solution: unselected class reached"
+    | Some n ->
+        Term.App
+          (g.Egraph.ops.(n), Array.to_list (Array.map term_of_class g.Egraph.children.(n)))
+  in
+  term_of_class g.Egraph.root
+
+let dag_of_solution g s =
+  require_valid g s;
+  let name_of = Hashtbl.create 16 in
+  let bindings = Vec.create () in
+  let rec visit c =
+    match Hashtbl.find_opt name_of c with
+    | Some name -> name
+    | None ->
+        let n = Option.get s.Egraph.Solution.choice.(c) in
+        let operands = Array.to_list (Array.map visit g.Egraph.children.(n)) in
+        let name = Printf.sprintf "v%d" (Hashtbl.length name_of) in
+        Hashtbl.add name_of c name;
+        Vec.push bindings (name, g.Egraph.ops.(n) :: operands);
+        name
+  in
+  ignore (visit g.Egraph.root);
+  Vec.to_list bindings
+
+let render_dag bindings =
+  String.concat "\n"
+    (List.map
+       (fun (name, parts) ->
+         match parts with
+         | [ op ] -> Printf.sprintf "let %s = %s" name op
+         | op :: operands -> Printf.sprintf "let %s = %s(%s)" name op (String.concat ", " operands)
+         | [] -> Printf.sprintf "let %s = ?" name)
+       bindings)

@@ -1,0 +1,19 @@
+(** Reconstruct a term from an extraction solution.
+
+    The end product of the whole pipeline (§2): after extraction selects
+    one e-node per needed e-class, the chosen nodes form exactly one
+    program, provided the selection is valid (complete and acyclic). *)
+
+val of_solution : Egraph.t -> Egraph.Solution.s -> Term.t
+(** @raise Invalid_argument when the solution is invalid (the term would
+    be undefined or infinite). Shared e-classes are expanded at every
+    use site, so the printed term may be exponentially larger than its
+    DAG; see {!dag_of_solution} for the shared form. *)
+
+val dag_of_solution : Egraph.t -> Egraph.Solution.s -> (string * string list) list
+(** A let-style listing: each selected e-class becomes a binder
+    [(name, op :: operand-names)] in dependency order (operands first),
+    making the reuse of common subexpressions visible. *)
+
+val render_dag : (string * string list) list -> string
+(** Pretty "let v0 = ..." rendering of {!dag_of_solution}. *)

@@ -1,0 +1,221 @@
+(* A canonical e-node: operator plus canonicalised child class ids. *)
+type key = string * int list
+
+type g = {
+  uf : Union_find.t;
+  memo : (key, int) Hashtbl.t;  (* canonical node -> canonical class *)
+  members : (int, key Vec.t) Hashtbl.t;  (* canonical class -> nodes *)
+  mutable dirty : int list;  (* classes touched by unions since last rebuild *)
+  mutable node_count : int;
+}
+
+let create () =
+  { uf = Union_find.create (); memo = Hashtbl.create 1024; members = Hashtbl.create 256;
+    dirty = []; node_count = 0 }
+
+let find g c = Union_find.find g.uf c
+
+let canon_key g (op, kids) = op, List.map (find g) kids
+
+let members_of g c =
+  match Hashtbl.find_opt g.members c with
+  | Some v -> v
+  | None ->
+      let v = Vec.create () in
+      Hashtbl.replace g.members c v;
+      v
+
+let add_node g op kids =
+  let key = canon_key g (op, kids) in
+  match Hashtbl.find_opt g.memo key with
+  | Some c -> find g c
+  | None ->
+      let c = Union_find.fresh g.uf in
+      Hashtbl.replace g.memo key c;
+      Vec.push (members_of g c) key;
+      g.node_count <- g.node_count + 1;
+      c
+
+let rec add_term g (Term.App (op, args)) = add_node g op (List.map (add_term g) args)
+
+let union g a b =
+  let ra = find g a and rb = find g b in
+  if ra = rb then false
+  else begin
+    let winner = Union_find.union g.uf ra rb in
+    let loser = if winner = ra then rb else ra in
+    (* Move the loser's member nodes into the winner. *)
+    let lm = members_of g loser in
+    let wm = members_of g winner in
+    Vec.iter (fun k -> Vec.push wm k) lm;
+    Hashtbl.remove g.members loser;
+    g.dirty <- winner :: g.dirty;
+    true
+  end
+
+(* Congruence closure: after unions, nodes that canonicalise identically
+   must have their owning classes merged. A union in one class changes
+   the canonical keys of nodes in *other* classes whose children pointed
+   at the merged classes, so the sweep gathers every node, unions the
+   owners of congruent duplicates, rebuilds the membership and memo
+   tables from scratch, and repeats until no union fires (a global
+   fixpoint - simpler than egg's parent-list propagation and correct at
+   our scales). *)
+let rebuild g =
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    g.dirty <- [];
+    (* gather all nodes with canonical keys and owners *)
+    let all = Vec.create () in
+    Hashtbl.iter
+      (fun c mem -> Vec.iter (fun key -> Vec.push all (find g c, canon_key g key)) mem)
+      g.members;
+    (* union the owners of congruent duplicates *)
+    let owner = Hashtbl.create (Vec.length all) in
+    Vec.iter
+      (fun (c, key) ->
+        match Hashtbl.find_opt owner key with
+        | Some c' when find g c' <> find g c ->
+            ignore (union g c c');
+            continue_ := true
+        | Some _ -> ()
+        | None -> Hashtbl.add owner key c)
+      all;
+    (* rebuild members and memo under the final canonical ids *)
+    Hashtbl.reset g.memo;
+    Hashtbl.reset g.members;
+    let count = ref 0 in
+    Vec.iter
+      (fun (c, key) ->
+        let c = find g c in
+        let key = canon_key g key in
+        match Hashtbl.find_opt g.memo key with
+        | None ->
+            Hashtbl.replace g.memo key c;
+            Vec.push (members_of g c) key;
+            incr count
+        | Some c' ->
+            (* a congruent duplicate: its class must merge, not merely
+               have the member dropped *)
+            if find g c' <> c then begin
+              ignore (union g c c');
+              continue_ := true
+            end)
+      all;
+    g.node_count <- !count;
+    g.dirty <- []
+  done
+
+let num_nodes g = g.node_count
+
+let num_classes g =
+  Hashtbl.fold (fun _ _ acc -> acc + 1) g.members 0
+
+(* E-matching: backtracking over class members. *)
+let ematch g pattern =
+  let results = Vec.create () in
+  let rec match_in cls pat env cont =
+    match pat with
+    | Term.Var v -> (
+        match List.assoc_opt v env with
+        | Some bound -> if find g bound = cls then cont env
+        | None -> cont ((v, cls) :: env))
+    | Term.Papp (op, args) ->
+        let arity = List.length args in
+        let mem = members_of g cls in
+        Vec.iter
+          (fun (nop, kids) ->
+            if nop = op && List.length kids = arity then
+              match_args (List.map (find g) kids) args env cont)
+          mem
+  and match_args kids pats env cont =
+    match kids, pats with
+    | [], [] -> cont env
+    | k :: ks, p :: ps -> match_in k p env (fun env' -> match_args ks ps env' cont)
+    | _ -> ()
+  in
+  let classes = Hashtbl.fold (fun c _ acc -> c :: acc) g.members [] in
+  List.iter
+    (fun cls -> match_in cls pattern [] (fun env -> Vec.push results (cls, env)))
+    classes;
+  Vec.to_list results
+
+let rec instantiate g env = function
+  | Term.Var v -> (
+      match List.assoc_opt v env with
+      | Some c -> find g c
+      | None -> invalid_arg "Saturate.instantiate: unbound variable")
+  | Term.Papp (op, args) -> add_node g op (List.map (instantiate g env) args)
+
+type report = {
+  iterations : int;
+  saturated : bool;
+  final_nodes : int;
+  final_classes : int;
+  applied : (string * int) list;
+}
+
+let run ?(node_limit = 50_000) ?(iter_limit = 16) g rules =
+  let applied = Hashtbl.create (List.length rules) in
+  let bump name =
+    Hashtbl.replace applied name (1 + Option.value ~default:0 (Hashtbl.find_opt applied name))
+  in
+  let rec round i =
+    if i >= iter_limit then i, false
+    else if g.node_count >= node_limit then i, false
+    else begin
+      (* egg schedule: collect all matches first, then apply. *)
+      let work =
+        List.concat_map
+          (fun r -> List.map (fun (cls, env) -> r, cls, env) (ematch g r.Term.lhs))
+          rules
+      in
+      let changed = ref false in
+      List.iter
+        (fun (r, cls, env) ->
+          if g.node_count < node_limit then begin
+            let rhs_cls = instantiate g env r.Term.rhs in
+            if union g (find g cls) rhs_cls then begin
+              changed := true;
+              bump r.Term.rule_name
+            end
+          end)
+        work;
+      rebuild g;
+      if !changed then round (i + 1) else i, true
+    end
+  in
+  let iterations, saturated = round 0 in
+  {
+    iterations;
+    saturated;
+    final_nodes = num_nodes g;
+    final_classes = num_classes g;
+    applied = Hashtbl.fold (fun k v acc -> (k, v) :: acc) applied [];
+  }
+
+let export ?(name = "saturated") g ~root ~cost =
+  let builder = Egraph.Builder.create ~name () in
+  (* Allocate a builder class per canonical class. *)
+  let class_map = Hashtbl.create (num_classes g) in
+  let builder_class c =
+    let c = find g c in
+    match Hashtbl.find_opt class_map c with
+    | Some bc -> bc
+    | None ->
+        let bc = Egraph.Builder.add_class builder in
+        Hashtbl.replace class_map c bc;
+        bc
+  in
+  Hashtbl.iter
+    (fun c mem ->
+      let bc = builder_class c in
+      Vec.iter
+        (fun (op, kids) ->
+          let kids = List.map builder_class kids in
+          let arity = List.length kids in
+          ignore (Egraph.Builder.add_node builder ~cls:bc ~op ~cost:(cost op arity) ~children:kids))
+        mem)
+    g.members;
+  Egraph.Builder.freeze builder ~root:(builder_class root)

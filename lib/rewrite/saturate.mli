@@ -1,0 +1,55 @@
+(** Equality saturation (an egg-lite).
+
+    Maintains a mutable hash-consed e-graph with a union-find over
+    e-class ids and congruence closure via [rebuild] (the invariant-
+    restoration strategy introduced by egg). Rewrites are applied
+    additively in rounds until a fixpoint or a growth limit — exactly the
+    workflow of §2, after which {!export} freezes the result into the
+    immutable {!Egraph.t} consumed by every extractor. *)
+
+type g
+
+val create : unit -> g
+
+val add_term : g -> Term.t -> int
+(** Hash-cons a term into the e-graph; returns its e-class id. *)
+
+val add_node : g -> string -> int list -> int
+(** [add_node g op children] hash-conses one e-node over existing
+    e-class ids. *)
+
+val union : g -> int -> int -> bool
+(** Merge two e-classes; true when they were distinct. [rebuild] must run
+    before matching again. *)
+
+val rebuild : g -> unit
+(** Restore the congruence invariant after unions. *)
+
+val find : g -> int -> int
+(** Canonical e-class id. *)
+
+val num_classes : g -> int
+val num_nodes : g -> int
+
+val ematch : g -> Term.pattern -> (int * (string * int) list) list
+(** All matches of a pattern: pairs of (matched e-class, substitution
+    from pattern variables to e-class ids). *)
+
+type report = {
+  iterations : int;
+  saturated : bool;  (** fixpoint reached before hitting any limit *)
+  final_nodes : int;
+  final_classes : int;
+  applied : (string * int) list;  (** per-rule application counts *)
+}
+
+val run :
+  ?node_limit:int -> ?iter_limit:int -> g -> Term.rule list -> report
+(** Apply rules in rounds (match-all-then-apply, the egg schedule) until
+    saturation, [iter_limit] rounds (default 16), or the e-graph exceeds
+    [node_limit] e-nodes (default 50_000). *)
+
+val export : ?name:string -> g -> root:int -> cost:(string -> int -> float) -> Egraph.t
+(** Freeze into the immutable representation. [cost op arity] assigns
+    each e-node's base cost. Only classes reachable from [root] are
+    kept. *)

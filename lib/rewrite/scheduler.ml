@@ -1,0 +1,87 @@
+type config = {
+  match_limit : int;
+  ban_base : int;
+  node_limit : int;
+  iter_limit : int;
+}
+
+let default_config = { match_limit = 64; ban_base = 2; node_limit = 50_000; iter_limit = 24 }
+
+type rule_state = {
+  rule : Term.rule;
+  mutable banned_until : int;  (* round index; active when round >= banned_until *)
+  mutable ban_length : int;
+  mutable times_banned : int;
+  mutable times_applied : int;
+}
+
+type report = {
+  iterations : int;
+  saturated : bool;
+  final_nodes : int;
+  final_classes : int;
+  applied : (string * int) list;
+  banned_total : (string * int) list;
+}
+
+let run ?(config = default_config) g rules =
+  let states =
+    List.map
+      (fun rule ->
+        { rule; banned_until = 0; ban_length = config.ban_base; times_banned = 0;
+          times_applied = 0 })
+      rules
+  in
+  let rec round i =
+    if i >= config.iter_limit || Saturate.num_nodes g >= config.node_limit then i, false
+    else begin
+      let changed = ref false in
+      let any_banned = ref false in
+      List.iter
+        (fun st ->
+          if i < st.banned_until then any_banned := true
+          else begin
+            let matches = Saturate.ematch g st.rule.Term.lhs in
+            let total = List.length matches in
+            if total > config.match_limit then begin
+              (* too hot: apply nothing this round and banish the rule,
+                 doubling the sentence on each offence (egg's backoff) *)
+              st.banned_until <- i + st.ban_length;
+              st.ban_length <- st.ban_length * 2;
+              st.times_banned <- st.times_banned + 1;
+              any_banned := true
+            end
+            else
+              List.iter
+                (fun (cls, env) ->
+                  if Saturate.num_nodes g < config.node_limit then begin
+                    (* re-instantiate via a one-match application: the
+                       rhs is added and unioned with the matched class *)
+                    let rhs_cls =
+                      let rec inst = function
+                        | Term.Var v -> List.assoc v env
+                        | Term.Papp (op, args) -> Saturate.add_node g op (List.map inst args)
+                      in
+                      inst st.rule.Term.rhs
+                    in
+                    if Saturate.union g cls rhs_cls then begin
+                      changed := true;
+                      st.times_applied <- st.times_applied + 1
+                    end
+                  end)
+                matches
+          end)
+        states;
+      Saturate.rebuild g;
+      if !changed || !any_banned then round (i + 1) else i, true
+    end
+  in
+  let iterations, saturated = round 0 in
+  {
+    iterations;
+    saturated;
+    final_nodes = Saturate.num_nodes g;
+    final_classes = Saturate.num_classes g;
+    applied = List.map (fun st -> st.rule.Term.rule_name, st.times_applied) states;
+    banned_total = List.map (fun st -> st.rule.Term.rule_name, st.times_banned) states;
+  }

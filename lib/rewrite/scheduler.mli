@@ -1,0 +1,33 @@
+(** Rule scheduling for equality saturation, after egg's
+    BackoffScheduler.
+
+    Plain round-robin application (Saturate.run) lets explosive rules —
+    associativity, commutativity, the identity-introduction rules the
+    tensat dataset uses — consume the whole node budget before slower,
+    more valuable rules fire. The backoff scheduler throttles each rule
+    independently: a rule may apply at most [match_limit] times per
+    round; exceeding the limit "banishes" it for a number of rounds that
+    doubles on every offence. This is the mechanism egg uses to keep
+    saturation useful on explosive rule sets, built here on top of the
+    public {!Saturate} API (ematch / instantiate via rule application /
+    union / rebuild). *)
+
+type config = {
+  match_limit : int;  (** per-rule applications allowed per round *)
+  ban_base : int;  (** initial ban length, in rounds *)
+  node_limit : int;
+  iter_limit : int;
+}
+
+val default_config : config
+
+type report = {
+  iterations : int;
+  saturated : bool;  (** fixpoint with no rule banned *)
+  final_nodes : int;
+  final_classes : int;
+  applied : (string * int) list;
+  banned_total : (string * int) list;  (** how often each rule was banished *)
+}
+
+val run : ?config:config -> Saturate.g -> Term.rule list -> report

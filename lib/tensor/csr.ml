@@ -1,0 +1,126 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let of_coo ~rows ~cols triplets =
+  let check (r, c, _) =
+    if r < 0 || r >= rows || c < 0 || c >= cols then
+      invalid_arg (Printf.sprintf "Csr.of_coo: entry (%d,%d) outside %dx%d" r c rows cols)
+  in
+  List.iter check triplets;
+  (* Sort by (row, col) then merge duplicates. *)
+  let sorted =
+    List.sort
+      (fun (r1, c1, _) (r2, c2, _) -> if r1 <> r2 then compare r1 r2 else compare c1 c2)
+      triplets
+  in
+  let merged = Vec.create () in
+  List.iter
+    (fun (r, c, v) ->
+      if
+        (not (Vec.is_empty merged))
+        &&
+        let r0, c0, _ = Vec.last merged in
+        r0 = r && c0 = c
+      then begin
+        let r0, c0, v0 = Vec.pop merged in
+        Vec.push merged (r0, c0, v0 +. v)
+      end
+      else Vec.push merged (r, c, v))
+    sorted;
+  let n = Vec.length merged in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0.0 in
+  Vec.iteri
+    (fun k (r, c, v) ->
+      row_ptr.(r + 1) <- row_ptr.(r + 1) + 1;
+      col_idx.(k) <- c;
+      values.(k) <- v)
+    merged;
+  for r = 0 to rows - 1 do
+    row_ptr.(r + 1) <- row_ptr.(r + 1) + row_ptr.(r)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_incidence ~rows ~cols pairs =
+  let dedup = Hashtbl.create (List.length pairs) in
+  List.iter (fun (r, c) -> Hashtbl.replace dedup (r, c) ()) pairs;
+  let triplets = Hashtbl.fold (fun (r, c) () acc -> (r, c, 1.0) :: acc) dedup [] in
+  of_coo ~rows ~cols triplets
+
+let nnz a = Array.length a.values
+
+let density a =
+  let cells = a.rows * a.cols in
+  if cells = 0 then 0.0 else float_of_int (nnz a) /. float_of_int cells
+
+let spmv a x =
+  if Array.length x <> a.cols then invalid_arg "Csr.spmv: dimension mismatch";
+  let y = Array.make a.rows 0.0 in
+  for r = 0 to a.rows - 1 do
+    let acc = ref 0.0 in
+    for k = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+      acc := !acc +. (a.values.(k) *. x.(a.col_idx.(k)))
+    done;
+    y.(r) <- !acc
+  done;
+  y
+
+let spmv_t a x =
+  if Array.length x <> a.rows then invalid_arg "Csr.spmv_t: dimension mismatch";
+  let y = Array.make a.cols 0.0 in
+  for r = 0 to a.rows - 1 do
+    let xr = x.(r) in
+    if xr <> 0.0 then
+      for k = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+        let c = a.col_idx.(k) in
+        y.(c) <- y.(c) +. (a.values.(k) *. xr)
+      done
+  done;
+  y
+
+let spmm_batched a x =
+  if x.Tensor.width <> a.cols then invalid_arg "Csr.spmm_batched: dimension mismatch";
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:a.rows in
+  let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
+  for b = 0 to x.Tensor.batch - 1 do
+    let sbase = b * a.cols and dbase = b * a.rows in
+    for r = 0 to a.rows - 1 do
+      let acc = ref 0.0 in
+      for k = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+        acc := !acc +. (a.values.(k) *. src.(sbase + a.col_idx.(k)))
+      done;
+      dst.(dbase + r) <- !acc
+    done
+  done;
+  out
+
+let transpose a =
+  let triplets = ref [] in
+  for r = 0 to a.rows - 1 do
+    for k = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+      triplets := (a.col_idx.(k), r, a.values.(k)) :: !triplets
+    done
+  done;
+  of_coo ~rows:a.cols ~cols:a.rows !triplets
+
+let to_dense a =
+  let out = Tensor.create ~batch:a.rows ~width:a.cols in
+  for r = 0 to a.rows - 1 do
+    for k = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+      Tensor.set out r a.col_idx.(k) a.values.(k)
+    done
+  done;
+  out
+
+let row_entries a r =
+  let acc = ref [] in
+  for k = a.row_ptr.(r + 1) - 1 downto a.row_ptr.(r) do
+    acc := (a.col_idx.(k), a.values.(k)) :: !acc
+  done;
+  !acc

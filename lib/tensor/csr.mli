@@ -1,0 +1,41 @@
+(** Compressed sparse row matrices.
+
+    The paper represents the e-class↔e-node incidence maps ec(i), ch_i
+    and pa_j as sparse {0,1} tensors and performs the probability
+    translations as SpMV (§4.1). This module provides that
+    representation; the hot SmoothE path additionally uses the fused
+    kernels in {!Segments}, which are SpMV specialised to incidence
+    structure, and the test-suite cross-checks the two against each
+    other. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (** length rows+1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+val of_coo : rows:int -> cols:int -> (int * int * float) list -> t
+(** Build from coordinate triplets; duplicate coordinates are summed. *)
+
+val of_incidence : rows:int -> cols:int -> (int * int) list -> t
+(** {0,1} matrix from a membership list. Duplicates collapse to 1. *)
+
+val nnz : t -> int
+val density : t -> float
+
+val spmv : t -> float array -> float array
+(** [spmv a x] is the dense product [a·x]. *)
+
+val spmv_t : t -> float array -> float array
+(** [spmv_t a x] is [aᵀ·x] without materialising the transpose. *)
+
+val spmm_batched : t -> Tensor.t -> Tensor.t
+(** [spmm_batched a x] with [x : (B, cols)] treats each batch row as a
+    vector and returns [(B, rows)] — batched SpMV, the seed-batched
+    formulation of §4.2. *)
+
+val transpose : t -> t
+val to_dense : t -> Tensor.t
+val row_entries : t -> int -> (int * float) list

@@ -1,0 +1,208 @@
+type t = {
+  starts : int array;
+  lens : int array;
+  width : int;
+  mutable owners : int array option;  (* cache for seg_of_index *)
+}
+
+let of_lens lens =
+  let count = Array.length lens in
+  let starts = Array.make count 0 in
+  let acc = ref 0 in
+  for s = 0 to count - 1 do
+    if lens.(s) < 0 then invalid_arg "Segments.of_lens: negative length";
+    starts.(s) <- !acc;
+    acc := !acc + lens.(s)
+  done;
+  { starts; lens; width = !acc; owners = None }
+
+let count seg = Array.length seg.starts
+let seg_len seg s = seg.lens.(s)
+
+let seg_of_index seg =
+  match seg.owners with
+  | Some owner -> owner
+  | None ->
+      let owner = Array.make seg.width (-1) in
+      for s = 0 to count seg - 1 do
+        for i = seg.starts.(s) to seg.starts.(s) + seg.lens.(s) - 1 do
+          owner.(i) <- s
+        done
+      done;
+      seg.owners <- Some owner;
+      owner
+
+let reader = Tensor.Backend.reader
+
+let check_width name seg (x : Tensor.t) =
+  if x.Tensor.width <> seg.width then
+    invalid_arg
+      (Printf.sprintf "Segments.%s: tensor width %d, segments cover %d" name x.Tensor.width
+         seg.width)
+
+let softmax x seg =
+  check_width "softmax" seg x;
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
+  let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
+  let get = reader () in
+  let w = seg.width in
+  for b = 0 to x.Tensor.batch - 1 do
+    let base = b * w in
+    for s = 0 to count seg - 1 do
+      let start = base + seg.starts.(s) and len = seg.lens.(s) in
+      if len > 0 then begin
+        let m = ref neg_infinity in
+        for i = start to start + len - 1 do
+          let v = get src i in
+          if v > !m then m := v
+        done;
+        let z = ref 0.0 in
+        for i = start to start + len - 1 do
+          let e = Stdlib.exp (get src i -. !m) in
+          dst.(i) <- e;
+          z := !z +. e
+        done;
+        let inv = 1.0 /. !z in
+        for i = start to start + len - 1 do
+          dst.(i) <- dst.(i) *. inv
+        done
+      end
+    done
+  done;
+  out
+
+let sum x seg =
+  check_width "sum" seg x;
+  let nsegs = count seg in
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
+  let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
+  let get = reader () in
+  let w = seg.width in
+  for b = 0 to x.Tensor.batch - 1 do
+    let base = b * w in
+    for s = 0 to nsegs - 1 do
+      let start = base + seg.starts.(s) and len = seg.lens.(s) in
+      let acc = ref 0.0 in
+      for i = start to start + len - 1 do
+        acc := !acc +. get src i
+      done;
+      dst.((b * nsegs) + s) <- !acc
+    done
+  done;
+  out
+
+let prod x seg =
+  check_width "prod" seg x;
+  let nsegs = count seg in
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
+  let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
+  let get = reader () in
+  let w = seg.width in
+  for b = 0 to x.Tensor.batch - 1 do
+    let base = b * w in
+    for s = 0 to nsegs - 1 do
+      let start = base + seg.starts.(s) and len = seg.lens.(s) in
+      let acc = ref 1.0 in
+      for i = start to start + len - 1 do
+        acc := !acc *. get src i
+      done;
+      dst.((b * nsegs) + s) <- !acc
+    done
+  done;
+  out
+
+(* product-of-others via prefix/suffix sweeps: robust when a segment
+   contains zeros, where dividing the full product back out would fail. *)
+let prod_grad_scratch x seg =
+  check_width "prod_grad_scratch" seg x;
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
+  let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
+  let get = reader () in
+  let w = seg.width in
+  for b = 0 to x.Tensor.batch - 1 do
+    let base = b * w in
+    for s = 0 to count seg - 1 do
+      let start = base + seg.starts.(s) and len = seg.lens.(s) in
+      if len > 0 then begin
+        (* forward pass: dst.(i) holds the product of elements before i *)
+        let acc = ref 1.0 in
+        for i = start to start + len - 1 do
+          dst.(i) <- !acc;
+          acc := !acc *. get src i
+        done;
+        (* backward pass: multiply in the product of elements after i *)
+        let acc = ref 1.0 in
+        for i = start + len - 1 downto start do
+          dst.(i) <- dst.(i) *. !acc;
+          acc := !acc *. get src i
+        done
+      end
+    done
+  done;
+  out
+
+let max x seg =
+  check_width "max" seg x;
+  let nsegs = count seg in
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
+  let arg = Array.make (x.Tensor.batch * nsegs) (-1) in
+  let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
+  let get = reader () in
+  let w = seg.width in
+  for b = 0 to x.Tensor.batch - 1 do
+    let base = b * w in
+    for s = 0 to nsegs - 1 do
+      let start = base + seg.starts.(s) and len = seg.lens.(s) in
+      if len = 0 then dst.((b * nsegs) + s) <- 0.0
+      else begin
+        let best = ref (get src start) and besti = ref start in
+        for i = start + 1 to start + len - 1 do
+          let v = get src i in
+          if v > !best then begin
+            best := v;
+            besti := i
+          end
+        done;
+        dst.((b * nsegs) + s) <- !best;
+        arg.((b * nsegs) + s) <- !besti
+      end
+    done
+  done;
+  out, arg
+
+let gather src idx =
+  let n = Array.length idx in
+  let out = Tensor.create ~batch:src.Tensor.batch ~width:n in
+  let s = Tensor.unsafe_data src and d = Tensor.unsafe_data out in
+  let m = src.Tensor.width in
+  (match Tensor.Backend.current () with
+  | Tensor.Backend.Vectorized ->
+      for b = 0 to src.Tensor.batch - 1 do
+        let sbase = b * m and dbase = b * n in
+        for e = 0 to n - 1 do
+          Array.unsafe_set d (dbase + e) (Array.unsafe_get s (sbase + Array.unsafe_get idx e))
+        done
+      done
+  | Tensor.Backend.Scalar ->
+      for b = 0 to src.Tensor.batch - 1 do
+        for e = 0 to n - 1 do
+          Array.set d ((b * n) + e) (Tensor.Backend.scalar_read s ((b * m) + Array.get idx e))
+        done
+      done);
+  out
+
+let scatter_add ~into idx src =
+  let n = Array.length idx in
+  if src.Tensor.width <> n then invalid_arg "Segments.scatter_add: width/index mismatch";
+  if src.Tensor.batch <> into.Tensor.batch then
+    invalid_arg "Segments.scatter_add: batch mismatch";
+  let s = Tensor.unsafe_data src and d = Tensor.unsafe_data into in
+  let get = reader () in
+  let m = into.Tensor.width in
+  for b = 0 to src.Tensor.batch - 1 do
+    let sbase = b * n and dbase = b * m in
+    for e = 0 to n - 1 do
+      let j = dbase + idx.(e) in
+      d.(j) <- d.(j) +. get s (sbase + e)
+    done
+  done

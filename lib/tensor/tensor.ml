@@ -1,0 +1,457 @@
+type t = { data : float array; batch : int; width : int }
+
+module Backend = struct
+  type mode = Vectorized | Scalar
+
+  let mode = ref Vectorized
+  let set m = mode := m
+  let current () = !mode
+
+  let with_mode m f =
+    let saved = !mode in
+    mode := m;
+    Fun.protect ~finally:(fun () -> mode := saved) f
+
+  (* The Scalar execution model: every element access goes through an
+     indirect call (a mutable function cell the compiler cannot inline,
+     like an interpreter's dispatch) and boxes its result. This is the
+     honest stand-in for the paper's unvectorised CPU baseline; the
+     Vectorized mode reads flat arrays in fused loops. *)
+  let scalar_read_cell : (float array -> int -> float) ref =
+    ref (fun a i ->
+        let r = ref (Array.get a i) in
+        Sys.opaque_identity !r)
+
+  let scalar_read a i = (Sys.opaque_identity !scalar_read_cell) a i
+
+  let reader () =
+    match !mode with
+    | Vectorized -> fun (a : float array) i -> Array.unsafe_get a i
+    | Scalar -> scalar_read
+end
+
+let create ~batch ~width = { data = Array.make (batch * width) 0.0; batch; width }
+
+let full ~batch ~width x = { data = Array.make (batch * width) x; batch; width }
+
+let of_array ~batch ~width data =
+  if Array.length data <> batch * width then
+    invalid_arg
+      (Printf.sprintf "Tensor.of_array: %d elements for shape (%d, %d)" (Array.length data) batch
+         width);
+  { data; batch; width }
+
+let of_row src = { data = Array.copy src; batch = 1; width = Array.length src }
+
+let copy t = { t with data = Array.copy t.data }
+
+let identity d =
+  let t = create ~batch:d ~width:d in
+  for i = 0 to d - 1 do
+    t.data.((i * d) + i) <- 1.0
+  done;
+  t
+
+let init ~batch ~width f =
+  let data = Array.make (batch * width) 0.0 in
+  for b = 0 to batch - 1 do
+    for i = 0 to width - 1 do
+      data.((b * width) + i) <- f b i
+    done
+  done;
+  { data; batch; width }
+
+let get t b i = t.data.((b * t.width) + i)
+let set t b i x = t.data.((b * t.width) + i) <- x
+let numel t = t.batch * t.width
+let row t b = Array.sub t.data (b * t.width) t.width
+let blit_row ~src t b = Array.blit src 0 t.data (b * t.width) t.width
+let fill t x = Array.fill t.data 0 (Array.length t.data) x
+let unsafe_data t = t.data
+
+let check_same_shape name a b =
+  if a.batch <> b.batch || a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Tensor.%s: shape mismatch (%d,%d) vs (%d,%d)" name a.batch a.width b.batch
+         b.width)
+
+(* The Scalar backend goes element-by-element through a closure, with
+   checked accesses and a boxed accumulator — an honest model of the
+   paper's unvectorised CPU baseline, computing identical results. *)
+let map2_named name f a b =
+  check_same_shape name a b;
+  let n = numel a in
+  let out = { data = Array.make n 0.0; batch = a.batch; width = a.width } in
+  (match !Backend.mode with
+  | Backend.Vectorized ->
+      let da = a.data and db = b.data and dd = out.data in
+      for i = 0 to n - 1 do
+        Array.unsafe_set dd i (f (Array.unsafe_get da i) (Array.unsafe_get db i))
+      done
+  | Backend.Scalar ->
+      for i = 0 to n - 1 do
+        let x = Backend.scalar_read a.data i in
+        let y = Backend.scalar_read b.data i in
+        Array.set out.data i ((Sys.opaque_identity f) x y)
+      done);
+  out
+
+let map f a =
+  let n = numel a in
+  let out = { data = Array.make n 0.0; batch = a.batch; width = a.width } in
+  (match !Backend.mode with
+  | Backend.Vectorized ->
+      let da = a.data and dd = out.data in
+      for i = 0 to n - 1 do
+        Array.unsafe_set dd i (f (Array.unsafe_get da i))
+      done
+  | Backend.Scalar ->
+      for i = 0 to n - 1 do
+        let x = Backend.scalar_read a.data i in
+        Array.set out.data i ((Sys.opaque_identity f) x)
+      done);
+  out
+
+let map2 f a b = map2_named "map2" f a b
+let add a b = map2_named "add" ( +. ) a b
+let sub a b = map2_named "sub" ( -. ) a b
+let mul a b = map2_named "mul" ( *. ) a b
+let div a b = map2_named "div" ( /. ) a b
+let neg a = map (fun x -> -.x) a
+let scale k a = map (fun x -> k *. x) a
+let add_scalar k a = map (fun x -> k +. x) a
+let relu a = map (fun x -> if x > 0.0 then x else 0.0) a
+let exp a = map Stdlib.exp a
+
+let log_floor = 1e-30
+
+let log_safe a = map (fun x -> Stdlib.log (Float.max x log_floor)) a
+
+let clamp ~lo ~hi a = map (fun x -> Float.min hi (Float.max lo x)) a
+
+let add_inplace dst src =
+  check_same_shape "add_inplace" dst src;
+  let n = numel dst in
+  match !Backend.mode with
+  | Backend.Vectorized ->
+      for i = 0 to n - 1 do
+        Array.unsafe_set dst.data i (Array.unsafe_get dst.data i +. Array.unsafe_get src.data i)
+      done
+  | Backend.Scalar ->
+      for i = 0 to n - 1 do
+        let x = Backend.scalar_read dst.data i and y = Backend.scalar_read src.data i in
+        Array.set dst.data i (x +. y)
+      done
+
+let axpy a x y =
+  check_same_shape "axpy" x y;
+  let n = numel x in
+  match !Backend.mode with
+  | Backend.Vectorized ->
+      for i = 0 to n - 1 do
+        Array.unsafe_set y.data i ((a *. Array.unsafe_get x.data i) +. Array.unsafe_get y.data i)
+      done
+  | Backend.Scalar ->
+      for i = 0 to n - 1 do
+        let xv = Backend.scalar_read x.data i and yv = Backend.scalar_read y.data i in
+        Array.set y.data i ((a *. xv) +. yv)
+      done
+
+let scale_inplace k t =
+  let n = numel t in
+  for i = 0 to n - 1 do
+    Array.unsafe_set t.data i (k *. Array.unsafe_get t.data i)
+  done
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let mean t =
+  let n = numel t in
+  if n = 0 then 0.0 else sum t /. float_of_int n
+
+let max_value t = Array.fold_left Float.max neg_infinity t.data
+
+let dot a b =
+  check_same_shape "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
+  done;
+  !acc
+
+let sum_rows t =
+  let out = Array.make t.batch 0.0 in
+  for b = 0 to t.batch - 1 do
+    let acc = ref 0.0 in
+    let base = b * t.width in
+    for i = 0 to t.width - 1 do
+      acc := !acc +. Array.unsafe_get t.data (base + i)
+    done;
+    out.(b) <- !acc
+  done;
+  out
+
+let abs_max t = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 t.data
+
+let norm1_matrix t =
+  if t.batch <> t.width then invalid_arg "Tensor.norm1_matrix: not square";
+  let d = t.width in
+  let best = ref 0.0 in
+  for j = 0 to d - 1 do
+    let col = ref 0.0 in
+    for i = 0 to d - 1 do
+      col := !col +. Float.abs t.data.((i * d) + j)
+    done;
+    if !col > !best then best := !col
+  done;
+  !best
+
+let mean_rows t =
+  let out = create ~batch:1 ~width:t.width in
+  let inv = 1.0 /. float_of_int (max 1 t.batch) in
+  for b = 0 to t.batch - 1 do
+    let base = b * t.width in
+    for i = 0 to t.width - 1 do
+      out.data.(i) <- out.data.(i) +. t.data.(base + i)
+    done
+  done;
+  for i = 0 to t.width - 1 do
+    out.data.(i) <- out.data.(i) *. inv
+  done;
+  out
+
+let matmul_nt a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul_nt: inner dims differ (%d vs %d)" a.width b.width);
+  let p = a.batch and q = b.batch and n = a.width in
+  let out = create ~batch:p ~width:q in
+  (match !Backend.mode with
+  | Backend.Vectorized ->
+      for i = 0 to p - 1 do
+        let abase = i * n in
+        for j = 0 to q - 1 do
+          let bbase = j * n in
+          let acc = ref 0.0 in
+          for k = 0 to n - 1 do
+            acc :=
+              !acc +. (Array.unsafe_get a.data (abase + k) *. Array.unsafe_get b.data (bbase + k))
+          done;
+          out.data.((i * q) + j) <- !acc
+        done
+      done
+  | Backend.Scalar ->
+      let read = Backend.scalar_read in
+      let dot_row i j =
+        let acc = ref 0.0 in
+        for k = 0 to n - 1 do
+          acc := !acc +. (read a.data ((i * n) + k) *. read b.data ((j * n) + k))
+        done;
+        !acc
+      in
+      for i = 0 to p - 1 do
+        for j = 0 to q - 1 do
+          Array.set out.data ((i * q) + j) (dot_row i j)
+        done
+      done);
+  out
+
+let transpose t =
+  let out = create ~batch:t.width ~width:t.batch in
+  for b = 0 to t.batch - 1 do
+    for i = 0 to t.width - 1 do
+      out.data.((i * t.batch) + b) <- t.data.((b * t.width) + i)
+    done
+  done;
+  out
+
+let matmul a b = matmul_nt a (transpose b)
+
+module Lu = struct
+  type factors = { lu : t; perm : int array }
+
+  let decompose a =
+    if a.batch <> a.width then invalid_arg "Lu.decompose: not square";
+    let d = a.width in
+    let lu = copy a in
+    let m = lu.data in
+    let perm = Array.init d (fun i -> i) in
+    for k = 0 to d - 1 do
+      (* Partial pivoting: bring the largest remaining |entry| of column k up. *)
+      let pivot = ref k in
+      let best = ref (Float.abs m.((k * d) + k)) in
+      for i = k + 1 to d - 1 do
+        let v = Float.abs m.((i * d) + k) in
+        if v > !best then begin
+          best := v;
+          pivot := i
+        end
+      done;
+      if !best < 1e-14 then failwith "Lu.decompose: singular matrix";
+      if !pivot <> k then begin
+        for j = 0 to d - 1 do
+          let tmp = m.((k * d) + j) in
+          m.((k * d) + j) <- m.((!pivot * d) + j);
+          m.((!pivot * d) + j) <- tmp
+        done;
+        let tp = perm.(k) in
+        perm.(k) <- perm.(!pivot);
+        perm.(!pivot) <- tp
+      end;
+      let pk = m.((k * d) + k) in
+      (match !Backend.mode with
+      | Backend.Vectorized ->
+          for i = k + 1 to d - 1 do
+            let factor = Array.unsafe_get m ((i * d) + k) /. pk in
+            m.((i * d) + k) <- factor;
+            for j = k + 1 to d - 1 do
+              Array.unsafe_set m ((i * d) + j)
+                (Array.unsafe_get m ((i * d) + j) -. (factor *. Array.unsafe_get m ((k * d) + j)))
+            done
+          done
+      | Backend.Scalar ->
+          let read = Backend.scalar_read in
+          for i = k + 1 to d - 1 do
+            let factor = read m ((i * d) + k) /. pk in
+            m.((i * d) + k) <- factor;
+            for j = k + 1 to d - 1 do
+              Array.set m ((i * d) + j) (read m ((i * d) + j) -. (factor *. read m ((k * d) + j)))
+            done
+          done)
+    done;
+    { lu; perm }
+
+  let solve f b =
+    let d = f.lu.width in
+    if b.batch <> d then invalid_arg "Lu.solve: rhs row count mismatch";
+    let cols = b.width in
+    let m = f.lu.data in
+    let x = create ~batch:d ~width:cols in
+    (* Apply the row permutation, then forward- and back-substitute. *)
+    for i = 0 to d - 1 do
+      Array.blit b.data (f.perm.(i) * cols) x.data (i * cols) cols
+    done;
+    let read = Backend.reader () in
+    for i = 1 to d - 1 do
+      for k = 0 to i - 1 do
+        let lik = m.((i * d) + k) in
+        if lik <> 0.0 then
+          for c = 0 to cols - 1 do
+            x.data.((i * cols) + c) <- read x.data ((i * cols) + c) -. (lik *. read x.data ((k * cols) + c))
+          done
+      done
+    done;
+    for i = d - 1 downto 0 do
+      for k = i + 1 to d - 1 do
+        let uik = m.((i * d) + k) in
+        if uik <> 0.0 then
+          for c = 0 to cols - 1 do
+            x.data.((i * cols) + c) <- read x.data ((i * cols) + c) -. (uik *. read x.data ((k * cols) + c))
+          done
+      done;
+      let uii = m.((i * d) + i) in
+      for c = 0 to cols - 1 do
+        x.data.((i * cols) + c) <- read x.data ((i * cols) + c) /. uii
+      done
+    done;
+    x
+end
+
+module Matfun = struct
+  let trace t =
+    if t.batch <> t.width then invalid_arg "Matfun.trace: not square";
+    let d = t.width in
+    let acc = ref 0.0 in
+    for i = 0 to d - 1 do
+      acc := !acc +. t.data.((i * d) + i)
+    done;
+    !acc
+
+  (* Degree-13 Padé coefficients (Higham, "The scaling and squaring method
+     for the matrix exponential revisited", 2005). *)
+  let pade13 =
+    [|
+      64764752532480000.0;
+      32382376266240000.0;
+      7771770303897600.0;
+      1187353796428800.0;
+      129060195264000.0;
+      10559470521600.0;
+      670442572800.0;
+      33522128640.0;
+      1323241920.0;
+      40840800.0;
+      960960.0;
+      16380.0;
+      182.0;
+      1.0;
+    |]
+
+  let theta13 = 5.371920351148152
+
+  let expm a =
+    if a.batch <> a.width then invalid_arg "Matfun.expm: not square";
+    let d = a.width in
+    if d = 0 then create ~batch:0 ~width:0
+    else if d = 1 then of_array ~batch:1 ~width:1 [| Stdlib.exp a.data.(0) |]
+    else begin
+      let norm = norm1_matrix a in
+      let s =
+        if norm <= theta13 then 0
+        else int_of_float (Float.ceil (Float.log (norm /. theta13) /. Float.log 2.0))
+      in
+      let x = if s = 0 then copy a else scale (1.0 /. (2.0 ** float_of_int s)) a in
+      let b = pade13 in
+      let eye = identity d in
+      let x2 = matmul x x in
+      let x4 = matmul x2 x2 in
+      let x6 = matmul x2 x4 in
+      (* U = X (X6 (b13 X6 + b11 X4 + b9 X2) + b7 X6 + b5 X4 + b3 X2 + b1 I) *)
+      let inner_u =
+        let acc = scale b.(13) x6 in
+        axpy b.(11) x4 acc;
+        axpy b.(9) x2 acc;
+        acc
+      in
+      let u_body = matmul x6 inner_u in
+      axpy b.(7) x6 u_body;
+      axpy b.(5) x4 u_body;
+      axpy b.(3) x2 u_body;
+      axpy b.(1) eye u_body;
+      let u = matmul x u_body in
+      (* V = X6 (b12 X6 + b10 X4 + b8 X2) + b6 X6 + b4 X4 + b2 X2 + b0 I *)
+      let inner_v =
+        let acc = scale b.(12) x6 in
+        axpy b.(10) x4 acc;
+        axpy b.(8) x2 acc;
+        acc
+      in
+      let v = matmul x6 inner_v in
+      axpy b.(6) x6 v;
+      axpy b.(4) x4 v;
+      axpy b.(2) x2 v;
+      axpy b.(0) eye v;
+      (* r = (V - U)^{-1} (V + U), then repeated squaring undoes the scaling. *)
+      let vmu = sub v u in
+      let vpu = add v u in
+      let r = ref (Lu.solve (Lu.decompose vmu) vpu) in
+      for _ = 1 to s do
+        r := matmul !r !r
+      done;
+      !r
+    end
+end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>tensor (%d, %d)" t.batch t.width;
+  let max_rows = min t.batch 6 and max_cols = min t.width 10 in
+  for b = 0 to max_rows - 1 do
+    Format.fprintf fmt "@,[";
+    for i = 0 to max_cols - 1 do
+      Format.fprintf fmt "%s%.4g" (if i > 0 then "; " else "") (get t b i)
+    done;
+    if t.width > max_cols then Format.fprintf fmt "; ...";
+    Format.fprintf fmt "]"
+  done;
+  if t.batch > max_rows then Format.fprintf fmt "@,...";
+  Format.fprintf fmt "@]"

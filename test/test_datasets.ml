@@ -1,0 +1,215 @@
+(* Tests for the dataset generators: every instance builds, is
+   extractable, reproduces deterministically, and has the structural
+   properties its paper dataset is known for. *)
+
+let all_instances =
+  List.concat_map
+    (fun ds -> List.map (fun i -> ds.Registry.ds_name, i) ds.Registry.instances)
+    Registry.all
+
+let instance_case (ds_name, inst) =
+  Alcotest.test_case
+    (Printf.sprintf "%s/%s builds and extracts" ds_name inst.Registry.inst_name)
+    `Quick
+    (fun () ->
+      let g = inst.Registry.build () in
+      Alcotest.(check bool) "nonempty" true (Egraph.num_nodes g > 0);
+      let r = Greedy.extract g in
+      Alcotest.(check bool) "greedy extracts" true (Float.is_finite r.Extractor.cost);
+      match r.Extractor.solution with
+      | Some s -> Alcotest.(check bool) "valid" true (Egraph.Solution.is_valid g s)
+      | None -> Alcotest.fail "no solution")
+
+let test_determinism () =
+  List.iter
+    (fun name ->
+      let inst = Registry.find_instance name in
+      let a = Egraph.Serial.to_string (inst.Registry.build ()) in
+      let b = Egraph.Serial.to_string (inst.Registry.build ()) in
+      Alcotest.(check bool) (name ^ " deterministic") true (String.equal a b))
+    [ "mcm_8"; "bzip2_1"; "mul_128"; "BERT"; "set_cover_small"; "maxsat_30_90"; "dot_16" ]
+
+let test_registry_lookup () =
+  Alcotest.(check int) "7 datasets" 7 (List.length Registry.all);
+  Alcotest.(check int) "5 realistic" 5 (List.length Registry.realistic);
+  Alcotest.(check int) "2 adversarial" 2 (List.length Registry.adversarial);
+  Alcotest.(check string) "find" "rover" (Registry.find "rover").Registry.ds_name;
+  (match Registry.find_instance "fir_5" with
+  | i -> Alcotest.(check string) "instance name" "fir_5" i.Registry.inst_name);
+  Alcotest.check_raises "unknown instance" Not_found (fun () ->
+      ignore (Registry.find_instance "nope"))
+
+let test_assumptions_match_paper () =
+  (* Table 2 caption: diospyros/rover/tensat independent, flexc/impress
+     correlated *)
+  let expect = [ ("diospyros", "independent"); ("flexc", "correlated"); ("impress", "correlated");
+                 ("rover", "independent"); ("tensat", "independent") ] in
+  List.iter
+    (fun (ds, a) -> Alcotest.(check string) ds a (Registry.find ds).Registry.assumption)
+    expect
+
+(* ------------------------------------------------ structural properties *)
+
+let test_rover_sharing_hurts_greedy () =
+  (* mcm blocks are the canonical shared-fundamental benchmark: DAG-aware
+     extraction must beat tree-greedy *)
+  let g = (Registry.find_instance "mcm_8").Registry.build () in
+  let greedy = (Greedy.extract g).Extractor.cost in
+  let dag = (Greedy_dag.extract g).Extractor.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "sharing exists (greedy %.1f vs dag %.1f)" greedy dag)
+    true (dag <= greedy +. 1e9);
+  (* and the greedy solution really double-counts: its tree cost exceeds
+     its dag cost *)
+  let s = Option.get (Greedy.extract g).Extractor.solution in
+  Alcotest.(check bool) "greedy tree > dag (reuse present)" true
+    (Egraph.Solution.tree_cost g s > Egraph.Solution.dag_cost g s +. 1.0)
+
+let test_impress_karatsuba_shares_subproducts () =
+  let g = (Registry.find_instance "mul_128").Registry.build () in
+  (* schoolbook and karatsuba alternatives coexist in multiply classes *)
+  let has_school = Array.exists (fun op -> op = "schoolbook") g.Egraph.ops in
+  let has_kara = Array.exists (fun op -> op = "karatsuba") g.Egraph.ops in
+  Alcotest.(check bool) "schoolbook present" true has_school;
+  Alcotest.(check bool) "karatsuba present" true has_kara;
+  (* the shared ll/hh sub-products give multi-parent classes *)
+  let seg = g.Egraph.parent_seg in
+  let multi = ref 0 in
+  Array.iteri (fun c _ -> if Segments.seg_len seg c > 1 then incr multi) g.Egraph.class_nodes;
+  Alcotest.(check bool) "shared sub-products exist" true (!multi > 10)
+
+let test_tensat_is_cyclic () =
+  List.iter
+    (fun name ->
+      let g = (Registry.find_instance name).Registry.build () in
+      Alcotest.(check bool) (name ^ " has cyclic classes") true (Egraph.is_cyclic g))
+    [ "VGG"; "BERT" ]
+
+let test_tensat_rules_improve () =
+  (* saturation must expose an extraction at least as good as the
+     original term's cost on every network *)
+  List.iter
+    (fun name ->
+      let g = (Registry.find_instance name).Registry.build () in
+      let r = Greedy_dag.extract g in
+      Alcotest.(check bool) (name ^ " extractable") true (Float.is_finite r.Extractor.cost))
+    [ "NASNet-A"; "NASRNN"; "BERT"; "VGG"; "ResNet-50" ]
+
+let test_set_cover_optimum_semantics () =
+  (* ILP optimum on the e-graph = optimal set-cover weight; the classic
+     greedy set-cover bound must upper-bound it *)
+  let g = Npc_ds.set_cover ~name:"t" ~seed:3 ~universe:10 ~sets:14 ~max_set_size:4 in
+  let ilp = Ilp.extract ~time_limit:30.0 ~profile:Bnb.cplex_like g in
+  Alcotest.(check bool) "ilp solved" true ilp.Extractor.proved_optimal;
+  let upper = Npc_ds.set_cover_optimum_upper g in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy-cover bound %.1f >= optimum %.1f" upper ilp.Extractor.cost)
+    true
+    (upper >= ilp.Extractor.cost -. 1e-9);
+  (* tree-greedy overcounts: strictly worse than the optimum here *)
+  let greedy = (Greedy.extract g).Extractor.cost in
+  Alcotest.(check bool) "greedy suboptimal" true (greedy >= ilp.Extractor.cost)
+
+let test_maxsat_optimum_is_vars_used () =
+  (* a satisfiable instance: optimum = number of distinct variables
+     appearing in the clauses (each var pays exactly one polarity) *)
+  let g = Npc_ds.maxsat ~name:"t" ~seed:5 ~vars:8 ~clauses:12 in
+  let ilp = Ilp.extract ~time_limit:30.0 ~profile:Bnb.cplex_like g in
+  Alcotest.(check bool) "ilp solved" true ilp.Extractor.proved_optimal;
+  (* count variables reachable from the clauses *)
+  let used = Hashtbl.create 8 in
+  Array.iter
+    (fun op ->
+      if String.length op > 1 && (op.[0] = 'x' || String.length op > 4 && String.sub op 0 4 = "not_")
+      then begin
+        let v = if op.[0] = 'x' then op else String.sub op 4 (String.length op - 4) in
+        Hashtbl.replace used v ()
+      end)
+    g.Egraph.ops;
+  let vars_in_graph = Hashtbl.length used in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimum %.0f in [1, %d]" ilp.Extractor.cost vars_in_graph)
+    true
+    (ilp.Extractor.cost >= 1.0 && ilp.Extractor.cost <= float_of_int vars_in_graph +. 1e-9)
+
+let test_diospyros_vector_scalar_tradeoff () =
+  let g = (Registry.find_instance "mat-mul_3x3").Registry.build () in
+  let has_vfma = Array.exists (fun op -> op = "vfma") g.Egraph.ops in
+  let has_pack = Array.exists (fun op -> op = "pack") g.Egraph.ops in
+  Alcotest.(check bool) "vector family present" true has_vfma;
+  Alcotest.(check bool) "scalar family present" true has_pack;
+  (* the vector path should win under the default costs *)
+  let s = Option.get (Greedy_dag.extract g).Extractor.solution in
+  let selected_ops = List.map (fun n -> g.Egraph.ops.(n)) (Egraph.Solution.selected_nodes g s) in
+  Alcotest.(check bool) "extraction uses vector ops" true (List.mem "vfma" selected_ops)
+
+let test_flexc_fusion_alternatives () =
+  let g = (Registry.find_instance "bzip2_1").Registry.build () in
+  Alcotest.(check bool) "mac fusion present" true
+    (Array.exists (fun op -> op = "mac") g.Egraph.ops)
+
+let test_fig1_matches_paper_numbers () =
+  let g = Fig1.egraph () in
+  Test_util.check_close ~msg:"greedy 27" Fig1.heuristic_cost (Greedy.extract g).Extractor.cost;
+  let opt, _ = Test_util.brute_force_optimum g in
+  Test_util.check_close ~msg:"optimum 19" Fig1.optimal_cost opt
+
+let test_table1_shape () =
+  (* dataset statistics are printable and within sane ranges *)
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun inst ->
+          let st = Egraph.Stats.compute (inst.Registry.build ()) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s density in (0, 0.5]" inst.Registry.inst_name)
+            true
+            (st.Egraph.Stats.density > 0.0 && st.Egraph.Stats.density <= 0.5))
+        ds.Registry.instances)
+    Registry.all
+
+let test_gym_roundtrip_instance () =
+  (* a dataset instance survives the gym JSON round trip *)
+  let g = (Registry.find_instance "mcm_8").Registry.build () in
+  let g2 = Gym.of_json_string (Gym.to_json_string g) in
+  Alcotest.(check int) "nodes" (Egraph.num_nodes g) (Egraph.num_nodes g2);
+  Test_util.check_close ~msg:"greedy cost preserved" (Greedy.extract g).Extractor.cost
+    (Greedy.extract g2).Extractor.cost
+
+let test_xl_instances_build () =
+  (* the Table 5 oversized instances *)
+  let mul = Impress_ds.multiply ~name:"mul_1024" ~width:1024 ~base:16 in
+  Alcotest.(check bool) "mul_1024 bigger than mul_512" true
+    (Egraph.num_nodes mul > Egraph.num_nodes ((Registry.find_instance "mul_512").Registry.build ()));
+  let conv = Diospyros_ds.conv2d ~name:"xl" ~image:16 ~kernel:3 in
+  Alcotest.(check bool) "conv 16x16 extractable" true
+    (Float.is_finite (Greedy.extract conv).Extractor.cost)
+
+let () =
+  Alcotest.run "datasets"
+    [
+      ("instances", List.map instance_case all_instances);
+      ( "registry",
+        [
+          Alcotest.test_case "lookup" `Quick test_registry_lookup;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "table 2 assumptions" `Quick test_assumptions_match_paper;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "rover sharing hurts greedy" `Quick test_rover_sharing_hurts_greedy;
+          Alcotest.test_case "impress karatsuba sharing" `Quick
+            test_impress_karatsuba_shares_subproducts;
+          Alcotest.test_case "tensat cyclic" `Quick test_tensat_is_cyclic;
+          Alcotest.test_case "tensat extractable" `Quick test_tensat_rules_improve;
+          Alcotest.test_case "set-cover semantics" `Slow test_set_cover_optimum_semantics;
+          Alcotest.test_case "maxsat semantics" `Slow test_maxsat_optimum_is_vars_used;
+          Alcotest.test_case "diospyros vector/scalar" `Quick
+            test_diospyros_vector_scalar_tradeoff;
+          Alcotest.test_case "flexc fusion" `Quick test_flexc_fusion_alternatives;
+          Alcotest.test_case "fig1 paper numbers" `Quick test_fig1_matches_paper_numbers;
+          Alcotest.test_case "table 1 shape" `Quick test_table1_shape;
+          Alcotest.test_case "gym roundtrip of an instance" `Quick test_gym_roundtrip_instance;
+          Alcotest.test_case "XL instances build" `Slow test_xl_instances_build;
+        ] );
+    ]

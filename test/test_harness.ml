@@ -1,0 +1,84 @@
+(* Tests for the harness utilities: report formatting and budgets. *)
+
+let test_pct () =
+  Alcotest.(check string) "percent" "2.8%" (Report.pct 0.028);
+  Alcotest.(check string) "zero" "0.0%" (Report.pct 0.0);
+  Alcotest.(check string) "factor" "6.3x" (Report.pct 6.3);
+  Alcotest.(check string) "failed" "Failed" (Report.pct infinity)
+
+let test_secs () =
+  Alcotest.(check string) "sub-ten" "1.23" (Report.secs 1.234);
+  Alcotest.(check string) "ten-plus" "12.3" (Report.secs 12.34);
+  Alcotest.(check string) "hundred-plus" "123" (Report.secs 123.4);
+  Alcotest.(check string) "nan" "-" (Report.secs nan)
+
+let test_pm () =
+  Alcotest.(check string) "small" "1.50±0.20" (Report.pm 1.5 0.2);
+  Alcotest.(check string) "failed" "-" (Report.pm infinity 0.0)
+
+let test_pct_pm () =
+  Alcotest.(check string) "percent pm" "5.0%±1.0%" (Report.pct_pm 0.05 0.01);
+  Alcotest.(check string) "failed" "Failed" (Report.pct_pm infinity 0.0)
+
+let test_budget_presets () =
+  Alcotest.(check bool) "quick is cheaper" true
+    (Budget.quick.Budget.ilp_time < Budget.default.Budget.ilp_time);
+  Alcotest.(check bool) "quick fewer runs" true
+    (Budget.quick.Budget.smoothe_runs <= Budget.default.Budget.smoothe_runs);
+  Alcotest.(check bool) "quick smaller sweep" true
+    (List.length Budget.quick.Budget.seed_sweep < List.length Budget.default.Budget.seed_sweep);
+  Alcotest.(check bool) "default iterates more" true
+    (Budget.default.Budget.smoothe.Smoothe_config.max_iters
+    > Budget.quick.Budget.smoothe.Smoothe_config.max_iters)
+
+let test_experiment_registry () =
+  Alcotest.(check bool) "table2 registered" true (Experiments.by_name "table2" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Experiments.by_name "nope" = None);
+  (* every paper exhibit has a runner *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (List.mem name Experiments.names))
+    [ "table1"; "table2"; "table3"; "table4"; "table5";
+      "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9" ]
+
+let test_runbank_caches () =
+  let bank = Runbank.create Budget.quick in
+  let inst = Registry.find_instance "mcm_8" in
+  let g1 = Runbank.egraph bank inst in
+  let g2 = Runbank.egraph bank inst in
+  Alcotest.(check bool) "egraph memoised" true (g1 == g2);
+  let r1 = Runbank.heuristic bank inst in
+  let r2 = Runbank.heuristic bank inst in
+  Alcotest.(check bool) "result memoised" true (r1 == r2)
+
+let test_oracle_dominates_methods () =
+  let bank = Runbank.create Budget.quick in
+  let ds = Registry.find "rover" in
+  let inst = Registry.find_instance "mcm_8" in
+  let oracle = Runbank.oracle bank ds inst in
+  Alcotest.(check bool) "oracle <= heuristic" true
+    (oracle <= (Runbank.heuristic bank inst).Extractor.cost +. 1e-9);
+  Alcotest.(check bool) "oracle <= heuristic+" true
+    (oracle <= (Runbank.heuristic_plus bank inst).Extractor.cost +. 1e-9);
+  (* normalised increase of the oracle itself is ~0 *)
+  Test_util.check_close ~msg:"oracle increase" 0.0 (Runbank.quality_increase bank ds inst oracle)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "pct" `Quick test_pct;
+          Alcotest.test_case "secs" `Quick test_secs;
+          Alcotest.test_case "pm" `Quick test_pm;
+          Alcotest.test_case "pct_pm" `Quick test_pct_pm;
+        ] );
+      ("budget", [ Alcotest.test_case "presets" `Quick test_budget_presets ]);
+      ( "experiments",
+        [ Alcotest.test_case "registry" `Quick test_experiment_registry ] );
+      ( "runbank",
+        [
+          Alcotest.test_case "caching" `Quick test_runbank_caches;
+          Alcotest.test_case "oracle dominates" `Slow test_oracle_dominates_methods;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the LP simplex and branch-and-bound MILP solver. *)
+
+let qtest ?(count = 80) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let lp ~nvars ~objective ~constraints ~upper =
+  { Lp.nvars; objective; constraints; upper }
+
+let constr coeffs rel rhs = { Lp.coeffs; rel; rhs }
+
+(* ------------------------------------------------------------------- LP *)
+
+let test_lp_textbook () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min -3x -5y)
+     optimum at (2, 6), objective -36 *)
+  let p =
+    lp ~nvars:2 ~objective:[| -3.0; -5.0 |]
+      ~constraints:
+        [
+          constr [ (0, 1.0) ] Lp.Le 4.0;
+          constr [ (1, 2.0) ] Lp.Le 12.0;
+          constr [ (0, 3.0); (1, 2.0) ] Lp.Le 18.0;
+        ]
+      ~upper:[| infinity; infinity |]
+  in
+  match Lp.solve p with
+  | Lp.Optimal { x; obj } ->
+      Test_util.check_close ~msg:"x" 2.0 x.(0);
+      Test_util.check_close ~msg:"y" 6.0 x.(1);
+      Test_util.check_close ~msg:"obj" (-36.0) obj
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_equality_and_ge () =
+  (* min x + y s.t. x + y = 10, x >= 3, y >= 2 -> 10 at e.g. x∈[3,8] *)
+  let p =
+    lp ~nvars:2 ~objective:[| 1.0; 1.0 |]
+      ~constraints:
+        [
+          constr [ (0, 1.0); (1, 1.0) ] Lp.Eq 10.0;
+          constr [ (0, 1.0) ] Lp.Ge 3.0;
+          constr [ (1, 1.0) ] Lp.Ge 2.0;
+        ]
+      ~upper:[| infinity; infinity |]
+  in
+  match Lp.solve p with
+  | Lp.Optimal { x; obj } ->
+      Test_util.check_close ~msg:"obj" 10.0 obj;
+      Alcotest.(check bool) "x >= 3" true (x.(0) >= 3.0 -. 1e-6);
+      Alcotest.(check bool) "y >= 2" true (x.(1) >= 2.0 -. 1e-6)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_infeasible () =
+  let p =
+    lp ~nvars:1 ~objective:[| 1.0 |]
+      ~constraints:[ constr [ (0, 1.0) ] Lp.Ge 5.0; constr [ (0, 1.0) ] Lp.Le 3.0 ]
+      ~upper:[| infinity |]
+  in
+  Alcotest.(check bool) "infeasible" true (Lp.solve p = Lp.Infeasible)
+
+let test_lp_unbounded () =
+  let p =
+    lp ~nvars:1 ~objective:[| -1.0 |] ~constraints:[ constr [ (0, 1.0) ] Lp.Ge 0.0 ]
+      ~upper:[| infinity |]
+  in
+  Alcotest.(check bool) "unbounded" true (Lp.solve p = Lp.Unbounded)
+
+let test_lp_upper_bounds () =
+  (* min -x with x <= 0.7 via the box bound *)
+  let p = lp ~nvars:1 ~objective:[| -1.0 |] ~constraints:[] ~upper:[| 0.7 |] in
+  match Lp.solve p with
+  | Lp.Optimal { x; _ } -> Test_util.check_close ~msg:"x at bound" 0.7 x.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_negative_rhs () =
+  (* -x <= -2  <=>  x >= 2 *)
+  let p =
+    lp ~nvars:1 ~objective:[| 1.0 |] ~constraints:[ constr [ (0, -1.0) ] Lp.Le (-2.0) ]
+      ~upper:[| infinity |]
+  in
+  match Lp.solve p with
+  | Lp.Optimal { x; _ } -> Test_util.check_close ~msg:"x" 2.0 x.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_degenerate () =
+  (* multiple redundant constraints through one vertex: must not cycle *)
+  let p =
+    lp ~nvars:2 ~objective:[| -1.0; -1.0 |]
+      ~constraints:
+        [
+          constr [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+          constr [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+          constr [ (0, 2.0); (1, 2.0) ] Lp.Le 2.0;
+          constr [ (0, 1.0) ] Lp.Le 1.0;
+          constr [ (1, 1.0) ] Lp.Le 1.0;
+        ]
+      ~upper:[| infinity; infinity |]
+  in
+  match Lp.solve p with
+  | Lp.Optimal { obj; _ } -> Test_util.check_close ~msg:"obj" (-1.0) obj
+  | _ -> Alcotest.fail "expected optimal"
+
+(* random LPs: solver's optimum must be feasible and no random feasible
+   point may beat it *)
+let random_lp_gen =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 2 + Rng.int rng 4 in
+      let ncons = 1 + Rng.int rng 5 in
+      let objective = Array.init nvars (fun _ -> Rng.float rng 4.0 -. 2.0) in
+      let constraints =
+        List.init ncons (fun _ ->
+            let coeffs =
+              List.init nvars (fun j -> j, Rng.float rng 2.0)
+              |> List.filter (fun (_, a) -> a > 0.2)
+            in
+            constr coeffs Lp.Le (1.0 +. Rng.float rng 5.0))
+      in
+      seed, lp ~nvars ~objective ~constraints ~upper:(Array.make nvars 1.0))
+    QCheck2.Gen.(int_bound 1_000_000)
+
+let lp_optimum_dominates_random_points =
+  qtest "LP optimum is feasible and dominates sampled feasible points" random_lp_gen
+    (fun (seed, p) ->
+      match Lp.solve p with
+      | Lp.Optimal { x; obj } ->
+          let feas = Lp.check_feasible p x in
+          let rng = Rng.create (seed + 1) in
+          let dominated = ref true in
+          for _ = 1 to 100 do
+            let y = Array.init p.Lp.nvars (fun _ -> Rng.float rng 1.0) in
+            if Lp.check_feasible p y && Lp.eval_objective p y < obj -. 1e-6 then
+              dominated := false
+          done;
+          feas && !dominated
+      | Lp.Infeasible | Lp.Unbounded | Lp.Timeout -> false (* all-Le with x=0 is feasible *))
+
+(* ------------------------------------------------------------------ MILP *)
+
+let brute_force_binary p =
+  (* enumerate all binary assignments *)
+  let n = p.Lp.nvars in
+  let best = ref infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> if mask land (1 lsl j) <> 0 then 1.0 else 0.0) in
+    if Lp.check_feasible p x then begin
+      let v = Lp.eval_objective p x in
+      if v < !best then best := v
+    end
+  done;
+  !best
+
+let random_binary_milp_gen =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 2 + Rng.int rng 6 in
+      let ncons = 1 + Rng.int rng 4 in
+      let objective = Array.init nvars (fun _ -> Rng.float rng 10.0 -. 5.0) in
+      let constraints =
+        List.init ncons (fun _ ->
+            let coeffs = List.init nvars (fun j -> j, Rng.float rng 3.0 -. 1.0) in
+            let rel = if Rng.bool rng then Lp.Le else Lp.Ge in
+            constr coeffs rel (Rng.float rng 3.0 -. 1.0))
+      in
+      lp ~nvars ~objective ~constraints ~upper:(Array.make nvars 1.0))
+    QCheck2.Gen.(int_bound 1_000_000)
+
+let bnb_matches_brute_force profile =
+  qtest ~count:60
+    (Printf.sprintf "B&B (%s) matches brute force on random binary MILPs"
+       profile.Bnb.profile_name)
+    random_binary_milp_gen
+    (fun p ->
+      let opts = { (Bnb.default_options profile) with Bnb.time_limit = 10.0 } in
+      let outcome = Bnb.solve p ~integer_vars:(Array.init p.Lp.nvars Fun.id) opts in
+      let expected = brute_force_binary p in
+      if Float.is_finite expected then
+        outcome.Bnb.proved_optimal && Test_util.float_close expected outcome.Bnb.objective
+      else outcome.Bnb.incumbent = None)
+
+let test_bnb_knapsack () =
+  (* max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6 -> a + c (17) vs b+c (20) *)
+  let p =
+    lp ~nvars:3 ~objective:[| -10.0; -13.0; -7.0 |]
+      ~constraints:[ constr [ (0, 3.0); (1, 4.0); (2, 2.0) ] Lp.Le 6.0 ]
+      ~upper:[| 1.0; 1.0; 1.0 |]
+  in
+  let outcome =
+    Bnb.solve p ~integer_vars:[| 0; 1; 2 |] (Bnb.default_options Bnb.cplex_like)
+  in
+  Test_util.check_close ~msg:"knapsack optimum" (-20.0) outcome.Bnb.objective;
+  Alcotest.(check bool) "proved" true outcome.Bnb.proved_optimal
+
+let test_bnb_warm_start_trace () =
+  let p =
+    lp ~nvars:2 ~objective:[| 1.0; 1.0 |]
+      ~constraints:[ constr [ (0, 1.0); (1, 1.0) ] Lp.Ge 1.0 ]
+      ~upper:[| 1.0; 1.0 |]
+  in
+  let warm = [| 1.0; 1.0 |] in
+  let opts =
+    { (Bnb.default_options Bnb.cplex_like) with Bnb.warm_start = Some warm }
+  in
+  let outcome = Bnb.solve p ~integer_vars:[| 0; 1 |] opts in
+  Test_util.check_close ~msg:"optimum 1" 1.0 outcome.Bnb.objective;
+  (* warm start (cost 2) recorded first, then the improvement to 1 *)
+  Alcotest.(check bool) "trace has >= 2 entries" true (List.length outcome.Bnb.trace >= 2);
+  Test_util.check_close ~msg:"first trace entry is warm start" 2.0
+    (snd (List.hd outcome.Bnb.trace))
+
+let test_bnb_rejects_general_integers () =
+  let p =
+    lp ~nvars:1 ~objective:[| 1.0 |] ~constraints:[] ~upper:[| 5.0 |]
+  in
+  Alcotest.check_raises "binaries only"
+    (Invalid_argument "Bnb.solve: integer variables must be binary (upper bound 1)") (fun () ->
+      ignore (Bnb.solve p ~integer_vars:[| 0 |] (Bnb.default_options Bnb.cbc_like)))
+
+let test_bnb_time_limit () =
+  (* a moderately hard feasibility-tight instance with a microscopic
+     budget must stop quickly and say "not proved" *)
+  let rng = Rng.create 4 in
+  let nvars = 24 in
+  let objective = Array.init nvars (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let constraints =
+    List.init 16 (fun _ ->
+        let coeffs = List.init nvars (fun j -> j, Rng.float rng 2.0 -. 1.0) in
+        constr coeffs Lp.Le (Rng.float rng 2.0))
+  in
+  let p = lp ~nvars ~objective ~constraints ~upper:(Array.make nvars 1.0) in
+  let opts = { (Bnb.default_options Bnb.scip_like) with Bnb.time_limit = 0.05 } in
+  let outcome, wall = Timer.time (fun () -> Bnb.solve p ~integer_vars:(Array.init nvars Fun.id) opts) in
+  Alcotest.(check bool) "respects limit" true (wall < 2.0);
+  Alcotest.(check bool) "bound <= objective" true
+    (outcome.Bnb.best_bound <= outcome.Bnb.objective +. 1e-9)
+
+let bnb_bound_is_valid =
+  qtest ~count:40 "best_bound never exceeds the true optimum" random_binary_milp_gen (fun p ->
+      let opts = { (Bnb.default_options Bnb.scip_like) with Bnb.time_limit = 5.0 } in
+      let outcome = Bnb.solve p ~integer_vars:(Array.init p.Lp.nvars Fun.id) opts in
+      let expected = brute_force_binary p in
+      if Float.is_finite expected then outcome.Bnb.best_bound <= expected +. 1e-6 else true)
+
+let test_lp_capacity_guard () =
+  (* a problem whose dense tableau would exceed the solver's capacity
+     must decline quickly instead of allocating gigabytes *)
+  let nvars = 6000 in
+  let constraints =
+    List.init 6000 (fun i -> constr [ (i mod nvars, 1.0) ] Lp.Le 1.0)
+  in
+  let p = lp ~nvars ~objective:(Array.make nvars 1.0) ~constraints ~upper:(Array.make nvars 1.0) in
+  let outcome, wall = Timer.time (fun () -> Lp.solve p) in
+  Alcotest.(check bool) "declined" true (outcome = Lp.Timeout);
+  Alcotest.(check bool) "fast" true (wall < 1.0)
+
+let test_lp_deadline () =
+  let rng = Rng.create 8 in
+  let nvars = 60 in
+  let constraints =
+    List.init 80 (fun _ ->
+        constr (List.init nvars (fun j -> j, Rng.float rng 2.0 -. 1.0)) Lp.Le (Rng.float rng 2.0))
+  in
+  let p =
+    lp ~nvars
+      ~objective:(Array.init nvars (fun _ -> Rng.float rng 2.0 -. 1.0))
+      ~constraints ~upper:(Array.make nvars 1.0)
+  in
+  (* an already-expired deadline must abort the solve *)
+  let d = Timer.deadline_after 1e-9 in
+  Unix.sleepf 0.001;
+  Alcotest.(check bool) "expired deadline aborts" true (Lp.solve ~deadline:d p = Lp.Timeout)
+
+let () =
+  Alcotest.run "milp"
+    [
+      ( "lp",
+        [
+          Alcotest.test_case "textbook" `Quick test_lp_textbook;
+          Alcotest.test_case "equality and >=" `Quick test_lp_equality_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "upper bounds" `Quick test_lp_upper_bounds;
+          Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_lp_degenerate;
+          Alcotest.test_case "capacity guard" `Quick test_lp_capacity_guard;
+          Alcotest.test_case "deadline" `Quick test_lp_deadline;
+          lp_optimum_dominates_random_points;
+        ] );
+      ( "bnb",
+        [
+          Alcotest.test_case "knapsack" `Quick test_bnb_knapsack;
+          bnb_matches_brute_force Bnb.cplex_like;
+          bnb_matches_brute_force Bnb.scip_like;
+          bnb_matches_brute_force Bnb.cbc_like;
+          Alcotest.test_case "warm start + trace" `Quick test_bnb_warm_start_trace;
+          Alcotest.test_case "rejects general integers" `Quick test_bnb_rejects_general_integers;
+          Alcotest.test_case "time limit" `Quick test_bnb_time_limit;
+          bnb_bound_is_valid;
+        ] );
+    ]

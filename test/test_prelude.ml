@@ -1,0 +1,418 @@
+(* Unit and property tests for the prelude substrate. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ Vec *)
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  for i = 99 downto 0 do
+    Alcotest.(check int) "pop order" i (Vec.pop v)
+  done;
+  Alcotest.(check bool) "empty" true (Vec.is_empty v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index 3 out of bounds [0,3)")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop (Vec.create ())))
+
+let test_vec_conversions () =
+  let v = Vec.of_array [| 3; 1; 2 |] in
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 2 ] (Vec.to_list v);
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sort" [ 1; 2; 3 ] (Vec.to_list v);
+  let doubled = Vec.map (fun x -> x * 2) v in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ] (Vec.to_list doubled)
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold" 10 (Vec.fold_left ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let vec_matches_list =
+  qtest "Vec push/to_array matches list" QCheck2.Gen.(list int) (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs)
+
+(* ----------------------------------------------------------- Union_find *)
+
+let test_uf_basic () =
+  let uf = Union_find.with_size 10 in
+  Alcotest.(check int) "initial sets" 10 (Union_find.count_sets uf);
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check bool) "0~3" true (Union_find.same uf 0 3);
+  Alcotest.(check bool) "0!~4" false (Union_find.same uf 0 4);
+  Alcotest.(check int) "sets after unions" 7 (Union_find.count_sets uf)
+
+let uf_equiv_is_transitive =
+  qtest "union-find equivalence matches naive partition"
+    QCheck2.Gen.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Union_find.with_size 20 in
+      (* naive: labels array re-labelled on every merge *)
+      let label = Array.init 20 Fun.id in
+      List.iter
+        (fun (a, b) ->
+          ignore (Union_find.union uf a b);
+          let la = label.(a) and lb = label.(b) in
+          if la <> lb then
+            Array.iteri (fun i l -> if l = lb then label.(i) <- la) label)
+        pairs;
+      let ok = ref true in
+      for i = 0 to 19 do
+        for j = 0 to 19 do
+          if Union_find.same uf i j <> (label.(i) = label.(j)) then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 7);
+    let u = Rng.uniform rng in
+    Alcotest.(check bool) "uniform in range" true (u >= 0.0 && u < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let xs = Array.init 50 (fun _ -> Rng.int parent 1000) in
+  let ys = Array.init 50 (fun _ -> Rng.int child 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 9 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  let mean = Stats.mean xs in
+  let std = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "std near 1" true (Float.abs (std -. 1.0) < 0.05)
+
+let test_rng_choose_weighted () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30000 do
+    let i = Rng.choose_weighted rng [| 1.0; 2.0; 7.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let freq i = float_of_int counts.(i) /. 30000.0 in
+  Alcotest.(check bool) "p0 ~ 0.1" true (Float.abs (freq 0 -. 0.1) < 0.02);
+  Alcotest.(check bool) "p2 ~ 0.7" true (Float.abs (freq 2 -. 0.7) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 30 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is permutation" true (sorted = Array.init 30 Fun.id)
+
+(* ----------------------------------------------------------- Graph_algo *)
+
+let graph_gen =
+  (* random adjacency over n <= 12 nodes *)
+  QCheck2.Gen.(
+    bind (int_range 1 12) (fun n ->
+        map
+          (fun seed ->
+            let rng = Rng.create seed in
+            Array.init n (fun _ ->
+                let deg = Rng.int rng 4 in
+                Array.init deg (fun _ -> Rng.int rng n)))
+          (int_bound 1_000_000)))
+
+let naive_has_cycle succ =
+  (* DFS with colours over the whole graph *)
+  let n = Array.length succ in
+  let colour = Array.make n 0 in
+  let found = ref false in
+  let rec dfs v =
+    colour.(v) <- 1;
+    Array.iter
+      (fun w ->
+        if colour.(w) = 1 then found := true
+        else if colour.(w) = 0 then dfs w)
+      succ.(v);
+    colour.(v) <- 2
+  in
+  for v = 0 to n - 1 do
+    if colour.(v) = 0 then dfs v
+  done;
+  !found
+
+let topo_iff_acyclic =
+  qtest "topological_order exists iff acyclic" graph_gen (fun succ ->
+      Graph_algo.is_acyclic succ = not (naive_has_cycle succ))
+
+let topo_respects_edges =
+  qtest "topological order puts sources first" graph_gen (fun succ ->
+      match Graph_algo.topological_order succ with
+      | None -> true
+      | Some order ->
+          let pos = Array.make (Array.length succ) 0 in
+          Array.iteri (fun i v -> pos.(v) <- i) order;
+          let ok = ref true in
+          Array.iteri
+            (fun v ws -> Array.iter (fun w -> if pos.(v) >= pos.(w) then ok := false) ws)
+            succ;
+          !ok)
+
+let scc_partition_valid =
+  qtest "tarjan SCCs partition the nodes" graph_gen (fun succ ->
+      let sccs = Graph_algo.tarjan_scc succ in
+      let n = Array.length succ in
+      let seen = Array.make n 0 in
+      Array.iter (fun comp -> Array.iter (fun v -> seen.(v) <- seen.(v) + 1) comp) sccs;
+      Array.for_all (fun c -> c = 1) seen)
+
+let scc_mutual_reachability =
+  qtest "nodes share an SCC iff mutually reachable" graph_gen (fun succ ->
+      let n = Array.length succ in
+      (* Floyd-Warshall reachability *)
+      let reach = Array.make_matrix n n false in
+      Array.iteri (fun v ws -> Array.iter (fun w -> reach.(v).(w) <- true) ws) succ;
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+          done
+        done
+      done;
+      let comp, _ = Graph_algo.scc_ids succ in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let mutual = (i = j) || (reach.(i).(j) && reach.(j).(i)) in
+          if (comp.(i) = comp.(j)) <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+let scc_reverse_topological =
+  qtest "tarjan components come in reverse topological order" graph_gen (fun succ ->
+      let sccs = Graph_algo.tarjan_scc succ in
+      let comp, _ = Graph_algo.scc_ids succ in
+      ignore sccs;
+      (* every cross-component edge must point to an earlier component *)
+      let ok = ref true in
+      Array.iteri
+        (fun v ws ->
+          Array.iter (fun w -> if comp.(v) <> comp.(w) && comp.(w) > comp.(v) then ok := false) ws)
+        succ;
+      !ok)
+
+let test_reachable () =
+  let succ = [| [| 1 |]; [| 2 |]; [||]; [| 4 |]; [||] |] in
+  let r = Graph_algo.reachable succ [ 0 ] in
+  Alcotest.(check (list bool)) "reach from 0" [ true; true; true; false; false ]
+    (Array.to_list r)
+
+let test_has_cycle_from () =
+  let succ = [| [| 1 |]; [| 0 |]; [| 2 |] |] in
+  Alcotest.(check bool) "cycle visible from 0" true (Graph_algo.has_cycle_from succ [ 0 ]);
+  Alcotest.(check bool) "self-loop node 2" true (Graph_algo.has_cycle_from succ [ 2 ]);
+  let dag = [| [| 1 |]; [| 2 |]; [||] |] in
+  Alcotest.(check bool) "no cycle in dag" false (Graph_algo.has_cycle_from dag [ 0 ])
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_basic () =
+  Test_util.check_close ~msg:"mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Test_util.check_close ~msg:"geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0; 2.0 |]);
+  Test_util.check_close ~msg:"median" 2.5 (Stats.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  Test_util.check_close ~msg:"max_abs_diff" 3.0 (Stats.max_abs_diff [| 1.0; 4.0; 2.0 |]);
+  Test_util.check_close ~msg:"variance" 1.25 (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_geomean_zero () =
+  Test_util.check_close ~msg:"zero kills geomean" 0.0 (Stats.geomean [| 0.0; 5.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  Test_util.check_close ~msg:"p0" 10.0 (Stats.percentile xs 0.0);
+  Test_util.check_close ~msg:"p100" 50.0 (Stats.percentile xs 100.0);
+  Test_util.check_close ~msg:"p25" 20.0 (Stats.percentile xs 25.0)
+
+let geomean_le_mean =
+  qtest "geomean <= mean (AM-GM)"
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.01 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Stats.geomean a <= Stats.mean a +. 1e-9)
+
+(* ----------------------------------------------------------------- Heap *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let out = ref [] in
+  while not (Heap.is_empty h) do
+    out := Heap.pop h :: !out
+  done;
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let heap_sort_matches_list_sort =
+  qtest "heap drains in sorted order" QCheck2.Gen.(list int) (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Heap.push h) xs;
+      let out = ref [] in
+      while not (Heap.is_empty h) do
+        out := Heap.pop h :: !out
+      done;
+      List.rev !out = List.sort compare xs)
+
+(* ----------------------------------------------------------------- Json *)
+
+let test_json_scalars () =
+  Alcotest.(check bool) "null" true (Json.parse "null" = Json.Null);
+  Alcotest.(check bool) "true" true (Json.parse "true" = Json.Bool true);
+  Alcotest.(check bool) "number" true (Json.parse "-1.5e2" = Json.Number (-150.0));
+  Alcotest.(check bool) "string" true (Json.parse {|"hi"|} = Json.String "hi")
+
+let test_json_nested () =
+  let v = Json.parse {| { "a": [1, 2, {"b": null}], "c": "x" } |} in
+  Alcotest.(check bool) "member c" true (Json.member "c" v = Json.String "x");
+  match Json.member "a" v with
+  | Json.Array [ Json.Number 1.0; Json.Number 2.0; Json.Object [ ("b", Json.Null) ] ] -> ()
+  | _ -> Alcotest.fail "nested array shape"
+
+let test_json_escapes () =
+  Alcotest.(check bool) "escapes" true
+    (Json.parse "\"a\\n\\t\\\"\\\\b\"" = Json.String "a\n\t\"\\b");
+  Alcotest.(check bool) "unicode ascii" true (Json.parse "\"\\u0041\"" = Json.String "A")
+
+let test_json_errors () =
+  let fails s = match Json.parse s with exception Json.Parse_error _ -> true | _ -> false in
+  Alcotest.(check bool) "trailing junk" true (fails "1 2");
+  Alcotest.(check bool) "unterminated string" true (fails {|"abc|});
+  Alcotest.(check bool) "bad literal" true (fails "trup");
+  Alcotest.(check bool) "unclosed object" true (fails {|{"a": 1|});
+  Alcotest.(check bool) "member of non-object" true
+    (match Json.member "x" (Json.Number 1.0) with
+    | exception Json.Parse_error _ -> true
+    | _ -> false)
+
+let json_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun f -> Json.Number (Float.of_int f)) (int_range (-1000) 1000);
+               map (fun s -> Json.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+             ]
+         else
+           oneof
+             [
+               map (fun xs -> Json.Array xs) (list_size (int_range 0 4) (self (n / 2)));
+               map
+                 (fun kvs ->
+                   (* distinct keys *)
+                   let seen = Hashtbl.create 4 in
+                   Json.Object
+                     (List.filteri
+                        (fun i _ -> i < 4)
+                        (List.filter_map
+                           (fun (k, v) ->
+                             if Hashtbl.mem seen k then None
+                             else begin
+                               Hashtbl.add seen k ();
+                               Some (k, v)
+                             end)
+                           kvs)))
+                 (list_size (int_range 0 4)
+                    (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)) (self (n / 2))));
+             ])
+
+let json_roundtrip =
+  qtest ~count:300 "print . parse = id" json_gen (fun v ->
+      Json.parse (Json.to_string v) = v && Json.parse (Json.to_string ~pretty:true v) = v)
+
+(* ---------------------------------------------------------------- Timer *)
+
+let test_timer_deadline () =
+  let d = Timer.deadline_after 0.05 in
+  Alcotest.(check bool) "not yet expired" false (Timer.expired d);
+  Unix.sleepf 0.06;
+  Alcotest.(check bool) "expired" true (Timer.expired d);
+  Alcotest.(check bool) "no deadline never expires" false (Timer.expired Timer.no_deadline)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "conversions" `Quick test_vec_conversions;
+          Alcotest.test_case "iter/fold" `Quick test_vec_iter_fold;
+          vec_matches_list;
+        ] );
+      ( "union_find",
+        [ Alcotest.test_case "basic" `Quick test_uf_basic; uf_equiv_is_transitive ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "choose_weighted" `Slow test_rng_choose_weighted;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "graph_algo",
+        [
+          topo_iff_acyclic;
+          topo_respects_edges;
+          scc_partition_valid;
+          scc_mutual_reachability;
+          scc_reverse_topological;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "has_cycle_from" `Quick test_has_cycle_from;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "geomean zero" `Quick test_stats_geomean_zero;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          geomean_le_mean;
+        ] );
+      ("heap", [ Alcotest.test_case "sorts" `Quick test_heap_sorts; heap_sort_matches_list_sort ]);
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "nested" `Quick test_json_nested;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          json_roundtrip;
+        ] );
+      ("timer", [ Alcotest.test_case "deadline" `Quick test_timer_deadline ]);
+    ]

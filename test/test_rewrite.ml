@@ -1,0 +1,299 @@
+(* Tests for the term language and the equality-saturation engine. *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+open Term
+
+(* ------------------------------------------------------------------ term *)
+
+let test_term_basics () =
+  let t = app "+" [ atom "x"; app "f" [ atom "y" ] ] in
+  Alcotest.(check int) "size" 4 (size t);
+  Alcotest.(check int) "depth" 3 (depth t);
+  Alcotest.(check string) "to_string" "(+ x (f y))" (to_string t);
+  Alcotest.(check bool) "equal" true (equal t (app "+" [ atom "x"; app "f" [ atom "y" ] ]))
+
+let test_pattern_vars () =
+  let p = papp "+" [ pvar "a"; papp "f" [ pvar "b"; pvar "a" ] ] in
+  Alcotest.(check (list string)) "vars in order" [ "a"; "b" ] (pattern_vars p);
+  Alcotest.(check string) "pattern_to_string" "(+ ?a (f ?b ?a))" (pattern_to_string p)
+
+let test_rule_validation () =
+  Alcotest.check_raises "unbound rhs var"
+    (Invalid_argument "Term.rule bad: rhs variable ?z unbound by lhs") (fun () ->
+      ignore (rule ~name:"bad" (pvar "a") (pvar "z")))
+
+let test_bidirectional () =
+  let rules = bidirectional ~name:"comm" (papp "+" [ pvar "a"; pvar "b" ]) (papp "+" [ pvar "b"; pvar "a" ]) in
+  Alcotest.(check int) "both directions" 2 (List.length rules);
+  (* dropping a variable on the rhs kills the reverse direction *)
+  let one = bidirectional ~name:"drop" (papp "f" [ pvar "a"; pvar "b" ]) (papp "g" [ pvar "a" ]) in
+  Alcotest.(check int) "no reverse" 1 (List.length one)
+
+(* -------------------------------------------------------------- egraph ops *)
+
+let test_hashcons () =
+  let g = Saturate.create () in
+  let c1 = Saturate.add_term g (app "+" [ atom "x"; atom "y" ]) in
+  let c2 = Saturate.add_term g (app "+" [ atom "x"; atom "y" ]) in
+  Alcotest.(check int) "same term same class" c1 c2;
+  Alcotest.(check int) "4 nodes: x, y, +, (+ shared)" 3 (Saturate.num_nodes g)
+
+let test_union_congruence () =
+  let g = Saturate.create () in
+  (* f(a) and f(b); merging a,b must merge f(a),f(b) after rebuild *)
+  let a = Saturate.add_term g (atom "a") in
+  let b = Saturate.add_term g (atom "b") in
+  let fa = Saturate.add_node g "f" [ a ] in
+  let fb = Saturate.add_node g "f" [ b ] in
+  Alcotest.(check bool) "initially distinct" true (Saturate.find g fa <> Saturate.find g fb);
+  ignore (Saturate.union g a b);
+  Saturate.rebuild g;
+  Alcotest.(check int) "congruence closed" (Saturate.find g fa) (Saturate.find g fb)
+
+let test_congruence_cascades () =
+  let g = Saturate.create () in
+  (* g(f(a)), g(f(b)): one union at the bottom cascades two levels up *)
+  let a = Saturate.add_term g (atom "a") in
+  let b = Saturate.add_term g (atom "b") in
+  let fa = Saturate.add_node g "f" [ a ] in
+  let fb = Saturate.add_node g "f" [ b ] in
+  let gfa = Saturate.add_node g "g" [ fa ] in
+  let gfb = Saturate.add_node g "g" [ fb ] in
+  ignore (Saturate.union g a b);
+  Saturate.rebuild g;
+  Alcotest.(check int) "two-level cascade" (Saturate.find g gfa) (Saturate.find g gfb)
+
+let test_ematch () =
+  let g = Saturate.create () in
+  ignore (Saturate.add_term g (app "+" [ atom "x"; app "+" [ atom "y"; atom "z" ] ]));
+  let matches = Saturate.ematch g (papp "+" [ pvar "a"; pvar "b" ]) in
+  Alcotest.(check int) "two + matches" 2 (List.length matches);
+  (* non-linear pattern: ?a + ?a matches nothing here *)
+  let non_linear = Saturate.ematch g (papp "+" [ pvar "a"; pvar "a" ]) in
+  Alcotest.(check int) "non-linear no match" 0 (List.length non_linear);
+  ignore (Saturate.add_term g (app "+" [ atom "w"; atom "w" ]));
+  let non_linear2 = Saturate.ematch g (papp "+" [ pvar "a"; pvar "a" ]) in
+  Alcotest.(check int) "non-linear match" 1 (List.length non_linear2)
+
+let test_saturation_commutativity () =
+  let g = Saturate.create () in
+  let c1 = Saturate.add_term g (app "+" [ atom "x"; atom "y" ]) in
+  let report =
+    Saturate.run g [ rule ~name:"comm" (papp "+" [ pvar "a"; pvar "b" ]) (papp "+" [ pvar "b"; pvar "a" ]) ]
+  in
+  Alcotest.(check bool) "saturates" true report.Saturate.saturated;
+  let c2 = Saturate.add_term g (app "+" [ atom "y"; atom "x" ]) in
+  Alcotest.(check int) "x+y ~ y+x" (Saturate.find g c1) (Saturate.find g c2)
+
+let test_saturation_assoc_comm_closure () =
+  let g = Saturate.create () in
+  let t1 = Saturate.add_term g (app "+" [ app "+" [ atom "a"; atom "b" ]; atom "c" ]) in
+  let rules =
+    rule ~name:"comm" (papp "+" [ pvar "x"; pvar "y" ]) (papp "+" [ pvar "y"; pvar "x" ])
+    :: bidirectional ~name:"assoc"
+         (papp "+" [ papp "+" [ pvar "x"; pvar "y" ]; pvar "z" ])
+         (papp "+" [ pvar "x"; papp "+" [ pvar "y"; pvar "z" ] ])
+  in
+  ignore (Saturate.run ~iter_limit:12 g rules);
+  (* every association/commutation of a+b+c collapses into one class *)
+  let variants =
+    [
+      app "+" [ atom "c"; app "+" [ atom "b"; atom "a" ] ];
+      app "+" [ app "+" [ atom "c"; atom "a" ]; atom "b" ];
+      app "+" [ atom "b"; app "+" [ atom "a"; atom "c" ] ];
+    ]
+  in
+  List.iter
+    (fun t ->
+      let c = Saturate.add_term g t in
+      Alcotest.(check int) (to_string t) (Saturate.find g t1) (Saturate.find g c))
+    variants
+
+let test_node_limit_respected () =
+  let g = Saturate.create () in
+  ignore (Saturate.add_term g (app "f" [ atom "x" ]));
+  (* a genuinely exploding rule: each round deepens every f-term *)
+  let explode =
+    rule ~name:"grow" (papp "f" [ pvar "a" ]) (papp "f" [ papp "s" [ pvar "a" ] ])
+  in
+  let report = Saturate.run ~node_limit:50 ~iter_limit:100 g [ explode ] in
+  Alcotest.(check bool) "did not saturate" false report.Saturate.saturated;
+  Alcotest.(check bool) "bounded (one round of overshoot allowed)" true
+    (Saturate.num_nodes g < 200)
+
+let test_export_matches_direct () =
+  (* the paper's Fig. 1 example built two ways must agree on extraction *)
+  let direct = Fig1.egraph () in
+  let saturated = Fig1.egraph_via_saturation () in
+  let c1, _ = Test_util.brute_force_optimum direct in
+  let c2, _ = Test_util.brute_force_optimum saturated in
+  Test_util.check_close ~msg:"same optimum" c1 c2;
+  Alcotest.(check int) "same node count" (Egraph.num_nodes direct) (Egraph.num_nodes saturated)
+
+let test_export_reachability () =
+  let g = Saturate.create () in
+  let root = Saturate.add_term g (app "f" [ atom "x" ]) in
+  ignore (Saturate.add_term g (atom "unrelated"));
+  let e = Saturate.export g ~root ~cost:(fun _ _ -> 1.0) in
+  Alcotest.(check int) "only reachable classes exported" 2 (Egraph.num_classes e)
+
+let test_cycle_creating_rule () =
+  (* x -> x + zero puts (+ x zero) in x's class: the exported e-graph
+     must contain self-referential (cyclic) classes *)
+  let g = Saturate.create () in
+  let root = Saturate.add_term g (app "f" [ atom "x" ]) in
+  ignore
+    (Saturate.run ~iter_limit:2 g
+       [ rule ~name:"zero" (pvar "a") (papp "+" [ pvar "a"; patom "zero" ]) ]);
+  let e = Saturate.export g ~root ~cost:(fun _ _ -> 1.0) in
+  Alcotest.(check bool) "cyclic export" true (Egraph.is_cyclic e);
+  (* and a valid (finite-cost) extraction still exists *)
+  let r = Greedy.extract e in
+  Alcotest.(check bool) "finite greedy cost" true (Float.is_finite r.Extractor.cost)
+
+(* saturation never loses equivalences: anything equal before stays equal *)
+let saturation_monotone =
+  qtest ~count:40 "unions survive further saturation"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Saturate.create () in
+      let atoms = [| "a"; "b"; "c" |] in
+      let rec random_term depth =
+        if depth = 0 || Rng.bool rng then atom atoms.(Rng.int rng 3)
+        else app "+" [ random_term (depth - 1); random_term (depth - 1) ]
+      in
+      let t1 = Saturate.add_term g (random_term 3) in
+      let t2 = Saturate.add_term g (random_term 3) in
+      ignore (Saturate.union g t1 t2);
+      Saturate.rebuild g;
+      ignore
+        (Saturate.run ~iter_limit:4 g
+           [ rule ~name:"comm" (papp "+" [ pvar "x"; pvar "y" ]) (papp "+" [ pvar "y"; pvar "x" ]) ]);
+      Saturate.find g t1 = Saturate.find g t2)
+
+(* -------------------------------------------------------------- scheduler *)
+
+let test_scheduler_bans_explosive_rule () =
+  let g = Saturate.create () in
+  ignore (Saturate.add_term g (app "f" [ atom "x" ]));
+  let explode = rule ~name:"grow" (papp "f" [ pvar "a" ]) (papp "f" [ papp "s" [ pvar "a" ] ]) in
+  let cfg = { Scheduler.default_config with Scheduler.match_limit = 2; iter_limit = 20; node_limit = 1000 } in
+  let report = Scheduler.run ~config:cfg g [ explode ] in
+  let bans = List.assoc "grow" report.Scheduler.banned_total in
+  Alcotest.(check bool) (Printf.sprintf "rule was banned (%d times)" bans) true (bans > 0);
+  Alcotest.(check bool) "stayed well under the node limit" true
+    (report.Scheduler.final_nodes < 1000)
+
+let test_scheduler_matches_plain_run_on_tame_rules () =
+  (* on a non-explosive rule set the scheduler reaches the same closure *)
+  let build () =
+    let g = Saturate.create () in
+    let t = Saturate.add_term g (app "+" [ app "+" [ atom "a"; atom "b" ]; atom "c" ]) in
+    g, t
+  in
+  let rules =
+    [ rule ~name:"comm" (papp "+" [ pvar "x"; pvar "y" ]) (papp "+" [ pvar "y"; pvar "x" ]) ]
+  in
+  let g1, _ = build () in
+  ignore (Saturate.run g1 rules);
+  let g2, _ = build () in
+  let report = Scheduler.run g2 rules in
+  Alcotest.(check bool) "saturated" true report.Scheduler.saturated;
+  Alcotest.(check int) "same node count" (Saturate.num_nodes g1) (Saturate.num_nodes g2)
+
+let test_scheduler_preserves_equivalences () =
+  let g = Saturate.create () in
+  let t1 = Saturate.add_term g (app "+" [ atom "x"; atom "y" ]) in
+  ignore
+    (Scheduler.run g
+       [ rule ~name:"comm" (papp "+" [ pvar "a"; pvar "b" ]) (papp "+" [ pvar "b"; pvar "a" ]) ]);
+  let t2 = Saturate.add_term g (app "+" [ atom "y"; atom "x" ]) in
+  Alcotest.(check int) "commuted forms merged" (Saturate.find g t1) (Saturate.find g t2)
+
+(* ----------------------------------------------------------- extract_term *)
+
+let test_extract_term_fig1 () =
+  let g = Fig1.egraph () in
+  let _, sol = Test_util.brute_force_optimum g in
+  let s = Option.get sol in
+  let term = Extract_term.of_solution g s in
+  Alcotest.(check string) "optimal term" "(+ (+ one (sq (tan alpha))) (tan alpha))"
+    (Term.to_string term)
+
+let test_extract_term_rejects_invalid () =
+  let g = Fig1.egraph () in
+  let bogus = { Egraph.Solution.choice = Array.make (Egraph.num_classes g) None } in
+  Alcotest.check_raises "invalid"
+    (Invalid_argument "Extract_term: invalid solution (incomplete or cyclic)") (fun () ->
+      ignore (Extract_term.of_solution g bogus))
+
+let test_extract_dag_shares () =
+  let g = Fig1.egraph () in
+  let _, sol = Test_util.brute_force_optimum g in
+  let s = Option.get sol in
+  let dag = Extract_term.dag_of_solution g s in
+  (* one binder per selected class; tan appears once though used twice *)
+  Alcotest.(check int) "binder count" (List.length (Egraph.Solution.selected_nodes g s))
+    (List.length dag);
+  let tans = List.filter (fun (_, parts) -> List.hd parts = "tan") dag in
+  Alcotest.(check int) "tan bound once" 1 (List.length tans);
+  let rendered = Extract_term.render_dag dag in
+  Alcotest.(check bool) "let-form" true
+    (String.length rendered > 0 && String.sub rendered 0 4 = "let ")
+
+let extract_term_cost_consistent =
+  qtest ~count:60 "term size counts tree nodes; dag binders count dag nodes"
+    QCheck2.Gen.(pair (Test_util.arb_egraph ~max_classes:6 ()) (int_bound 1_000_000))
+    (fun (g, seed) ->
+      let rng = Rng.create seed in
+      let pick =
+        Array.map (fun members -> members.(Rng.int rng (Array.length members))) g.Egraph.class_nodes
+      in
+      let s = Egraph.Solution.of_node_choice g pick in
+      let term = Extract_term.of_solution g s in
+      let dag = Extract_term.dag_of_solution g s in
+      Term.size term >= List.length dag
+      && List.length dag = List.length (Egraph.Solution.selected_nodes g s))
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "basics" `Quick test_term_basics;
+          Alcotest.test_case "pattern vars" `Quick test_pattern_vars;
+          Alcotest.test_case "rule validation" `Quick test_rule_validation;
+          Alcotest.test_case "bidirectional" `Quick test_bidirectional;
+        ] );
+      ( "saturate",
+        [
+          Alcotest.test_case "hashcons" `Quick test_hashcons;
+          Alcotest.test_case "union + congruence" `Quick test_union_congruence;
+          Alcotest.test_case "congruence cascades" `Quick test_congruence_cascades;
+          Alcotest.test_case "ematch" `Quick test_ematch;
+          Alcotest.test_case "commutativity" `Quick test_saturation_commutativity;
+          Alcotest.test_case "assoc+comm closure" `Quick test_saturation_assoc_comm_closure;
+          Alcotest.test_case "node limit" `Quick test_node_limit_respected;
+          Alcotest.test_case "export matches direct (fig1)" `Quick test_export_matches_direct;
+          Alcotest.test_case "export reachability" `Quick test_export_reachability;
+          Alcotest.test_case "cycle-creating rule" `Quick test_cycle_creating_rule;
+          saturation_monotone;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "bans explosive rules" `Quick test_scheduler_bans_explosive_rule;
+          Alcotest.test_case "matches plain run on tame rules" `Quick
+            test_scheduler_matches_plain_run_on_tame_rules;
+          Alcotest.test_case "preserves equivalences" `Quick test_scheduler_preserves_equivalences;
+        ] );
+      ( "extract_term",
+        [
+          Alcotest.test_case "fig1 optimal term" `Quick test_extract_term_fig1;
+          Alcotest.test_case "rejects invalid" `Quick test_extract_term_rejects_invalid;
+          Alcotest.test_case "dag sharing" `Quick test_extract_dag_shares;
+          extract_term_cost_consistent;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+(* Shared helpers for the test-suite: a brute-force extraction oracle for
+   tiny e-graphs and reproducible random e-graph generators. *)
+
+(* Enumerate every per-class choice assignment, validate, and return the
+   minimum DAG cost and witnessing solution. Exponential — only for
+   e-graphs whose choice-space product is small. *)
+let brute_force_optimum ?(limit = 2_000_000) g =
+  let m = Egraph.num_classes g in
+  let space =
+    Array.fold_left
+      (fun acc members -> acc * Array.length members)
+      1 g.Egraph.class_nodes
+  in
+  if space > limit || space <= 0 then
+    invalid_arg (Printf.sprintf "brute_force_optimum: %d assignments is too many" space);
+  let pick = Array.map (fun members -> members.(0)) g.Egraph.class_nodes in
+  let indices = Array.make m 0 in
+  let best_cost = ref infinity in
+  let best = ref None in
+  let rec enumerate c =
+    if c = m then begin
+      let s = Egraph.Solution.of_node_choice g pick in
+      let cost = Egraph.Solution.dag_cost g s in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := Some s
+      end
+    end
+    else
+      for i = 0 to Array.length g.Egraph.class_nodes.(c) - 1 do
+        indices.(c) <- i;
+        pick.(c) <- g.Egraph.class_nodes.(c).(i);
+        enumerate (c + 1)
+      done
+  in
+  enumerate 0;
+  !best_cost, !best
+
+(* Random e-graph: [classes] e-classes, each with 1..max_class_size
+   nodes; children drawn from earlier classes (guaranteeing a DAG and
+   derivability) except that with probability [cycle_prob] a node also
+   points at a later (or its own) class, introducing cycles. Class 0 is
+   the root. *)
+let random_egraph ?(max_class_size = 3) ?(max_children = 2) ?(cycle_prob = 0.0) rng ~classes =
+  let b = Egraph.Builder.create ~name:"random" () in
+  let ids = Array.init classes (fun _ -> Egraph.Builder.add_class b) in
+  (* Build bottom-up: class k may reference classes k+1.. (children are
+     later indices so that index 0 can be the root). *)
+  for c = classes - 1 downto 0 do
+    let node_count = 1 + Rng.int rng max_class_size in
+    for _ = 1 to node_count do
+      let children = ref [] in
+      if c < classes - 1 then begin
+        let kid_count = Rng.int rng (max_children + 1) in
+        for _ = 1 to kid_count do
+          children := ids.(c + 1 + Rng.int rng (classes - c - 1)) :: !children
+        done
+      end;
+      if Rng.uniform rng < cycle_prob then
+        (* a backward (or self) reference: candidate cycle *)
+        children := ids.(Rng.int rng (c + 1)) :: !children;
+      ignore
+        (Egraph.Builder.add_node b ~cls:ids.(c)
+           ~op:(Printf.sprintf "op%d" (Rng.int rng 8))
+           ~cost:(float_of_int (Rng.int rng 20))
+           ~children:!children)
+    done
+  done;
+  Egraph.Builder.freeze b ~root:ids.(0)
+
+(* QCheck arbitrary wrapper: seeds drawn by qcheck, e-graph derived
+   deterministically. *)
+let arb_egraph ?(max_classes = 8) ?(cycle_prob = 0.0) () =
+  QCheck2.Gen.map
+    (fun (seed, classes) ->
+      let rng = Rng.create seed in
+      random_egraph ~cycle_prob rng ~classes)
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 max_classes))
+
+let float_close ?(tol = 1e-6) a b =
+  if Float.is_finite a && Float.is_finite b then
+    Float.abs (a -. b) <= tol *. (1.0 +. Float.abs a +. Float.abs b)
+  else a = b
+
+let check_close ?tol ~msg a b =
+  if not (float_close ?tol a b) then
+    Alcotest.failf "%s: %.12g vs %.12g" msg a b
