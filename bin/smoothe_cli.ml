@@ -99,7 +99,8 @@ let method_conv =
       ("portfolio", `Portfolio);
     ]
 
-let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~show_term =
+let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~health
+    ~show_term =
   let result =
     match method_ with
     | `Greedy -> Greedy.extract g
@@ -120,10 +121,15 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~s
         let out =
           Portfolio.extract
             ~config:{ Portfolio.default_config with Portfolio.time_budget = time_limit }
-            (Rng.create seed) g
+            ~health (Rng.create seed) g
         in
         List.iter
-          (fun m -> Format.printf "  member %a@." Extractor.pp m.Portfolio.result)
+          (fun m ->
+            Format.printf "  member %a%s@." Extractor.pp m.Portfolio.result
+              (match m.Portfolio.status with
+              | Portfolio.Completed -> ""
+              | Portfolio.Timed_out -> " [timed out]"
+              | Portfolio.Faulted e -> Printf.sprintf " [faulted: %s]" e))
           out.Portfolio.members;
         out.Portfolio.best
     | `Smoothe ->
@@ -138,7 +144,7 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~s
             lambda_ = lambda;
           }
         in
-        let run = Smoothe_extract.extract ~config g in
+        let run = Smoothe_extract.extract ~config ~health g in
         Printf.printf "iterations=%d batch=%d prop_iters=%d (loss %.2fs / grad %.2fs / sample %.2fs)\n"
           run.Smoothe_extract.iterations run.Smoothe_extract.batch_used
           run.Smoothe_extract.prop_iters
@@ -188,15 +194,56 @@ let seed_flag = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Random 
 let show_term_flag =
   Arg.(value & flag & info [ "show-term" ] ~doc:"Print the extracted program (DAG form).")
 
+let fault_plan_flag =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault injection: comma-separated $(b,nan\\@K) (poison the K-th \
+           gradient), $(b,mem\\@SCALE) (memory pressure), $(b,stall) (LP solver stall), \
+           $(b,skew\\@S) (clock jump). The run must still return a valid extraction.")
+
+let health_report_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "health-report" ]
+        ~doc:"Print the supervision log: injected faults, recoveries, deratings, timeouts.")
+
+let parse_fault_plan spec =
+  match Fault_plan.of_string spec with
+  | plan -> plan
+  | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
 let extract_cmd =
-  let run spec method_ time_limit batch iters assumption lambda seed show_term =
+  let run spec method_ time_limit batch iters assumption lambda seed fault_plan health_report
+      show_term =
     let g = load_egraph spec in
-    ignore (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~show_term)
+    let health = Health.create () in
+    let finish () =
+      (* injections fired inside unsupervised methods (greedy, plain
+         ILP, ...) are still reported *)
+      List.iter
+        (fun what -> Health.record health ~member:"cli" Health.Fault_injected what)
+        (Fault_plan.drain_injections ());
+      if health_report then
+        if Health.is_empty health then Format.printf "health: healthy@."
+        else Format.printf "health: %s@.%a@." (Health.summary health) Health.pp health
+    in
+    Fault_plan.with_plan (parse_fault_plan fault_plan) (fun () ->
+        Fun.protect ~finally:finish (fun () ->
+            ignore
+              (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed
+                 ~health ~show_term)))
   in
   Cmd.v (Cmd.info "extract" ~doc:"Extract an optimised program from an e-graph.")
     Term.(
       const run $ instance_arg $ method_flag $ time_limit_flag $ batch_flag $ iters_flag
-      $ assumption_flag $ lambda_flag $ seed_flag $ show_term_flag)
+      $ assumption_flag $ lambda_flag $ seed_flag $ fault_plan_flag $ health_report_flag
+      $ show_term_flag)
 
 (* --------------------------------------------------------------- compare *)
 
@@ -211,7 +258,7 @@ let compare_cmd =
       (fun method_ ->
         ignore
           (run_method g ~method_ ~time_limit ~batch:16 ~iters:150 ~assumption:"hybrid"
-             ~lambda:100.0 ~seed:7 ~show_term:false))
+             ~lambda:100.0 ~seed:7 ~health:(Health.create ()) ~show_term:false))
       methods
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every extraction method on one e-graph.")

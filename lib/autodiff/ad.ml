@@ -34,8 +34,11 @@ let owner n = n.tp
 
 let backward out =
   let tp = owner out in
-  (* Seed with ones: differentiates the sum of the output's entries. *)
-  Tensor.fill (grad_tensor out) 1.0;
+  (* Seed with ones: differentiates the sum of the output's entries.
+     An active NaN-gradient fault poisons the seed instead, so the NaN
+     flows through the whole tape exactly like a real numeric blow-up
+     and downstream guards see a fully contaminated gradient. *)
+  Tensor.fill (grad_tensor out) (if Fault_plan.on_backward () then Float.nan else 1.0);
   for i = Vec.length tp.nodes - 1 downto 0 do
     let n = Vec.get tp.nodes i in
     match n.pull, n.grad with

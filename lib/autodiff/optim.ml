@@ -25,6 +25,12 @@ let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr params =
   }
 
 let set_lr opt lr = opt.lr <- lr
+let lr opt = opt.lr
+
+let reset opt =
+  opt.step <- 0;
+  Array.iter (fun t -> Tensor.fill t 0.0) opt.m;
+  Array.iter (fun t -> Tensor.fill t 0.0) opt.v
 
 let adam_step opt grads =
   let grads = Array.of_list grads in

@@ -18,6 +18,13 @@ val adam_step : adam -> Tensor.t list -> unit
 
 val set_lr : adam -> float -> unit
 
+val lr : adam -> float
+
+val reset : adam -> unit
+(** Zero the first/second-moment estimates and the step counter,
+    keeping the parameters themselves. Numeric recovery uses this to
+    discard moment state contaminated by a non-finite gradient. *)
+
 val sgd_step : lr:float -> params:Tensor.t list -> grads:Tensor.t list -> unit
 
 val clip_grad_norm : max_norm:float -> Tensor.t list -> float

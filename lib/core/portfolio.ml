@@ -1,6 +1,8 @@
-type member = { member_name : string; result : Extractor.r }
+type status = Completed | Timed_out | Faulted of string
 
-type outcome = { best : Extractor.r; members : member list }
+type member = { member_name : string; result : Extractor.r; status : status }
+
+type outcome = { best : Extractor.r; members : member list; health : Health.event list }
 
 type config = {
   time_budget : float;
@@ -21,19 +23,21 @@ let default_config =
     smoothe = Smoothe_config.default;
   }
 
-let extract ?(config = default_config) ?model rng g =
+let extract ?(config = default_config) ?model ?health rng g =
   let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
+  let log = Health.create () in
   let members = ref [] in
-  let record name (r : Extractor.r) =
+  let record ?(status = Completed) name (r : Extractor.r) =
     (* re-score under the evaluation model so members are comparable *)
     let rescored =
       Extractor.make_with_model ~trace:r.Extractor.trace ~notes:r.Extractor.notes
         ~proved_optimal:r.Extractor.proved_optimal ~method_name:r.Extractor.method_name
         ~time_s:r.Extractor.time_s ~model g r.Extractor.solution
     in
-    members := { member_name = name; result = rescored } :: !members
+    members := { member_name = name; result = rescored; status } :: !members
   in
-  (* free heuristics first *)
+  (* free heuristics first — the portfolio always has at least these,
+     whatever happens to the anytime members below *)
   record "heuristic" (Greedy.extract g);
   record "heuristic+" (Greedy_dag.extract g);
   (* split the remaining budget between the enabled anytime members *)
@@ -46,32 +50,63 @@ let extract ?(config = default_config) ?model rng g =
         ("genetic", config.use_genetic);
       ]
   in
-  let share =
-    config.time_budget /. float_of_int (max 1 (List.length anytime_members))
+  let n_anytime = max 1 (List.length anytime_members) in
+  let naive_share = config.time_budget /. float_of_int n_anytime in
+  (* one shared monotonic deadline for the whole portfolio: a member
+     that crashes or finishes early leaves its unused share to the
+     survivors *)
+  let portfolio_deadline = Timer.deadline_after config.time_budget in
+  let left = ref (List.length anytime_members) in
+  let supervised display_name share f =
+    let timeouts_before = Health.count ~member:display_name log Health.Timeout in
+    let outcome = Supervisor.run ~health:log ~name:display_name ~budget:share f in
+    let timed_out = Health.count ~member:display_name log Health.Timeout > timeouts_before in
+    match outcome with
+    | Supervisor.Finished r ->
+        record ~status:(if timed_out then Timed_out else Completed) display_name r
+    | Supervisor.Crashed { exn } ->
+        record ~status:(Faulted exn) display_name
+          (Extractor.failed ~method_name:display_name ~time_s:0.0)
   in
   List.iter
     (fun (name, _) ->
-      match name with
+      let share =
+        (* a tiny floor keeps a member whose budget is already gone from
+           getting an *unlimited* deadline (deadline_after treats <= 0
+           as "no limit") *)
+        let rem = Timer.remaining portfolio_deadline in
+        if Float.is_finite rem then
+          Float.max 1e-3 (rem /. float_of_int (max 1 !left))
+        else naive_share
+      in
+      decr left;
+      if share > naive_share *. 1.05 then
+        Health.record log ~member:name Health.Budget_reallocated
+          (Printf.sprintf "share grew to %.2fs (naive split %.2fs)" share naive_share);
+      (match name with
       | "smoothe" ->
           let smoothe_config = { config.smoothe with Smoothe_config.time_limit = share } in
-          record "smoothe" (Smoothe_extract.extract ~config:smoothe_config ~model g).Smoothe_extract.result
+          supervised "smoothe" share (fun _deadline ->
+              (Smoothe_extract.extract ~config:smoothe_config ~model ~health:log g)
+                .Smoothe_extract.result)
       | "ilp" ->
           (* ILP optimises the linear part only; with a non-linear model
              its solution is re-scored by [record] (the ILP* of §5.5) *)
           let warm = (Greedy_dag.extract g).Extractor.solution in
-          let name = if Cost_model.is_linear model then "ilp" else "ilp*" in
-          record name (Ilp.extract ~time_limit:share ?warm_start:warm ~profile:Bnb.cplex_like g)
+          let display = if Cost_model.is_linear model then "ilp" else "ilp*" in
+          supervised display share (fun _deadline ->
+              Ilp.extract ~time_limit:share ?warm_start:warm ~profile:Bnb.cplex_like g)
       | "annealing" ->
-          record "annealing"
-            (Annealing.extract
-               ~config:{ Annealing.default_config with Annealing.time_limit = share }
-               ~model rng g)
+          supervised "annealing" share (fun _deadline ->
+              Annealing.extract
+                ~config:{ Annealing.default_config with Annealing.time_limit = share }
+                ~model rng g)
       | "genetic" ->
-          record "genetic"
-            (Genetic.extract
-               ~config:{ Genetic.default_config with Genetic.time_limit = share }
-               ~model rng g)
-      | _ -> ())
+          supervised "genetic" share (fun _deadline ->
+              Genetic.extract
+                ~config:{ Genetic.default_config with Genetic.time_limit = share }
+                ~model rng g)
+      | _ -> ()))
     anytime_members;
   let members = List.rev !members in
   let winner =
@@ -83,8 +118,10 @@ let extract ?(config = default_config) ?model rng g =
             if m.result.Extractor.cost < best.result.Extractor.cost then Some m else Some best)
       None members
   in
+  (match health with Some shared -> Health.merge ~into:shared log | None -> ());
+  let health = Health.events log in
   match winner with
-  | None -> { best = Extractor.failed ~method_name:"portfolio" ~time_s:0.0; members }
+  | None -> { best = Extractor.failed ~method_name:"portfolio" ~time_s:0.0; members; health }
   | Some w ->
       let total_time =
         List.fold_left (fun acc m -> acc +. m.result.Extractor.time_s) 0.0 members
@@ -97,4 +134,4 @@ let extract ?(config = default_config) ?model rng g =
           notes = ("winner", w.member_name) :: w.result.Extractor.notes;
         }
       in
-      { best; members }
+      { best; members; health }

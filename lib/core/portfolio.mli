@@ -9,14 +9,23 @@
     with the remaining budget split between them. This is also how the
     evaluation harness builds its oracle baselines. *)
 
+type status =
+  | Completed  (** the member returned within its budget *)
+  | Timed_out  (** the member returned, but only after using its full share *)
+  | Faulted of string  (** the member crashed; the exception, printed *)
+
 type member = {
   member_name : string;
   result : Extractor.r;
+  status : status;
 }
 
 type outcome = {
   best : Extractor.r;  (** method_name "portfolio"; notes name the winner *)
   members : member list;  (** every method's individual result *)
+  health : Health.event list;
+      (** chronological supervision events: injected faults, numeric
+          recoveries, OOM deratings, timeouts, crashes, budget moves *)
 }
 
 type config = {
@@ -30,8 +39,18 @@ type config = {
 
 val default_config : config
 
-val extract : ?config:config -> ?model:Cost_model.t -> Rng.t -> Egraph.t -> outcome
+val extract :
+  ?config:config -> ?model:Cost_model.t -> ?health:Health.log -> Rng.t -> Egraph.t -> outcome
 (** Heuristics always run (they are effectively free). With a non-linear
     [model], the ILP member is skipped (it can only optimise the linear
     part, cf. ILP* in §5.5) unless [use_ilp] forces the linear
-    approximation, whose solution is then re-scored under [model]. *)
+    approximation, whose solution is then re-scored under [model].
+
+    Every anytime member runs under {!Supervisor.run} against one shared
+    portfolio deadline: a member that crashes is captured as a
+    [Faulted] member (the portfolio carries on), and budget a member
+    leaves unused — by crashing or by converging early — redistributes
+    to the members still waiting to run. Since the heuristics run first
+    and unsupervised, the portfolio always returns at least the greedy
+    result. Supervision events are returned in [outcome.health] and
+    appended to [?health] when given. *)

@@ -22,147 +22,308 @@ type run = {
   profile : profile;
   history : history_point list;
   oom : bool;
+  recoveries : int;
+  health : Health.event list;
 }
+
+let member = "smoothe"
+let max_recoveries = 5
 
 let init_theta rng ~batch ~width ~std =
   Tensor.init ~batch ~width (fun _ _ -> std *. Rng.gaussian rng)
 
-let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) g =
-  let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
-  let compiled = Relaxation.compile config g in
-  let fp =
-    Device.footprint g ~prop_iters:compiled.Relaxation.prop_iters
-      ~scc_decomposition:config.Smoothe_config.scc_decomposition
-      ~batched_matexp:config.Smoothe_config.batched_matexp
+(* The OOM derating ladder (most faithful configuration first). When the
+   requested configuration cannot fit even one seed, retry with the
+   memory optimisations of §4 forced on, then with a halved seed batch,
+   and finally on the big-RAM CPU baseline. Each step taken is recorded
+   as a Health.Oom_derate event. *)
+let derating_ladder config device =
+  let optimised =
+    {
+      config with
+      Smoothe_config.scc_decomposition = true;
+      Smoothe_config.batched_matexp = true;
+    }
   in
-  let max_batch = Device.max_batch device fp in
-  if max_batch = 0 then
-    {
-      result =
+  let halved =
+    { optimised with Smoothe_config.batch = max 1 (config.Smoothe_config.batch / 2) }
+  in
+  [
+    config, device, "as configured";
+    optimised, device, "scc decomposition + batched matexp forced on";
+    halved, device, "seed batch halved";
+    halved, Device.cpu_baseline, "fall back to CPU baseline";
+  ]
+
+type chosen = {
+  c_config : Smoothe_config.t;
+  c_device : Device.t;
+  c_compiled : Relaxation.compiled;
+  c_max_batch : int;
+  c_desc : string option;  (* Some desc when any derating step was taken *)
+}
+
+let select_configuration log config device g =
+  let fingerprint (cfg, (dev : Device.t), _) =
+    ( Smoothe_config.derive_prop_iters cfg g,
+      cfg.Smoothe_config.scc_decomposition,
+      cfg.Smoothe_config.batched_matexp,
+      cfg.Smoothe_config.batch,
+      dev.Device.device_name )
+  in
+  let rec walk seen derated = function
+    | [] -> None
+    | ((cfg, dev, desc) as attempt) :: rest ->
+        let fp_key = fingerprint attempt in
+        if List.mem fp_key seen then walk seen derated rest
+        else begin
+          let compiled = Relaxation.compile cfg g in
+          let fp =
+            Device.footprint g ~prop_iters:compiled.Relaxation.prop_iters
+              ~scc_decomposition:cfg.Smoothe_config.scc_decomposition
+              ~batched_matexp:cfg.Smoothe_config.batched_matexp
+          in
+          let max_batch = Device.max_batch dev fp in
+          if max_batch > 0 then
+            Some
+              {
+                c_config = cfg;
+                c_device = dev;
+                c_compiled = compiled;
+                c_max_batch = max_batch;
+                c_desc = (if derated then Some desc else None);
+              }
+          else begin
+            Health.record log ~member Health.Oom_derate
+              (Printf.sprintf "%s does not fit one seed on %s (%.2f GiB needed)" desc
+                 dev.Device.device_name
+                 (Device.bytes_for_batch fp 1 /. (1024.0 *. 1024.0 *. 1024.0)));
+            walk (fp_key :: seen) true rest
+          end
+        end
+  in
+  walk [] false (derating_ladder config device)
+
+let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?health g =
+  let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
+  let log = Health.create () in
+  let drain () =
+    List.iter
+      (fun what -> Health.record log ~member Health.Fault_injected what)
+      (Fault_plan.drain_injections ())
+  in
+  let finish run =
+    drain ();
+    (match health with Some shared -> Health.merge ~into:shared log | None -> ());
+    { run with health = Health.events log; recoveries = Health.count log Health.Recovery }
+  in
+  match select_configuration log config device g with
+  | None ->
+      (* even the last ladder rung OOMs: report failure, with the ladder
+         walk in the health log *)
+      Health.record log ~member Health.Degraded
+        (Printf.sprintf "OOM on every derating step (requested device %s)"
+           device.Device.device_name);
+      let compiled = Relaxation.compile config g in
+      finish
         {
-          (Extractor.failed ~method_name:"smoothe" ~time_s:0.0) with
-          Extractor.notes = [ ("oom", device.Device.device_name) ];
-        };
-      iterations = 0;
-      best_seed = -1;
-      batch_used = 0;
-      prop_iters = compiled.Relaxation.prop_iters;
-      profile = { loss_time = 0.0; grad_time = 0.0; sample_time = 0.0; total_time = 0.0 };
-      history = [];
-      oom = true;
-    }
-  else begin
-    let batch = min config.Smoothe_config.batch max_batch in
-    let rng = Rng.create config.Smoothe_config.seed in
-    let n = Egraph.num_nodes g in
-    let theta = init_theta rng ~batch ~width:n ~std:config.Smoothe_config.init_std in
-    let opt = Optim.adam ~lr:config.Smoothe_config.lr [ theta ] in
-    let deadline = Timer.deadline_after config.Smoothe_config.time_limit in
-    let loss_time = ref 0.0 and grad_time = ref 0.0 and sample_time = ref 0.0 in
-    let best_cost = ref infinity in
-    let best_solution = ref None in
-    let best_seed = ref (-1) in
-    let last_improvement = ref 0 in
-    let trace = ref [] in
-    let history = ref [] in
-    let iters_done = ref 0 in
-    let repair = config.Smoothe_config.repair_sampling in
-    Device.run device (fun () ->
-        let iter = ref 0 in
-        let stop = ref false in
-        while (not !stop) && !iter < config.Smoothe_config.max_iters do
-          incr iter;
-          iters_done := !iter;
-          (* forward, under the (possibly annealed) temperature *)
-          let temperature =
-            Float.max config.Smoothe_config.min_temperature
-              (config.Smoothe_config.temperature
-              *. (config.Smoothe_config.temperature_decay ** float_of_int (!iter - 1)))
-          in
-          let fwd, t_fwd =
-            Timer.time (fun () -> Relaxation.forward ~temperature compiled ~config ~model ~theta)
-          in
-          loss_time := !loss_time +. t_fwd;
-          (* backward + step *)
-          let (), t_bwd =
-            Timer.time (fun () ->
-                Ad.backward fwd.Relaxation.loss;
-                let grad = Ad.grad fwd.Relaxation.theta in
-                ignore (Optim.clip_grad_norm ~max_norm:100.0 [ grad ]);
-                Optim.adam_step opt [ grad ])
-          in
-          grad_time := !grad_time +. t_bwd;
-          (* sample every iteration (§3.5) *)
-          let sampled, t_smp =
-            Timer.time (fun () ->
-                Sampler.best_of_batch ~repair g ~model ~cp:(Ad.value fwd.Relaxation.cp))
-          in
-          sample_time := !sample_time +. t_smp;
-          let sampled_cost =
-            match sampled with
-            | Some (seed, s, cost) ->
-                if cost < !best_cost -. 1e-12 then begin
-                  best_cost := cost;
-                  best_solution := Some s;
-                  best_seed := seed;
-                  last_improvement := !iter;
-                  trace := (Timer.elapsed deadline, cost) :: !trace
-                end;
-                cost
-            | None -> infinity
-          in
-          (* relaxed loss of the best seed this iteration, for Fig. 9 *)
-          let relaxed_loss =
-            let per_seed = Ad.value fwd.Relaxation.per_seed_cost in
-            let h = Tensor.get (Ad.value fwd.Relaxation.penalty) 0 0 in
-            let best = ref infinity in
-            for b = 0 to batch - 1 do
-              let v = Tensor.get per_seed b 0 in
-              if v < !best then best := v
-            done;
-            !best +. (config.Smoothe_config.lambda_ *. h)
-          in
-          history :=
+          result =
             {
-              iter = !iter;
-              elapsed = Timer.elapsed deadline;
-              relaxed_loss;
-              sampled_cost;
-              incumbent = !best_cost;
-            }
-            :: !history;
-          if Timer.expired deadline then stop := true
-          else if
-            !best_solution <> None
-            && !iter - !last_improvement >= config.Smoothe_config.patience
-          then stop := true
-        done);
-    let total = !loss_time +. !grad_time +. !sample_time in
-    let result =
-      Extractor.make_with_model
-        ~trace:(List.rev !trace)
-        ~notes:
-          [
-            ("assumption", Smoothe_config.assumption_name config.Smoothe_config.assumption);
-            ("batch", string_of_int batch);
-            ("device", device.Device.device_name);
-          ]
-        ~method_name:"smoothe" ~time_s:total ~model g !best_solution
-    in
-    {
-      result;
-      iterations = !iters_done;
-      best_seed = !best_seed;
-      batch_used = batch;
-      prop_iters = compiled.Relaxation.prop_iters;
-      profile =
+              (Extractor.failed ~method_name:"smoothe" ~time_s:0.0) with
+              Extractor.notes = [ ("oom", device.Device.device_name) ];
+            };
+          iterations = 0;
+          best_seed = -1;
+          batch_used = 0;
+          prop_iters = compiled.Relaxation.prop_iters;
+          profile = { loss_time = 0.0; grad_time = 0.0; sample_time = 0.0; total_time = 0.0 };
+          history = [];
+          oom = true;
+          recoveries = 0;
+          health = [];
+        }
+  | Some { c_config; c_device; c_compiled; c_max_batch; c_desc } ->
+      let config = c_config and device = c_device and compiled = c_compiled in
+      let batch = min config.Smoothe_config.batch c_max_batch in
+      let rng = Rng.create config.Smoothe_config.seed in
+      let n = Egraph.num_nodes g in
+      let theta = init_theta rng ~batch ~width:n ~std:config.Smoothe_config.init_std in
+      let lr0 = config.Smoothe_config.lr in
+      let opt = Optim.adam ~lr:lr0 [ theta ] in
+      let deadline = Timer.deadline_after config.Smoothe_config.time_limit in
+      let loss_time = ref 0.0 and grad_time = ref 0.0 and sample_time = ref 0.0 in
+      let best_cost = ref infinity in
+      let best_solution = ref None in
+      let best_seed = ref (-1) in
+      let last_improvement = ref 0 in
+      let trace = ref [] in
+      let history = ref [] in
+      let iters_done = ref 0 in
+      let recoveries = ref 0 in
+      let repair = config.Smoothe_config.repair_sampling in
+      Device.run device (fun () ->
+          let iter = ref 0 in
+          let stop = ref false in
+          (* Numeric recovery: a non-finite loss or gradient must never
+             reach the Adam state or the incumbent. Each strike resets
+             the optimiser moments, backs the learning rate off by 2x,
+             and (from the second strike) re-randomises theta from a
+             fresh seed stream; after [max_recoveries] strikes the loop
+             stops and keeps its incumbent. *)
+          let recover what =
+            Health.record log ~member Health.Nan_detected
+              (Printf.sprintf "iteration %d: non-finite %s" !iter what);
+            incr recoveries;
+            if !recoveries > max_recoveries then begin
+              Health.record log ~member Health.Degraded
+                (Printf.sprintf "%d numeric recoveries exhausted; keeping incumbent"
+                   max_recoveries);
+              stop := true
+            end
+            else begin
+              Optim.reset opt;
+              let lr = lr0 *. (0.5 ** float_of_int !recoveries) in
+              Optim.set_lr opt lr;
+              let d = Tensor.unsafe_data theta in
+              if !recoveries >= 2 then begin
+                let seed = config.Smoothe_config.seed + (7919 * !recoveries) in
+                let rng' = Rng.create seed in
+                for i = 0 to Tensor.numel theta - 1 do
+                  d.(i) <- config.Smoothe_config.init_std *. Rng.gaussian rng'
+                done;
+                Health.record log ~member Health.Recovery
+                  (Printf.sprintf "adam reset, lr %.3g, theta re-randomised (seed %d)" lr seed)
+              end
+              else begin
+                for i = 0 to Tensor.numel theta - 1 do
+                  if not (Float.is_finite d.(i)) then d.(i) <- 0.0
+                done;
+                Health.record log ~member Health.Recovery
+                  (Printf.sprintf "adam reset, lr backed off to %.3g" lr)
+              end
+            end
+          in
+          while (not !stop) && !iter < config.Smoothe_config.max_iters do
+            incr iter;
+            iters_done := !iter;
+            (* forward, under the (possibly annealed) temperature *)
+            let temperature =
+              Float.max config.Smoothe_config.min_temperature
+                (config.Smoothe_config.temperature
+                *. (config.Smoothe_config.temperature_decay ** float_of_int (!iter - 1)))
+            in
+            let fwd, t_fwd =
+              Timer.time (fun () -> Relaxation.forward ~temperature compiled ~config ~model ~theta)
+            in
+            loss_time := !loss_time +. t_fwd;
+            let loss_ok = Tensor.all_finite (Ad.value fwd.Relaxation.loss) in
+            let grad_ok = ref false in
+            if loss_ok then begin
+              (* backward + step, guarded: a poisoned gradient skips the
+                 Adam update entirely *)
+              let (), t_bwd =
+                Timer.time (fun () ->
+                    Ad.backward fwd.Relaxation.loss;
+                    let grad = Ad.grad fwd.Relaxation.theta in
+                    if Tensor.all_finite grad then begin
+                      grad_ok := true;
+                      ignore (Optim.clip_grad_norm ~max_norm:100.0 [ grad ]);
+                      Optim.adam_step opt [ grad ]
+                    end)
+              in
+              grad_time := !grad_time +. t_bwd
+            end;
+            if loss_ok && !grad_ok then begin
+              (* sample every iteration (§3.5) *)
+              let sampled, t_smp =
+                Timer.time (fun () ->
+                    Sampler.best_of_batch ~repair g ~model ~cp:(Ad.value fwd.Relaxation.cp))
+              in
+              sample_time := !sample_time +. t_smp;
+              let sampled_cost =
+                match sampled with
+                | Some (seed, s, cost) ->
+                    if cost < !best_cost -. 1e-12 then begin
+                      best_cost := cost;
+                      best_solution := Some s;
+                      best_seed := seed;
+                      last_improvement := !iter;
+                      trace := (Timer.elapsed deadline, cost) :: !trace
+                    end;
+                    cost
+                | None -> infinity
+              in
+              (* relaxed loss of the best seed this iteration, for Fig. 9 *)
+              let relaxed_loss =
+                let per_seed = Ad.value fwd.Relaxation.per_seed_cost in
+                let h = Tensor.get (Ad.value fwd.Relaxation.penalty) 0 0 in
+                let best = ref infinity in
+                for b = 0 to batch - 1 do
+                  let v = Tensor.get per_seed b 0 in
+                  if v < !best then best := v
+                done;
+                !best +. (config.Smoothe_config.lambda_ *. h)
+              in
+              history :=
+                {
+                  iter = !iter;
+                  elapsed = Timer.elapsed deadline;
+                  relaxed_loss;
+                  sampled_cost;
+                  incumbent = !best_cost;
+                }
+                :: !history
+            end
+            else begin
+              recover (if loss_ok then "gradient" else "loss");
+              history :=
+                {
+                  iter = !iter;
+                  elapsed = Timer.elapsed deadline;
+                  relaxed_loss = Float.nan;
+                  sampled_cost = infinity;
+                  incumbent = !best_cost;
+                }
+                :: !history
+            end;
+            if Timer.expired deadline then stop := true
+            else if
+              !best_solution <> None
+              && !iter - !last_improvement >= config.Smoothe_config.patience
+            then stop := true
+          done);
+      let total = !loss_time +. !grad_time +. !sample_time in
+      let notes =
+        [
+          ("assumption", Smoothe_config.assumption_name config.Smoothe_config.assumption);
+          ("batch", string_of_int batch);
+          ("device", device.Device.device_name);
+        ]
+        @ (match c_desc with Some d -> [ ("derated", d) ] | None -> [])
+        @
+        if !recoveries > 0 then [ ("recoveries", string_of_int !recoveries) ] else []
+      in
+      let result =
+        Extractor.make_with_model
+          ~trace:(List.rev !trace)
+          ~notes ~method_name:"smoothe" ~time_s:total ~model g !best_solution
+      in
+      finish
         {
-          loss_time = !loss_time;
-          grad_time = !grad_time;
-          sample_time = !sample_time;
-          total_time = total;
-        };
-      history = List.rev !history;
-      oom = false;
-    }
-  end
+          result;
+          iterations = !iters_done;
+          best_seed = !best_seed;
+          batch_used = batch;
+          prop_iters = compiled.Relaxation.prop_iters;
+          profile =
+            {
+              loss_time = !loss_time;
+              grad_time = !grad_time;
+              sample_time = !sample_time;
+              total_time = total;
+            };
+          history = List.rev !history;
+          oom = false;
+          recoveries = 0;
+          health = [];
+        }

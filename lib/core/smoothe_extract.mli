@@ -31,16 +31,31 @@ type run = {
   prop_iters : int;
   profile : profile;
   history : history_point list;  (** chronological *)
-  oom : bool;  (** the device could not fit even one seed *)
+  oom : bool;  (** no derating step could fit even one seed *)
+  recoveries : int;  (** numeric recoveries applied during the run *)
+  health : Health.event list;  (** chronological supervision events *)
 }
 
 val extract :
   ?config:Smoothe_config.t ->
   ?model:Cost_model.t ->
   ?device:Device.t ->
+  ?health:Health.log ->
   Egraph.t ->
   run
 (** [model] defaults to the e-graph's linear costs; [device] defaults to
     {!Device.a100}. The device's memory model derates the configured
     batch (Table 5) and its backend selects vectorised or scalar kernels
-    (Figure 6). *)
+    (Figure 6).
+
+    The loop is supervised. A non-finite loss or gradient never reaches
+    the Adam state or the incumbent: the iteration is quarantined, the
+    optimiser moments reset, the learning rate backed off 2x per strike
+    (with θ re-randomised from a fresh seed stream from the second
+    strike), and after five strikes the loop degrades gracefully,
+    keeping its incumbent. If the device cannot fit even one seed, the
+    configuration is derated step by step (memory optimisations forced
+    on, seed batch halved, CPU-baseline fallback) before giving up.
+    Every such event lands in [health] (and in the shared [?health] log,
+    when given). A fault-free run takes none of these paths and behaves
+    bit-identically to the unsupervised loop. *)

@@ -86,14 +86,21 @@ let relaxed m tape p =
 
 let dense m x =
   if Array.length x <> Array.length m.u then invalid_arg "Cost_model.dense: dimension mismatch";
+  (* unselected nodes contribute nothing, even under a non-finite
+     coefficient — 0 * nan would otherwise poison every solution's cost
+     instead of only the solutions that actually select the bad node *)
   let lin = ref 0.0 in
-  Array.iteri (fun i u -> lin := !lin +. (u *. x.(i))) m.u;
+  Array.iteri (fun i u -> if x.(i) <> 0.0 then lin := !lin +. (u *. x.(i))) m.u;
   match m.kind with
   | Linear -> !lin
   | Mlp_corrected mlp -> !lin +. Mlp.predict mlp x
   | Pairwise { ia; ib; w } ->
       let quad = ref 0.0 in
-      Array.iteri (fun k wk -> quad := !quad +. (wk *. x.(ia.(k)) *. x.(ib.(k)))) w;
+      Array.iteri
+        (fun k wk ->
+          let xa = x.(ia.(k)) and xb = x.(ib.(k)) in
+          if xa <> 0.0 && xb <> 0.0 then quad := !quad +. (wk *. xa *. xb))
+        w;
       !lin +. !quad
 
 let dense_solution m g s =

@@ -33,6 +33,9 @@ let footprint g ~prop_iters ~scc_decomposition ~batched_matexp =
   let n = float_of_int (Egraph.num_nodes g) in
   let m = float_of_int (Egraph.num_classes g) in
   let e = float_of_int (Egraph.num_edges g) in
+  (* an active memory-pressure fault inflates every footprint, as if a
+     co-tenant grabbed part of the device *)
+  let calibration_scale = calibration_scale *. Fault_plan.mem_pressure () in
   let per_seed_bytes =
     calibration_scale *. 8.0 *. float_of_int prop_iters *. (n +. m +. (2.0 *. e))
   in

@@ -372,8 +372,14 @@ module Serial = struct
 
   let of_string text =
     let lines = String.split_on_char '\n' text in
+    (* every parse error names its line; no exception re-wrapping *)
+    let fail lineno fmt =
+      Printf.ksprintf
+        (fun m -> failwith (Printf.sprintf "Egraph.Serial.of_string: line %d: %s" lineno m))
+        fmt
+    in
     let name = ref "egraph" in
-    let root = ref (-1) in
+    let root = ref None in
     let builder = ref None in
     let get_builder () =
       match !builder with
@@ -390,26 +396,70 @@ module Serial = struct
         ignore (Builder.add_class b)
       done
     in
-    let parse_line line =
+    (* class -> the first line that referenced it as a child, so a class
+       that never receives an e-node is reported where it was used *)
+    let child_refs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let node_count : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let class_id lineno what s =
+      match int_of_string_opt s with
+      | Some c when c >= 0 -> c
+      | Some _ -> fail lineno "negative %s %S" what s
+      | None -> fail lineno "bad %s %S (expected an integer)" what s
+    in
+    let parse_line lineno line =
       match String.split_on_char ' ' (String.trim line) with
       | [ "" ] | [] -> ()
       | "egraph" :: rest -> name := String.concat " " rest
-      | [ "classes"; k ] -> ensure_classes (get_builder ()) (int_of_string k - 1)
-      | [ "root"; r ] ->
-          root := int_of_string r;
-          ensure_classes (get_builder ()) !root
+      | [ "classes"; k ] ->
+          ensure_classes (get_builder ()) (class_id lineno "class count" k - 1)
+      | [ "root"; r ] -> (
+          let r = class_id lineno "root class" r in
+          match !root with
+          | Some (first_root, first_line) ->
+              fail lineno "duplicate root %d (root %d already declared on line %d)" r
+                first_root first_line
+          | None ->
+              root := Some (r, lineno);
+              ensure_classes (get_builder ()) r)
       | "node" :: cls :: cost :: op :: kids ->
           let b = get_builder () in
-          let cls = int_of_string cls in
-          let kids = List.map int_of_string kids in
+          let cls = class_id lineno "e-class id" cls in
+          let cost =
+            match float_of_string_opt cost with
+            | Some c -> c
+            | None -> fail lineno "bad cost %S (expected a float)" cost
+          in
+          let kids = List.map (class_id lineno "child class") kids in
           List.iter (ensure_classes b) (cls :: kids);
-          ignore (Builder.add_node b ~cls ~op ~cost:(float_of_string cost) ~children:kids)
-      | _ -> failwith (Printf.sprintf "Egraph.Serial.of_string: bad line %S" line)
+          List.iter
+            (fun k -> if not (Hashtbl.mem child_refs k) then Hashtbl.add child_refs k lineno)
+            kids;
+          Hashtbl.replace node_count cls
+            (1 + Option.value ~default:0 (Hashtbl.find_opt node_count cls));
+          ignore (Builder.add_node b ~cls ~op ~cost ~children:kids)
+      | keyword :: _ when List.mem keyword [ "classes"; "root" ] ->
+          fail lineno "malformed %s line %S" keyword (String.trim line)
+      | _ ->
+          fail lineno "unrecognised line %S (expected egraph/classes/root/node)"
+            (String.trim line)
     in
-    (try List.iter parse_line lines
-     with Failure _ as e -> raise e | e -> failwith (Printexc.to_string e));
-    if !root < 0 then failwith "Egraph.Serial.of_string: missing root";
-    Builder.freeze (get_builder ()) ~root:!root
+    List.iteri (fun i line -> parse_line (i + 1) line) lines;
+    let nodes_in cls = Option.value ~default:0 (Hashtbl.find_opt node_count cls) in
+    (* dangling children: used in some node's child list, never given an
+       e-node — freeze would reject them too, but without the line *)
+    let dangling =
+      Hashtbl.fold (fun cls lineno acc -> if nodes_in cls = 0 then (cls, lineno) :: acc else acc)
+        child_refs []
+    in
+    (match List.sort compare dangling with
+    | (cls, lineno) :: _ ->
+        fail lineno "class %d is referenced as a child but has no e-nodes" cls
+    | [] -> ());
+    match !root with
+    | None -> failwith "Egraph.Serial.of_string: missing root declaration"
+    | Some (r, lineno) ->
+        if nodes_in r = 0 then fail lineno "root class %d has no e-nodes" r;
+        Builder.freeze (get_builder ()) ~root:r
 
   let write_file path g =
     let oc = open_out path in

@@ -55,7 +55,7 @@ let extract ?(config = default_config) ?model rng g =
     let temp = ref config.t_start in
     (try
        for step = 1 to config.steps do
-         if step land 255 = 0 && Timer.expired deadline then raise Exit;
+         if Timer.poll deadline step then raise Exit;
          if Array.length flippable > 0 then begin
            let c = flippable.(Rng.int rng (Array.length flippable)) in
            let old_gene = genes.(c) in

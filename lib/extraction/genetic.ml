@@ -47,13 +47,33 @@ let extract ?(config = default_config) ?model rng g =
   let trace = ref [] in
   let best = ref None in
   let best_fitness = ref infinity in
+  let quarantined = ref 0 in
+  (* NaN is the "not yet evaluated" sentinel, so an individual whose
+     *cost* is NaN (a poisoned cost model, say) must never keep it:
+     tournament comparisons against NaN are all false and the rot
+     spreads through selection. Quarantine such individuals — re-seed
+     their genes (bounded retries) and failing that pin fitness to
+     +inf so selection discards them. *)
   let evaluate ind =
     if Float.is_nan ind.fitness then begin
-      let s = decode g ind.genes in
-      ind.fitness <- Cost_model.dense_solution model g s;
+      let s = ref (decode g ind.genes) in
+      let f = ref (Cost_model.dense_solution model g !s) in
+      if Float.is_nan !f then begin
+        incr quarantined;
+        let retries = ref 0 in
+        while Float.is_nan !f && !retries < 3 do
+          incr retries;
+          let genes = random_genes rng g in
+          Array.blit genes 0 ind.genes 0 (Array.length genes);
+          s := decode g ind.genes;
+          f := Cost_model.dense_solution model g !s
+        done;
+        if Float.is_nan !f then f := infinity
+      end;
+      ind.fitness <- !f;
       if ind.fitness < !best_fitness then begin
         best_fitness := ind.fitness;
-        best := Some s;
+        best := Some !s;
         trace := (Timer.elapsed deadline, ind.fitness) :: !trace
       end
     end;
@@ -115,4 +135,8 @@ let extract ?(config = default_config) ?model rng g =
     done
   in
   let (), time_s = Timer.time run in
-  Extractor.make_with_model ~trace:(List.rev !trace) ~method_name:"genetic" ~time_s ~model g !best
+  let notes =
+    if !quarantined > 0 then [ ("quarantined", string_of_int !quarantined) ] else []
+  in
+  Extractor.make_with_model ~trace:(List.rev !trace) ~notes ~method_name:"genetic" ~time_s
+    ~model g !best

@@ -150,9 +150,11 @@ let table3 bank =
             Array.of_list (List.map (fun r -> r.Smoothe_extract.result.Extractor.time_s) runs)
           in
           let smoothe_cell =
-            Printf.sprintf "%s / %s"
+            let recovered = Runbank.smoothe_recoveries bank ds inst in
+            Printf.sprintf "%s / %s%s"
               (Report.pm (Stats.mean costs) (Stats.max_abs_diff costs))
               (Report.pm (Stats.mean times) (Stats.max_abs_diff times))
+              (if recovered > 0 then Printf.sprintf " [r%d]" recovered else "")
           in
           Report.row
             ([ ds_name; inst.Registry.inst_name ]

@@ -63,6 +63,16 @@ let smoothe_runs t ds inst =
       Hashtbl.replace t.smoothe inst.Registry.inst_name runs;
       runs
 
+let smoothe_recoveries t ds inst =
+  List.fold_left
+    (fun acc run ->
+      acc + run.Smoothe_extract.recoveries
+      + List.length
+          (List.filter
+             (fun e -> e.Health.kind = Health.Oom_derate)
+             run.Smoothe_extract.health))
+    0 (smoothe_runs t ds inst)
+
 let genetic t inst =
   memo t inst "genetic" (fun () ->
       Genetic.extract ~config:t.budget.Budget.genetic (Rng.create 2024) (egraph t inst))

@@ -24,6 +24,11 @@ val smoothe_runs : t -> Registry.dataset -> Registry.instance -> Smoothe_extract
 (** [budget.smoothe_runs] repetitions with distinct seeds, under the
     dataset's Table 2 correlation assumption. *)
 
+val smoothe_recoveries : t -> Registry.dataset -> Registry.instance -> int
+(** Numeric recoveries plus OOM derating steps summed over the cached
+    SmoothE repetitions — non-zero marks a degraded (but survived) row
+    in the bench tables. *)
+
 val genetic : t -> Registry.instance -> Extractor.r
 
 val oracle : t -> Registry.dataset -> Registry.instance -> float

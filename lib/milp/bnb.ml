@@ -149,7 +149,7 @@ let solve (p : Lp.problem) ~integer_vars options =
   in
   let rec loop () =
     if Heap.is_empty frontier then exhausted := true
-    else if Timer.expired deadline || !nodes >= options.node_limit then hit_limit := true
+    else if Timer.poll deadline !nodes || !nodes >= options.node_limit then hit_limit := true
     else begin
       let node = Heap.pop frontier in
       if node.bound >= !incumbent_obj -. 1e-9 then loop ()

@@ -144,7 +144,7 @@ let run_phase ?(deadline = Timer.no_deadline) tb cost ~allowed =
   let reduced = Array.make tb.ncols 0.0 in
   let iter_cap = (50 * (tb.m + tb.ncols)) + 1000 in
   let rec loop iter bland =
-    if iter land 63 = 0 && Timer.expired deadline then Ptimeout
+    if Timer.poll deadline iter then Ptimeout
     else if iter > iter_cap then Ptimeout
     else begin
       (* reduced costs: c_j - c_B B^{-1} A_j, read off the tableau *)
@@ -220,6 +220,10 @@ let tableau_cells p =
 let solve ?(deadline = Timer.no_deadline) p =
   if p.nvars = 0 then Optimal { x = [||]; obj = 0.0 }
   else if tableau_cells p > max_tableau_cells then Timeout
+  else if Fault_plan.stall_solver deadline then
+    (* injected stall: the solver makes no progress until its deadline
+       passes, exactly like a pathological simplex instance *)
+    Timeout
   else begin
     let tb = build_tableau p in
     let has_artificials = tb.art_start < tb.ncols in

@@ -1,4 +1,12 @@
-let now () = Unix.gettimeofday ()
+(* Clock skew is a testability hook: the fault-injection framework can
+   shift the apparent wall clock forward so deadline handling under
+   clock jumps is exercisable without real waiting. Zero in production. *)
+let skew = ref 0.0
+
+let set_skew s = skew := s
+let get_skew () = !skew
+
+let now () = Unix.gettimeofday () +. !skew
 
 type deadline = { start : float; limit : float }
 
@@ -14,6 +22,20 @@ let remaining d =
   if d.limit = infinity then infinity else Float.max 0.0 (d.limit -. now ())
 
 let elapsed d = now () -. d.start
+
+(* Every long-running solver polls its deadline at the same granularity
+   so watchdog latency is bounded and consistent across members
+   (previously annealing checked every 256 steps and the LP every 64
+   iterations). *)
+let check_every = 128
+
+let poll d i = i land (check_every - 1) = 0 && expired d
+
+let sleep_until d =
+  if d.limit < infinity then
+    while not (expired d) do
+      Unix.sleepf (Float.min 0.002 (Float.max 0.0001 (remaining d)))
+    done
 
 let time f =
   let start = now () in

@@ -6,7 +6,16 @@
     long-running solver polls. *)
 
 val now : unit -> float
-(** Seconds since the epoch, sub-millisecond resolution. *)
+(** Seconds since the epoch, sub-millisecond resolution, plus any
+    configured skew (see {!set_skew}). *)
+
+val set_skew : float -> unit
+(** Shift the apparent clock forward by [s] seconds. Used by the
+    fault-injection framework to simulate clock jumps; every deadline
+    created before the shift expires [s] seconds early. Production code
+    never calls this. *)
+
+val get_skew : unit -> float
 
 type deadline
 
@@ -23,6 +32,22 @@ val remaining : deadline -> float
 
 val elapsed : deadline -> float
 (** Seconds since the deadline was created. *)
+
+val check_every : int
+(** The unified deadline-poll granularity shared by the cooperative
+    solvers (LP simplex iterations, branch-and-bound nodes, annealing
+    steps): a power of two, so {!poll} can mask instead of divide. *)
+
+val poll : deadline -> int -> bool
+(** [poll d i] is [expired d] evaluated only when [i] is a multiple of
+    {!check_every}; other calls return [false] without reading the
+    clock. Inner solver loops call this with their iteration counter so
+    watchdog latency is bounded by [check_every] iterations everywhere. *)
+
+val sleep_until : deadline -> unit
+(** Block (in small sleeps) until [d] expires; returns immediately for
+    {!no_deadline}. Used to simulate stalled solvers under fault
+    injection. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed seconds. *)

@@ -1,0 +1,152 @@
+type fault =
+  | Nan_grad of int
+  | Mem_pressure of float
+  | Solver_stall
+  | Clock_skew of float
+
+type t = fault list
+
+let none = []
+
+let is_none p = p = []
+
+let fault_to_string = function
+  | Nan_grad k -> Printf.sprintf "nan@%d" k
+  | Mem_pressure s -> Printf.sprintf "mem@%g" s
+  | Solver_stall -> "stall"
+  | Clock_skew s -> Printf.sprintf "skew@%g" s
+
+let to_string p = String.concat "," (List.map fault_to_string p)
+
+let fault_of_string spec =
+  let name, arg =
+    match String.index_opt spec '@' with
+    | Some i ->
+        ( String.sub spec 0 i,
+          Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    | None -> spec, None
+  in
+  let float_arg what =
+    match arg with
+    | None -> invalid_arg (Printf.sprintf "Fault_plan: %s needs an argument, e.g. %s" what spec)
+    | Some a -> (
+        match float_of_string_opt a with
+        | Some v when v > 0.0 -> v
+        | Some _ | None ->
+            invalid_arg (Printf.sprintf "Fault_plan: bad argument %S in %S" a spec))
+  in
+  match name with
+  | "nan" | "nan-grad" ->
+      let k = int_of_float (float_arg "nan@K") in
+      if k < 1 then invalid_arg "Fault_plan: nan@K needs K >= 1";
+      Nan_grad k
+  | "mem" | "mem-pressure" -> Mem_pressure (float_arg "mem@SCALE")
+  | "stall" ->
+      if arg <> None then
+        invalid_arg (Printf.sprintf "Fault_plan: stall takes no argument, got %S" spec);
+      Solver_stall
+  | "skew" | "clock-skew" -> Clock_skew (float_arg "skew@SECONDS")
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Fault_plan: unknown fault %S (expected nan@K, mem@SCALE, stall or skew@SECONDS)" spec)
+
+let of_string s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "" && s <> "none")
+  |> List.map fault_of_string
+
+(* ------------------------------------------------------------ ambient *)
+
+(* The active plan is ambient state: faults must reach the AD tape, the
+   device memory model and the LP inner loop without threading a value
+   through every signature. [install]/[clear] reset the deterministic
+   counters, so equal plans replay identically. *)
+let active_plan = ref none
+let backward_count = ref 0
+let skew_pending = ref 0.0
+let mem_noted = ref false
+let stall_noted = ref false
+let injections : string list ref = ref []
+
+let record_injection what = injections := what :: !injections
+
+let drain_injections () =
+  let out = List.rev !injections in
+  injections := [];
+  out
+
+let active () = !active_plan
+
+let clear () =
+  (match List.exists (function Clock_skew _ -> true | _ -> false) !active_plan with
+  | true -> Timer.set_skew 0.0
+  | false -> ());
+  active_plan := none;
+  backward_count := 0;
+  skew_pending := 0.0;
+  mem_noted := false;
+  stall_noted := false;
+  injections := []
+
+let install p =
+  clear ();
+  active_plan := p;
+  List.iter (function Clock_skew s -> skew_pending := !skew_pending +. s | _ -> ()) p
+
+let with_plan p f =
+  install p;
+  Fun.protect ~finally:clear f
+
+(* -------------------------------------------------------------- hooks *)
+
+let on_backward () =
+  match
+    List.find_opt (function Nan_grad _ -> true | _ -> false) !active_plan
+  with
+  | None -> false
+  | Some (Nan_grad k) ->
+      incr backward_count;
+      if !backward_count = k then begin
+        record_injection (Printf.sprintf "nan-grad at backward pass %d" k);
+        true
+      end
+      else false
+  | Some _ -> false
+
+let mem_pressure () =
+  match
+    List.find_opt (function Mem_pressure _ -> true | _ -> false) !active_plan
+  with
+  | Some (Mem_pressure s) ->
+      if not !mem_noted then begin
+        mem_noted := true;
+        record_injection (Printf.sprintf "memory pressure x%g" s)
+      end;
+      s
+  | Some _ | None -> 1.0
+
+let stall_active () =
+  List.exists (function Solver_stall -> true | _ -> false) !active_plan
+
+let stall_solver deadline =
+  if stall_active () then begin
+    if not !stall_noted then begin
+      stall_noted := true;
+      record_injection "solver stall"
+    end;
+    Timer.sleep_until deadline;
+    true
+  end
+  else false
+
+let trigger_clock_skew () =
+  if !skew_pending > 0.0 then begin
+    let s = !skew_pending in
+    skew_pending := 0.0;
+    Timer.set_skew (Timer.get_skew () +. s);
+    record_injection (Printf.sprintf "clock skew +%gs" s);
+    true
+  end
+  else false

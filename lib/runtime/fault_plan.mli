@@ -1,0 +1,90 @@
+(** Deterministic fault injection for the extraction runtime.
+
+    A fault plan describes failures to replay against a run so every
+    recovery path in {!Supervisor}, [Smoothe_extract] and [Portfolio] is
+    testable without flaky real-world triggers. Plans are deterministic:
+    installing the same plan twice replays the same faults at the same
+    points.
+
+    The plan is ambient (installed, not threaded): the instrumented
+    subsystems — the AD tape's backward pass, the device memory model,
+    the LP inner loop, the supervisor's deadline arming — query it
+    through the hooks below, which all answer "no fault" when nothing is
+    installed, so the fault-free path costs one list lookup. *)
+
+type fault =
+  | Nan_grad of int
+      (** Poison the gradient on the [k]-th backward pass (1-based)
+          after installation, at the tape root so NaN flows through the
+          whole tape exactly like a real numeric blow-up. *)
+  | Mem_pressure of float
+      (** Multiply every device footprint by this factor (> 1 shrinks
+          the effective memory), simulating external memory pressure. *)
+  | Solver_stall
+      (** LP phases make no progress and burn their whole deadline, the
+          classic pathological-simplex / stuck-solver failure. *)
+  | Clock_skew of float
+      (** The wall clock jumps forward by this many seconds the first
+          time a supervised member arms its deadline. *)
+
+type t = fault list
+
+val none : t
+val is_none : t -> bool
+
+val of_string : string -> t
+(** Parse a comma-separated plan: ["nan@10,mem@8,stall,skew@30"].
+    Accepted atoms: [nan@K], [mem@SCALE], [stall], [skew@SECONDS];
+    empty string and ["none"] give {!none}.
+    @raise Invalid_argument on malformed specs. *)
+
+val to_string : t -> string
+
+(** {1 Ambient installation} *)
+
+val install : t -> unit
+(** Make [p] the active plan and reset the deterministic fault
+    counters. Replaces any previously installed plan. *)
+
+val clear : unit -> unit
+(** Remove the active plan and undo ambient effects (clock skew). *)
+
+val with_plan : t -> (unit -> 'a) -> 'a
+(** [with_plan p f] runs [f] with [p] installed, clearing it afterwards
+    even on exceptions. *)
+
+val active : unit -> t
+
+(** {1 Hooks for instrumented subsystems} *)
+
+val on_backward : unit -> bool
+(** Called by [Ad.backward] once per backward pass; [true] means
+    "poison this pass's seed gradient with NaN". *)
+
+val mem_pressure : unit -> float
+(** Footprint multiplier for the device memory model; 1.0 when no
+    memory fault is active. *)
+
+val stall_active : unit -> bool
+
+val stall_solver : Timer.deadline -> bool
+(** Called by LP phases before iterating: under a stall fault, blocks
+    until [deadline] expires and returns [true] ("report timeout");
+    otherwise returns [false] immediately. A stall with no finite
+    deadline does not block ({!Timer.sleep_until} returns at once), so
+    an unsupervised call cannot hang forever. *)
+
+val trigger_clock_skew : unit -> bool
+(** Called by the supervisor after arming a member deadline; applies a
+    pending clock-skew fault (once) and reports whether it fired. *)
+
+(** {1 Injection records} *)
+
+val record_injection : string -> unit
+(** Note that a fault actually fired; instrumented subsystems call this
+    so deep components need no access to a health log. *)
+
+val drain_injections : unit -> string list
+(** Return and clear the fired-fault notes, in firing order. The
+    supervisor (or a standalone extractor) drains these into its
+    {!Health} log. *)

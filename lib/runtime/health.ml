@@ -1,0 +1,66 @@
+type kind =
+  | Fault_injected
+  | Nan_detected
+  | Recovery
+  | Oom_derate
+  | Timeout
+  | Member_failed
+  | Budget_reallocated
+  | Degraded
+
+type event = { at : float; member : string; kind : kind; detail : string }
+
+type log = { created : float; events : event Vec.t }
+
+let create () = { created = Timer.now (); events = Vec.create () }
+
+let record log ~member kind detail =
+  Vec.push log.events { at = Timer.now () -. log.created; member; kind; detail }
+
+let add log event = Vec.push log.events event
+
+let merge ~into src = Vec.iter (fun e -> Vec.push into.events e) src.events
+
+let events log = Vec.to_list log.events
+
+let is_empty log = Vec.length log.events = 0
+
+let count ?member log kind =
+  let matches e =
+    e.kind = kind && match member with None -> true | Some m -> e.member = m
+  in
+  Vec.fold_left (fun acc e -> if matches e then acc + 1 else acc) 0 log.events
+
+let recoveries log = count log Recovery + count log Oom_derate
+
+let kind_name = function
+  | Fault_injected -> "fault-injected"
+  | Nan_detected -> "nan-detected"
+  | Recovery -> "recovery"
+  | Oom_derate -> "oom-derate"
+  | Timeout -> "timeout"
+  | Member_failed -> "member-failed"
+  | Budget_reallocated -> "budget-reallocated"
+  | Degraded -> "degraded"
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%7.3fs] %-12s %-18s %s" e.at e.member (kind_name e.kind) e.detail
+
+let pp fmt log =
+  Vec.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) log.events
+
+let summary log =
+  let kinds =
+    [
+      Fault_injected; Nan_detected; Recovery; Oom_derate; Timeout; Member_failed;
+      Budget_reallocated; Degraded;
+    ]
+  in
+  let parts =
+    List.filter_map
+      (fun k ->
+        let n = count log k in
+        if n = 0 then None else Some (Printf.sprintf "%s=%d" (kind_name k) n))
+      kinds
+  in
+  if parts = [] then "healthy" else String.concat " " parts

@@ -1,0 +1,60 @@
+(** Structured health events for the supervised extraction runtime.
+
+    Every recoverable incident — an injected fault, a NaN caught before
+    it reaches the incumbent, an OOM derating step, a member timeout or
+    crash — is recorded as a typed event instead of surfacing as an
+    exception or a silent flag. Runs and portfolio outcomes carry their
+    event list so callers (CLI [--health-report], bench tables, tests)
+    can tell a clean run from a degraded one. *)
+
+type kind =
+  | Fault_injected  (** an installed fault actually fired *)
+  | Nan_detected  (** non-finite loss or gradient caught by a guard *)
+  | Recovery  (** Adam reset / learning-rate backoff / re-seed applied *)
+  | Oom_derate  (** a configuration step down the OOM derating ladder *)
+  | Timeout  (** a member exhausted its deadline *)
+  | Member_failed  (** a member raised; captured, not propagated *)
+  | Budget_reallocated  (** unused budget redistributed to later members *)
+  | Degraded  (** a component gave up recovering and kept its incumbent *)
+
+type event = {
+  at : float;  (** seconds since the log was created *)
+  member : string;  (** which extractor / component reported it *)
+  kind : kind;
+  detail : string;
+}
+
+type log
+(** A mutable, append-only event collector. *)
+
+val create : unit -> log
+
+val record : log -> member:string -> kind -> string -> unit
+
+val add : log -> event -> unit
+(** Append a pre-stamped event (used when merging logs). *)
+
+val merge : into:log -> log -> unit
+(** Append all of the source's events, timestamps preserved. *)
+
+val events : log -> event list
+(** Chronological. *)
+
+val is_empty : log -> bool
+
+val count : ?member:string -> log -> kind -> int
+
+val recoveries : log -> int
+(** Recovery + OOM-derate events: "how many times did the runtime save
+    this run". Surfaced by [Runbank] so bench tables can annotate
+    degraded runs. *)
+
+val kind_name : kind -> string
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> log -> unit
+
+val summary : log -> string
+(** One line, e.g. ["nan-detected=2 recovery=2"]; ["healthy"] when
+    empty. *)

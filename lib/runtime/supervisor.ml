@@ -1,0 +1,26 @@
+type 'a outcome =
+  | Finished of 'a
+  | Crashed of { exn : string }
+
+let drain_into health ~member =
+  List.iter
+    (fun what -> Health.record health ~member Health.Fault_injected what)
+    (Fault_plan.drain_injections ())
+
+let run ?(health = Health.create ()) ~name ~budget f =
+  let deadline = Timer.deadline_after budget in
+  if Fault_plan.trigger_clock_skew () then drain_into health ~member:name;
+  let outcome =
+    match f deadline with
+    | v -> Finished v
+    | exception e ->
+        Health.record health ~member:name Health.Member_failed (Printexc.to_string e);
+        Crashed { exn = Printexc.to_string e }
+  in
+  drain_into health ~member:name;
+  if Timer.expired deadline then
+    Health.record health ~member:name Health.Timeout
+      (Printf.sprintf "used full %.2fs budget" budget);
+  outcome
+
+let value ~default = function Finished v -> v | Crashed _ -> default

@@ -1,0 +1,27 @@
+(** Member supervision: run an extractor under a budget, capture faults.
+
+    [run] arms a monotonic deadline for the member, triggers any pending
+    clock-skew fault against it (so skew tolerance is testable), invokes
+    the member with the deadline for cooperative polling, and converts
+    every failure mode into {!Health} events instead of exceptions:
+
+    - a raised exception becomes a [Member_failed] event and a
+      {!Crashed} outcome;
+    - fired fault injections are drained into the log as
+      [Fault_injected] events;
+    - exhausting the budget is recorded as a [Timeout] event (the member
+      still returns whatever incumbent it holds — timing out is normal
+      for anytime members, fatal for none). *)
+
+type 'a outcome =
+  | Finished of 'a
+  | Crashed of { exn : string }
+
+val run :
+  ?health:Health.log -> name:string -> budget:float -> (Timer.deadline -> 'a) -> 'a outcome
+(** [run ~health ~name ~budget f] gives [f] a deadline [budget] seconds
+    out (non-positive budget = unlimited) and supervises it. [f] must
+    poll the deadline cooperatively ({!Timer.poll}); the supervisor
+    cannot preempt a member that ignores it. *)
+
+val value : default:'a -> 'a outcome -> 'a

@@ -193,6 +193,16 @@ let sum_rows t =
 
 let abs_max t = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 t.data
 
+let all_finite t =
+  let n = numel t in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if not (Float.is_finite (Array.unsafe_get t.data !i)) then ok := false;
+    incr i
+  done;
+  !ok
+
 let norm1_matrix t =
   if t.batch <> t.width then invalid_arg "Tensor.norm1_matrix: not square";
   let d = t.width in

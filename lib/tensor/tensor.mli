@@ -112,6 +112,11 @@ val sum_rows : t -> float array
 (** Per-batch-row sums: element [b] is the sum of row [b]. *)
 
 val abs_max : t -> float
+
+val all_finite : t -> bool
+(** False when any entry is NaN or ±infinity — the numeric-guard check
+    run on losses and gradients each iteration. *)
+
 val norm1_matrix : t -> float
 (** Maximum absolute column sum of a square matrix — the operator 1-norm
     used to pick the scaling power in {!Matfun.expm}. *)

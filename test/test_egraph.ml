@@ -273,6 +273,35 @@ let test_serial_malformed () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "garbage accepted"
 
+let serial_error msg_fragment text =
+  match Egraph.Serial.of_string text with
+  | exception Failure msg ->
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S (got %S)" msg_fragment msg)
+        true (has_sub msg msg_fragment)
+  | _ -> Alcotest.fail (Printf.sprintf "accepted input that should mention %S" msg_fragment)
+
+let test_serial_error_reporting () =
+  (* errors carry the offending line number and a specific cause *)
+  serial_error "line 2" "egraph x\nnode 0 notafloat leaf\nroot 0";
+  serial_error "bad cost" "egraph x\nnode 0 notafloat leaf\nroot 0";
+  serial_error "line 3" "egraph x\nroot 0\nnode zero 1.0 leaf";
+  (* duplicate roots report both declarations *)
+  serial_error "line 4" "egraph x\nroot 0\nnode 0 1.0 leaf\nroot 0";
+  serial_error "declared on line 2" "egraph x\nroot 0\nnode 0 1.0 leaf\nroot 1";
+  (* a class used as a child but never given an e-node, at its use site *)
+  serial_error "referenced as a child but has no e-nodes"
+    "egraph x\nroot 0\nnode 0 1.0 op 1";
+  serial_error "line 3" "egraph x\nroot 0\nnode 0 1.0 op 1";
+  (* an empty root class, at its declaration *)
+  serial_error "root class 1 has no e-nodes" "egraph x\nroot 1\nnode 0 1.0 leaf";
+  serial_error "missing root declaration" "egraph x\nnode 0 1.0 leaf"
+
 (* ------------------------------------------------------------------- gym *)
 
 let gym_sample =
@@ -391,6 +420,7 @@ let () =
           serial_roundtrip;
           Alcotest.test_case "serial file io" `Quick test_serial_file;
           Alcotest.test_case "serial malformed" `Quick test_serial_malformed;
+          Alcotest.test_case "serial error reporting" `Quick test_serial_error_reporting;
         ] );
       ( "gym",
         [

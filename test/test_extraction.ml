@@ -204,6 +204,34 @@ let genetic_always_valid =
       | Some s -> Egraph.Solution.is_valid g s
       | None -> true)
 
+let test_genetic_nan_quarantine () =
+  (* a poisoned cost model: one member of a two-node class costs NaN.
+     Individuals selecting it must be quarantined (NaN beats nothing in
+     a tournament, so without the guard the rot spreads through
+     selection) and the GA must still return a finite-cost solution. *)
+  let g = Fig1.egraph () in
+  let coeffs = Array.map (fun c -> c) g.Egraph.costs in
+  let cls =
+    let found = ref (-1) in
+    Array.iteri
+      (fun c nodes -> if !found < 0 && Array.length nodes > 1 then found := c)
+      g.Egraph.class_nodes;
+    !found
+  in
+  let poisoned = g.Egraph.class_nodes.(cls).(0) in
+  coeffs.(poisoned) <- Float.nan;
+  let model = Cost_model.linear coeffs in
+  let cfg = { Genetic.default_config with Genetic.generations = 10; time_limit = 5.0 } in
+  let r = Genetic.extract ~config:cfg ~model (Rng.create 11) g in
+  (match r.Extractor.solution with
+  | None -> Alcotest.fail "no solution under the poisoned model"
+  | Some s ->
+      Alcotest.(check bool) "valid" true (Egraph.Solution.is_valid g s);
+      Alcotest.(check bool) "finite cost" true
+        (Float.is_finite (Cost_model.dense_solution model g s)));
+  Alcotest.(check bool) "quarantine engaged" true
+    (List.mem_assoc "quarantined" r.Extractor.notes)
+
 let genetic_no_worse_than_random_seeding =
   qtest ~count:10 "genetic <= greedy (greedy seeds the population)"
     (Test_util.arb_egraph ~max_classes:6 ()) (fun g ->
@@ -382,6 +410,7 @@ let () =
         [
           Alcotest.test_case "fig1" `Quick test_genetic_fig1;
           genetic_always_valid;
+          Alcotest.test_case "nan quarantine" `Quick test_genetic_nan_quarantine;
           genetic_no_worse_than_random_seeding;
         ] );
       ( "random_walk",

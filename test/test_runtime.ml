@@ -1,0 +1,292 @@
+(* Tests for the supervision runtime: fault plans, health logs, the
+   supervisor, and the recovery paths they drive through the extraction
+   stack (numeric guards, OOM derating, solver stalls, clock skew). *)
+
+let small_graph () = (Registry.find_instance "mcm_8").Registry.build ()
+
+let quick_cfg =
+  { Smoothe_config.default with Smoothe_config.max_iters = 30; batch = 4; patience = 50 }
+
+(* --- fault plans ------------------------------------------------------ *)
+
+let test_plan_parse () =
+  let p = Fault_plan.of_string "nan@10,mem@8,stall,skew@30" in
+  Alcotest.(check bool)
+    "all four atoms" true
+    (p
+    = [
+        Fault_plan.Nan_grad 10;
+        Fault_plan.Mem_pressure 8.0;
+        Fault_plan.Solver_stall;
+        Fault_plan.Clock_skew 30.0;
+      ]);
+  Alcotest.(check bool) "empty is none" true (Fault_plan.is_none (Fault_plan.of_string ""));
+  Alcotest.(check bool) "none is none" true (Fault_plan.is_none (Fault_plan.of_string "none"));
+  Alcotest.(check string)
+    "round trip" "nan@10,mem@8,stall,skew@30"
+    (Fault_plan.to_string (Fault_plan.of_string "nan@10, mem@8, stall, skew@30"))
+
+let test_plan_parse_errors () =
+  let rejects spec =
+    Alcotest.(check bool)
+      (Printf.sprintf "rejects %S" spec)
+      true
+      (match Fault_plan.of_string spec with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+  in
+  rejects "nan";
+  rejects "nan@x";
+  rejects "nan@0";
+  rejects "mem@-1";
+  rejects "bogus";
+  rejects "stall@3"
+
+let test_plan_determinism () =
+  (* same plan, same firing point, twice *)
+  let fire_at_which_backward () =
+    Fault_plan.with_plan
+      [ Fault_plan.Nan_grad 3 ]
+      (fun () ->
+        let fired = ref 0 in
+        for pass = 1 to 5 do
+          if Fault_plan.on_backward () then fired := pass
+        done;
+        !fired)
+  in
+  Alcotest.(check int) "fires on pass 3" 3 (fire_at_which_backward ());
+  Alcotest.(check int) "replays identically" 3 (fire_at_which_backward ());
+  Alcotest.(check bool)
+    "records the injection" true
+    (Fault_plan.with_plan
+       [ Fault_plan.Nan_grad 1 ]
+       (fun () ->
+         ignore (Fault_plan.on_backward ());
+         Fault_plan.drain_injections () <> []))
+
+(* --- health log ------------------------------------------------------- *)
+
+let test_health_log () =
+  let log = Health.create () in
+  Alcotest.(check bool) "fresh log empty" true (Health.is_empty log);
+  Alcotest.(check string) "healthy summary" "healthy" (Health.summary log);
+  Health.record log ~member:"smoothe" Health.Nan_detected "iteration 4";
+  Health.record log ~member:"smoothe" Health.Recovery "adam reset";
+  Health.record log ~member:"ilp" Health.Timeout "budget gone";
+  Alcotest.(check int) "count by kind" 1 (Health.count log Health.Recovery);
+  Alcotest.(check int) "count by member" 0 (Health.count ~member:"ilp" log Health.Recovery);
+  Alcotest.(check int) "recoveries" 1 (Health.recoveries log);
+  let events = Health.events log in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  Alcotest.(check bool)
+    "chronological" true
+    (List.for_all2
+       (fun a b -> a.Health.at <= b.Health.at)
+       (List.filteri (fun i _ -> i < 2) events)
+       (List.tl events));
+  let into = Health.create () in
+  Health.merge ~into log;
+  Alcotest.(check int) "merge keeps all" 3 (List.length (Health.events into))
+
+(* --- supervisor ------------------------------------------------------- *)
+
+let test_supervisor_finished () =
+  let log = Health.create () in
+  let outcome = Supervisor.run ~health:log ~name:"m" ~budget:10.0 (fun _dl -> 42) in
+  Alcotest.(check int) "value" 42 (Supervisor.value ~default:0 outcome);
+  Alcotest.(check int) "no timeout" 0 (Health.count log Health.Timeout)
+
+let test_supervisor_crash () =
+  let log = Health.create () in
+  let outcome =
+    Supervisor.run ~health:log ~name:"m" ~budget:10.0 (fun _dl -> failwith "boom")
+  in
+  Alcotest.(check int) "default on crash" 7 (Supervisor.value ~default:7 outcome);
+  Alcotest.(check int) "member-failed event" 1 (Health.count log Health.Member_failed)
+
+let test_supervisor_timeout () =
+  let log = Health.create () in
+  let outcome =
+    Supervisor.run ~health:log ~name:"m" ~budget:0.02 (fun dl ->
+        Timer.sleep_until dl;
+        "done")
+  in
+  Alcotest.(check string) "still returns" "done" (Supervisor.value ~default:"" outcome);
+  Alcotest.(check int) "timeout event" 1 (Health.count log Health.Timeout)
+
+let test_clock_skew () =
+  Fault_plan.with_plan
+    [ Fault_plan.Clock_skew 60.0 ]
+    (fun () ->
+      let log = Health.create () in
+      let expired_on_entry = ref false in
+      let _ =
+        Supervisor.run ~health:log ~name:"m" ~budget:5.0 (fun dl ->
+            expired_on_entry := Timer.expired dl)
+      in
+      Alcotest.(check bool) "skew expires the armed deadline" true !expired_on_entry;
+      Alcotest.(check int) "fault recorded" 1 (Health.count log Health.Fault_injected);
+      Alcotest.(check int) "timeout recorded" 1 (Health.count log Health.Timeout));
+  Alcotest.(check (float 1e-9)) "skew undone after the plan" 0.0 (Timer.get_skew ())
+
+(* --- timer ------------------------------------------------------------ *)
+
+let test_timer_poll () =
+  let d = Timer.deadline_after 0.0 (* infinite *) in
+  Alcotest.(check bool) "never expires" false (Timer.poll d Timer.check_every);
+  let expired = Timer.deadline_after 1e-9 in
+  Timer.sleep_until expired;
+  Alcotest.(check bool) "off the mask" false (Timer.poll expired (Timer.check_every + 1));
+  Alcotest.(check bool) "on the mask" true (Timer.poll expired (2 * Timer.check_every))
+
+(* --- numeric recovery in the smoothe loop ----------------------------- *)
+
+let test_nan_recovery () =
+  let g = small_graph () in
+  let clean = Smoothe_extract.extract ~config:quick_cfg g in
+  Fault_plan.with_plan
+    [ Fault_plan.Nan_grad 3 ]
+    (fun () ->
+      let run = Smoothe_extract.extract ~config:quick_cfg g in
+      Alcotest.(check bool) "survives the poisoned pass" true
+        (run.Smoothe_extract.result.Extractor.solution <> None);
+      Alcotest.(check bool) "recovery counted" true (run.Smoothe_extract.recoveries >= 1);
+      Alcotest.(check bool) "injection logged" true
+        (List.exists
+           (fun e -> e.Health.kind = Health.Fault_injected)
+           run.Smoothe_extract.health);
+      Alcotest.(check bool) "nan detected" true
+        (List.exists
+           (fun e -> e.Health.kind = Health.Nan_detected)
+           run.Smoothe_extract.health);
+      Alcotest.(check bool) "recovery noted on result" true
+        (List.mem_assoc "recoveries" run.Smoothe_extract.result.Extractor.notes);
+      (* history still covers every iteration *)
+      Alcotest.(check int) "history covers every iteration"
+        run.Smoothe_extract.iterations
+        (List.length run.Smoothe_extract.history));
+  (* the ambient plan leaks nothing: a fault-free rerun is identical *)
+  let after = Smoothe_extract.extract ~config:quick_cfg g in
+  Alcotest.(check (float 1e-12)) "same cost after faulted run"
+    clean.Smoothe_extract.result.Extractor.cost after.Smoothe_extract.result.Extractor.cost;
+  Alcotest.(check int) "same iterations" clean.Smoothe_extract.iterations
+    after.Smoothe_extract.iterations;
+  Alcotest.(check int) "same best seed" clean.Smoothe_extract.best_seed
+    after.Smoothe_extract.best_seed;
+  Alcotest.(check int) "no recoveries" 0 after.Smoothe_extract.recoveries;
+  Alcotest.(check bool) "healthy" true (after.Smoothe_extract.health = [])
+
+let test_mem_pressure_derates () =
+  let g = small_graph () in
+  let fp () =
+    Device.footprint g ~prop_iters:10 ~scc_decomposition:true ~batched_matexp:true
+  in
+  let base = fp () in
+  Fault_plan.with_plan
+    [ Fault_plan.Mem_pressure 4.0 ]
+    (fun () ->
+      let scaled = fp () in
+      Alcotest.(check (float 1.0)) "per-seed bytes scale"
+        (4.0 *. base.Device.per_seed_bytes)
+        scaled.Device.per_seed_bytes;
+      Alcotest.(check (float 1.0)) "matexp bytes scale"
+        (4.0 *. base.Device.matexp_bytes)
+        scaled.Device.matexp_bytes)
+
+let test_solver_stall () =
+  (* a stalled LP burns its deadline and reports timeout, but a
+     warm-started branch-and-bound still returns its incumbent *)
+  let g = small_graph () in
+  let warm = (Greedy_dag.extract g).Extractor.solution in
+  Fault_plan.with_plan
+    [ Fault_plan.Solver_stall ]
+    (fun () ->
+      let r = Ilp.extract ~time_limit:0.05 ?warm_start:warm ~profile:Bnb.cplex_like g in
+      Alcotest.(check bool) "keeps the warm incumbent" true (r.Extractor.solution <> None);
+      Alcotest.(check bool) "not proved optimal" false r.Extractor.proved_optimal;
+      Alcotest.(check bool) "stall recorded" true
+        (List.exists
+           (fun s ->
+             let has_sub sub =
+               let n = String.length s and m = String.length sub in
+               let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+               go 0
+             in
+             has_sub "stall")
+           (Fault_plan.drain_injections ())))
+
+(* --- the supervised portfolio ----------------------------------------- *)
+
+let portfolio_cfg =
+  {
+    Portfolio.default_config with
+    Portfolio.time_budget = 2.0;
+    use_genetic = false;
+    smoothe = quick_cfg;
+  }
+
+let check_valid_best (out : Portfolio.outcome) =
+  let g = small_graph () in
+  match out.Portfolio.best.Extractor.solution with
+  | None -> Alcotest.fail "portfolio returned no solution"
+  | Some s -> Alcotest.(check bool) "valid extraction" true (Egraph.Solution.is_valid g s)
+
+let test_portfolio_under_faults () =
+  let g = small_graph () in
+  List.iter
+    (fun plan ->
+      Fault_plan.with_plan (Fault_plan.of_string plan) (fun () ->
+          let out = Portfolio.extract ~config:portfolio_cfg (Rng.create 11) g in
+          check_valid_best out;
+          Alcotest.(check bool)
+            (Printf.sprintf "health log non-empty under %S" plan)
+            false (out.Portfolio.health = []);
+          Alcotest.(check bool) "heuristic member present" true
+            (List.exists
+               (fun m -> m.Portfolio.member_name = "heuristic")
+               out.Portfolio.members)))
+    [ "nan@3"; "mem@1e15"; "stall"; "skew@60" ]
+
+let test_portfolio_member_crash () =
+  (* a NaN-poisoned model crashes nothing: members degrade or quarantine,
+     and the portfolio still answers with the greedy result *)
+  let g = small_graph () in
+  let out = Portfolio.extract ~config:portfolio_cfg (Rng.create 11) g in
+  Alcotest.(check bool) "every member has a status" true
+    (List.for_all
+       (fun m ->
+         match m.Portfolio.status with
+         | Portfolio.Completed | Portfolio.Timed_out | Portfolio.Faulted _ -> true)
+       out.Portfolio.members);
+  check_valid_best out
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "parse" `Quick test_plan_parse;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+          Alcotest.test_case "determinism" `Quick test_plan_determinism;
+        ] );
+      ("health", [ Alcotest.test_case "log" `Quick test_health_log ]);
+      ( "supervisor",
+        [
+          Alcotest.test_case "finished" `Quick test_supervisor_finished;
+          Alcotest.test_case "crash" `Quick test_supervisor_crash;
+          Alcotest.test_case "timeout" `Quick test_supervisor_timeout;
+          Alcotest.test_case "clock skew" `Quick test_clock_skew;
+          Alcotest.test_case "timer poll" `Quick test_timer_poll;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "nan recovery" `Quick test_nan_recovery;
+          Alcotest.test_case "mem pressure" `Quick test_mem_pressure_derates;
+          Alcotest.test_case "solver stall" `Quick test_solver_stall;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "under faults" `Quick test_portfolio_under_faults;
+          Alcotest.test_case "member statuses" `Quick test_portfolio_member_crash;
+        ] );
+    ]
