@@ -207,9 +207,29 @@ let fault_plan_flag =
 let health_report_flag =
   Arg.(
     value
-    & flag
-    & info [ "health-report" ]
-        ~doc:"Print the supervision log: injected faults, recoveries, deratings, timeouts.")
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "health-report" ] ~docv:"FILE"
+        ~doc:
+          "Report the supervision log: injected faults, recoveries, deratings, timeouts. \
+           Without a value (or with $(b,-)) the report goes to stdout; otherwise it is \
+           written to $(docv).")
+
+let trace_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record hierarchical spans and write them to $(docv): Chrome trace_event JSON \
+           (open in chrome://tracing or Perfetto), or folded stacks when $(docv) ends in \
+           $(b,.folded).")
+
+let metrics_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Record counters/gauges/histograms and write a JSON snapshot to $(docv).")
 
 let parse_fault_plan spec =
   match Fault_plan.of_string spec with
@@ -218,20 +238,51 @@ let parse_fault_plan spec =
       Printf.eprintf "%s\n" msg;
       exit 1
 
+let write_health_report health = function
+  | None -> ()
+  | Some "-" ->
+      if Health.is_empty health then Format.printf "health: healthy@."
+      else Format.printf "health: %s@.%a@." (Health.summary health) Health.pp health
+  | Some path ->
+      let oc = open_out path in
+      let fmt = Format.formatter_of_out_channel oc in
+      (if Health.is_empty health then Format.fprintf fmt "health: healthy@."
+       else Format.fprintf fmt "health: %s@.%a@." (Health.summary health) Health.pp health);
+      Format.pp_print_flush fmt ();
+      close_out oc;
+      Printf.printf "health report written to %s\n" path
+
 let extract_cmd =
   let run spec method_ time_limit batch iters assumption lambda seed fault_plan health_report
-      show_term =
+      trace_out metrics_out show_term =
     let g = load_egraph spec in
     let health = Health.create () in
+    if trace_out <> None || metrics_out <> None then begin
+      Obs.enable ();
+      Trace.reset ();
+      Metrics.reset ()
+    end;
     let finish () =
       (* injections fired inside unsupervised methods (greedy, plain
          ILP, ...) are still reported *)
       List.iter
         (fun what -> Health.record health ~member:"cli" Health.Fault_injected what)
         (Fault_plan.drain_injections ());
-      if health_report then
-        if Health.is_empty health then Format.printf "health: healthy@."
-        else Format.printf "health: %s@.%a@." (Health.summary health) Health.pp health
+      write_health_report health health_report;
+      (match trace_out with
+      | Some path ->
+          Trace.write_file path;
+          Printf.printf "trace written to %s (%d events)\n" path
+            (List.length (Trace.events ()))
+      | None -> ());
+      match metrics_out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Json.to_string ~pretty:true (Metrics.snapshot ()));
+          output_string oc "\n";
+          close_out oc;
+          Printf.printf "metrics written to %s\n" path
+      | None -> ()
     in
     Fault_plan.with_plan (parse_fault_plan fault_plan) (fun () ->
         Fun.protect ~finally:finish (fun () ->
@@ -243,7 +294,51 @@ let extract_cmd =
     Term.(
       const run $ instance_arg $ method_flag $ time_limit_flag $ batch_flag $ iters_flag
       $ assumption_flag $ lambda_flag $ seed_flag $ fault_plan_flag $ health_report_flag
-      $ show_term_flag)
+      $ trace_flag $ metrics_flag $ show_term_flag)
+
+(* --------------------------------------------------------- trace-summary *)
+
+let trace_summary_cmd =
+  let run path =
+    let ic = open_in_bin path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let j = Json.parse src in
+    let events = Json.get_list (Json.member "traceEvents" j) in
+    let tbl = Hashtbl.create 32 in
+    let instants = ref [] in
+    List.iter
+      (fun e ->
+        let ph = Json.get_string (Json.member "ph" e) in
+        let name = Json.get_string (Json.member "name" e) in
+        if ph = "X" then begin
+          let dur = Json.get_number (Json.member "dur" e) in
+          let count, total = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl name) in
+          Hashtbl.replace tbl name (count + 1, total +. dur)
+        end
+        else if ph = "i" then instants := name :: !instants)
+      events;
+    let rows = Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tbl [] in
+    let rows = List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows in
+    Printf.printf "%-24s %8s %12s\n" "span" "count" "total_ms";
+    List.iter
+      (fun (name, c, t) -> Printf.printf "%-24s %8d %12.3f\n" name c (t /. 1000.0))
+      rows;
+    Printf.printf "%d instant event(s)%s\n" (List.length !instants)
+      (match List.sort_uniq compare !instants with
+      | [] -> ""
+      | names -> ": " ^ String.concat ", " names)
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Chrome trace JSON file written by $(b,--trace).")
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Summarise a recorded trace: per-span counts and total durations.")
+    Term.(const run $ path)
 
 (* --------------------------------------------------------------- compare *)
 
@@ -269,4 +364,7 @@ let () =
     Cmd.info "smoothe" ~version:"1.0.0"
       ~doc:"Differentiable e-graph extraction (SmoothE, ASPLOS 2025) and baselines."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; stats_cmd; dump_cmd; extract_cmd; compare_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; stats_cmd; dump_cmd; extract_cmd; compare_cmd; trace_summary_cmd ]))

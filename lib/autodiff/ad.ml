@@ -34,17 +34,26 @@ let owner n = n.tp
 
 let backward out =
   let tp = owner out in
-  (* Seed with ones: differentiates the sum of the output's entries.
-     An active NaN-gradient fault poisons the seed instead, so the NaN
-     flows through the whole tape exactly like a real numeric blow-up
-     and downstream guards see a fully contaminated gradient. *)
-  Tensor.fill (grad_tensor out) (if Fault_plan.on_backward () then Float.nan else 1.0);
-  for i = Vec.length tp.nodes - 1 downto 0 do
-    let n = Vec.get tp.nodes i in
-    match n.pull, n.grad with
-    | Some pull, Some _ -> pull ()
-    | Some _, None | None, _ -> ()
-  done
+  let sweep () =
+    (* Seed with ones: differentiates the sum of the output's entries.
+       An active NaN-gradient fault poisons the seed instead, so the NaN
+       flows through the whole tape exactly like a real numeric blow-up
+       and downstream guards see a fully contaminated gradient. *)
+    Tensor.fill (grad_tensor out) (if Fault_plan.on_backward () then Float.nan else 1.0);
+    for i = Vec.length tp.nodes - 1 downto 0 do
+      let n = Vec.get tp.nodes i in
+      match n.pull, n.grad with
+      | Some pull, Some _ -> pull ()
+      | Some _, None | None, _ -> ()
+    done
+  in
+  if !Obs.on then begin
+    Metrics.observe "ad.tape_nodes" (float_of_int (Vec.length tp.nodes));
+    Trace.with_span ~cat:"ad"
+      ~attrs:[ ("nodes", string_of_int (Vec.length tp.nodes)) ]
+      "ad.backward" sweep
+  end
+  else sweep ()
 
 let add a b =
   let tp = owner a in

@@ -24,6 +24,11 @@ let default_config =
   }
 
 let extract ?(config = default_config) ?model ?health rng g =
+  Trace.with_span ~cat:"portfolio"
+    ~attrs:
+      (if !Obs.on then [ ("classes", string_of_int (Egraph.num_classes g)) ] else [])
+    "portfolio.extract"
+  @@ fun () ->
   let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
   let log = Health.create () in
   let members = ref [] in
@@ -59,7 +64,12 @@ let extract ?(config = default_config) ?model ?health rng g =
   let left = ref (List.length anytime_members) in
   let supervised display_name share f =
     let timeouts_before = Health.count ~member:display_name log Health.Timeout in
-    let outcome = Supervisor.run ~health:log ~name:display_name ~budget:share f in
+    let outcome =
+      Trace.with_span ~cat:"portfolio"
+        ~attrs:(if !Obs.on then [ ("budget_s", Printf.sprintf "%.3f" share) ] else [])
+        ("portfolio." ^ display_name)
+        (fun () -> Supervisor.run ~health:log ~name:display_name ~budget:share f)
+    in
     let timed_out = Health.count ~member:display_name log Health.Timeout > timeouts_before in
     match outcome with
     | Supervisor.Finished r ->

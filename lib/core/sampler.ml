@@ -62,6 +62,7 @@ let sample_seed ?(repair = false) g ~cp ~seed =
               if ranks.(c) + 1 >= size then s
               else begin
                 ranks.(c) <- ranks.(c) + 1;
+                if !Obs.on then Metrics.incr "sampler.repairs";
                 attempt (decode_with_ranks g ~row ~ranks) (tries - 1)
               end)
     in
@@ -74,12 +75,19 @@ let sample_all ?repair g ~cp =
 let best_of_batch ?repair g ~model ~cp =
   let samples = sample_all ?repair g ~cp in
   let best = ref None in
+  let accepted = ref 0 in
   Array.iteri
     (fun seed s ->
       let cost = Cost_model.dense_solution model g s in
-      if Float.is_finite cost then
+      if Float.is_finite cost then begin
+        incr accepted;
         match !best with
         | Some (_, _, c) when c <= cost -> ()
-        | Some _ | None -> best := Some (seed, s, cost))
+        | Some _ | None -> best := Some (seed, s, cost)
+      end)
     samples;
+  if !Obs.on then begin
+    Metrics.incr ~by:(float_of_int (Array.length samples)) "sampler.samples";
+    Metrics.incr ~by:(float_of_int !accepted) "sampler.accepted"
+  end;
   !best

@@ -161,6 +161,13 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
       let iters_done = ref 0 in
       let recoveries = ref 0 in
       let repair = config.Smoothe_config.repair_sampling in
+      Trace.with_span ~cat:"smoothe"
+        ~attrs:
+          (if !Obs.on then
+             [ ("batch", string_of_int batch); ("nodes", string_of_int n) ]
+           else [])
+        "smoothe.extract"
+      @@ fun () ->
       Device.run device (fun () ->
           let iter = ref 0 in
           let stop = ref false in
@@ -173,6 +180,7 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
           let recover what =
             Health.record log ~member Health.Nan_detected
               (Printf.sprintf "iteration %d: non-finite %s" !iter what);
+            if !Obs.on then Metrics.incr "smoothe.nan_recoveries";
             incr recoveries;
             if !recoveries > max_recoveries then begin
               Health.record log ~member Health.Degraded
@@ -206,6 +214,11 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
           while (not !stop) && !iter < config.Smoothe_config.max_iters do
             incr iter;
             iters_done := !iter;
+            if !Obs.on then Metrics.incr "smoothe.iterations";
+            Trace.with_span ~cat:"smoothe"
+              ~attrs:(if !Obs.on then [ ("iteration", string_of_int !iter) ] else [])
+              "smoothe.iter"
+            @@ fun () ->
             (* forward, under the (possibly annealed) temperature *)
             let temperature =
               Float.max config.Smoothe_config.min_temperature
@@ -213,7 +226,9 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
                 *. (config.Smoothe_config.temperature_decay ** float_of_int (!iter - 1)))
             in
             let fwd, t_fwd =
-              Timer.time (fun () -> Relaxation.forward ~temperature compiled ~config ~model ~theta)
+              Timer.time (fun () ->
+                  Trace.with_span ~cat:"smoothe" "smoothe.forward" (fun () ->
+                      Relaxation.forward ~temperature compiled ~config ~model ~theta))
             in
             loss_time := !loss_time +. t_fwd;
             let loss_ok = Tensor.all_finite (Ad.value fwd.Relaxation.loss) in
@@ -223,12 +238,15 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
                  Adam update entirely *)
               let (), t_bwd =
                 Timer.time (fun () ->
-                    Ad.backward fwd.Relaxation.loss;
+                    Trace.with_span ~cat:"smoothe" "smoothe.backward" (fun () ->
+                        Ad.backward fwd.Relaxation.loss);
                     let grad = Ad.grad fwd.Relaxation.theta in
                     if Tensor.all_finite grad then begin
                       grad_ok := true;
-                      ignore (Optim.clip_grad_norm ~max_norm:100.0 [ grad ]);
-                      Optim.adam_step opt [ grad ]
+                      Trace.with_span ~cat:"smoothe" "smoothe.adam_step" (fun () ->
+                          let norm = Optim.clip_grad_norm ~max_norm:100.0 [ grad ] in
+                          if !Obs.on then Metrics.observe "smoothe.grad_norm" norm;
+                          Optim.adam_step opt [ grad ])
                     end)
               in
               grad_time := !grad_time +. t_bwd
@@ -237,7 +255,9 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
               (* sample every iteration (§3.5) *)
               let sampled, t_smp =
                 Timer.time (fun () ->
-                    Sampler.best_of_batch ~repair g ~model ~cp:(Ad.value fwd.Relaxation.cp))
+                    Trace.with_span ~cat:"smoothe" "smoothe.sample" (fun () ->
+                        Sampler.best_of_batch ~repair g ~model
+                          ~cp:(Ad.value fwd.Relaxation.cp)))
               in
               sample_time := !sample_time +. t_smp;
               let sampled_cost =
@@ -264,6 +284,11 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
                 done;
                 !best +. (config.Smoothe_config.lambda_ *. h)
               in
+              if !Obs.on then begin
+                Metrics.observe "smoothe.loss" relaxed_loss;
+                if Float.is_finite !best_cost then
+                  Metrics.set_gauge "smoothe.incumbent" !best_cost
+              end;
               history :=
                 {
                   iter = !iter;

@@ -114,6 +114,16 @@ let warm_start_point g enc s =
   end
 
 let extract ?(time_limit = 60.0) ?(node_limit = 200_000) ?warm_start ~profile g =
+  Trace.with_span ~cat:"extraction"
+    ~attrs:
+      (if !Obs.on then
+         [
+           ("profile", profile.Bnb.profile_name);
+           ("classes", string_of_int (Egraph.num_classes g));
+         ]
+       else [])
+    "ilp.extract"
+  @@ fun () ->
   let run () =
     let enc = encode g in
     let warm =

@@ -693,6 +693,67 @@ let ablation_temperature bank =
       ("cold (tau=0.5)", 0.5, 1.0, 0.0);
     ]
 
+(* ------------------------------------------------------ phase breakdown *)
+
+(* The Fig. 6 configurations again (scalar vs vectorised backend,
+   matexp optimisations off/on), but with the per-phase wall-clock
+   summed from recorded spans rather than the profile struct, plus the
+   matexp squaring counts that explain the gap. *)
+let phases bank =
+  Report.heading "Per-phase breakdown from recorded spans (Fig. 6 configurations)";
+  let budget = Runbank.budget bank in
+  let g = Runbank.egraph bank (Registry.find_instance "box_3") in
+  let base =
+    {
+      budget.Budget.smoothe with
+      Smoothe_config.assumption = Smoothe_config.Independent;
+      batch = min 8 budget.Budget.smoothe.Smoothe_config.batch;
+      max_iters = min 40 budget.Budget.smoothe.Smoothe_config.max_iters;
+    }
+  in
+  let cases =
+    [
+      ("scalar", Device.cpu_baseline, false);
+      ("scalar+matexp", Device.cpu_baseline, true);
+      ("vectorised", Device.a100, false);
+      ("vectorised+matexp", Device.a100, true);
+    ]
+  in
+  Report.set_columns [ 20; 10; 10; 10; 10; 10; 12 ];
+  Report.row [ "configuration"; "forward"; "backward"; "adam"; "sample"; "total"; "sq/matexp" ];
+  Report.rule ();
+  List.iter
+    (fun (label, device, matexp) ->
+      let config =
+        { base with Smoothe_config.scc_decomposition = matexp; batched_matexp = matexp }
+      in
+      Obs.with_enabled (fun () ->
+          Trace.reset ();
+          Metrics.reset ();
+          ignore (Smoothe_extract.extract ~config ~device g);
+          let totals = Trace.span_totals () in
+          let total name =
+            match List.find_opt (fun (n, _, _) -> n = name) totals with
+            | Some (_, _, t) -> t
+            | None -> 0.0
+          in
+          let calls = Metrics.counter_value "tensor.matexp_calls" in
+          let sq = Metrics.counter_value "tensor.matexp_squarings" in
+          Report.row
+            [
+              label;
+              Report.secs (total "smoothe.forward");
+              Report.secs (total "smoothe.backward");
+              Report.secs (total "smoothe.adam_step");
+              Report.secs (total "smoothe.sample");
+              Report.secs (total "smoothe.extract");
+              (if calls > 0.0 then Printf.sprintf "%.1f" (sq /. calls) else "-");
+            ]))
+    cases;
+  print_endline
+    "Phase times are summed from recorded smoothe.* spans; sq/matexp is the mean\n\
+     squaring count per matrix exponential (Eq. 11 batching shrinks it)."
+
 (* -------------------------------------------------------------- driver *)
 
 let registry =
@@ -714,6 +775,7 @@ let registry =
     ("ablation_fusion", ablation_fusion);
     ("ablation_phi", ablation_phi);
     ("ablation_temperature", ablation_temperature);
+    ("phases", phases);
   ]
 
 let names = List.map fst registry

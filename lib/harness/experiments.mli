@@ -58,6 +58,10 @@ val ablation_phi : Runbank.t -> unit
 val ablation_temperature : Runbank.t -> unit
 (** Softmax temperature annealing and entropy bonus (our extensions). *)
 
+val phases : Runbank.t -> unit
+(** Per-phase wall-clock breakdown summed from recorded {!Trace} spans
+    across the Fig. 6 configurations, with matexp squaring counts. *)
+
 val all : Runbank.t -> unit
 
 val by_name : string -> (Runbank.t -> unit) option

@@ -80,6 +80,13 @@ let solve (p : Lp.problem) ~integer_vars options =
       if p.Lp.upper.(j) > 1.0 +. int_tol then
         invalid_arg "Bnb.solve: integer variables must be binary (upper bound 1)")
     integer_vars;
+  Trace.with_span ~cat:"milp"
+    ~attrs:
+      (if !Obs.on then
+         [ ("profile", options.profile.profile_name); ("nvars", string_of_int p.Lp.nvars) ]
+       else [])
+    "bnb.solve"
+  @@ fun () ->
   let deadline = Timer.deadline_after options.time_limit in
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
@@ -88,7 +95,8 @@ let solve (p : Lp.problem) ~integer_vars options =
     if obj < !incumbent_obj -. 1e-9 then begin
       incumbent := Some (Array.copy x);
       incumbent_obj := obj;
-      trace := (Timer.elapsed deadline, obj) :: !trace
+      trace := (Timer.elapsed deadline, obj) :: !trace;
+      if !Obs.on then Metrics.observe "bnb.incumbent" obj
     end
   in
   (match options.warm_start with
@@ -155,6 +163,7 @@ let solve (p : Lp.problem) ~integer_vars options =
       if node.bound >= !incumbent_obj -. 1e-9 then loop ()
       else begin
         incr nodes;
+        if !Obs.on then Metrics.incr "bnb.nodes_explored";
         let sub = apply_fixes p node.fixes in
         (match Lp.solve ~deadline sub with
         | Lp.Timeout -> hit_limit := true

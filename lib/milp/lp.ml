@@ -114,6 +114,7 @@ let build_tableau p =
   { m; ncols; t; basis; art_start }
 
 let pivot tb row col =
+  if !Obs.on then Metrics.incr "lp.pivots";
   let t = tb.t in
   let prow = t.(row) in
   let pv = prow.(col) in
@@ -218,6 +219,7 @@ let tableau_cells p =
   rows * (p.nvars + (2 * rows) + 1)
 
 let solve ?(deadline = Timer.no_deadline) p =
+  if !Obs.on then Metrics.incr "lp.solves";
   if p.nvars = 0 then Optimal { x = [||]; obj = 0.0 }
   else if tableau_cells p > max_tableau_cells then Timeout
   else if Fault_plan.stall_solver deadline then

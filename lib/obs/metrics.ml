@@ -1,0 +1,94 @@
+type histogram = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  last : float;
+}
+
+type cell =
+  | Counter of float ref
+  | Gauge of float ref
+  | Histogram of histogram ref
+
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let find_or_create name make =
+  match Hashtbl.find_opt registry name with
+  | Some cell -> cell
+  | None ->
+      let cell = make () in
+      Hashtbl.replace registry name cell;
+      cell
+
+let wrong_kind name cell want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is a %s, not a %s" name (kind_name cell) want)
+
+let incr ?(by = 1.0) name =
+  if !Obs.on then
+    match find_or_create name (fun () -> Counter (ref 0.0)) with
+    | Counter r -> r := !r +. by
+    | cell -> wrong_kind name cell "counter"
+
+let set_gauge name v =
+  if !Obs.on then
+    match find_or_create name (fun () -> Gauge (ref 0.0)) with
+    | Gauge r -> r := v
+    | cell -> wrong_kind name cell "gauge"
+
+let empty_histogram = { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; last = 0.0 }
+
+let observe name v =
+  if !Obs.on then
+    match find_or_create name (fun () -> Histogram (ref empty_histogram)) with
+    | Histogram r ->
+        let h = !r in
+        r :=
+          {
+            count = h.count + 1;
+            sum = h.sum +. v;
+            min_v = Float.min h.min_v v;
+            max_v = Float.max h.max_v v;
+            last = v;
+          }
+    | cell -> wrong_kind name cell "histogram"
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with Some (Counter r) -> !r | _ -> 0.0
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with Some (Gauge r) -> !r | _ -> 0.0
+
+let histogram_stats name =
+  match Hashtbl.find_opt registry name with Some (Histogram r) -> Some !r | _ -> None
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort compare
+
+let reset () = Hashtbl.reset registry
+
+let snapshot () =
+  let field name =
+    match Hashtbl.find_opt registry name with
+    | None -> Json.Null
+    | Some (Counter r) ->
+        Json.Object [ "type", Json.String "counter"; "value", Json.Number !r ]
+    | Some (Gauge r) -> Json.Object [ "type", Json.String "gauge"; "value", Json.Number !r ]
+    | Some (Histogram r) ->
+        let h = !r in
+        let mean = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
+        Json.Object
+          [
+            "type", Json.String "histogram";
+            "count", Json.Number (float_of_int h.count);
+            "sum", Json.Number h.sum;
+            "mean", Json.Number mean;
+            "min", Json.Number (if h.count = 0 then 0.0 else h.min_v);
+            "max", Json.Number (if h.count = 0 then 0.0 else h.max_v);
+            "last", Json.Number h.last;
+          ]
+  in
+  Json.Object (List.map (fun name -> name, field name) (names ()))

@@ -1,0 +1,49 @@
+(** A process-wide registry of named counters, gauges and histograms.
+
+    Updates ({!incr}, {!set_gauge}, {!observe}) are no-ops while
+    {!Obs} is disabled, so instrumented hot paths cost one branch.
+    Reads and {!snapshot} always work on whatever was recorded.
+
+    Metric names are dotted lowercase strings grouped by subsystem,
+    e.g. [lp.pivots], [tensor.matexp_squarings], [smoothe.loss]; the
+    full taxonomy is documented in DESIGN.md ("Observability"). *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  last : float;
+}
+
+(** {1 Updates (no-ops while disabled)} *)
+
+val incr : ?by:float -> string -> unit
+(** Bump a counter (default [by] 1.0). Counters only go up. *)
+
+val set_gauge : string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Feed one observation into a histogram (count/sum/min/max/last —
+    enough for loss and grad-norm trajectories without unbounded
+    storage). *)
+
+(** {1 Reads (always live)} *)
+
+val counter_value : string -> float
+(** 0.0 when the counter was never bumped. *)
+
+val gauge_value : string -> float
+
+val histogram_stats : string -> histogram option
+
+val names : unit -> string list
+(** Sorted. *)
+
+val reset : unit -> unit
+
+val snapshot : unit -> Json.t
+(** One JSON object keyed by metric name; each value is an object with
+    a ["type"] field ("counter" / "gauge" / "histogram") and the
+    metric's current numbers (histograms add a derived ["mean"]). *)

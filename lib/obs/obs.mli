@@ -1,0 +1,28 @@
+(** Global observability switch.
+
+    The whole observability layer — {!Trace} spans and {!Metrics}
+    updates — is gated on one sink. With the sink disabled (the
+    default) every hook degenerates to a branch on a [bool ref], no
+    timestamps are read and nothing is allocated, so an instrumented
+    build behaves bit-identically to an uninstrumented one. Enabling
+    the sink records spans and metric updates into in-memory stores
+    that the CLI, bench harness and tests export. *)
+
+type sink =
+  | Disabled  (** the default: every hook is a no-op *)
+  | Memory  (** record spans and metrics into the in-process stores *)
+
+val on : bool ref
+(** The raw flag, for hot paths: [if !Obs.on then ...]. Prefer the
+    functions below everywhere else. *)
+
+val sink : unit -> sink
+val set_sink : sink -> unit
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run a thunk with the sink enabled, restoring the previous sink
+    afterwards (also on exceptions). *)

@@ -1,0 +1,83 @@
+(** Hierarchical wall-clock spans and instant events.
+
+    Spans nest lexically ([with_span] inside [with_span]); each
+    completed span records its name, category, depth, the full
+    semicolon-joined stack path, its start time and duration (all
+    read from {!Timer.now}, so injected clock skew is visible in the
+    trace), and a list of string attributes. Instant events mark a
+    point in time — {!Health} re-emits every health event as one, so
+    faults, NaN recoveries and OOM derates show up on the timeline in
+    context.
+
+    Everything is a no-op while {!Obs} is disabled. The store is
+    global and single-threaded, matching the rest of the repo.
+
+    Two export formats:
+    - Chrome [trace_event] JSON (an object with a ["traceEvents"]
+      array of ["ph":"X"] complete events and ["ph":"i"] instants),
+      loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto};
+    - folded-stack lines (["a;b;c <self-time-in-us>"]) consumable by
+      [flamegraph.pl] and speedscope. *)
+
+type span = {
+  name : string;
+  cat : string;
+  path : string;  (** semicolon-joined ancestor names, ending in [name] *)
+  depth : int;  (** 0 for a root span *)
+  ts : float;  (** start, absolute seconds ({!Timer.now}) *)
+  dur : float;  (** seconds *)
+  args : (string * string) list;
+}
+
+type instant = {
+  i_name : string;
+  i_cat : string;
+  i_ts : float;
+  i_args : (string * string) list;
+}
+
+type event = Span of span | Instant of instant
+
+val with_span : ?cat:string -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span. The span is recorded when the thunk
+    returns or raises; nesting depth is restored either way. With the
+    sink disabled this is exactly [f ()]. *)
+
+val instant : ?cat:string -> ?attrs:(string * string) list -> string -> unit
+
+val reset : unit -> unit
+(** Drop all recorded events. Open spans (on the stack right now) are
+    unaffected: they record against the fresh store when they close. *)
+
+val open_depth : unit -> int
+(** Number of spans currently open — 0 whenever no [with_span] is on
+    the call stack, however the enclosing code exited. *)
+
+(** {1 Inspection} *)
+
+val events : unit -> event list
+(** In completion order (children before parents, instants at their
+    emission point). *)
+
+val spans : unit -> span list
+val instants : unit -> instant list
+
+val span_totals : unit -> (string * int * float) list
+(** Per span {e name}: (name, count, total seconds), sorted by name —
+    the per-phase breakdown the bench harness prints. *)
+
+val phase_totals : unit -> (string * int * float) list
+(** Per span {e path} (the full stack), same aggregation. *)
+
+(** {1 Export} *)
+
+val to_chrome : unit -> Json.t
+(** Chrome trace_event JSON. Timestamps are microseconds rebased to
+    the earliest recorded event. *)
+
+val to_folded : unit -> string
+(** Folded-stack lines with integer microsecond self-times. *)
+
+val write_file : string -> unit
+(** Write the trace: a path ending in [.folded] gets folded stacks,
+    anything else Chrome JSON. *)

@@ -165,28 +165,42 @@ let run ?(node_limit = 50_000) ?(iter_limit = 16) g rules =
     if i >= iter_limit then i, false
     else if g.node_count >= node_limit then i, false
     else begin
-      (* egg schedule: collect all matches first, then apply. *)
-      let work =
-        List.concat_map
-          (fun r -> List.map (fun (cls, env) -> r, cls, env) (ematch g r.Term.lhs))
-          rules
+      let nodes_before = g.node_count in
+      let changed =
+        Trace.with_span ~cat:"rewrite"
+          ~attrs:(if !Obs.on then [ ("iteration", string_of_int i) ] else [])
+          "saturate.round"
+        @@ fun () ->
+        (* egg schedule: collect all matches first, then apply. *)
+        let work =
+          List.concat_map
+            (fun r -> List.map (fun (cls, env) -> r, cls, env) (ematch g r.Term.lhs))
+            rules
+        in
+        let changed = ref false in
+        List.iter
+          (fun (r, cls, env) ->
+            if g.node_count < node_limit then begin
+              let rhs_cls = instantiate g env r.Term.rhs in
+              if union g (find g cls) rhs_cls then begin
+                changed := true;
+                bump r.Term.rule_name
+              end
+            end)
+          work;
+        rebuild g;
+        !changed
       in
-      let changed = ref false in
-      List.iter
-        (fun (r, cls, env) ->
-          if g.node_count < node_limit then begin
-            let rhs_cls = instantiate g env r.Term.rhs in
-            if union g (find g cls) rhs_cls then begin
-              changed := true;
-              bump r.Term.rule_name
-            end
-          end)
-        work;
-      rebuild g;
-      if !changed then round (i + 1) else i, true
+      if !Obs.on then begin
+        Metrics.observe "saturate.node_growth" (float_of_int (g.node_count - nodes_before));
+        Metrics.set_gauge "saturate.nodes" (float_of_int g.node_count)
+      end;
+      if changed then round (i + 1) else i, true
     end
   in
-  let iterations, saturated = round 0 in
+  let iterations, saturated =
+    Trace.with_span ~cat:"rewrite" "saturate.run" (fun () -> round 0)
+  in
   {
     iterations;
     saturated;

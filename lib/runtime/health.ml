@@ -12,14 +12,36 @@ type event = { at : float; member : string; kind : kind; detail : string }
 
 type log = { created : float; events : event Vec.t }
 
+let kind_name = function
+  | Fault_injected -> "fault-injected"
+  | Nan_detected -> "nan-detected"
+  | Recovery -> "recovery"
+  | Oom_derate -> "oom-derate"
+  | Timeout -> "timeout"
+  | Member_failed -> "member-failed"
+  | Budget_reallocated -> "budget-reallocated"
+  | Degraded -> "degraded"
+
 let create () = { created = Timer.now (); events = Vec.create () }
 
 let record log ~member kind detail =
-  Vec.push log.events { at = Timer.now () -. log.created; member; kind; detail }
+  Vec.push log.events { at = Timer.now () -. log.created; member; kind; detail };
+  (* every health event is also an instant event on the active trace
+     timeline, so faults and recoveries are visible amid the spans *)
+  if !Obs.on then
+    Trace.instant ~cat:"health"
+      ~attrs:[ ("member", member); ("detail", detail) ]
+      (kind_name kind)
 
 let add log event = Vec.push log.events event
 
-let merge ~into src = Vec.iter (fun e -> Vec.push into.events e) src.events
+(* Event timestamps are relative to their own log's creation time, so
+   merging must rebase them onto the destination's epoch — otherwise a
+   child member's 0.1s event would appear to predate portfolio events
+   recorded before the member even started. *)
+let merge ~into src =
+  let shift = src.created -. into.created in
+  Vec.iter (fun e -> Vec.push into.events { e with at = e.at +. shift }) src.events
 
 let events log = Vec.to_list log.events
 
@@ -32,16 +54,6 @@ let count ?member log kind =
   Vec.fold_left (fun acc e -> if matches e then acc + 1 else acc) 0 log.events
 
 let recoveries log = count log Recovery + count log Oom_derate
-
-let kind_name = function
-  | Fault_injected -> "fault-injected"
-  | Nan_detected -> "nan-detected"
-  | Recovery -> "recovery"
-  | Oom_derate -> "oom-derate"
-  | Timeout -> "timeout"
-  | Member_failed -> "member-failed"
-  | Budget_reallocated -> "budget-reallocated"
-  | Degraded -> "degraded"
 
 let pp_event fmt e =
   Format.fprintf fmt "[%7.3fs] %-12s %-18s %s" e.at e.member (kind_name e.kind) e.detail

@@ -35,7 +35,9 @@ val add : log -> event -> unit
 (** Append a pre-stamped event (used when merging logs). *)
 
 val merge : into:log -> log -> unit
-(** Append all of the source's events, timestamps preserved. *)
+(** Append all of the source's events, rebasing each [at] onto the
+    destination log's creation time so the merged timeline is
+    consistent. *)
 
 val events : log -> event list
 (** Chronological. *)

@@ -34,6 +34,14 @@ let seg_of_index seg =
 
 let reader = Tensor.Backend.reader
 
+(* Segment-kernel launch counter: one bump per entry point, labelled by
+   op, so runs can report how many segment ops an extraction issued. *)
+let count_op name =
+  if !Obs.on then begin
+    Metrics.incr "tensor.segment_ops";
+    Metrics.incr ("tensor.segment_ops." ^ name)
+  end
+
 let check_width name seg (x : Tensor.t) =
   if x.Tensor.width <> seg.width then
     invalid_arg
@@ -42,6 +50,7 @@ let check_width name seg (x : Tensor.t) =
 
 let softmax x seg =
   check_width "softmax" seg x;
+  count_op "softmax";
   let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
@@ -73,6 +82,7 @@ let softmax x seg =
 
 let sum x seg =
   check_width "sum" seg x;
+  count_op "sum";
   let nsegs = count seg in
   let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
@@ -93,6 +103,7 @@ let sum x seg =
 
 let prod x seg =
   check_width "prod" seg x;
+  count_op "prod";
   let nsegs = count seg in
   let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
@@ -115,6 +126,7 @@ let prod x seg =
    contains zeros, where dividing the full product back out would fail. *)
 let prod_grad_scratch x seg =
   check_width "prod_grad_scratch" seg x;
+  count_op "prod_grad_scratch";
   let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
@@ -143,6 +155,7 @@ let prod_grad_scratch x seg =
 
 let max x seg =
   check_width "max" seg x;
+  count_op "max";
   let nsegs = count seg in
   let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
   let arg = Array.make (x.Tensor.batch * nsegs) (-1) in
@@ -171,6 +184,7 @@ let max x seg =
   out, arg
 
 let gather src idx =
+  count_op "gather";
   let n = Array.length idx in
   let out = Tensor.create ~batch:src.Tensor.batch ~width:n in
   let s = Tensor.unsafe_data src and d = Tensor.unsafe_data out in
@@ -192,6 +206,7 @@ let gather src idx =
   out
 
 let scatter_add ~into idx src =
+  count_op "scatter_add";
   let n = Array.length idx in
   if src.Tensor.width <> n then invalid_arg "Segments.scatter_add: width/index mismatch";
   if src.Tensor.batch <> into.Tensor.batch then

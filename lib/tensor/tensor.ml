@@ -30,20 +30,33 @@ module Backend = struct
     | Scalar -> scalar_read
 end
 
-let create ~batch ~width = { data = Array.make (batch * width) 0.0; batch; width }
+(* Allocation accounting (8 bytes per float element). One branch when
+   the observability sink is off; a counter bump when it is on. *)
+let count_alloc n = if !Obs.on then Metrics.incr ~by:(float_of_int (8 * n)) "tensor.bytes_allocated"
 
-let full ~batch ~width x = { data = Array.make (batch * width) x; batch; width }
+let create ~batch ~width =
+  count_alloc (batch * width);
+  { data = Array.make (batch * width) 0.0; batch; width }
+
+let full ~batch ~width x =
+  count_alloc (batch * width);
+  { data = Array.make (batch * width) x; batch; width }
 
 let of_array ~batch ~width data =
   if Array.length data <> batch * width then
     invalid_arg
       (Printf.sprintf "Tensor.of_array: %d elements for shape (%d, %d)" (Array.length data) batch
          width);
+  count_alloc (batch * width);
   { data; batch; width }
 
-let of_row src = { data = Array.copy src; batch = 1; width = Array.length src }
+let of_row src =
+  count_alloc (Array.length src);
+  { data = Array.copy src; batch = 1; width = Array.length src }
 
-let copy t = { t with data = Array.copy t.data }
+let copy t =
+  count_alloc (Array.length t.data);
+  { t with data = Array.copy t.data }
 
 let identity d =
   let t = create ~batch:d ~width:d in
@@ -53,6 +66,7 @@ let identity d =
   t
 
 let init ~batch ~width f =
+  count_alloc (batch * width);
   let data = Array.make (batch * width) 0.0 in
   for b = 0 to batch - 1 do
     for i = 0 to width - 1 do
@@ -81,6 +95,7 @@ let check_same_shape name a b =
 let map2_named name f a b =
   check_same_shape name a b;
   let n = numel a in
+  count_alloc n;
   let out = { data = Array.make n 0.0; batch = a.batch; width = a.width } in
   (match !Backend.mode with
   | Backend.Vectorized ->
@@ -98,6 +113,7 @@ let map2_named name f a b =
 
 let map f a =
   let n = numel a in
+  count_alloc n;
   let out = { data = Array.make n 0.0; batch = a.batch; width = a.width } in
   (match !Backend.mode with
   | Backend.Vectorized ->
@@ -410,6 +426,11 @@ module Matfun = struct
         if norm <= theta13 then 0
         else int_of_float (Float.ceil (Float.log (norm /. theta13) /. Float.log 2.0))
       in
+      if !Obs.on then begin
+        Metrics.incr "tensor.matexp_calls";
+        Metrics.incr ~by:(float_of_int s) "tensor.matexp_squarings";
+        Metrics.observe "tensor.matexp_dim" (float_of_int d)
+      end;
       let x = if s = 0 then copy a else scale (1.0 /. (2.0 ** float_of_int s)) a in
       let b = pade13 in
       let eye = identity d in

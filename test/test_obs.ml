@@ -1,0 +1,302 @@
+(* Tests for the observability layer: span nesting and balance, the
+   Chrome / folded export formats, the metrics registry, skew-visible
+   timestamps, and the bit-identity of instrumented extraction when the
+   sink is disabled. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Every test leaves the global sink disabled and the stores empty,
+   whatever happens inside. *)
+let fresh f () =
+  Obs.enable ();
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Trace.reset ();
+      Metrics.reset ())
+    f
+
+let find_span name = List.find_opt (fun s -> s.Trace.name = name) (Trace.spans ())
+
+let get_span name =
+  match find_span name with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not recorded" name
+
+(* --- spans ------------------------------------------------------------ *)
+
+let test_span_nesting =
+  fresh (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "left" (fun () -> ());
+          Trace.with_span "right" (fun () ->
+              Trace.with_span "leaf" (fun () -> ())));
+      Alcotest.(check int) "balanced" 0 (Trace.open_depth ());
+      Alcotest.(check int) "four spans" 4 (List.length (Trace.spans ()));
+      (* completion order: children close before their parents *)
+      Alcotest.(check (list string))
+        "completion order"
+        [ "left"; "leaf"; "right"; "outer" ]
+        (List.map (fun s -> s.Trace.name) (Trace.spans ()));
+      Alcotest.(check int) "outer depth" 0 (get_span "outer").Trace.depth;
+      Alcotest.(check int) "leaf depth" 2 (get_span "leaf").Trace.depth;
+      Alcotest.(check string) "leaf path" "outer;right;leaf" (get_span "leaf").Trace.path;
+      Alcotest.(check string) "left path" "outer;left" (get_span "left").Trace.path;
+      let outer = get_span "outer" and leaf = get_span "leaf" in
+      Alcotest.(check bool) "parent spans child" true (outer.Trace.dur >= leaf.Trace.dur);
+      Alcotest.(check bool) "child starts after parent" true (leaf.Trace.ts >= outer.Trace.ts))
+
+let test_span_exception_unwind =
+  fresh (fun () ->
+      (try Trace.with_span "outer" (fun () -> Trace.with_span "boom" (fun () -> failwith "x"))
+       with Failure _ -> ());
+      Alcotest.(check int) "stack unwound" 0 (Trace.open_depth ());
+      (* both spans still recorded, with the pre-raise nesting *)
+      Alcotest.(check string) "path kept" "outer;boom" (get_span "boom").Trace.path;
+      Alcotest.(check int) "both recorded" 2 (List.length (Trace.spans ()));
+      (* the store stays usable afterwards *)
+      Trace.with_span "next" (fun () -> ());
+      Alcotest.(check int) "next at depth 0" 0 (get_span "next").Trace.depth)
+
+let test_disabled_is_noop () =
+  Obs.disable ();
+  Trace.reset ();
+  Metrics.reset ();
+  let r = Trace.with_span "ghost" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passed through" 42 r;
+  Trace.instant "ghost-instant";
+  Metrics.incr "ghost.counter";
+  Metrics.observe "ghost.hist" 1.0;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()));
+  Alcotest.(check (float 0.0)) "no counter" 0.0 (Metrics.counter_value "ghost.counter");
+  Alcotest.(check int) "empty registry" 0 (List.length (Metrics.names ()))
+
+let test_span_totals =
+  fresh (fun () ->
+      Trace.with_span "work" (fun () -> Trace.with_span "inner" (fun () -> ()));
+      Trace.with_span "work" (fun () -> ());
+      match Trace.span_totals () with
+      | [ ("inner", 1, _); ("work", 2, _) ] -> ()
+      | totals ->
+          Alcotest.failf "unexpected totals: %s"
+            (String.concat ", " (List.map (fun (n, c, _) -> Printf.sprintf "%s/%d" n c) totals)))
+
+(* --- exports ---------------------------------------------------------- *)
+
+let nasty = "we\"ird\\na;me\n\twith\x01ctrl"
+
+let test_chrome_export =
+  fresh (fun () ->
+      Trace.with_span ~cat:"t" ~attrs:[ ("k", nasty) ] nasty (fun () ->
+          Trace.instant ~cat:"health" "fault-injected");
+      let j = Json.parse (Json.to_string (Trace.to_chrome ())) in
+      let events = Json.get_list (Json.member "traceEvents" j) in
+      Alcotest.(check int) "span + instant" 2 (List.length events);
+      let by_ph ph =
+        List.find (fun e -> Json.get_string (Json.member "ph" e) = ph) events
+      in
+      let x = by_ph "X" and i = by_ph "i" in
+      Alcotest.(check string) "nasty name survives" nasty (Json.get_string (Json.member "name" x));
+      Alcotest.(check string) "nasty attr survives" nasty
+        (Json.get_string (Json.member "k" (Json.member "args" x)));
+      Alcotest.(check string) "instant name" "fault-injected"
+        (Json.get_string (Json.member "name" i));
+      Alcotest.(check string) "instant scope" "g" (Json.get_string (Json.member "s" i));
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            "ts rebased to >= 0" true
+            (Json.get_number (Json.member "ts" e) >= 0.0))
+        events;
+      Alcotest.(check bool)
+        "dur in microseconds, finite" true
+        (Float.is_finite (Json.get_number (Json.member "dur" x))))
+
+let test_chrome_sorted_by_ts =
+  fresh (fun () ->
+      (* record in an order where the outer (earliest-start) span closes
+         last; the export must re-sort by start time *)
+      Trace.with_span "a" (fun () ->
+          Trace.with_span "b" (fun () -> Trace.with_span "c" (fun () -> ())));
+      let j = Json.parse (Json.to_string (Trace.to_chrome ())) in
+      let ts =
+        List.map
+          (fun e -> Json.get_number (Json.member "ts" e))
+          (Json.get_list (Json.member "traceEvents" j))
+      in
+      Alcotest.(check bool)
+        "non-decreasing ts" true
+        (List.for_all2 ( <= )
+           (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+           (List.tl ts)))
+
+let test_folded_export =
+  fresh (fun () ->
+      Trace.with_span "root" (fun () -> Trace.with_span "child" (fun () -> ()));
+      let lines = String.split_on_char '\n' (String.trim (Trace.to_folded ())) in
+      Alcotest.(check int) "one line per path" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "malformed folded line %S" line
+          | Some i ->
+              let n = String.sub line (i + 1) (String.length line - i - 1) in
+              Alcotest.(check bool)
+                "integer self-time" true
+                (match int_of_string_opt n with Some v -> v >= 0 | None -> false))
+        lines;
+      Alcotest.(check bool)
+        "nested path present" true
+        (List.exists (fun l -> String.length l >= 10 && String.sub l 0 10 = "root;child") lines))
+
+(* --- metrics ---------------------------------------------------------- *)
+
+let test_metrics_registry =
+  fresh (fun () ->
+      Metrics.incr "c";
+      Metrics.incr ~by:2.5 "c";
+      Metrics.set_gauge "g" 1.0;
+      Metrics.set_gauge "g" 7.0;
+      Metrics.observe "h" 2.0;
+      Metrics.observe "h" 4.0;
+      Alcotest.(check (float 1e-9)) "counter accumulates" 3.5 (Metrics.counter_value "c");
+      Alcotest.(check (float 1e-9)) "gauge keeps last" 7.0 (Metrics.gauge_value "g");
+      (match Metrics.histogram_stats "h" with
+      | Some { Metrics.count = 2; sum = 6.0; min_v = 2.0; max_v = 4.0; last = 4.0 } -> ()
+      | Some h -> Alcotest.failf "wrong histogram: count=%d sum=%g" h.Metrics.count h.Metrics.sum
+      | None -> Alcotest.fail "histogram missing");
+      Alcotest.(check (list string)) "sorted names" [ "c"; "g"; "h" ] (Metrics.names ());
+      (* a name is one kind forever *)
+      Alcotest.check_raises "kind mismatch"
+        (Invalid_argument "Metrics: \"c\" is a counter, not a gauge") (fun () ->
+          Metrics.set_gauge "c" 0.0);
+      (* the snapshot is valid JSON carrying the same numbers *)
+      let j = Json.parse (Json.to_string (Metrics.snapshot ())) in
+      Alcotest.(check string) "snapshot type" "counter"
+        (Json.get_string (Json.member "type" (Json.member "c" j)));
+      Alcotest.(check (float 1e-9)) "snapshot value" 3.5
+        (Json.get_number (Json.member "value" (Json.member "c" j)));
+      Alcotest.(check (float 1e-9)) "snapshot mean" 3.0
+        (Json.get_number (Json.member "mean" (Json.member "h" j))))
+
+let escaping_roundtrip =
+  qtest ~count:500 "json string escaping round-trips any bytes"
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 64))
+    (fun s ->
+      match Json.parse (Json.to_string (Json.String s)) with
+      | Json.String s' -> s' = s
+      | _ -> false)
+
+(* --- timestamps under clock skew -------------------------------------- *)
+
+let test_skew_visible_in_spans =
+  fresh (fun () ->
+      Fun.protect ~finally:(fun () -> Timer.set_skew 0.0) @@ fun () ->
+      Timer.set_skew 0.0;
+      Trace.with_span "before" (fun () -> ());
+      Timer.set_skew 100.0;
+      Trace.with_span "after" (fun () -> ());
+      let before = get_span "before" and after = get_span "after" in
+      Alcotest.(check bool)
+        "skew shifts later spans" true
+        (after.Trace.ts -. before.Trace.ts >= 99.0);
+      (* the chrome export rebases onto the earliest event *)
+      let j = Json.parse (Json.to_string (Trace.to_chrome ())) in
+      let ts =
+        List.map
+          (fun e -> Json.get_number (Json.member "ts" e))
+          (Json.get_list (Json.member "traceEvents" j))
+      in
+      Alcotest.(check bool) "first event at 0" true (List.hd ts < 1e6);
+      Alcotest.(check bool)
+        "gap preserved in microseconds" true
+        (List.nth ts 1 -. List.hd ts >= 99.0 *. 1e6))
+
+let test_skew_fault_plan =
+  fresh (fun () ->
+      Fault_plan.with_plan
+        (Fault_plan.of_string "skew@30")
+        (fun () ->
+          Trace.with_span "before" (fun () -> ());
+          ignore (Fault_plan.trigger_clock_skew ());
+          Trace.with_span "after" (fun () -> ()));
+      let before = get_span "before" and after = get_span "after" in
+      Alcotest.(check bool)
+        "injected skew shows in the trace" true
+        (after.Trace.ts -. before.Trace.ts >= 29.0))
+
+(* --- bit-identity of instrumented extraction -------------------------- *)
+
+let test_disabled_sink_bit_identical () =
+  Obs.disable ();
+  Trace.reset ();
+  Metrics.reset ();
+  let g = (Registry.find_instance "mcm_8").Registry.build () in
+  let config =
+    { Smoothe_config.default with Smoothe_config.max_iters = 12; batch = 4; seed = 11 }
+  in
+  let plain = Smoothe_extract.extract ~config g in
+  let observed = Obs.with_enabled (fun () -> Smoothe_extract.extract ~config g) in
+  let cost (r : Smoothe_extract.run) = r.Smoothe_extract.result.Extractor.cost in
+  Alcotest.(check bool) "same cost, bit for bit" true (cost plain = cost observed);
+  Alcotest.(check int)
+    "same iteration count" plain.Smoothe_extract.iterations observed.Smoothe_extract.iterations;
+  Alcotest.(check (list (float 0.0)))
+    "identical loss trajectory"
+    (List.map (fun h -> h.Smoothe_extract.relaxed_loss) plain.Smoothe_extract.history)
+    (List.map (fun h -> h.Smoothe_extract.relaxed_loss) observed.Smoothe_extract.history);
+  let choices (r : Smoothe_extract.run) =
+    match r.Smoothe_extract.result.Extractor.solution with
+    | Some s -> Array.to_list s.Egraph.Solution.choice
+    | None -> []
+  in
+  Alcotest.(check (list (option int))) "identical solution" (choices plain) (choices observed);
+  (* the observed run recorded the nested per-phase spans... *)
+  let paths = List.map (fun s -> s.Trace.path) (Trace.spans ()) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Printf.sprintf "recorded %s" p) true (List.mem p paths))
+    [
+      "smoothe.extract";
+      "smoothe.extract;smoothe.iter";
+      "smoothe.extract;smoothe.iter;smoothe.forward";
+      "smoothe.extract;smoothe.iter;smoothe.backward";
+      "smoothe.extract;smoothe.iter;smoothe.sample";
+    ];
+  (* ...and the iteration counter agrees with the run *)
+  Alcotest.(check (float 0.0))
+    "iteration counter matches"
+    (float_of_int observed.Smoothe_extract.iterations)
+    (Metrics.counter_value "smoothe.iterations");
+  (* the disabled run left nothing behind *)
+  Trace.reset ();
+  Metrics.reset ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception unwind" `Quick test_span_exception_unwind;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "totals" `Quick test_span_totals;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json" `Quick test_chrome_export;
+          Alcotest.test_case "chrome sorted" `Quick test_chrome_sorted_by_ts;
+          Alcotest.test_case "folded stacks" `Quick test_folded_export;
+        ] );
+      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry; escaping_roundtrip ]);
+      ( "skew",
+        [
+          Alcotest.test_case "set_skew visible" `Quick test_skew_visible_in_spans;
+          Alcotest.test_case "fault plan skew" `Quick test_skew_fault_plan;
+        ] );
+      ( "bit-identity",
+        [ Alcotest.test_case "disabled sink" `Quick test_disabled_sink_bit_identical ] );
+    ]

@@ -88,6 +88,29 @@ let test_health_log () =
   Health.merge ~into log;
   Alcotest.(check int) "merge keeps all" 3 (List.length (Health.events into))
 
+let test_health_merge_rebase () =
+  (* Regression: merge used to copy [at] verbatim, so events from a log
+     created later appeared to predate the destination's own earlier
+     entries. A source event must be rebased onto the destination's
+     creation epoch. The clock is advanced with Timer.set_skew rather
+     than by sleeping. *)
+  Fun.protect ~finally:(fun () -> Timer.set_skew 0.0) @@ fun () ->
+  Timer.set_skew 0.0;
+  let into = Health.create () in
+  Health.record into ~member:"a" Health.Recovery "early";
+  Timer.set_skew 10.0;
+  let src = Health.create () in
+  Health.record src ~member:"b" Health.Timeout "late";
+  Health.merge ~into src;
+  match Health.events into with
+  | [ early; late ] ->
+      Alcotest.(check string) "destination event first" "a" early.Health.member;
+      Alcotest.(check bool)
+        "rebased onto destination epoch" true
+        (late.Health.at >= 10.0);
+      Alcotest.(check bool) "timeline consistent" true (early.Health.at < late.Health.at)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
 (* --- supervisor ------------------------------------------------------- *)
 
 let test_supervisor_finished () =
@@ -269,7 +292,11 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
           Alcotest.test_case "determinism" `Quick test_plan_determinism;
         ] );
-      ("health", [ Alcotest.test_case "log" `Quick test_health_log ]);
+      ( "health",
+        [
+          Alcotest.test_case "log" `Quick test_health_log;
+          Alcotest.test_case "merge rebases timestamps" `Quick test_health_merge_rebase;
+        ] );
       ( "supervisor",
         [
           Alcotest.test_case "finished" `Quick test_supervisor_finished;
