@@ -100,7 +100,11 @@ let method_conv =
     ]
 
 let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~health
-    ~show_term =
+    ~checkpoint_dir ~checkpoint_every ~resume ~show_term =
+  if resume && checkpoint_dir = None then begin
+    Printf.eprintf "--resume needs --checkpoint-dir (where should the snapshot come from?)\n";
+    exit 1
+  end;
   let result =
     match method_ with
     | `Greedy -> Greedy.extract g
@@ -120,7 +124,13 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~h
     | `Portfolio ->
         let out =
           Portfolio.extract
-            ~config:{ Portfolio.default_config with Portfolio.time_budget = time_limit }
+            ~config:
+              {
+                Portfolio.default_config with
+                Portfolio.time_budget = time_limit;
+                checkpoint_dir;
+                checkpoint_every;
+              }
             ~health (Rng.create seed) g
         in
         List.iter
@@ -144,7 +154,27 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~h
             lambda_ = lambda;
           }
         in
-        let run = Smoothe_extract.extract ~config ~health g in
+        let store =
+          Option.map
+            (fun dir -> Checkpoint.store ~dir ~name:(g.Egraph.name ^ "-smoothe") ())
+            checkpoint_dir
+        in
+        let resume_from =
+          if not resume then None
+          else
+            match Option.map (Checkpoint.load_latest ~health ~member:"cli") store with
+            | Some (Some (snap, gen)) ->
+                Printf.printf "resuming from checkpoint generation %d (iteration %d)\n" gen
+                  snap.Checkpoint.iter;
+                Some snap
+            | Some None | None ->
+                Printf.printf "no usable checkpoint found; starting fresh\n";
+                None
+        in
+        let run =
+          Smoothe_extract.extract ~config ~health ?checkpoint:store ~checkpoint_every
+            ?resume_from g
+        in
         Printf.printf "iterations=%d batch=%d prop_iters=%d (loss %.2fs / grad %.2fs / sample %.2fs)\n"
           run.Smoothe_extract.iterations run.Smoothe_extract.batch_used
           run.Smoothe_extract.prop_iters
@@ -193,6 +223,32 @@ let seed_flag = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Random 
 
 let show_term_flag =
   Arg.(value & flag & info [ "show-term" ] ~doc:"Print the extracted program (DAG form).")
+
+let checkpoint_dir_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable runs: write rotated, checksummed SmoothE checkpoints to $(docv) (created \
+           if missing). With $(b,-m portfolio), also turns on supervised retry of the \
+           SmoothE member from its latest checkpoint.")
+
+let checkpoint_every_flag =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "checkpoint-every" ] ~docv:"K"
+        ~doc:"Checkpoint every $(docv) iterations (0 disables the periodic writes).")
+
+let resume_flag =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the newest usable checkpoint in $(b,--checkpoint-dir); the completed \
+           run is bit-identical to an uninterrupted one at the same seed. Starts fresh (with \
+           a note) when no usable snapshot exists.")
 
 let fault_plan_flag =
   Arg.(
@@ -254,7 +310,7 @@ let write_health_report health = function
 
 let extract_cmd =
   let run spec method_ time_limit batch iters assumption lambda seed fault_plan health_report
-      trace_out metrics_out show_term =
+      trace_out metrics_out checkpoint_dir checkpoint_every resume show_term =
     let g = load_egraph spec in
     let health = Health.create () in
     if trace_out <> None || metrics_out <> None then begin
@@ -288,13 +344,14 @@ let extract_cmd =
         Fun.protect ~finally:finish (fun () ->
             ignore
               (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed
-                 ~health ~show_term)))
+                 ~health ~checkpoint_dir ~checkpoint_every ~resume ~show_term)))
   in
   Cmd.v (Cmd.info "extract" ~doc:"Extract an optimised program from an e-graph.")
     Term.(
       const run $ instance_arg $ method_flag $ time_limit_flag $ batch_flag $ iters_flag
       $ assumption_flag $ lambda_flag $ seed_flag $ fault_plan_flag $ health_report_flag
-      $ trace_flag $ metrics_flag $ show_term_flag)
+      $ trace_flag $ metrics_flag $ checkpoint_dir_flag $ checkpoint_every_flag $ resume_flag
+      $ show_term_flag)
 
 (* --------------------------------------------------------- trace-summary *)
 
@@ -353,7 +410,8 @@ let compare_cmd =
       (fun method_ ->
         ignore
           (run_method g ~method_ ~time_limit ~batch:16 ~iters:150 ~assumption:"hybrid"
-             ~lambda:100.0 ~seed:7 ~health:(Health.create ()) ~show_term:false))
+             ~lambda:100.0 ~seed:7 ~health:(Health.create ()) ~checkpoint_dir:None
+             ~checkpoint_every:25 ~resume:false ~show_term:false))
       methods
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every extraction method on one e-graph.")

@@ -32,6 +32,23 @@ let reset opt =
   Array.iter (fun t -> Tensor.fill t 0.0) opt.m;
   Array.iter (fun t -> Tensor.fill t 0.0) opt.v
 
+let step opt = opt.step
+
+let state opt = (Array.map Tensor.copy opt.m, Array.map Tensor.copy opt.v, opt.step)
+
+let restore opt ~m ~v ~step =
+  if Array.length m <> Array.length opt.m || Array.length v <> Array.length opt.v then
+    invalid_arg "Optim.restore: moment count mismatch";
+  if step < 0 then invalid_arg "Optim.restore: negative step";
+  let blit src dst =
+    if Tensor.numel src <> Tensor.numel dst then
+      invalid_arg "Optim.restore: moment shape mismatch";
+    Array.blit (Tensor.unsafe_data src) 0 (Tensor.unsafe_data dst) 0 (Tensor.numel dst)
+  in
+  Array.iter2 blit m opt.m;
+  Array.iter2 blit v opt.v;
+  opt.step <- step
+
 let adam_step opt grads =
   let grads = Array.of_list grads in
   if Array.length grads <> Array.length opt.params then

@@ -25,6 +25,19 @@ val reset : adam -> unit
     keeping the parameters themselves. Numeric recovery uses this to
     discard moment state contaminated by a non-finite gradient. *)
 
+val step : adam -> int
+(** Update count (the [t] of the bias correction). *)
+
+val state : adam -> Tensor.t array * Tensor.t array * int
+(** [(m, v, step)] as fresh copies — everything beyond the parameters
+    and learning rate needed to checkpoint the optimiser mid-run. *)
+
+val restore : adam -> m:Tensor.t array -> v:Tensor.t array -> step:int -> unit
+(** Blit saved moments back in place and set the step counter, so a
+    resumed run's next {!adam_step} is bit-identical to the one the
+    original run would have taken. @raise Invalid_argument on a
+    count/shape mismatch or a negative step. *)
+
 val sgd_step : lr:float -> params:Tensor.t list -> grads:Tensor.t list -> unit
 
 val clip_grad_norm : max_norm:float -> Tensor.t list -> float

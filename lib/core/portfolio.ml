@@ -11,6 +11,9 @@ type config = {
   use_annealing : bool;
   use_genetic : bool;
   smoothe : Smoothe_config.t;
+  checkpoint_dir : string option;
+  checkpoint_every : int;
+  retry_attempts : int;
 }
 
 let default_config =
@@ -21,6 +24,9 @@ let default_config =
     use_annealing = true;
     use_genetic = false;
     smoothe = Smoothe_config.default;
+    checkpoint_dir = None;
+    checkpoint_every = 25;
+    retry_attempts = 3;
   }
 
 let extract ?(config = default_config) ?model ?health rng g =
@@ -62,13 +68,13 @@ let extract ?(config = default_config) ?model ?health rng g =
      survivors *)
   let portfolio_deadline = Timer.deadline_after config.time_budget in
   let left = ref (List.length anytime_members) in
-  let supervised display_name share f =
+  let run_supervised display_name share run =
     let timeouts_before = Health.count ~member:display_name log Health.Timeout in
     let outcome =
       Trace.with_span ~cat:"portfolio"
         ~attrs:(if !Obs.on then [ ("budget_s", Printf.sprintf "%.3f" share) ] else [])
         ("portfolio." ^ display_name)
-        (fun () -> Supervisor.run ~health:log ~name:display_name ~budget:share f)
+        run
     in
     let timed_out = Health.count ~member:display_name log Health.Timeout > timeouts_before in
     match outcome with
@@ -77,6 +83,10 @@ let extract ?(config = default_config) ?model ?health rng g =
     | Supervisor.Crashed { exn } ->
         record ~status:(Faulted exn) display_name
           (Extractor.failed ~method_name:display_name ~time_s:0.0)
+  in
+  let supervised display_name share f =
+    run_supervised display_name share (fun () ->
+        Supervisor.run ~health:log ~name:display_name ~budget:share f)
   in
   List.iter
     (fun (name, _) ->
@@ -94,11 +104,32 @@ let extract ?(config = default_config) ?model ?health rng g =
         Health.record log ~member:name Health.Budget_reallocated
           (Printf.sprintf "share grew to %.2fs (naive split %.2fs)" share naive_share);
       (match name with
-      | "smoothe" ->
+      | "smoothe" -> (
           let smoothe_config = { config.smoothe with Smoothe_config.time_limit = share } in
-          supervised "smoothe" share (fun _deadline ->
-              (Smoothe_extract.extract ~config:smoothe_config ~model ~health:log g)
-                .Smoothe_extract.result)
+          match config.checkpoint_dir with
+          | None ->
+              supervised "smoothe" share (fun _deadline ->
+                  (Smoothe_extract.extract ~config:smoothe_config ~model ~health:log g)
+                    .Smoothe_extract.result)
+          | Some dir ->
+              (* durable mode: the member checkpoints as it goes and a
+                 crash resumes from the newest usable generation instead
+                 of forfeiting the share *)
+              let store = Checkpoint.store ~dir ~name:"portfolio-smoothe" () in
+              run_supervised "smoothe" share (fun () ->
+                  Supervisor.run_retrying ~health:log ~rng:(Rng.copy rng)
+                    ~attempts:config.retry_attempts ~name:"smoothe" ~budget:share
+                    (fun ~attempt _deadline ->
+                      let resume_from =
+                        if attempt = 0 then None
+                        else
+                          Option.map fst
+                            (Checkpoint.load_latest ~health:log ~member:"smoothe" store)
+                      in
+                      (Smoothe_extract.extract ~config:smoothe_config ~model ~health:log
+                         ~checkpoint:store ~checkpoint_every:config.checkpoint_every
+                         ?resume_from g)
+                        .Smoothe_extract.result)))
       | "ilp" ->
           (* ILP optimises the linear part only; with a non-linear model
              its solution is re-scored by [record] (the ILP* of §5.5) *)

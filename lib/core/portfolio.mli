@@ -35,6 +35,12 @@ type config = {
   use_annealing : bool;
   use_genetic : bool;
   smoothe : Smoothe_config.t;
+  checkpoint_dir : string option;
+      (** durable mode: SmoothE checkpoints here and a crashed run is
+          retried from its newest usable generation ({!Supervisor.run_retrying})
+          instead of forfeiting its share. [None] (default) disables it. *)
+  checkpoint_every : int;  (** snapshot interval in iterations (default 25) *)
+  retry_attempts : int;  (** total tries for the SmoothE member (default 3) *)
 }
 
 val default_config : config

@@ -61,6 +61,7 @@ type chosen = {
   c_compiled : Relaxation.compiled;
   c_max_batch : int;
   c_desc : string option;  (* Some desc when any derating step was taken *)
+  c_rung : int;  (* index into the derating ladder (0 = as configured) *)
 }
 
 let select_configuration log config device g =
@@ -71,11 +72,11 @@ let select_configuration log config device g =
       cfg.Smoothe_config.batch,
       dev.Device.device_name )
   in
-  let rec walk seen derated = function
+  let rec walk seen derated rung = function
     | [] -> None
     | ((cfg, dev, desc) as attempt) :: rest ->
         let fp_key = fingerprint attempt in
-        if List.mem fp_key seen then walk seen derated rest
+        if List.mem fp_key seen then walk seen derated (rung + 1) rest
         else begin
           let compiled = Relaxation.compile cfg g in
           let fp =
@@ -92,19 +93,21 @@ let select_configuration log config device g =
                 c_compiled = compiled;
                 c_max_batch = max_batch;
                 c_desc = (if derated then Some desc else None);
+                c_rung = rung;
               }
           else begin
             Health.record log ~member Health.Oom_derate
               (Printf.sprintf "%s does not fit one seed on %s (%.2f GiB needed)" desc
                  dev.Device.device_name
                  (Device.bytes_for_batch fp 1 /. (1024.0 *. 1024.0 *. 1024.0)));
-            walk (fp_key :: seen) true rest
+            walk (fp_key :: seen) true (rung + 1) rest
           end
         end
   in
-  walk [] false (derating_ladder config device)
+  walk [] false 0 (derating_ladder config device)
 
-let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?health g =
+let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?health
+    ?checkpoint ?(checkpoint_every = 25) ?resume_from g =
   let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
   let log = Health.create () in
   let drain () =
@@ -142,34 +145,140 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
           recoveries = 0;
           health = [];
         }
-  | Some { c_config; c_device; c_compiled; c_max_batch; c_desc } ->
+  | Some { c_config; c_device; c_compiled; c_max_batch; c_desc; c_rung } ->
       let config = c_config and device = c_device and compiled = c_compiled in
       let batch = min config.Smoothe_config.batch c_max_batch in
-      let rng = Rng.create config.Smoothe_config.seed in
       let n = Egraph.num_nodes g in
+      (* A snapshot only resumes the run it was taken from: same graph,
+         seed and (post-derating) batch. Anything else would silently
+         continue a different optimisation, so it is refused loudly. *)
+      let fingerprint =
+        {
+          Checkpoint.fp_graph = g.Egraph.name;
+          fp_nodes = n;
+          fp_classes = Egraph.num_classes g;
+          fp_seed = config.Smoothe_config.seed;
+          fp_batch = batch;
+        }
+      in
+      let resume =
+        match resume_from with
+        | None -> None
+        | Some snap when snap.Checkpoint.fingerprint = fingerprint -> Some snap
+        | Some snap ->
+            Health.record log ~member Health.Checkpoint_corrupt
+              (Printf.sprintf "snapshot fingerprint %s does not match run %s; starting fresh"
+                 (Checkpoint.fingerprint_to_string snap.Checkpoint.fingerprint)
+                 (Checkpoint.fingerprint_to_string fingerprint));
+            None
+      in
+      let rng = Rng.create config.Smoothe_config.seed in
       let theta = init_theta rng ~batch ~width:n ~std:config.Smoothe_config.init_std in
       let lr0 = config.Smoothe_config.lr in
       let opt = Optim.adam ~lr:lr0 [ theta ] in
-      let deadline = Timer.deadline_after config.Smoothe_config.time_limit in
-      let loss_time = ref 0.0 and grad_time = ref 0.0 and sample_time = ref 0.0 in
-      let best_cost = ref infinity in
-      let best_solution = ref None in
-      let best_seed = ref (-1) in
-      let last_improvement = ref 0 in
-      let trace = ref [] in
-      let history = ref [] in
-      let iters_done = ref 0 in
-      let recoveries = ref 0 in
+      let rng =
+        match resume with
+        | None -> rng
+        | Some snap ->
+            (* replay the snapshot's health timeline first so counts and
+               ordering match the uninterrupted run's log *)
+            List.iter (Health.add log) snap.Checkpoint.health;
+            Health.record log ~member Health.Resumed
+              (Printf.sprintf "resumed at iteration %d (%.2fs of budget consumed)"
+                 snap.Checkpoint.iter snap.Checkpoint.elapsed);
+            Array.blit
+              (Tensor.unsafe_data snap.Checkpoint.theta)
+              0 (Tensor.unsafe_data theta) 0 (Tensor.numel theta);
+            Optim.restore opt ~m:[| snap.Checkpoint.adam_m |] ~v:[| snap.Checkpoint.adam_v |]
+              ~step:snap.Checkpoint.adam_step;
+            Optim.set_lr opt snap.Checkpoint.adam_lr;
+            Rng.of_state snap.Checkpoint.rng_state
+      in
+      let base_elapsed =
+        match resume with Some snap -> snap.Checkpoint.elapsed | None -> 0.0
+      in
+      let deadline =
+        let tl = config.Smoothe_config.time_limit in
+        Timer.deadline_after (if tl > 0.0 then Float.max 1e-6 (tl -. base_elapsed) else tl)
+      in
+      let elapsed_now () = base_elapsed +. Timer.elapsed deadline in
+      let restore_ref f default =
+        match resume with Some snap -> ref (f snap) | None -> ref default
+      in
+      let loss_time = restore_ref (fun s -> s.Checkpoint.loss_time) 0.0
+      and grad_time = restore_ref (fun s -> s.Checkpoint.grad_time) 0.0
+      and sample_time = restore_ref (fun s -> s.Checkpoint.sample_time) 0.0 in
+      let best_cost = restore_ref (fun s -> s.Checkpoint.best_cost) infinity in
+      let best_solution =
+        restore_ref
+          (fun s ->
+            Option.map
+              (fun choice -> { Egraph.Solution.choice = Array.copy choice })
+              s.Checkpoint.best_choice)
+          None
+      in
+      let best_seed = restore_ref (fun s -> s.Checkpoint.best_seed) (-1) in
+      let last_improvement = restore_ref (fun s -> s.Checkpoint.last_improvement) 0 in
+      let trace = restore_ref (fun s -> List.rev s.Checkpoint.trace) [] in
+      let history =
+        restore_ref
+          (fun s ->
+            List.rev_map
+              (fun (iter, elapsed, relaxed_loss, sampled_cost, incumbent) ->
+                { iter; elapsed; relaxed_loss; sampled_cost; incumbent })
+              s.Checkpoint.history)
+          []
+      in
+      let start_iter = match resume with Some snap -> snap.Checkpoint.iter | None -> 0 in
+      let iters_done = ref start_iter in
+      let recoveries = restore_ref (fun s -> s.Checkpoint.recoveries) 0 in
+      let save_checkpoint st ~iter =
+        let m, v, step = Optim.state opt in
+        let snap =
+          {
+            Checkpoint.fingerprint;
+            iter;
+            elapsed = elapsed_now ();
+            rng_state = Rng.state rng;
+            theta = Tensor.copy theta;
+            adam_m = m.(0);
+            adam_v = v.(0);
+            adam_step = step;
+            adam_lr = Optim.lr opt;
+            best_cost = !best_cost;
+            best_seed = !best_seed;
+            best_choice =
+              Option.map (fun s -> Array.copy s.Egraph.Solution.choice) !best_solution;
+            last_improvement = !last_improvement;
+            recoveries = !recoveries;
+            ladder_rung = c_rung;
+            loss_time = !loss_time;
+            grad_time = !grad_time;
+            sample_time = !sample_time;
+            trace = List.rev !trace;
+            history =
+              List.rev_map
+                (fun h -> (h.iter, h.elapsed, h.relaxed_loss, h.sampled_cost, h.incumbent))
+                !history;
+            health = Health.events log;
+          }
+        in
+        ignore (Checkpoint.save st snap)
+      in
       let repair = config.Smoothe_config.repair_sampling in
-      Trace.with_span ~cat:"smoothe"
-        ~attrs:
-          (if !Obs.on then
-             [ ("batch", string_of_int batch); ("nodes", string_of_int n) ]
-           else [])
-        "smoothe.extract"
-      @@ fun () ->
-      Device.run device (fun () ->
-          let iter = ref 0 in
+      (* a crash (injected or real) must not lose the supervision
+         timeline: merge it into the shared log before re-raising so the
+         supervisor's retry sees what happened *)
+      (try
+         Trace.with_span ~cat:"smoothe"
+           ~attrs:
+             (if !Obs.on then
+                [ ("batch", string_of_int batch); ("nodes", string_of_int n) ]
+              else [])
+           "smoothe.extract"
+         @@ fun () ->
+         Device.run device (fun () ->
+          let iter = ref start_iter in
           let stop = ref false in
           (* Numeric recovery: a non-finite loss or gradient must never
              reach the Adam state or the incumbent. Each strike resets
@@ -214,6 +323,7 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
           while (not !stop) && !iter < config.Smoothe_config.max_iters do
             incr iter;
             iters_done := !iter;
+            Fault_plan.crash_now ~iter:!iter;
             if !Obs.on then Metrics.incr "smoothe.iterations";
             Trace.with_span ~cat:"smoothe"
               ~attrs:(if !Obs.on then [ ("iteration", string_of_int !iter) ] else [])
@@ -268,7 +378,7 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
                       best_solution := Some s;
                       best_seed := seed;
                       last_improvement := !iter;
-                      trace := (Timer.elapsed deadline, cost) :: !trace
+                      trace := (elapsed_now (), cost) :: !trace
                     end;
                     cost
                 | None -> infinity
@@ -292,7 +402,7 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
               history :=
                 {
                   iter = !iter;
-                  elapsed = Timer.elapsed deadline;
+                  elapsed = elapsed_now ();
                   relaxed_loss;
                   sampled_cost;
                   incumbent = !best_cost;
@@ -304,19 +414,27 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
               history :=
                 {
                   iter = !iter;
-                  elapsed = Timer.elapsed deadline;
+                  elapsed = elapsed_now ();
                   relaxed_loss = Float.nan;
                   sampled_cost = infinity;
                   incumbent = !best_cost;
                 }
                 :: !history
             end;
+            (match checkpoint with
+             | Some st when checkpoint_every > 0 && !iter mod checkpoint_every = 0 ->
+                 save_checkpoint st ~iter:!iter
+             | _ -> ());
             if Timer.expired deadline then stop := true
             else if
               !best_solution <> None
               && !iter - !last_improvement >= config.Smoothe_config.patience
             then stop := true
-          done);
+          done)
+       with e ->
+         drain ();
+         (match health with Some shared -> Health.merge ~into:shared log | None -> ());
+         raise e);
       let total = !loss_time +. !grad_time +. !sample_time in
       let notes =
         [

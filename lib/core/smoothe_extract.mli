@@ -41,12 +41,27 @@ val extract :
   ?model:Cost_model.t ->
   ?device:Device.t ->
   ?health:Health.log ->
+  ?checkpoint:Checkpoint.store ->
+  ?checkpoint_every:int ->
+  ?resume_from:Checkpoint.snapshot ->
   Egraph.t ->
   run
 (** [model] defaults to the e-graph's linear costs; [device] defaults to
     {!Device.a100}. The device's memory model derates the configured
     batch (Table 5) and its backend selects vectorised or scalar kernels
     (Figure 6).
+
+    Durability: with [?checkpoint], the loop writes a {!Checkpoint}
+    snapshot to the store every [checkpoint_every] iterations
+    (default 25; 0 disables the periodic writes). [?resume_from]
+    restores a previous snapshot — θ, the Adam moments, the RNG stream,
+    the incumbent, the elapsed-budget offset and the health timeline —
+    so a run killed at iteration K and resumed continues exactly where
+    it stopped: the completed run is bit-identical (modulo wall-clock
+    fields) to an uninterrupted run at the same seed. A snapshot whose
+    fingerprint (graph, size, seed, derated batch) does not match the
+    current run is refused with a [Checkpoint_corrupt] health event and
+    the run starts fresh.
 
     The loop is supervised. A non-finite loss or gradient never reaches
     the Adam state or the incumbent: the iteration is quarantined, the

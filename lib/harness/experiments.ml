@@ -754,6 +754,62 @@ let phases bank =
     "Phase times are summed from recorded smoothe.* spans; sq/matexp is the mean\n\
      squaring count per matrix exponential (Eq. 11 batching shrinks it)."
 
+let durability bank =
+  Report.heading "Durability: checkpoint overhead vs snapshot interval (mcm_8)";
+  let budget = Runbank.budget bank in
+  let g = Runbank.egraph bank (Registry.find_instance "mcm_8") in
+  let config =
+    {
+      budget.Budget.smoothe with
+      Smoothe_config.time_limit = 0.0;
+      (* unlimited: the interval, not the clock, decides when we stop *)
+      max_iters = min 60 budget.Budget.smoothe.Smoothe_config.max_iters;
+    }
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "smoothe-durability-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Report.set_columns [ 10; 10; 10; 10; 10; 12 ];
+  Report.row [ "interval"; "time"; "cost"; "iters"; "writes"; "KiB written" ];
+  Report.rule ();
+  Fun.protect ~finally:cleanup (fun () ->
+      List.iter
+        (fun interval ->
+          cleanup ();
+          let store =
+            if interval = 0 then None else Some (Checkpoint.store ~dir ~name:"durability" ())
+          in
+          Obs.with_enabled (fun () ->
+              Trace.reset ();
+              Metrics.reset ();
+              let run, t =
+                Timer.time (fun () ->
+                    Smoothe_extract.extract ~config ?checkpoint:store
+                      ~checkpoint_every:interval g)
+              in
+              Report.row
+                [
+                  (if interval = 0 then "off" else string_of_int interval);
+                  Report.secs t;
+                  Printf.sprintf "%.4g" run.Smoothe_extract.result.Extractor.cost;
+                  string_of_int run.Smoothe_extract.iterations;
+                  Printf.sprintf "%.0f" (Metrics.counter_value "checkpoint.writes");
+                  Printf.sprintf "%.1f"
+                    (Metrics.counter_value "checkpoint.bytes_written" /. 1024.0);
+                ]))
+        [ 0; 1; 5; 25 ]);
+  print_endline
+    "Same seed and iteration budget in every row, so cost must not move; the\n\
+     delta against `off' is the price of durability at each snapshot interval."
+
 (* -------------------------------------------------------------- driver *)
 
 let registry =
@@ -776,6 +832,7 @@ let registry =
     ("ablation_phi", ablation_phi);
     ("ablation_temperature", ablation_temperature);
     ("phases", phases);
+    ("durability", durability);
   ]
 
 let names = List.map fst registry

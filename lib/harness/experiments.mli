@@ -62,6 +62,12 @@ val phases : Runbank.t -> unit
 (** Per-phase wall-clock breakdown summed from recorded {!Trace} spans
     across the Fig. 6 configurations, with matexp squaring counts. *)
 
+val durability : Runbank.t -> unit
+(** Checkpointing overhead sweep: the same SmoothE run with snapshots
+    off and at several intervals, reporting wall-clock, snapshot writes
+    and bytes; the cost column must not move (checkpointing never
+    perturbs the optimisation). *)
+
 val all : Runbank.t -> unit
 
 val by_name : string -> (Runbank.t -> unit) option

@@ -1,0 +1,23 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), table-driven.
+   Plain OCaml ints: the value always fits in 32 bits, well inside the
+   63-bit native int. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Checksum.crc32: bad substring";
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    crc := table.((!crc lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF

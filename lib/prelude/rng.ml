@@ -41,6 +41,16 @@ let split rng =
 
 let copy rng = { s0 = rng.s0; s1 = rng.s1; s2 = rng.s2; s3 = rng.s3 }
 
+let state rng = [| rng.s0; rng.s1; rng.s2; rng.s3 |]
+
+let of_state st =
+  if Array.length st <> 4 then
+    invalid_arg
+      (Printf.sprintf "Rng.of_state: expected 4 state words, got %d" (Array.length st));
+  if Array.for_all (Int64.equal 0L) st then
+    invalid_arg "Rng.of_state: the all-zero state is a fixed point of xoshiro256**";
+  { s0 = st.(0); s1 = st.(1); s2 = st.(2); s3 = st.(3) }
+
 let int rng bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62. *)

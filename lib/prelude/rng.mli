@@ -19,6 +19,17 @@ val split : t -> t
 
 val copy : t -> t
 
+val state : t -> int64 array
+(** The four xoshiro256** state words, as a fresh array. Together with
+    {!of_state} this makes the generator checkpointable: a stream
+    restored from a saved state continues exactly where the original
+    would have. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state} output.
+    @raise Invalid_argument unless given exactly four words that are not
+    all zero (the all-zero state is a fixed point of the generator). *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

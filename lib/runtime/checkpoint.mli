@@ -1,0 +1,99 @@
+(** Crash-safe checkpoint snapshots for the extraction loop.
+
+    SmoothE runs are long, stateful optimisation loops; this module
+    makes their state durable so a crashed, killed or faulted run
+    resumes from its last snapshot instead of restarting — and, because
+    every input to an iteration is captured (θ, Adam moments, RNG
+    state, incumbent, patience counter), the resumed run replays
+    bit-identically to the uninterrupted one.
+
+    On disk, a snapshot is a single framed file:
+    magic ["SMCK"], a format version, the payload length and a CRC-32
+    of the payload, then a flat hand-rolled binary payload. Writes are
+    atomic (temp file + rename) and rotated: a {!store} keeps the last
+    [keep] generations, so a torn or bit-rotted newest file (detected
+    by the frame checks — never trusted) falls back to the previous
+    generation. *)
+
+exception Corrupt of string
+(** Raised internally by the payload decoder; callers of {!deserialize}
+    and {!load_latest} see [Error]/skipped generations instead. *)
+
+(** {1 Snapshot contents} *)
+
+type fingerprint = {
+  fp_graph : string;  (** e-graph name *)
+  fp_nodes : int;
+  fp_classes : int;
+  fp_seed : int;
+  fp_batch : int;  (** seed batch actually used (after derating) *)
+}
+(** Identity of the run a snapshot belongs to. A resume against a
+    different graph, seed or batch is refused (structural-equality
+    check by the consumer) rather than silently loading nonsense. *)
+
+val fingerprint_to_string : fingerprint -> string
+
+type snapshot = {
+  fingerprint : fingerprint;
+  iter : int;  (** iterations completed *)
+  elapsed : float;  (** budget seconds consumed before the snapshot *)
+  rng_state : int64 array;  (** xoshiro256** words ({!Rng.state}) *)
+  theta : Tensor.t;
+  adam_m : Tensor.t;
+  adam_v : Tensor.t;
+  adam_step : int;
+  adam_lr : float;
+  best_cost : float;
+  best_seed : int;
+  best_choice : int option array option;  (** incumbent per-class choice *)
+  last_improvement : int;
+  recoveries : int;  (** numeric-recovery strikes consumed *)
+  ladder_rung : int;  (** OOM derating-ladder position (0 = as configured) *)
+  loss_time : float;
+  grad_time : float;
+  sample_time : float;
+  trace : (float * float) list;  (** anytime curve, chronological *)
+  history : (int * float * float * float * float) list;
+      (** (iter, elapsed, relaxed_loss, sampled_cost, incumbent), chronological *)
+  health : Health.event list;  (** supervision events up to the snapshot *)
+}
+
+(** {1 Codec} *)
+
+val serialize : snapshot -> string
+(** The complete framed file image (header + checksummed payload). *)
+
+val deserialize : string -> (snapshot, string) result
+(** Inverse of {!serialize}. Every failure mode — short file, bad
+    magic, version skew, length mismatch from a torn write, checksum
+    mismatch from a bit flip, implausible field values — yields
+    [Error reason]; this function never raises and never returns a
+    snapshot that did not pass the checksum. *)
+
+(** {1 Generation store} *)
+
+type store
+
+val store : ?keep:int -> dir:string -> name:string -> unit -> store
+(** [store ~dir ~name ()] manages files [dir/name.<gen>.ckpt],
+    creating [dir] if needed and keeping the newest [keep] (default 3)
+    generations. @raise Invalid_argument on [keep < 1] or a [name]
+    containing ['/']. *)
+
+val dir : store -> string
+
+val save : store -> snapshot -> int
+(** Write the next generation atomically (temp file + rename, so a
+    crash mid-write leaves the previous generation intact), delete
+    generations beyond [keep], and return the generation number
+    written. Under an installed [torn-write] fault the file is
+    truncated halfway instead, exercising the fallback path. *)
+
+val load_latest :
+  ?health:Health.log -> ?member:string -> store -> (snapshot * int) option
+(** Newest snapshot that passes every frame check, with its generation.
+    Unusable generations (unreadable, torn, corrupted) are skipped —
+    each recorded as a [Checkpoint_corrupt] event in [health] (member
+    label [member], default ["checkpoint"]) — and the walk continues to
+    older generations. [None] when no generation is usable. *)

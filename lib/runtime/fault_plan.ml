@@ -3,6 +3,10 @@ type fault =
   | Mem_pressure of float
   | Solver_stall
   | Clock_skew of float
+  | Crash_at of int
+  | Torn_write
+
+exception Injected_crash of int
 
 type t = fault list
 
@@ -15,6 +19,8 @@ let fault_to_string = function
   | Mem_pressure s -> Printf.sprintf "mem@%g" s
   | Solver_stall -> "stall"
   | Clock_skew s -> Printf.sprintf "skew@%g" s
+  | Crash_at k -> Printf.sprintf "crash@%d" k
+  | Torn_write -> "torn-write"
 
 let to_string p = String.concat "," (List.map fault_to_string p)
 
@@ -31,31 +37,72 @@ let fault_of_string spec =
     | None -> invalid_arg (Printf.sprintf "Fault_plan: %s needs an argument, e.g. %s" what spec)
     | Some a -> (
         match float_of_string_opt a with
-        | Some v when v > 0.0 -> v
+        | Some v when v > 0.0 && Float.is_finite v -> v
         | Some _ | None ->
-            invalid_arg (Printf.sprintf "Fault_plan: bad argument %S in %S" a spec))
+            invalid_arg
+              (Printf.sprintf
+                 "Fault_plan: bad argument %S in %S (expected a finite value > 0)" a spec))
+  in
+  let int_arg what =
+    match arg with
+    | None -> invalid_arg (Printf.sprintf "Fault_plan: %s needs an argument, e.g. %s" what spec)
+    | Some a -> (
+        match int_of_string_opt a with
+        | Some k when k >= 1 -> k
+        | Some _ | None ->
+            invalid_arg
+              (Printf.sprintf "Fault_plan: bad argument %S in %S (expected an integer >= 1)"
+                 a spec))
+  in
+  let no_arg fault =
+    if arg <> None then
+      invalid_arg
+        (Printf.sprintf "Fault_plan: %s takes no argument, got %S" (fault_to_string fault) spec);
+    fault
   in
   match name with
-  | "nan" | "nan-grad" ->
-      let k = int_of_float (float_arg "nan@K") in
-      if k < 1 then invalid_arg "Fault_plan: nan@K needs K >= 1";
-      Nan_grad k
+  | "nan" | "nan-grad" -> Nan_grad (int_arg "nan@K")
   | "mem" | "mem-pressure" -> Mem_pressure (float_arg "mem@SCALE")
-  | "stall" ->
-      if arg <> None then
-        invalid_arg (Printf.sprintf "Fault_plan: stall takes no argument, got %S" spec);
-      Solver_stall
+  | "stall" -> no_arg Solver_stall
   | "skew" | "clock-skew" -> Clock_skew (float_arg "skew@SECONDS")
+  | "crash" -> Crash_at (int_arg "crash@K")
+  | "torn-write" | "torn" -> no_arg Torn_write
   | _ ->
       invalid_arg
         (Printf.sprintf
-           "Fault_plan: unknown fault %S (expected nan@K, mem@SCALE, stall or skew@SECONDS)" spec)
+           "Fault_plan: unknown fault %S (expected nan@K, mem@SCALE, stall, skew@SECONDS, \
+            crash@K or torn-write)"
+           spec)
+
+(* Two atoms of the same family make the plan ambiguous (the hooks fire
+   on the first match), so duplicates are a spec error, not a silent
+   preference for whichever was written first. *)
+let family = function
+  | Nan_grad _ -> "nan"
+  | Mem_pressure _ -> "mem"
+  | Solver_stall -> "stall"
+  | Clock_skew _ -> "skew"
+  | Crash_at _ -> "crash"
+  | Torn_write -> "torn-write"
 
 let of_string s =
-  String.split_on_char ',' s
-  |> List.map String.trim
-  |> List.filter (fun s -> s <> "" && s <> "none")
-  |> List.map fault_of_string
+  let faults =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "" && s <> "none")
+    |> List.map fault_of_string
+  in
+  let rec check_dups = function
+    | [] -> ()
+    | f :: rest ->
+        if List.exists (fun g -> family g = family f) rest then
+          invalid_arg
+            (Printf.sprintf "Fault_plan: duplicate %s fault in %S (each family at most once)"
+               (family f) s);
+        check_dups rest
+  in
+  check_dups faults;
+  faults
 
 (* ------------------------------------------------------------ ambient *)
 
@@ -68,6 +115,8 @@ let backward_count = ref 0
 let skew_pending = ref 0.0
 let mem_noted = ref false
 let stall_noted = ref false
+let crash_fired = ref false
+let torn_fired = ref false
 let injections : string list ref = ref []
 
 let record_injection what = injections := what :: !injections
@@ -88,6 +137,8 @@ let clear () =
   skew_pending := 0.0;
   mem_noted := false;
   stall_noted := false;
+  crash_fired := false;
+  torn_fired := false;
   injections := []
 
 let install p =
@@ -150,3 +201,19 @@ let trigger_clock_skew () =
     true
   end
   else false
+
+let crash_now ~iter =
+  match List.find_opt (function Crash_at _ -> true | _ -> false) !active_plan with
+  | Some (Crash_at k) when (not !crash_fired) && iter >= k ->
+      crash_fired := true;
+      record_injection (Printf.sprintf "crash injected at iteration %d" iter);
+      raise (Injected_crash iter)
+  | Some _ | None -> ()
+
+let torn_write () =
+  match List.exists (function Torn_write -> true | _ -> false) !active_plan with
+  | true when not !torn_fired ->
+      torn_fired := true;
+      record_injection "torn checkpoint write";
+      true
+  | true | false -> false

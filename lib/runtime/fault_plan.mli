@@ -26,6 +26,20 @@ type fault =
   | Clock_skew of float
       (** The wall clock jumps forward by this many seconds the first
           time a supervised member arms its deadline. *)
+  | Crash_at of int
+      (** Raise {!Injected_crash} when the instrumented loop first
+          reaches iteration [k] (1-based) — the mid-run kill that the
+          checkpoint/resume path must survive. Fires at most once per
+          installation, so a run resumed from a checkpoint replays past
+          iteration [k] without crashing again. *)
+  | Torn_write
+      (** The next checkpoint write is truncated halfway — the classic
+          power-loss torn write. The resulting file fails its checksum
+          and the reader must fall back to the previous generation.
+          Fires at most once per installation. *)
+
+exception Injected_crash of int
+(** Raised by {!crash_now}; carries the iteration at which it fired. *)
 
 type t = fault list
 
@@ -33,10 +47,13 @@ val none : t
 val is_none : t -> bool
 
 val of_string : string -> t
-(** Parse a comma-separated plan: ["nan@10,mem@8,stall,skew@30"].
-    Accepted atoms: [nan@K], [mem@SCALE], [stall], [skew@SECONDS];
-    empty string and ["none"] give {!none}.
-    @raise Invalid_argument on malformed specs. *)
+(** Parse a comma-separated plan: ["nan@10,mem@8,stall,crash@25"].
+    Accepted atoms: [nan@K], [mem@SCALE], [stall], [skew@SECONDS],
+    [crash@K], [torn-write]; empty string and ["none"] give {!none}.
+    @raise Invalid_argument on malformed specs: unknown fault names,
+    missing / non-numeric / non-positive / non-finite arguments
+    (e.g. [nan@-1], [nan@2.5], [mem@0], [mem@inf]), arguments to
+    faults that take none, and duplicate atoms of the same family. *)
 
 val to_string : t -> string
 
@@ -77,6 +94,17 @@ val stall_solver : Timer.deadline -> bool
 val trigger_clock_skew : unit -> bool
 (** Called by the supervisor after arming a member deadline; applies a
     pending clock-skew fault (once) and reports whether it fired. *)
+
+val crash_now : iter:int -> unit
+(** Called by the extraction loop at the top of each iteration; under a
+    [crash@K] fault the first call with [iter >= K] records the
+    injection and raises {!Injected_crash}. All other calls return
+    normally. *)
+
+val torn_write : unit -> bool
+(** Called by the checkpoint writer before committing a file; [true]
+    (at most once per installation) means "truncate this write halfway"
+    to simulate a torn write. *)
 
 (** {1 Injection records} *)
 

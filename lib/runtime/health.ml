@@ -7,10 +7,18 @@ type kind =
   | Member_failed
   | Budget_reallocated
   | Degraded
+  | Checkpoint_corrupt
+  | Resumed
 
 type event = { at : float; member : string; kind : kind; detail : string }
 
 type log = { created : float; events : event Vec.t }
+
+let all_kinds =
+  [
+    Fault_injected; Nan_detected; Recovery; Oom_derate; Timeout; Member_failed;
+    Budget_reallocated; Degraded; Checkpoint_corrupt; Resumed;
+  ]
 
 let kind_name = function
   | Fault_injected -> "fault-injected"
@@ -21,6 +29,10 @@ let kind_name = function
   | Member_failed -> "member-failed"
   | Budget_reallocated -> "budget-reallocated"
   | Degraded -> "degraded"
+  | Checkpoint_corrupt -> "checkpoint-corrupt"
+  | Resumed -> "resumed"
+
+let kind_of_name name = List.find_opt (fun k -> kind_name k = name) all_kinds
 
 let create () = { created = Timer.now (); events = Vec.create () }
 
@@ -62,12 +74,7 @@ let pp fmt log =
   Vec.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) log.events
 
 let summary log =
-  let kinds =
-    [
-      Fault_injected; Nan_detected; Recovery; Oom_derate; Timeout; Member_failed;
-      Budget_reallocated; Degraded;
-    ]
-  in
+  let kinds = all_kinds in
   let parts =
     List.filter_map
       (fun k ->

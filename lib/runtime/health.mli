@@ -16,6 +16,11 @@ type kind =
   | Member_failed  (** a member raised; captured, not propagated *)
   | Budget_reallocated  (** unused budget redistributed to later members *)
   | Degraded  (** a component gave up recovering and kept its incumbent *)
+  | Checkpoint_corrupt
+      (** a checkpoint failed its checksum / framing check (torn write,
+          bit rot, fingerprint mismatch) and was skipped in favour of an
+          older generation or a fresh start *)
+  | Resumed  (** a run was warm-started from a checkpoint snapshot *)
 
 type event = {
   at : float;  (** seconds since the log was created *)
@@ -52,6 +57,11 @@ val recoveries : log -> int
     degraded runs. *)
 
 val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}; [None] on unknown names. Used by the
+    checkpoint codec, which persists kinds by name so the on-disk
+    format survives constructor reordering. *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -24,3 +24,48 @@ let run ?(health = Health.create ()) ~name ~budget f =
   outcome
 
 let value ~default = function Finished v -> v | Crashed _ -> default
+
+(* Bounded retry with exponential backoff. The jitter is drawn from a
+   caller-supplied RNG so a retried run is as replayable as a clean
+   one; the member decides for itself how to warm-start (typically by
+   reloading its latest checkpoint when [attempt > 0]). One deadline
+   covers all attempts: retrying never extends the budget. *)
+let run_retrying ?(health = Health.create ()) ?rng ?(attempts = 3) ?(backoff = 0.05) ~name
+    ~budget f =
+  if attempts < 1 then invalid_arg "Supervisor.run_retrying: attempts must be >= 1";
+  let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  let deadline = Timer.deadline_after budget in
+  if Fault_plan.trigger_clock_skew () then drain_into health ~member:name;
+  let record_timeout () =
+    if Timer.expired deadline then
+      Health.record health ~member:name Health.Timeout
+        (Printf.sprintf "used full %.2fs budget" budget)
+  in
+  let rec go attempt =
+    match f ~attempt deadline with
+    | v ->
+        drain_into health ~member:name;
+        record_timeout ();
+        Finished v
+    | exception e ->
+        let exn = Printexc.to_string e in
+        Health.record health ~member:name Health.Member_failed exn;
+        drain_into health ~member:name;
+        if attempt + 1 >= attempts || Timer.expired deadline then begin
+          record_timeout ();
+          Crashed { exn }
+        end
+        else begin
+          let pause =
+            backoff *. (2.0 ** float_of_int attempt) *. (1.0 +. Rng.uniform rng)
+          in
+          let pause = Float.min pause (Timer.remaining deadline) in
+          Health.record health ~member:name Health.Recovery
+            (Printf.sprintf "retrying (attempt %d/%d) after %.3fs backoff" (attempt + 2)
+               attempts pause);
+          if pause > 0.0 && Float.is_finite pause then
+            Timer.sleep_until (Timer.deadline_after pause);
+          go (attempt + 1)
+        end
+  in
+  go 0

@@ -25,3 +25,26 @@ val run :
     cannot preempt a member that ignores it. *)
 
 val value : default:'a -> 'a outcome -> 'a
+
+val run_retrying :
+  ?health:Health.log ->
+  ?rng:Rng.t ->
+  ?attempts:int ->
+  ?backoff:float ->
+  name:string ->
+  budget:float ->
+  (attempt:int -> Timer.deadline -> 'a) ->
+  'a outcome
+(** [run_retrying ~name ~budget f] supervises [f] like {!run} but gives
+    a crashed member up to [attempts] (default 3) tries in total, all
+    under one shared deadline — retrying never extends the budget. The
+    member receives its 0-based [attempt] number and is expected to
+    warm-start itself on retries (e.g. resume from its latest
+    {!Checkpoint} generation) so no progress is discarded.
+
+    Between attempts the supervisor sleeps an exponential backoff
+    ([backoff] · 2^attempt, default base 0.05 s) with deterministic
+    jitter drawn from [rng] (default a fixed seed), capped by the
+    remaining budget. Each failure is a [Member_failed] event; each
+    retry adds a [Recovery] event. The last failure's exception is the
+    {!Crashed} payload when every attempt is exhausted. *)

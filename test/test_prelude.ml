@@ -134,6 +134,39 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check bool) "is permutation" true (sorted = Array.init 30 Fun.id)
 
+let test_rng_state_roundtrip () =
+  let rng = Rng.create 77 in
+  (* burn part of the stream so the captured state is mid-sequence *)
+  for _ = 1 to 123 do
+    ignore (Rng.int rng 1000)
+  done;
+  let st = Rng.state rng in
+  Alcotest.(check int) "four words" 4 (Array.length st);
+  (* the restored generator continues the exact stream: draws from the
+     original and the clone stay equal, across every draw type *)
+  let clone = Rng.of_state st in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "int stream continues" (Rng.int rng 1_000_000)
+      (Rng.int clone 1_000_000)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check (float 0.0)) "uniform stream continues" (Rng.uniform rng)
+      (Rng.uniform clone);
+    Alcotest.(check (float 0.0)) "gaussian stream continues" (Rng.gaussian rng)
+      (Rng.gaussian clone)
+  done;
+  (* capturing is passive: the original is not perturbed by [state] *)
+  let before = Rng.state rng in
+  Alcotest.(check bool) "state is passive" true (before = Rng.state rng)
+
+let test_rng_of_state_rejects () =
+  let fails st =
+    match Rng.of_state st with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "wrong arity" true (fails [| 1L; 2L; 3L |]);
+  Alcotest.(check bool) "all-zero fixed point" true (fails [| 0L; 0L; 0L; 0L |]);
+  Alcotest.(check bool) "one non-zero word ok" false (fails [| 0L; 0L; 1L; 0L |])
+
 (* ----------------------------------------------------------- Graph_algo *)
 
 let graph_gen =
@@ -357,6 +390,25 @@ let json_roundtrip =
   qtest ~count:300 "print . parse = id" json_gen (fun v ->
       Json.parse (Json.to_string v) = v && Json.parse (Json.to_string ~pretty:true v) = v)
 
+(* ------------------------------------------------------------- Checksum *)
+
+let test_crc32_vectors () =
+  (* the standard CRC-32/IEEE check value, plus the empty string *)
+  Alcotest.(check int) "empty" 0 (Checksum.crc32 "");
+  Alcotest.(check int) "check value" 0xCBF43926 (Checksum.crc32 "123456789");
+  Alcotest.(check int) "windowed = substring"
+    (Checksum.crc32 "345")
+    (Checksum.crc32 ~off:2 ~len:3 "12345678")
+
+let crc32_detects_single_bit_flip =
+  qtest ~count:300 "single bit flip always changes crc32"
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 1 64)) (pair nat nat))
+    (fun (s, (i, j)) ->
+      let i = i mod String.length s and j = j mod 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl j)));
+      Checksum.crc32 (Bytes.to_string b) <> Checksum.crc32 s)
+
 (* ---------------------------------------------------------------- Timer *)
 
 let test_timer_deadline () =
@@ -387,6 +439,8 @@ let () =
           Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
           Alcotest.test_case "choose_weighted" `Slow test_rng_choose_weighted;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "state roundtrip" `Quick test_rng_state_roundtrip;
+          Alcotest.test_case "of_state rejects" `Quick test_rng_of_state_rejects;
         ] );
       ( "graph_algo",
         [
@@ -413,6 +467,11 @@ let () =
           Alcotest.test_case "escapes" `Quick test_json_escapes;
           Alcotest.test_case "errors" `Quick test_json_errors;
           json_roundtrip;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+          crc32_detects_single_bit_flip;
         ] );
       ("timer", [ Alcotest.test_case "deadline" `Quick test_timer_deadline ]);
     ]

@@ -38,9 +38,58 @@ let test_plan_parse_errors () =
   rejects "nan";
   rejects "nan@x";
   rejects "nan@0";
+  rejects "nan@-1";
+  rejects "nan@2.5";
   rejects "mem@-1";
+  rejects "mem@0";
+  rejects "mem@inf";
+  rejects "mem@nan";
   rejects "bogus";
-  rejects "stall@3"
+  rejects "stall@3";
+  rejects "crash";
+  rejects "crash@0";
+  rejects "crash@x";
+  rejects "torn-write@3";
+  (* one atom per fault family: the second would silently shadow *)
+  rejects "nan@3,nan@5";
+  rejects "crash@2,crash@9";
+  rejects "torn,torn-write"
+
+let test_plan_parse_durability () =
+  Alcotest.(check bool)
+    "crash and torn-write parse" true
+    (Fault_plan.of_string "crash@13,torn-write"
+    = [ Fault_plan.Crash_at 13; Fault_plan.Torn_write ]);
+  Alcotest.(check bool)
+    "torn is an alias" true
+    (Fault_plan.of_string "torn" = [ Fault_plan.Torn_write ]);
+  Alcotest.(check string)
+    "round trip" "crash@13,torn-write"
+    (Fault_plan.to_string (Fault_plan.of_string "crash@13, torn"))
+
+let test_crash_fires_once () =
+  Fault_plan.with_plan
+    [ Fault_plan.Crash_at 3 ]
+    (fun () ->
+      Fault_plan.crash_now ~iter:1;
+      Fault_plan.crash_now ~iter:2;
+      (match Fault_plan.crash_now ~iter:3 with
+      | () -> Alcotest.fail "crash@3 did not fire at iteration 3"
+      | exception Fault_plan.Injected_crash k -> Alcotest.(check int) "carries iter" 3 k);
+      (* one-shot: the resumed run replays past K without crashing again *)
+      Fault_plan.crash_now ~iter:3;
+      Fault_plan.crash_now ~iter:4;
+      Alcotest.(check bool) "injection recorded" true (Fault_plan.drain_injections () <> []));
+  (* no ambient leak once the plan is cleared *)
+  Fault_plan.crash_now ~iter:3
+
+let test_torn_write_fires_once () =
+  Fault_plan.with_plan
+    [ Fault_plan.Torn_write ]
+    (fun () ->
+      Alcotest.(check bool) "first write torn" true (Fault_plan.torn_write ());
+      Alcotest.(check bool) "second write clean" false (Fault_plan.torn_write ()));
+  Alcotest.(check bool) "no plan, no tearing" false (Fault_plan.torn_write ())
 
 let test_plan_determinism () =
   (* same plan, same firing point, twice *)
@@ -151,6 +200,397 @@ let test_clock_skew () =
       Alcotest.(check int) "fault recorded" 1 (Health.count log Health.Fault_injected);
       Alcotest.(check int) "timeout recorded" 1 (Health.count log Health.Timeout));
   Alcotest.(check (float 1e-9)) "skew undone after the plan" 0.0 (Timer.get_skew ())
+
+let test_supervisor_crash_then_timeout () =
+  (* a member that burns its budget and then dies: the failure event
+     must precede the timeout event, and [value] falls back *)
+  let log = Health.create () in
+  let outcome =
+    Supervisor.run ~health:log ~name:"m" ~budget:0.02 (fun dl ->
+        Timer.sleep_until dl;
+        failwith "boom")
+  in
+  Alcotest.(check int) "default on crash" 9 (Supervisor.value ~default:9 outcome);
+  (match outcome with
+  | Supervisor.Crashed { exn } ->
+      Alcotest.(check bool) "exn captured" true (String.length exn > 0)
+  | Supervisor.Finished _ -> Alcotest.fail "expected Crashed");
+  let kinds = List.map (fun e -> e.Health.kind) (Health.events log) in
+  Alcotest.(check bool)
+    "member-failed strictly before timeout" true
+    (kinds = [ Health.Member_failed; Health.Timeout ])
+
+let test_run_retrying_eventual_success () =
+  let log = Health.create () in
+  let seen = ref [] in
+  let outcome =
+    Supervisor.run_retrying ~health:log ~rng:(Rng.create 3) ~attempts:3 ~backoff:0.001
+      ~name:"m" ~budget:10.0
+      (fun ~attempt _dl ->
+        seen := attempt :: !seen;
+        if attempt < 2 then failwith "flaky" else attempt)
+  in
+  Alcotest.(check int) "third attempt wins" 2 (Supervisor.value ~default:(-1) outcome);
+  Alcotest.(check (list int)) "attempts in order" [ 0; 1; 2 ] (List.rev !seen);
+  Alcotest.(check int) "two failures" 2 (Health.count log Health.Member_failed);
+  Alcotest.(check int) "two retries" 2 (Health.count log Health.Recovery);
+  Alcotest.(check int) "no timeout" 0 (Health.count log Health.Timeout)
+
+let test_run_retrying_exhausted () =
+  let log = Health.create () in
+  let calls = ref 0 in
+  let outcome =
+    Supervisor.run_retrying ~health:log ~attempts:2 ~backoff:0.001 ~name:"m" ~budget:10.0
+      (fun ~attempt:_ _dl ->
+        incr calls;
+        failwith "always")
+  in
+  (match outcome with
+  | Supervisor.Crashed _ -> ()
+  | Supervisor.Finished _ -> Alcotest.fail "expected exhaustion");
+  Alcotest.(check int) "exactly two calls" 2 !calls;
+  Alcotest.(check int) "both failures logged" 2 (Health.count log Health.Member_failed);
+  Alcotest.(check int) "one retry between them" 1 (Health.count log Health.Recovery)
+
+(* --- checkpoints ------------------------------------------------------- *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "smoothe-ckpt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let mk_snapshot ?(iter = 10) () =
+  {
+    Checkpoint.fingerprint =
+      { Checkpoint.fp_graph = "g"; fp_nodes = 4; fp_classes = 2; fp_seed = 1; fp_batch = 2 };
+    iter;
+    elapsed = 1.5;
+    rng_state = [| 1L; 2L; 3L; 4L |];
+    theta = Tensor.of_array ~batch:2 ~width:2 [| 0.1; 0.2; 0.3; 0.4 |];
+    adam_m = Tensor.of_array ~batch:2 ~width:2 [| 0.0; 0.0; 0.1; -0.1 |];
+    adam_v = Tensor.of_array ~batch:2 ~width:2 [| 0.5; 0.5; 0.5; 0.5 |];
+    adam_step = 3;
+    adam_lr = 0.05;
+    best_cost = 42.0;
+    best_seed = 1;
+    best_choice = Some [| Some 0; None |];
+    last_improvement = 8;
+    recoveries = 0;
+    ladder_rung = 0;
+    loss_time = 0.01;
+    grad_time = 0.02;
+    sample_time = 0.003;
+    trace = [ (0.1, 50.0); (0.4, 42.0) ];
+    history = [ (1, 0.1, 1.0, 50.0, 50.0); (2, 0.4, 0.9, 42.0, 42.0) ];
+    health = [ { Health.at = 0.2; member = "smoothe"; kind = Health.Recovery; detail = "x" } ];
+  }
+
+(* floats compare bitwise so NaN payloads and signed zeros round-trip *)
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let teq a b =
+  a.Tensor.batch = b.Tensor.batch
+  && a.Tensor.width = b.Tensor.width
+  && Array.for_all2 feq (Tensor.unsafe_data a) (Tensor.unsafe_data b)
+
+let snapshot_equal (a : Checkpoint.snapshot) (b : Checkpoint.snapshot) =
+  a.Checkpoint.fingerprint = b.Checkpoint.fingerprint
+  && a.Checkpoint.iter = b.Checkpoint.iter
+  && feq a.Checkpoint.elapsed b.Checkpoint.elapsed
+  && a.Checkpoint.rng_state = b.Checkpoint.rng_state
+  && teq a.Checkpoint.theta b.Checkpoint.theta
+  && teq a.Checkpoint.adam_m b.Checkpoint.adam_m
+  && teq a.Checkpoint.adam_v b.Checkpoint.adam_v
+  && a.Checkpoint.adam_step = b.Checkpoint.adam_step
+  && feq a.Checkpoint.adam_lr b.Checkpoint.adam_lr
+  && feq a.Checkpoint.best_cost b.Checkpoint.best_cost
+  && a.Checkpoint.best_seed = b.Checkpoint.best_seed
+  && a.Checkpoint.best_choice = b.Checkpoint.best_choice
+  && a.Checkpoint.last_improvement = b.Checkpoint.last_improvement
+  && a.Checkpoint.recoveries = b.Checkpoint.recoveries
+  && a.Checkpoint.ladder_rung = b.Checkpoint.ladder_rung
+  && feq a.Checkpoint.loss_time b.Checkpoint.loss_time
+  && feq a.Checkpoint.grad_time b.Checkpoint.grad_time
+  && feq a.Checkpoint.sample_time b.Checkpoint.sample_time
+  && List.for_all2
+       (fun (t1, c1) (t2, c2) -> feq t1 t2 && feq c1 c2)
+       a.Checkpoint.trace b.Checkpoint.trace
+  && List.for_all2
+       (fun (i1, e1, r1, s1, n1) (i2, e2, r2, s2, n2) ->
+         i1 = i2 && feq e1 e2 && feq r1 r2 && feq s1 s2 && feq n1 n2)
+       a.Checkpoint.history b.Checkpoint.history
+  && List.for_all2
+       (fun (x : Health.event) (y : Health.event) ->
+         feq x.Health.at y.Health.at
+         && x.Health.member = y.Health.member
+         && x.Health.kind = y.Health.kind
+         && x.Health.detail = y.Health.detail)
+       a.Checkpoint.health b.Checkpoint.health
+  && List.length a.Checkpoint.trace = List.length b.Checkpoint.trace
+  && List.length a.Checkpoint.history = List.length b.Checkpoint.history
+  && List.length a.Checkpoint.health = List.length b.Checkpoint.health
+
+let test_checkpoint_roundtrip () =
+  let snap = mk_snapshot () in
+  match Checkpoint.deserialize (Checkpoint.serialize snap) with
+  | Ok got -> Alcotest.(check bool) "identical snapshot" true (snapshot_equal snap got)
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+
+let test_checkpoint_frame_errors () =
+  let data = Checkpoint.serialize (mk_snapshot ()) in
+  let fails what s =
+    match Checkpoint.deserialize s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  fails "empty file" "";
+  fails "short header" (String.sub data 0 10);
+  fails "torn tail" (String.sub data 0 (String.length data / 2));
+  let bad_magic = Bytes.of_string data in
+  Bytes.set bad_magic 0 'X';
+  fails "bad magic" (Bytes.to_string bad_magic);
+  let bad_version = Bytes.of_string data in
+  Bytes.set bad_version 4 '\xEE';
+  fails "version skew" (Bytes.to_string bad_version);
+  let flipped = Bytes.of_string data in
+  let i = 20 + ((String.length data - 20) / 2) in
+  Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x10));
+  fails "payload bit flip" (Bytes.to_string flipped)
+
+let test_store_validation () =
+  with_tmpdir @@ fun dir ->
+  let rejects k n =
+    match Checkpoint.store ~keep:k ~dir ~name:n () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "keep 0" true (rejects 0 "ok");
+  Alcotest.(check bool) "slash in name" true (rejects 3 "a/b");
+  Alcotest.(check bool) "empty name" true (rejects 3 "");
+  Alcotest.(check bool) "valid" false (rejects 2 "ok")
+
+let test_store_rotation () =
+  with_tmpdir @@ fun dir ->
+  let st = Checkpoint.store ~keep:2 ~dir ~name:"rot" () in
+  Alcotest.(check int) "gen 1" 1 (Checkpoint.save st (mk_snapshot ~iter:1 ()));
+  Alcotest.(check int) "gen 2" 2 (Checkpoint.save st (mk_snapshot ~iter:2 ()));
+  Alcotest.(check int) "gen 3" 3 (Checkpoint.save st (mk_snapshot ~iter:3 ()));
+  Alcotest.(check int) "only keep newest two" 2 (Array.length (Sys.readdir dir));
+  match Checkpoint.load_latest st with
+  | Some (snap, gen) ->
+      Alcotest.(check int) "latest generation" 3 gen;
+      Alcotest.(check int) "latest snapshot" 3 snap.Checkpoint.iter
+  | None -> Alcotest.fail "no snapshot loaded"
+
+let corrupt_file path =
+  let ic = open_in_bin path in
+  let data = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let i = Bytes.length data - 1 in
+  Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor 0x01));
+  let oc = open_out_bin path in
+  output_bytes oc data;
+  close_out oc
+
+let test_corrupt_falls_back () =
+  with_tmpdir @@ fun dir ->
+  let st = Checkpoint.store ~dir ~name:"fb" () in
+  ignore (Checkpoint.save st (mk_snapshot ~iter:1 ()));
+  ignore (Checkpoint.save st (mk_snapshot ~iter:2 ()));
+  corrupt_file (Filename.concat dir "fb.00000002.ckpt");
+  let log = Health.create () in
+  (match Checkpoint.load_latest ~health:log st with
+  | Some (snap, gen) ->
+      Alcotest.(check int) "older generation" 1 gen;
+      Alcotest.(check int) "older snapshot" 1 snap.Checkpoint.iter
+  | None -> Alcotest.fail "fallback generation not loaded");
+  Alcotest.(check int) "corruption surfaced" 1 (Health.count log Health.Checkpoint_corrupt)
+
+let test_torn_write_falls_back () =
+  with_tmpdir @@ fun dir ->
+  let st = Checkpoint.store ~dir ~name:"torn" () in
+  ignore (Checkpoint.save st (mk_snapshot ~iter:1 ()));
+  Fault_plan.with_plan
+    [ Fault_plan.Torn_write ]
+    (fun () -> ignore (Checkpoint.save st (mk_snapshot ~iter:2 ())));
+  ignore (Fault_plan.drain_injections ());
+  let log = Health.create () in
+  (match Checkpoint.load_latest ~health:log st with
+  | Some (snap, gen) ->
+      Alcotest.(check int) "previous generation survives" 1 gen;
+      Alcotest.(check int) "previous snapshot" 1 snap.Checkpoint.iter
+  | None -> Alcotest.fail "no usable generation after torn write");
+  Alcotest.(check int) "torn write surfaced" 1 (Health.count log Health.Checkpoint_corrupt)
+
+(* random snapshots for the codec properties *)
+let snapshot_gen =
+  let open QCheck2.Gen in
+  let f64 = float in
+  let tensor =
+    pair (int_range 1 3) (int_range 1 4) >>= fun (batch, width) ->
+    array_repeat (batch * width) f64 >|= fun xs -> Tensor.of_array ~batch ~width xs
+  in
+  let kind =
+    oneofl
+      [
+        Health.Fault_injected; Health.Nan_detected; Health.Recovery; Health.Oom_derate;
+        Health.Timeout; Health.Member_failed; Health.Budget_reallocated; Health.Degraded;
+        Health.Checkpoint_corrupt; Health.Resumed;
+      ]
+  in
+  let small_string = string_size ~gen:(char_range 'a' 'z') (int_range 0 8) in
+  let event =
+    f64 >>= fun at ->
+    small_string >>= fun member ->
+    kind >>= fun kind ->
+    small_string >|= fun detail -> { Health.at; member; kind; detail }
+  in
+  let choice =
+    option (list_size (int_range 0 6) (option (int_range 0 1000)) >|= Array.of_list)
+  in
+  small_string >>= fun fp_graph ->
+  int_range 1 1000 >>= fun fp_nodes ->
+  int_range 1 1000 >>= fun fp_classes ->
+  int_range 0 9999 >>= fun fp_seed ->
+  int_range 1 64 >>= fun fp_batch ->
+  int_range 0 10_000 >>= fun iter ->
+  f64 >>= fun elapsed ->
+  array_repeat 4 (map Int64.of_int int) >>= fun rng_words ->
+  tensor >>= fun theta ->
+  tensor >>= fun adam_m ->
+  tensor >>= fun adam_v ->
+  int_range 0 10_000 >>= fun adam_step ->
+  f64 >>= fun adam_lr ->
+  f64 >>= fun best_cost ->
+  int_range (-1) 63 >>= fun best_seed ->
+  choice >>= fun best_choice ->
+  int_range 0 10_000 >>= fun last_improvement ->
+  int_range 0 5 >>= fun recoveries ->
+  int_range 0 4 >>= fun ladder_rung ->
+  f64 >>= fun loss_time ->
+  f64 >>= fun grad_time ->
+  f64 >>= fun sample_time ->
+  list_size (int_range 0 5) (pair f64 f64) >>= fun trace ->
+  list_size (int_range 0 5) (pair (pair nat f64) (pair f64 (pair f64 f64)))
+  >>= fun raw_history ->
+  list_size (int_range 0 4) event >|= fun health ->
+  {
+    Checkpoint.fingerprint = { Checkpoint.fp_graph; fp_nodes; fp_classes; fp_seed; fp_batch };
+    iter; elapsed; rng_state = rng_words; theta; adam_m; adam_v; adam_step; adam_lr;
+    best_cost; best_seed; best_choice; last_improvement; recoveries; ladder_rung;
+    loss_time; grad_time; sample_time; trace;
+    history = List.map (fun ((i, e), (r, (s, n))) -> (i, e, r, s, n)) raw_history;
+    health;
+  }
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let checkpoint_roundtrip_prop =
+  qtest "serialize/deserialize round-trips any snapshot" snapshot_gen (fun snap ->
+      match Checkpoint.deserialize (Checkpoint.serialize snap) with
+      | Ok got -> snapshot_equal snap got
+      | Error _ -> false)
+
+let checkpoint_bitflip_prop =
+  qtest "any single bit flip is detected"
+    QCheck2.Gen.(pair snapshot_gen (pair nat nat))
+    (fun (snap, (i, j)) ->
+      let data = Checkpoint.serialize snap in
+      let i = i mod String.length data and j = j mod 8 in
+      let b = Bytes.of_string data in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl j)));
+      match Checkpoint.deserialize (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* --- crash / resume determinism --------------------------------------- *)
+
+let resume_cfg =
+  (* unlimited wall clock: stopping is then a pure function of the seed,
+     which is what makes bit-identical resume checkable *)
+  { quick_cfg with Smoothe_config.time_limit = 0.0; patience = 50 }
+
+let check_same_run ~msg (clean : Smoothe_extract.run) (resumed : Smoothe_extract.run) =
+  Alcotest.(check int) (msg ^ ": iterations") clean.Smoothe_extract.iterations
+    resumed.Smoothe_extract.iterations;
+  Alcotest.(check int) (msg ^ ": best seed") clean.Smoothe_extract.best_seed
+    resumed.Smoothe_extract.best_seed;
+  Alcotest.(check bool)
+    (msg ^ ": final cost bit-identical")
+    true
+    (feq clean.Smoothe_extract.result.Extractor.cost
+       resumed.Smoothe_extract.result.Extractor.cost);
+  Alcotest.(check int) (msg ^ ": recoveries") clean.Smoothe_extract.recoveries
+    resumed.Smoothe_extract.recoveries;
+  (* full optimisation trajectory, modulo the wall-clock column *)
+  Alcotest.(check int) (msg ^ ": history length")
+    (List.length clean.Smoothe_extract.history)
+    (List.length resumed.Smoothe_extract.history);
+  List.iter2
+    (fun (a : Smoothe_extract.history_point) (b : Smoothe_extract.history_point) ->
+      Alcotest.(check int) (msg ^ ": history iter") a.Smoothe_extract.iter
+        b.Smoothe_extract.iter;
+      Alcotest.(check bool) (msg ^ ": relaxed loss") true
+        (feq a.Smoothe_extract.relaxed_loss b.Smoothe_extract.relaxed_loss);
+      Alcotest.(check bool) (msg ^ ": sampled cost") true
+        (feq a.Smoothe_extract.sampled_cost b.Smoothe_extract.sampled_cost);
+      Alcotest.(check bool) (msg ^ ": incumbent") true
+        (feq a.Smoothe_extract.incumbent b.Smoothe_extract.incumbent))
+    clean.Smoothe_extract.history resumed.Smoothe_extract.history
+
+let test_resume_determinism () =
+  let g = small_graph () in
+  let clean = Smoothe_extract.extract ~config:resume_cfg g in
+  with_tmpdir @@ fun dir ->
+  let st = Checkpoint.store ~dir ~name:"resume" () in
+  let log = Health.create () in
+  let outcome =
+    Fault_plan.with_plan
+      [ Fault_plan.Crash_at 13 ]
+      (fun () ->
+        Supervisor.run_retrying ~health:log ~rng:(Rng.create 1) ~attempts:2 ~backoff:0.001
+          ~name:"smoothe" ~budget:0.0
+          (fun ~attempt _dl ->
+            let resume_from =
+              if attempt = 0 then None
+              else Option.map fst (Checkpoint.load_latest ~health:log st)
+            in
+            Smoothe_extract.extract ~config:resume_cfg ~checkpoint:st ~checkpoint_every:5
+              ?resume_from g))
+  in
+  let resumed =
+    match outcome with
+    | Supervisor.Finished run -> run
+    | Supervisor.Crashed { exn } -> Alcotest.failf "retry did not recover: %s" exn
+  in
+  (* the injected kill actually happened, and the retry resumed *)
+  Alcotest.(check bool) "member failure recorded" true
+    (Health.count log Health.Member_failed >= 1);
+  Alcotest.(check bool) "retry recorded" true (Health.count log Health.Recovery >= 1);
+  Alcotest.(check bool) "resume recorded on the run" true
+    (List.exists
+       (fun e -> e.Health.kind = Health.Resumed)
+       resumed.Smoothe_extract.health);
+  check_same_run ~msg:"killed@13 vs uninterrupted" clean resumed
+
+let test_resume_rejects_foreign_snapshot () =
+  (* a snapshot from a different run must not silently warm-start *)
+  let g = small_graph () in
+  let clean = Smoothe_extract.extract ~config:resume_cfg g in
+  let foreign = { (mk_snapshot ~iter:5 ()) with Checkpoint.best_cost = 0.0 } in
+  let run = Smoothe_extract.extract ~config:resume_cfg ~resume_from:foreign g in
+  Alcotest.(check bool) "fingerprint mismatch surfaced" true
+    (List.exists
+       (fun e -> e.Health.kind = Health.Checkpoint_corrupt)
+       run.Smoothe_extract.health);
+  Alcotest.(check bool) "started fresh (same result as clean)" true
+    (feq clean.Smoothe_extract.result.Extractor.cost run.Smoothe_extract.result.Extractor.cost)
 
 (* --- timer ------------------------------------------------------------ *)
 
@@ -283,6 +723,41 @@ let test_portfolio_member_crash () =
        out.Portfolio.members);
   check_valid_best out
 
+let test_portfolio_checkpoint_retry () =
+  (* a mid-run kill of the SmoothE member: with a checkpoint dir the
+     portfolio retries it from the snapshot instead of marking it
+     Faulted *)
+  let g = small_graph () in
+  with_tmpdir @@ fun dir ->
+  let cfg =
+    {
+      portfolio_cfg with
+      Portfolio.checkpoint_dir = Some dir;
+      checkpoint_every = 3;
+      retry_attempts = 2;
+      smoothe = resume_cfg;
+    }
+  in
+  Fault_plan.with_plan
+    [ Fault_plan.Crash_at 7 ]
+    (fun () ->
+      let out = Portfolio.extract ~config:cfg (Rng.create 11) g in
+      check_valid_best out;
+      let smoothe =
+        List.find (fun m -> m.Portfolio.member_name = "smoothe") out.Portfolio.members
+      in
+      (match smoothe.Portfolio.status with
+      | Portfolio.Completed | Portfolio.Timed_out -> ()
+      | Portfolio.Faulted e -> Alcotest.failf "smoothe member not recovered: %s" e);
+      Alcotest.(check bool) "smoothe produced a solution" true
+        (smoothe.Portfolio.result.Extractor.solution <> None);
+      Alcotest.(check bool) "crash surfaced in health" true
+        (List.exists
+           (fun e -> e.Health.kind = Health.Member_failed)
+           out.Portfolio.health);
+      Alcotest.(check bool) "retry surfaced in health" true
+        (List.exists (fun e -> e.Health.kind = Health.Recovery) out.Portfolio.health))
+
 let () =
   Alcotest.run "runtime"
     [
@@ -290,7 +765,10 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_plan_parse;
           Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+          Alcotest.test_case "durability atoms" `Quick test_plan_parse_durability;
           Alcotest.test_case "determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "crash fires once" `Quick test_crash_fires_once;
+          Alcotest.test_case "torn-write fires once" `Quick test_torn_write_fires_once;
         ] );
       ( "health",
         [
@@ -303,7 +781,28 @@ let () =
           Alcotest.test_case "crash" `Quick test_supervisor_crash;
           Alcotest.test_case "timeout" `Quick test_supervisor_timeout;
           Alcotest.test_case "clock skew" `Quick test_clock_skew;
+          Alcotest.test_case "crash then timeout" `Quick test_supervisor_crash_then_timeout;
+          Alcotest.test_case "retry eventual success" `Quick test_run_retrying_eventual_success;
+          Alcotest.test_case "retry exhausted" `Quick test_run_retrying_exhausted;
           Alcotest.test_case "timer poll" `Quick test_timer_poll;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "frame errors" `Quick test_checkpoint_frame_errors;
+          Alcotest.test_case "store validation" `Quick test_store_validation;
+          Alcotest.test_case "rotation" `Quick test_store_rotation;
+          Alcotest.test_case "corrupt falls back" `Quick test_corrupt_falls_back;
+          Alcotest.test_case "torn write falls back" `Quick test_torn_write_falls_back;
+          checkpoint_roundtrip_prop;
+          checkpoint_bitflip_prop;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "kill and resume is deterministic" `Quick
+            test_resume_determinism;
+          Alcotest.test_case "foreign snapshot refused" `Quick
+            test_resume_rejects_foreign_snapshot;
         ] );
       ( "recovery",
         [
@@ -315,5 +814,6 @@ let () =
         [
           Alcotest.test_case "under faults" `Quick test_portfolio_under_faults;
           Alcotest.test_case "member statuses" `Quick test_portfolio_member_crash;
+          Alcotest.test_case "checkpointed retry" `Quick test_portfolio_checkpoint_retry;
         ] );
     ]
