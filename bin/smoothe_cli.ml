@@ -100,7 +100,7 @@ let method_conv =
     ]
 
 let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~health
-    ~checkpoint_dir ~checkpoint_every ~resume ~show_term =
+    ~checkpoint_dir ~checkpoint_every ~resume ~show_term ~preflight =
   if resume && checkpoint_dir = None then begin
     Printf.eprintf "--resume needs --checkpoint-dir (where should the snapshot come from?)\n";
     exit 1
@@ -173,7 +173,7 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~h
         in
         let run =
           Smoothe_extract.extract ~config ~health ?checkpoint:store ~checkpoint_every
-            ?resume_from g
+            ?resume_from ~preflight g
         in
         Printf.printf "iterations=%d batch=%d prop_iters=%d (loss %.2fs / grad %.2fs / sample %.2fs)\n"
           run.Smoothe_extract.iterations run.Smoothe_extract.batch_used
@@ -287,6 +287,15 @@ let metrics_flag =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Record counters/gauges/histograms and write a JSON snapshot to $(docv).")
 
+let no_preflight_flag =
+  Arg.(
+    value & flag
+    & info [ "no-preflight" ]
+        ~doc:
+          "Skip the static pre-flight e-graph lint before a SmoothE run. Use for \
+           deliberately malformed stress inputs (fault-injection experiments) where the \
+           findings are expected and would only add noise to the health log.")
+
 let parse_fault_plan spec =
   match Fault_plan.of_string spec with
   | plan -> plan
@@ -310,7 +319,7 @@ let write_health_report health = function
 
 let extract_cmd =
   let run spec method_ time_limit batch iters assumption lambda seed fault_plan health_report
-      trace_out metrics_out checkpoint_dir checkpoint_every resume show_term =
+      trace_out metrics_out checkpoint_dir checkpoint_every resume show_term no_preflight =
     let g = load_egraph spec in
     let health = Health.create () in
     if trace_out <> None || metrics_out <> None then begin
@@ -344,14 +353,119 @@ let extract_cmd =
         Fun.protect ~finally:finish (fun () ->
             ignore
               (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed
-                 ~health ~checkpoint_dir ~checkpoint_every ~resume ~show_term)))
+                 ~health ~checkpoint_dir ~checkpoint_every ~resume ~show_term
+                 ~preflight:(not no_preflight))))
   in
   Cmd.v (Cmd.info "extract" ~doc:"Extract an optimised program from an e-graph.")
     Term.(
       const run $ instance_arg $ method_flag $ time_limit_flag $ batch_flag $ iters_flag
       $ assumption_flag $ lambda_flag $ seed_flag $ fault_plan_flag $ health_report_flag
       $ trace_flag $ metrics_flag $ checkpoint_dir_flag $ checkpoint_every_flag $ resume_flag
-      $ show_term_flag)
+      $ show_term_flag $ no_preflight_flag)
+
+(* --------------------------------------------------------------- analyze *)
+
+(* One forward tape at a tiny batch and shallow propagation: enough to
+   record every op kind the real run would use, cheap enough to lint
+   every bundled instance. The recorded IR is then vetted by the shape
+   and gradient-flow passes without touching another kernel. *)
+let tape_diagnostics g =
+  let config =
+    { Smoothe_config.default with Smoothe_config.batch = 2; prop_iters = Some 2 }
+  in
+  match
+    let compiled = Relaxation.compile config g in
+    let theta = Tensor.create ~batch:2 ~width:(Egraph.num_nodes g) in
+    let fwd = Relaxation.forward compiled ~config ~model:(Cost_model.of_egraph g) ~theta in
+    let ir = Ad.ir fwd.Relaxation.tape in
+    Shape_check.check ir @ Grad_flow.check ~root:(Ad.node_id fwd.Relaxation.loss) ir
+  with
+  | ds -> ds
+  | exception e ->
+      [
+        Diagnostic.error ~code:"AN001" Diagnostic.Graph "building the forward tape failed: %s"
+          (Printexc.to_string e);
+      ]
+
+let analyze_cmd =
+  let run specs all json strict =
+    let targets =
+      if all then
+        List.concat_map
+          (fun ds -> List.map (fun i -> i.Registry.inst_name) ds.Registry.instances)
+          Registry.all
+      else specs
+    in
+    if targets = [] then begin
+      Printf.eprintf "nothing to analyze: give instance names or files, or pass --all\n";
+      exit 2
+    end;
+    let reports =
+      List.map
+        (fun target ->
+          let lint, g_opt =
+            if Sys.file_exists target then Egraph_lint.check_file target
+            else
+              match Registry.find_instance target with
+              | inst ->
+                  let g = inst.Registry.build () in
+                  (Egraph_lint.check g, Some g)
+              | exception Not_found ->
+                  ( [
+                      Diagnostic.error ~code:"EG010" Diagnostic.Graph
+                        "unknown instance or file %S (try `smoothe list`)" target;
+                    ],
+                    None )
+          in
+          let tape_ds = match g_opt with Some g -> tape_diagnostics g | None -> [] in
+          (target, g_opt, lint @ tape_ds))
+        targets
+    in
+    (if json then begin
+       let doc =
+         Json.Array
+           (List.map (fun (t, _, ds) -> Diagnostic.report_to_json ~source:t ds) reports)
+       in
+       print_string (Json.to_string ~pretty:true doc);
+       print_newline ()
+     end
+     else
+       List.iter
+         (fun (t, g_opt, ds) ->
+           print_string (Diagnostic.render_report ~source:t ds);
+           (match g_opt with
+           | Some g -> Printf.printf "%s\n" (Egraph_lint.stats_line g)
+           | None -> ());
+           print_newline ())
+         reports);
+    let all_ds = List.concat_map (fun (_, _, ds) -> ds) reports in
+    if not (Diagnostic.ok ~strict all_ds) then exit 1
+  in
+  let specs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EGRAPH"
+          ~doc:"Instance names (see $(b,list)) or serialized e-graph files; repeatable.")
+  in
+  let all_flag =
+    Arg.(value & flag & info [ "all" ] ~doc:"Analyze every bundled instance.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON report.")
+  in
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero on warnings too (errors always fail); infos never fail.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static pre-flight analysis: e-graph lint (well-formedness, costs, cycle \
+          feasibility), tape shape check and gradient-flow lint. Exits 1 when findings \
+          exceed the allowed severity.")
+    Term.(const run $ specs $ all_flag $ json_flag $ strict_flag)
 
 (* --------------------------------------------------------- trace-summary *)
 
@@ -411,7 +525,7 @@ let compare_cmd =
         ignore
           (run_method g ~method_ ~time_limit ~batch:16 ~iters:150 ~assumption:"hybrid"
              ~lambda:100.0 ~seed:7 ~health:(Health.create ()) ~checkpoint_dir:None
-             ~checkpoint_every:25 ~resume:false ~show_term:false))
+             ~checkpoint_every:25 ~resume:false ~show_term:false ~preflight:false))
       methods
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every extraction method on one e-graph.")
@@ -425,4 +539,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; stats_cmd; dump_cmd; extract_cmd; compare_cmd; trace_summary_cmd ]))
+          [
+            list_cmd; stats_cmd; dump_cmd; analyze_cmd; extract_cmd; compare_cmd;
+            trace_summary_cmd;
+          ]))

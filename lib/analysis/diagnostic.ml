@@ -1,0 +1,104 @@
+type severity = Error | Warning | Info
+type site = Graph | Eclass of int | Enode of int | Tape_node of int | Line of int
+type t = { code : string; severity : severity; site : site; message : string }
+
+let make severity ~code site fmt =
+  Printf.ksprintf (fun message -> { code; severity; site; message }) fmt
+
+let error ~code site fmt = make Error ~code site fmt
+let warning ~code site fmt = make Warning ~code site fmt
+let info ~code site fmt = make Info ~code site fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let site_name = function
+  | Graph -> "graph"
+  | Eclass c -> Printf.sprintf "class %d" c
+  | Enode i -> Printf.sprintf "node %d" i
+  | Tape_node i -> Printf.sprintf "tape %d" i
+  | Line l -> Printf.sprintf "line %d" l
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* sites order by kind then id so equal-code findings line up stably *)
+let site_rank = function
+  | Graph -> (0, 0)
+  | Line l -> (1, l)
+  | Eclass c -> (2, c)
+  | Enode i -> (3, i)
+  | Tape_node i -> (4, i)
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare (site_rank a.site) (site_rank b.site) in
+      if c <> 0 then c else String.compare a.message b.message
+
+let sort ds = List.sort compare ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let errors ds = count Error ds
+let warnings ds = count Warning ds
+let infos ds = count Info ds
+let by_code code ds = List.filter (fun d -> d.code = code) ds
+
+let max_severity ds =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some s -> if severity_rank d.severity < severity_rank s then Some d.severity else acc)
+    None ds
+
+let ok ?(strict = false) ds =
+  errors ds = 0 && ((not strict) || warnings ds = 0)
+
+let render d =
+  Printf.sprintf "%s %s [%s]: %s" (severity_name d.severity) d.code (site_name d.site)
+    d.message
+
+let render_report ?source ds =
+  let buf = Buffer.create 256 in
+  (match source with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "== %s ==\n" s)
+  | None -> ());
+  List.iter (fun d -> Buffer.add_string buf (render d ^ "\n")) (sort ds);
+  Buffer.add_string buf
+    (Printf.sprintf "%d error%s, %d warning%s, %d info%s\n" (errors ds)
+       (if errors ds = 1 then "" else "s")
+       (warnings ds)
+       (if warnings ds = 1 then "" else "s")
+       (infos ds)
+       (if infos ds = 1 then "" else "s"));
+  Buffer.contents buf
+
+let site_to_json = function
+  | Graph -> Json.Object [ ("kind", Json.String "graph") ]
+  | Eclass c -> Json.Object [ ("kind", Json.String "eclass"); ("id", Json.Number (float_of_int c)) ]
+  | Enode i -> Json.Object [ ("kind", Json.String "enode"); ("id", Json.Number (float_of_int i)) ]
+  | Tape_node i ->
+      Json.Object [ ("kind", Json.String "tape-node"); ("id", Json.Number (float_of_int i)) ]
+  | Line l -> Json.Object [ ("kind", Json.String "line"); ("id", Json.Number (float_of_int l)) ]
+
+let to_json d =
+  Json.Object
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_name d.severity));
+      ("site", site_to_json d.site);
+      ("message", Json.String d.message);
+    ]
+
+let report_to_json ~source ds =
+  Json.Object
+    [
+      ("source", Json.String source);
+      ("errors", Json.Number (float_of_int (errors ds)));
+      ("warnings", Json.Number (float_of_int (warnings ds)));
+      ("infos", Json.Number (float_of_int (infos ds)));
+      ("diagnostics", Json.Array (List.map to_json (sort ds)));
+    ]

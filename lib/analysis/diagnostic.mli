@@ -1,0 +1,51 @@
+(** Shared finding type for the static pre-flight analyses.
+
+    Every pass ({!Egraph_lint}, {!Shape_check}, {!Grad_flow}) reports
+    its results as a list of diagnostics: a stable code (grep-able,
+    documented in DESIGN.md), a severity, a structured site, and a
+    human-readable message. Renderers produce the CLI's text and
+    [--json] output. *)
+
+type severity = Error | Warning | Info
+
+(** Where a finding is anchored. [Line] refers to a 1-based line of a
+    text input (lenient parse of the native e-graph format); [Tape_node]
+    to an index into an {!Ad.Ir.t} op-graph. *)
+type site = Graph | Eclass of int | Enode of int | Tape_node of int | Line of int
+
+type t = { code : string; severity : severity; site : site; message : string }
+
+val error : code:string -> site -> ('a, unit, string, t) format4 -> 'a
+val warning : code:string -> site -> ('a, unit, string, t) format4 -> 'a
+val info : code:string -> site -> ('a, unit, string, t) format4 -> 'a
+(** Printf-style constructors: [error ~code:"EG001" (Eclass 3) "..." ...]. *)
+
+val severity_name : severity -> string
+val site_name : site -> string
+
+val compare : t -> t -> int
+(** Errors first, then warnings, then infos; ties broken by code then
+    site, so reports are deterministic. *)
+
+val sort : t list -> t list
+
+val errors : t list -> int
+val warnings : t list -> int
+val infos : t list -> int
+val by_code : string -> t list -> t list
+val max_severity : t list -> severity option
+
+val ok : ?strict:bool -> t list -> bool
+(** Gate verdict: false when any error is present, or — under [~strict]
+    — when any warning is present. Infos never fail the gate. *)
+
+val render : t -> string
+(** One line: ["error EG001 [class 3]: message"]. *)
+
+val render_report : ?source:string -> t list -> string
+(** Sorted findings, one per line, followed by a count summary. *)
+
+val to_json : t -> Json.t
+val report_to_json : source:string -> t list -> Json.t
+(** [{ "source": ..., "errors": n, "warnings": n, "infos": n,
+      "diagnostics": [...] }] *)

@@ -1,0 +1,306 @@
+module D = Diagnostic
+
+(* ---------- frozen e-graphs ---------- *)
+
+(* A frozen Egraph.t already passed Builder.freeze's validation, so the
+   structural codes below (EG001/EG002/EG003) act as cross-checks against
+   representation bugs; the feasibility codes (EG007/EG008) and the cost
+   codes are where real findings live. *)
+let check (g : Egraph.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let m = Egraph.num_classes g and n = Egraph.num_nodes g in
+  (* root *)
+  if g.Egraph.root < 0 || g.Egraph.root >= m then
+    add (D.error ~code:"EG003" D.Graph "root e-class %d out of range (0..%d)" g.Egraph.root (m - 1))
+  else if Array.length g.Egraph.class_nodes.(g.Egraph.root) = 0 then
+    add (D.error ~code:"EG003" (D.Eclass g.Egraph.root) "root e-class has no e-nodes");
+  (* empty classes *)
+  for c = 0 to m - 1 do
+    if Array.length g.Egraph.class_nodes.(c) = 0 && c <> g.Egraph.root then
+      add (D.error ~code:"EG002" (D.Eclass c) "e-class has no e-nodes")
+  done;
+  (* per-node: child ranges and base costs *)
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun c ->
+        if c < 0 || c >= m then
+          add
+            (D.error ~code:"EG001" (D.Enode i) "child e-class %d out of range (0..%d)" c (m - 1)))
+      g.Egraph.children.(i);
+    let cost = g.Egraph.costs.(i) in
+    if not (Float.is_finite cost) then
+      add
+        (D.error ~code:"EG005" (D.Enode i) "non-finite base cost %s for `%s`"
+           (string_of_float cost) g.Egraph.ops.(i))
+    else if cost < 0.0 then
+      add
+        (D.warning ~code:"EG006" (D.Enode i)
+           "negative base cost %g for `%s` (DAG cost may be unbounded below)" cost
+           g.Egraph.ops.(i))
+  done;
+  (* reachability over the class graph *)
+  if g.Egraph.root >= 0 && g.Egraph.root < m then begin
+    let reach = Graph_algo.reachable g.Egraph.class_children [ g.Egraph.root ] in
+    for c = 0 to m - 1 do
+      if not reach.(c) then
+        add (D.warning ~code:"EG004" (D.Eclass c) "e-class is unreachable from the root")
+    done
+  end;
+  (* duplicate e-nodes within a class *)
+  Array.iteri
+    (fun c members ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun i ->
+          let key =
+            Printf.sprintf "%s|%s|%h" g.Egraph.ops.(i)
+              (String.concat "," (Array.to_list (Array.map string_of_int g.Egraph.children.(i))))
+              g.Egraph.costs.(i)
+          in
+          match Hashtbl.find_opt seen key with
+          | Some first ->
+              add
+                (D.info ~code:"EG009" (D.Enode i)
+                   "duplicate of e-node %d in e-class %d (`%s`, same children and cost)" first c
+                   g.Egraph.ops.(i))
+          | None -> Hashtbl.add seen key i)
+        members)
+    g.Egraph.class_nodes;
+  (* cycles: EG007 fires iff Egraph.is_cyclic *)
+  if Egraph.is_cyclic g then begin
+    let scc_cyclic =
+      Array.map
+        (fun scc ->
+          Array.length scc > 1
+          || (Array.length scc = 1 && Array.mem scc.(0) g.Egraph.class_children.(scc.(0))))
+        g.Egraph.sccs
+    in
+    let cyclic_sccs = Array.fold_left (fun n c -> if c then n + 1 else n) 0 scc_cyclic in
+    let largest =
+      Array.fold_left max 0
+        (Array.mapi (fun k scc -> if scc_cyclic.(k) then Array.length scc else 0) g.Egraph.sccs)
+    in
+    add
+      (D.info ~code:"EG007" D.Graph
+         "class graph contains cycles (%d cyclic SCC%s, largest %d classes); extraction needs \
+          cycle handling (acyclicity penalty or pruning)"
+         cyclic_sccs
+         (if cyclic_sccs = 1 then "" else "s")
+         largest)
+  end;
+  (* EG008: acyclic derivability, the least fixpoint of "some member has
+     all children derivable". A class outside the fixpoint — every member
+     lies on a class-graph cycle — can never appear in an acyclic
+     extraction. That is fatal for the root and merely informational
+     elsewhere: bundled cyclic e-graphs contain such classes and the
+     extractor just never selects them. Worklist over parent edges keeps
+     this linear in the edge count. *)
+  if m > 0 then begin
+    let derivable = Array.make m false in
+    let pending = Array.map (fun kids -> Array.length kids) g.Egraph.children in
+    (* parents.(c) = e-nodes with c as a child, one entry per occurrence *)
+    let parents = Array.make m [] in
+    Array.iteri
+      (fun i kids -> Array.iter (fun c -> if c >= 0 && c < m then parents.(c) <- i :: parents.(c)) kids)
+      g.Egraph.children;
+    let queue = Queue.create () in
+    let derive c =
+      if not derivable.(c) then begin
+        derivable.(c) <- true;
+        Queue.add c queue
+      end
+    in
+    Array.iteri
+      (fun i kids ->
+        if Array.length kids = 0 && g.Egraph.node_class.(i) >= 0 then
+          derive g.Egraph.node_class.(i))
+      g.Egraph.children;
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      List.iter
+        (fun i ->
+          pending.(i) <- pending.(i) - 1;
+          if pending.(i) = 0 then derive g.Egraph.node_class.(i))
+        parents.(c)
+    done;
+    for c = 0 to m - 1 do
+      if (not derivable.(c)) && Array.length g.Egraph.class_nodes.(c) > 0 then
+        if c = g.Egraph.root then
+          add
+            (D.error ~code:"EG008" (D.Eclass c)
+               "the root e-class is not acyclically derivable: every one of its %d e-node%s \
+                lies on a class-graph cycle, so no valid extraction exists"
+               (Array.length g.Egraph.class_nodes.(c))
+               (if Array.length g.Egraph.class_nodes.(c) = 1 then "" else "s"))
+        else
+          add
+            (D.info ~code:"EG008" (D.Eclass c)
+               "not acyclically derivable (every member lies on a class-graph cycle): harmless \
+                unless the extraction needs this e-class"
+               )
+    done
+  end;
+  D.sort !ds
+
+let stats_line g =
+  let s = Egraph.Stats.compute g in
+  Printf.sprintf "%d nodes, %d classes, %d edges, density %.2e, %s (%d SCCs, largest %d)"
+    s.Egraph.Stats.nodes s.Egraph.Stats.classes s.Egraph.Stats.edges s.Egraph.Stats.density
+    (if s.Egraph.Stats.cyclic then "cyclic" else "acyclic")
+    s.Egraph.Stats.scc_count s.Egraph.Stats.largest_scc
+
+(* ---------- lenient text-format lint ---------- *)
+
+type raw_node = { cls : int; cost : float; op : string; kids : int list; line : int }
+
+(* Parses the Serial line format but never raises: everything
+   Serial.of_string would reject with an exception becomes a coded,
+   line-anchored diagnostic, and we keep going to report *all* defects
+   in one pass rather than the first. *)
+let check_source ?(name = "<input>") text =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let nodes = ref [] in
+  let declared = ref 0 in
+  let root = ref None in
+  let parse_int what lineno s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Some v
+    | Some v ->
+        add (D.error ~code:"EG010" (D.Line lineno) "negative %s %d" what v);
+        None
+    | None ->
+        add (D.error ~code:"EG010" (D.Line lineno) "bad %s %S (expected an integer)" what s);
+        None
+  in
+  let parse_line lineno line =
+    let tokens = List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line)) in
+    match tokens with
+    | [] -> ()
+    | "egraph" :: _ -> ()
+    | [ "classes"; k ] -> (
+        match parse_int "class count" lineno k with
+        | Some k -> declared := max !declared k
+        | None -> ())
+    | [ "root"; r ] -> (
+        match parse_int "root class" lineno r with
+        | None -> ()
+        | Some r -> (
+            match !root with
+            | Some (first, first_line) ->
+                add
+                  (D.error ~code:"EG003" (D.Line lineno)
+                     "duplicate root %d (root %d already declared on line %d)" r first first_line)
+            | None -> root := Some (r, lineno)))
+    | "node" :: cls :: cost :: op :: kids ->
+        let cls = parse_int "e-class id" lineno cls in
+        let cost =
+          match float_of_string_opt cost with
+          | Some c -> Some c
+          | None ->
+              add (D.error ~code:"EG010" (D.Line lineno) "bad cost %S (expected a float)" cost);
+              None
+        in
+        let kids = List.map (parse_int "child class" lineno) kids in
+        (match (cls, cost) with
+        | Some cls, Some cost when List.for_all Option.is_some kids ->
+            nodes := { cls; cost; op; kids = List.map Option.get kids; line = lineno } :: !nodes
+        | _ -> ())
+    | directive :: _ ->
+        add (D.error ~code:"EG010" (D.Line lineno) "unrecognised directive %S" directive)
+  in
+  List.iteri (fun i line -> parse_line (i + 1) line) (String.split_on_char '\n' text);
+  let nodes = List.rev !nodes in
+  let num_classes =
+    List.fold_left
+      (fun m n -> List.fold_left max (max m (n.cls + 1)) (List.map (( + ) 1) n.kids))
+      (max !declared (match !root with Some (r, _) -> r + 1 | None -> 0))
+      nodes
+  in
+  let members = Array.make (max num_classes 1) 0 in
+  List.iter (fun n -> members.(n.cls) <- members.(n.cls) + 1) nodes;
+  (* dangling children: referenced classes that never receive an e-node,
+     reported once, at the first referencing line *)
+  let dangling = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun k ->
+          if members.(k) = 0 && not (Hashtbl.mem dangling k) then Hashtbl.add dangling k n.line)
+        n.kids)
+    nodes;
+  Hashtbl.iter
+    (fun k line ->
+      add
+        (D.error ~code:"EG001" (D.Line line)
+           "child e-class %d has no e-nodes (dangling reference)" k))
+    dangling;
+  (match !root with
+  | None -> add (D.error ~code:"EG003" D.Graph "no root declared")
+  | Some (r, line) ->
+      if r >= num_classes || members.(r) = 0 then
+        add (D.error ~code:"EG003" (D.Line line) "root e-class %d has no e-nodes" r));
+  (* unreachable classes: freeze silently strips them, so this is the
+     only place they can be reported *)
+  (match !root with
+  | Some (r, _) when r < num_classes && members.(r) > 0 ->
+      let adj = Array.make num_classes [] in
+      List.iter (fun n -> adj.(n.cls) <- n.kids @ adj.(n.cls)) nodes;
+      let adj = Array.map (fun l -> Array.of_list (List.sort_uniq Stdlib.compare l)) adj in
+      let reach = Graph_algo.reachable adj [ r ] in
+      Array.iteri
+        (fun c m ->
+          if m > 0 && not reach.(c) then
+            add (D.warning ~code:"EG004" (D.Eclass c) "e-class is unreachable from the root"))
+        members
+  | _ -> ());
+  let structural = !ds in
+  if D.errors structural > 0 then begin
+    (* cannot freeze; still surface cost defects from the raw nodes *)
+    let cost_ds =
+      List.concat_map
+        (fun n ->
+          if not (Float.is_finite n.cost) then
+            [
+              D.error ~code:"EG005" (D.Line n.line) "non-finite base cost %s for `%s`"
+                (string_of_float n.cost) n.op;
+            ]
+          else if n.cost < 0.0 then
+            [
+              D.warning ~code:"EG006" (D.Line n.line) "negative base cost %g for `%s`" n.cost n.op;
+            ]
+          else [])
+        nodes
+    in
+    (D.sort (structural @ cost_ds), None)
+  end
+  else
+    let r = match !root with Some (r, _) -> r | None -> assert false in
+    match
+      let b = Egraph.Builder.create ~name () in
+      while Egraph.Builder.num_classes b < num_classes do
+        ignore (Egraph.Builder.add_class b)
+      done;
+      List.iter
+        (fun n ->
+          ignore (Egraph.Builder.add_node b ~cls:n.cls ~op:n.op ~cost:n.cost ~children:n.kids))
+        nodes;
+      Egraph.Builder.freeze b ~root:r
+    with
+    | g -> (D.sort (structural @ check g), Some g)
+    | exception (Invalid_argument msg | Failure msg) ->
+        (D.sort (structural @ [ D.error ~code:"EG010" D.Graph "freeze failed: %s" msg ]), None)
+
+let check_file path =
+  if Filename.check_suffix path ".json" then
+    match Gym.read_file path with
+    | g -> (check g, Some g)
+    | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+        ([ D.error ~code:"EG010" D.Graph "cannot load %s: %s" path msg ], None)
+    | exception Json.Parse_error msg ->
+        ([ D.error ~code:"EG010" D.Graph "cannot parse %s: %s" path msg ], None)
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> check_source ~name:path text
+    | exception Sys_error msg -> ([ D.error ~code:"EG010" D.Graph "cannot read %s" msg ], None)

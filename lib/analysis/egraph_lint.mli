@@ -1,0 +1,44 @@
+(** Well-formedness and extraction-feasibility lint over e-graphs.
+
+    Two entry points: {!check} analyses a frozen {!Egraph.t} (whose
+    constructor already guarantees the gross structural invariants, so
+    most structural codes act as defensive cross-checks there), and
+    {!check_source} leniently parses the native text format so that
+    malformed files — which [Egraph.Serial.of_string] rejects with an
+    exception — still produce coded diagnostics.
+
+    Codes (full table in DESIGN.md):
+    - [EG001] error: dangling / out-of-range child e-class
+    - [EG002] error: e-class with no members
+    - [EG003] error: root missing, duplicated, out of range, or empty
+    - [EG004] warning: e-class unreachable from the root
+    - [EG005] error: non-finite base cost
+    - [EG006] warning: negative base cost
+    - [EG007] info: class graph contains cycles (emitted iff
+      {!Egraph.is_cyclic} — legal input, SmoothE handles cycles, but
+      worth surfacing)
+    - [EG008] error (root) / info (elsewhere): the class is not
+      acyclically derivable — every member lies on a class-graph cycle,
+      so no acyclic extraction can select it. Fatal when the root itself
+      is stuck (no valid extraction exists); informational otherwise,
+      since real cyclic e-graphs contain such classes and the extractor
+      simply avoids them
+    - [EG009] info: duplicate e-nodes (same op/children/cost) in a class
+    - [EG010] error: unparseable input *)
+
+val check : Egraph.t -> Diagnostic.t list
+(** Sorted diagnostics for a frozen e-graph. *)
+
+val check_source : ?name:string -> string -> Diagnostic.t list * Egraph.t option
+(** Lenient lint of the native text format. Returns the frozen graph
+    (with frozen-level diagnostics merged in) when no error-severity
+    finding blocks construction. *)
+
+val check_file : string -> Diagnostic.t list * Egraph.t option
+(** [check_file path] dispatches on extension: [.json] loads through
+    {!Gym.read_file} (a load failure becomes an [EG010] error), anything
+    else goes through {!check_source}. *)
+
+val stats_line : Egraph.t -> string
+(** One-line summary (nodes/classes/edges/density/cyclicity) appended to
+    text reports. *)

@@ -1,17 +1,65 @@
+(* The tape carries a parallel, side-effect-free op-graph IR so static
+   analyses (lib/analysis: Shape_check, Grad_flow) can inspect what a
+   forward pass built without re-running any tensor kernel. Recording is
+   always on: it is one small immutable record per tape node, does not
+   touch any tensor, and therefore cannot perturb numerics. *)
+module Ir = struct
+  type shape = { batch : int; width : int }
+
+  type meta =
+    | M_none
+    | M_scalar of float
+    | M_gather of { count : int; index_min : int; index_max : int }
+    | M_segments of {
+        seg_count : int;
+        seg_width : int;
+        empty_segments : int;
+        max_len : int;
+      }
+    | M_columns of (int * float) array
+    | M_row of int
+    | M_width of int
+    | M_matrix of { dim : int; class_min : int; class_max : int; col_max : int }
+
+  type node = {
+    op : string;
+    args : int array;
+    shape : shape;
+    context : string;
+    meta : meta;
+  }
+
+  type t = node array
+
+  let shape_to_string { batch; width } = Printf.sprintf "(%d,%d)" batch width
+end
+
 type v = {
   tp : tape;
+  id : int;  (* position on the tape = index into the IR *)
   value : Tensor.t;
   mutable grad : Tensor.t option;
   mutable pull : (unit -> unit) option;
       (* reads this node's adjoint and accumulates into its parents *)
 }
 
-and tape = { nodes : v Vec.t }
+and tape = { nodes : v Vec.t; ir : Ir.node Vec.t; mutable swept : bool }
 
-let tape () = { nodes = Vec.create () }
+let tape () = { nodes = Vec.create (); ir = Vec.create (); swept = false }
 let node_count tp = Vec.length tp.nodes
+let ir tp = Vec.to_array tp.ir
+let node_id n = n.id
 
 let value n = n.value
+
+(* Ambient provenance label recorded into every IR node, so diagnostics
+   can say where on the tape an op was built ("in smoothe.forward"). *)
+let context = ref "(toplevel)"
+
+let with_context label f =
+  let saved = !context in
+  context := label;
+  Fun.protect ~finally:(fun () -> context := saved) f
 
 let grad_tensor n =
   match n.grad with
@@ -23,17 +71,30 @@ let grad_tensor n =
 
 let grad n = grad_tensor n
 
-let node tp value pull =
-  let n = { tp; value; grad = None; pull } in
+let node ?(meta = Ir.M_none) ~op ~args tp value pull =
+  let n = { tp; id = Vec.length tp.nodes; value; grad = None; pull } in
   Vec.push tp.nodes n;
+  Vec.push tp.ir
+    {
+      Ir.op;
+      args = Array.map (fun a -> a.id) args;
+      shape = { Ir.batch = value.Tensor.batch; width = value.Tensor.width };
+      context = !context;
+      meta;
+    };
   n
 
-let const tp t = node tp t None
-let param tp t = node tp t None
+let const tp t = node ~op:"const" ~args:[||] tp t None
+let param tp t = node ~op:"param" ~args:[||] tp t None
 let owner n = n.tp
 
 let backward out =
   let tp = owner out in
+  if tp.swept then
+    invalid_arg
+      "Ad.backward: tape already swept — tapes are single-use (one \
+       forward/backward pair per tape); build a fresh tape for the next pass";
+  tp.swept <- true;
   let sweep () =
     (* Seed with ones: differentiates the sum of the output's entries.
        An active NaN-gradient fault poisons the seed instead, so the NaN
@@ -57,7 +118,7 @@ let backward out =
 
 let add a b =
   let tp = owner a in
-  let out = node tp (Tensor.add a.value b.value) None in
+  let out = node ~op:"add" ~args:[| a; b |] tp (Tensor.add a.value b.value) None in
   out.pull <-
     Some
       (fun () ->
@@ -68,7 +129,7 @@ let add a b =
 
 let sub a b =
   let tp = owner a in
-  let out = node tp (Tensor.sub a.value b.value) None in
+  let out = node ~op:"sub" ~args:[| a; b |] tp (Tensor.sub a.value b.value) None in
   out.pull <-
     Some
       (fun () ->
@@ -79,7 +140,7 @@ let sub a b =
 
 let mul a b =
   let tp = owner a in
-  let out = node tp (Tensor.mul a.value b.value) None in
+  let out = node ~op:"mul" ~args:[| a; b |] tp (Tensor.mul a.value b.value) None in
   out.pull <-
     Some
       (fun () ->
@@ -90,19 +151,24 @@ let mul a b =
 
 let neg a =
   let tp = owner a in
-  let out = node tp (Tensor.neg a.value) None in
+  let out = node ~op:"neg" ~args:[| a |] tp (Tensor.neg a.value) None in
   out.pull <- Some (fun () -> Tensor.axpy (-1.0) (grad_tensor out) (grad_tensor a));
   out
 
 let scale k a =
   let tp = owner a in
-  let out = node tp (Tensor.scale k a.value) None in
+  let out =
+    node ~op:"scale" ~meta:(Ir.M_scalar k) ~args:[| a |] tp (Tensor.scale k a.value) None
+  in
   out.pull <- Some (fun () -> Tensor.axpy k (grad_tensor out) (grad_tensor a));
   out
 
 let add_scalar k a =
   let tp = owner a in
-  let out = node tp (Tensor.add_scalar k a.value) None in
+  let out =
+    node ~op:"add_scalar" ~meta:(Ir.M_scalar k) ~args:[| a |] tp
+      (Tensor.add_scalar k a.value) None
+  in
   out.pull <- Some (fun () -> Tensor.add_inplace (grad_tensor a) (grad_tensor out));
   out
 
@@ -112,7 +178,11 @@ let log_floor = 1e-12
 
 let log_safe a =
   let tp = owner a in
-  let out = node tp (Tensor.map (fun x -> Stdlib.log (Float.max x log_floor)) a.value) None in
+  let out =
+    node ~op:"log_safe" ~args:[| a |] tp
+      (Tensor.map (fun x -> Stdlib.log (Float.max x log_floor)) a.value)
+      None
+  in
   out.pull <-
     Some
       (fun () ->
@@ -123,7 +193,7 @@ let log_safe a =
 
 let relu a =
   let tp = owner a in
-  let out = node tp (Tensor.relu a.value) None in
+  let out = node ~op:"relu" ~args:[| a |] tp (Tensor.relu a.value) None in
   out.pull <-
     Some
       (fun () ->
@@ -132,16 +202,37 @@ let relu a =
         Tensor.add_inplace (grad_tensor a) (Tensor.mul g mask));
   out
 
+let gather_meta idx =
+  let count = Array.length idx in
+  let index_min = Array.fold_left min max_int idx in
+  let index_max = Array.fold_left max min_int idx in
+  Ir.M_gather { count; index_min = (if count = 0 then 0 else index_min);
+                index_max = (if count = 0 then -1 else index_max) }
+
 let gather a idx =
   let tp = owner a in
-  let out = node tp (Segments.gather a.value idx) None in
+  let out =
+    node ~op:"gather" ~meta:(gather_meta idx) ~args:[| a |] tp
+      (Segments.gather a.value idx) None
+  in
   out.pull <- Some (fun () -> Segments.scatter_add ~into:(grad_tensor a) idx (grad_tensor out));
   out
+
+let segments_meta (seg : Segments.t) =
+  let empty = Array.fold_left (fun n l -> if l = 0 then n + 1 else n) 0 seg.Segments.lens in
+  let max_len = Array.fold_left max 0 seg.Segments.lens in
+  Ir.M_segments
+    {
+      seg_count = Array.length seg.Segments.lens;
+      seg_width = seg.Segments.width;
+      empty_segments = empty;
+      max_len;
+    }
 
 let segment_softmax a seg =
   let tp = owner a in
   let y = Segments.softmax a.value seg in
-  let out = node tp y None in
+  let out = node ~op:"segment_softmax" ~meta:(segments_meta seg) ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -157,7 +248,10 @@ let segment_softmax a seg =
 
 let segment_sum a seg =
   let tp = owner a in
-  let out = node tp (Segments.sum a.value seg) None in
+  let out =
+    node ~op:"segment_sum" ~meta:(segments_meta seg) ~args:[| a |] tp
+      (Segments.sum a.value seg) None
+  in
   out.pull <-
     Some
       (fun () ->
@@ -168,7 +262,10 @@ let segment_sum a seg =
 
 let segment_prod a seg =
   let tp = owner a in
-  let out = node tp (Segments.prod a.value seg) None in
+  let out =
+    node ~op:"segment_prod" ~meta:(segments_meta seg) ~args:[| a |] tp
+      (Segments.prod a.value seg) None
+  in
   out.pull <-
     Some
       (fun () ->
@@ -181,7 +278,7 @@ let segment_prod a seg =
 let segment_max a seg =
   let tp = owner a in
   let y, argmax = Segments.max a.value seg in
-  let out = node tp y None in
+  let out = node ~op:"segment_max" ~meta:(segments_meta seg) ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -202,7 +299,10 @@ let override_columns a pins =
         Tensor.set y b col c
       done)
     pins;
-  let out = node tp y None in
+  let out =
+    node ~op:"override_columns" ~meta:(Ir.M_columns (Array.of_list pins)) ~args:[| a |]
+      tp y None
+  in
   out.pull <-
     Some
       (fun () ->
@@ -218,7 +318,7 @@ let override_columns a pins =
 
 let mean_rows a =
   let tp = owner a in
-  let out = node tp (Tensor.mean_rows a.value) None in
+  let out = node ~op:"mean_rows" ~args:[| a |] tp (Tensor.mean_rows a.value) None in
   out.pull <-
     Some
       (fun () ->
@@ -237,7 +337,7 @@ let mean_rows a =
 let slice_row a b =
   let tp = owner a in
   let y = Tensor.of_row (Tensor.row a.value b) in
-  let out = node tp y None in
+  let out = node ~op:"slice_row" ~meta:(Ir.M_row b) ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -254,7 +354,7 @@ let sum_width a =
   let tp = owner a in
   let sums = Tensor.sum_rows a.value in
   let y = Tensor.of_array ~batch:a.value.Tensor.batch ~width:1 sums in
-  let out = node tp y None in
+  let out = node ~op:"sum_width" ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -273,7 +373,7 @@ let sum_width a =
 let sum_all a =
   let tp = owner a in
   let y = Tensor.of_array ~batch:1 ~width:1 [| Tensor.sum a.value |] in
-  let out = node tp y None in
+  let out = node ~op:"sum_all" ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -303,7 +403,9 @@ let dot_const a u =
     done;
     yd.(b) <- !acc
   done;
-  let out = node tp y None in
+  let out =
+    node ~op:"dot_const" ~meta:(Ir.M_width (Array.length u)) ~args:[| a |] tp y None
+  in
   out.pull <-
     Some
       (fun () ->
@@ -332,7 +434,7 @@ let linear ~input ~weight ~bias =
       yd.((row * h) + j) <- yd.((row * h) + j) +. bd.(j)
     done
   done;
-  let out = node tp y None in
+  let out = node ~op:"linear" ~args:[| input; weight; bias |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -361,7 +463,16 @@ let matrix_of_entries cp ~dim entries =
   let a = Tensor.create ~batch:dim ~width:dim in
   let src = Tensor.unsafe_data cp.value and dst = Tensor.unsafe_data a in
   Array.iter (fun (col, i, j) -> dst.((i * dim) + j) <- dst.((i * dim) + j) +. src.(col)) entries;
-  let out = node tp a None in
+  let class_min =
+    Array.fold_left (fun m (_, i, j) -> min m (min i j)) (if Array.length entries = 0 then 0 else max_int) entries
+  in
+  let class_max = Array.fold_left (fun m (_, i, j) -> max m (max i j)) (-1) entries in
+  let col_max = Array.fold_left (fun m (c, _, _) -> max m c) (-1) entries in
+  let out =
+    node ~op:"matrix_of_entries"
+      ~meta:(Ir.M_matrix { dim; class_min; class_max; col_max })
+      ~args:[| cp |] tp a None
+  in
   out.pull <-
     Some
       (fun () ->
@@ -375,7 +486,7 @@ let expm_trace a =
   let tp = owner a in
   let e = Tensor.Matfun.expm a.value in
   let y = Tensor.of_array ~batch:1 ~width:1 [| Tensor.Matfun.trace e |] in
-  let out = node tp y None in
+  let out = node ~op:"expm_trace" ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->

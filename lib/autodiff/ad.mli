@@ -10,13 +10,70 @@
     Usage: allocate a {!tape}, lift inputs with {!const}/{!param}, build
     the loss with the operators below, call {!backward} on the scalar
     output, then read gradients of parameters with {!grad}. The tape is
-    single-use: one forward/backward pair per tape. *)
+    single-use: one forward/backward pair per tape; a second {!backward}
+    on the same tape raises [Invalid_argument].
+
+    Alongside the runtime tape, every operator records one node of a
+    lightweight op-graph {!Ir} — op name, operand ids, output shape,
+    ambient {!with_context} label, and op-specific metadata. The IR is
+    plain data with no tensors or closures; the static analyses in
+    [lib/analysis] (shape abstract interpretation, gradient-flow lint)
+    run over it without executing any kernel. *)
+
+(** Side-effect-free op-graph recorded at tape-construction time. Node
+    [i] of the IR describes tape node [i]; [args] are indices of earlier
+    nodes. *)
+module Ir : sig
+  type shape = { batch : int; width : int }
+
+  (** Op-specific static facts that shape/gradient analyses need but the
+      output shape alone does not carry. *)
+  type meta =
+    | M_none
+    | M_scalar of float  (** [scale] / [add_scalar] constant *)
+    | M_gather of { count : int; index_min : int; index_max : int }
+        (** gather index stats; [index_max = -1] when the index is empty *)
+    | M_segments of {
+        seg_count : int;
+        seg_width : int;  (** total elements the segmentation expects *)
+        empty_segments : int;
+        max_len : int;
+      }
+    | M_columns of (int * float) array  (** [override_columns] pins *)
+    | M_row of int  (** [slice_row] row index *)
+    | M_width of int  (** [dot_const] coefficient count *)
+    | M_matrix of { dim : int; class_min : int; class_max : int; col_max : int }
+        (** [matrix_of_entries] scatter targets; [-1] maxima when empty *)
+
+  type node = {
+    op : string;
+    args : int array;
+    shape : shape;  (** shape the op actually produced *)
+    context : string;  (** innermost {!with_context} label at build time *)
+    meta : meta;
+  }
+
+  type t = node array
+
+  val shape_to_string : shape -> string
+end
 
 type tape
 type v
 
 val tape : unit -> tape
 val node_count : tape -> int
+
+val ir : tape -> Ir.t
+(** Snapshot of the op-graph recorded so far (index [i] = tape node [i]). *)
+
+val node_id : v -> int
+(** This node's position on its tape — its index into {!ir}. *)
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** [with_context label f] runs [f] with [label] recorded as the
+    provenance of every node built inside (restored afterwards, also on
+    exceptions). Nested calls shadow; diagnostics show the innermost. *)
 
 val value : v -> Tensor.t
 (** Forward value of a node. *)
@@ -35,7 +92,9 @@ val param : tape -> Tensor.t -> v
 val backward : v -> unit
 (** Seeds the given node with an all-ones adjoint and sweeps the tape in
     reverse. The node is normally the (1,1) scalar loss; seeding a
-    wider node differentiates the *sum* of its entries. *)
+    wider node differentiates the *sum* of its entries.
+    @raise Invalid_argument if this tape was already swept — tapes are
+    single-use, one forward/backward pair each. *)
 
 (** {1 Pointwise} *)
 

@@ -136,6 +136,9 @@ let penalty_of_cp compiled tape cp_rows =
   | None -> Ad.const tape (Tensor.create ~batch:1 ~width:1)
 
 let forward ?(temperature = 1.0) compiled ~config ~model ~theta =
+  (* provenance label for the recorded op-graph IR: shape/grad-flow
+     diagnostics on this tape say "built in smoothe.forward" *)
+  Ad.with_context "smoothe.forward" @@ fun () ->
   let tape = Ad.tape () in
   let g = compiled.g in
   let theta_v = Ad.param tape theta in

@@ -107,9 +107,26 @@ let select_configuration log config device g =
   walk [] false 0 (derating_ladder config device)
 
 let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?health
-    ?checkpoint ?(checkpoint_every = 25) ?resume_from g =
+    ?checkpoint ?(checkpoint_every = 25) ?resume_from ?(preflight = false) g =
   let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
   let log = Health.create () in
+  (* static pre-flight: lint the e-graph before the first iteration so
+     input defects surface as structured events in milliseconds instead
+     of index errors or NaNs minutes in. Off by default — the gate must
+     not change behaviour for existing callers (events only, never the
+     optimisation path). *)
+  if preflight then begin
+    let findings = Egraph_lint.check g in
+    if !Obs.on then begin
+      Metrics.incr ~by:(float_of_int (Diagnostic.errors findings)) "analysis.errors";
+      Metrics.incr ~by:(float_of_int (Diagnostic.warnings findings)) "analysis.warnings"
+    end;
+    List.iter
+      (fun d ->
+        if d.Diagnostic.severity <> Diagnostic.Info then
+          Health.record log ~member Health.Preflight (Diagnostic.render d))
+      findings
+  end;
   let drain () =
     List.iter
       (fun what -> Health.record log ~member Health.Fault_injected what)

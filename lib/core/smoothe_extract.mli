@@ -44,12 +44,21 @@ val extract :
   ?checkpoint:Checkpoint.store ->
   ?checkpoint_every:int ->
   ?resume_from:Checkpoint.snapshot ->
+  ?preflight:bool ->
   Egraph.t ->
   run
 (** [model] defaults to the e-graph's linear costs; [device] defaults to
     {!Device.a100}. The device's memory model derates the configured
     batch (Table 5) and its backend selects vectorised or scalar kernels
     (Figure 6).
+
+    With [~preflight:true] the run lints the e-graph ({!Egraph_lint})
+    before the first iteration: error/warning findings are recorded as
+    [Preflight] health events and counted in the [analysis.errors] /
+    [analysis.warnings] metrics (when observability is on). The gate
+    never changes the optimisation itself — with or without it, θ, the
+    incumbent and the history are bit-identical. Default off; the CLI
+    enables it unless [--no-preflight] is given.
 
     Durability: with [?checkpoint], the loop writes a {!Checkpoint}
     snapshot to the store every [checkpoint_every] iterations

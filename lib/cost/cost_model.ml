@@ -73,6 +73,7 @@ let dim m = Array.length m.u
 let linear_coeffs m = Array.copy m.u
 
 let relaxed m tape p =
+  Ad.with_context "cost_model.relaxed" @@ fun () ->
   let base = Ad.dot_const p m.u in
   match m.kind with
   | Linear -> base

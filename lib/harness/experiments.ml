@@ -810,6 +810,63 @@ let durability bank =
     "Same seed and iteration budget in every row, so cost must not move; the\n\
      delta against `off' is the price of durability at each snapshot interval."
 
+let preflight bank =
+  Report.heading "Pre-flight static analysis: every bundled instance";
+  Report.set_columns [ 20; 8; 8; 8; 10; 8; 10 ];
+  Report.row [ "instance"; "nodes"; "classes"; "errors"; "warnings"; "infos"; "verdict" ];
+  Report.rule ();
+  let total_errors = ref 0 and total_warnings = ref 0 in
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun inst ->
+          let g = Runbank.egraph bank inst in
+          (* lint the graph, then a tiny recorded forward tape: batch 2
+             and two propagation steps exercise every op kind the real
+             run would build, at negligible cost *)
+          let config =
+            {
+              Smoothe_config.default with
+              Smoothe_config.batch = 2;
+              prop_iters = Some 2;
+            }
+          in
+          let tape_ds =
+            match
+              let compiled = Relaxation.compile config g in
+              let theta = Tensor.create ~batch:2 ~width:(Egraph.num_nodes g) in
+              let fwd =
+                Relaxation.forward compiled ~config ~model:(Cost_model.of_egraph g) ~theta
+              in
+              let ir = Ad.ir fwd.Relaxation.tape in
+              Shape_check.check ir @ Grad_flow.check ~root:(Ad.node_id fwd.Relaxation.loss) ir
+            with
+            | ds -> ds
+            | exception e ->
+                [
+                  Diagnostic.error ~code:"AN001" Diagnostic.Graph
+                    "building the forward tape failed: %s" (Printexc.to_string e);
+                ]
+          in
+          let ds = Egraph_lint.check g @ tape_ds in
+          total_errors := !total_errors + Diagnostic.errors ds;
+          total_warnings := !total_warnings + Diagnostic.warnings ds;
+          Report.row
+            [
+              inst.Registry.inst_name;
+              string_of_int (Egraph.num_nodes g);
+              string_of_int (Egraph.num_classes g);
+              string_of_int (Diagnostic.errors ds);
+              string_of_int (Diagnostic.warnings ds);
+              string_of_int (Diagnostic.infos ds);
+              (if Diagnostic.ok ~strict:true ds then "clean" else "FINDINGS");
+            ])
+        ds.Registry.instances)
+    Registry.all;
+  Printf.printf
+    "Every bundled instance must lint clean (infos allowed): %d errors, %d warnings.\n"
+    !total_errors !total_warnings
+
 (* -------------------------------------------------------------- driver *)
 
 let registry =
@@ -833,6 +890,7 @@ let registry =
     ("ablation_temperature", ablation_temperature);
     ("phases", phases);
     ("durability", durability);
+    ("preflight", preflight);
   ]
 
 let names = List.map fst registry

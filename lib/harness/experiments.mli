@@ -68,6 +68,11 @@ val durability : Runbank.t -> unit
     and bytes; the cost column must not move (checkpointing never
     perturbs the optimisation). *)
 
+val preflight : Runbank.t -> unit
+(** Static-analysis sweep: {!Egraph_lint} plus the tape shape and
+    gradient-flow passes over every bundled instance. All must come out
+    clean (info-level findings allowed). *)
+
 val all : Runbank.t -> unit
 
 val by_name : string -> (Runbank.t -> unit) option

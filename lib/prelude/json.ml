@@ -195,7 +195,10 @@ let escape_string s =
   Buffer.contents buf
 
 let format_number f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  (* JSON has no nan/inf literals; "%.17g" would emit them verbatim and
+     corrupt the document, so non-finite numbers degrade to null. *)
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 
 let to_string ?(pretty = false) v =

@@ -20,6 +20,8 @@ val parse : string -> t
 (** @raise Parse_error on malformed input (including trailing junk). *)
 
 val to_string : ?pretty:bool -> t -> string
+(** Serialise. Non-finite numbers ([nan], [±infinity]) have no JSON
+    representation and are emitted as [null]. *)
 
 (** {1 Accessors} — raise [Parse_error] with a path message on shape
     mismatches, so format errors in user files stay debuggable. *)

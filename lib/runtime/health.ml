@@ -9,6 +9,7 @@ type kind =
   | Degraded
   | Checkpoint_corrupt
   | Resumed
+  | Preflight
 
 type event = { at : float; member : string; kind : kind; detail : string }
 
@@ -17,7 +18,7 @@ type log = { created : float; events : event Vec.t }
 let all_kinds =
   [
     Fault_injected; Nan_detected; Recovery; Oom_derate; Timeout; Member_failed;
-    Budget_reallocated; Degraded; Checkpoint_corrupt; Resumed;
+    Budget_reallocated; Degraded; Checkpoint_corrupt; Resumed; Preflight;
   ]
 
 let kind_name = function
@@ -31,6 +32,7 @@ let kind_name = function
   | Degraded -> "degraded"
   | Checkpoint_corrupt -> "checkpoint-corrupt"
   | Resumed -> "resumed"
+  | Preflight -> "preflight"
 
 let kind_of_name name = List.find_opt (fun k -> kind_name k = name) all_kinds
 

@@ -21,6 +21,10 @@ type kind =
           bit rot, fingerprint mismatch) and was skipped in favour of an
           older generation or a fresh start *)
   | Resumed  (** a run was warm-started from a checkpoint snapshot *)
+  | Preflight
+      (** a static pre-flight analysis finding (e-graph lint) surfaced
+          before the first iteration; detail carries the rendered
+          diagnostic *)
 
 type event = {
   at : float;  (** seconds since the log was created *)

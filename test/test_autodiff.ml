@@ -192,6 +192,47 @@ let test_node_count () =
   ignore (Ad.add x (Ad.neg x));
   Alcotest.(check int) "nodes on tape" 3 (Ad.node_count tape)
 
+let test_double_backward_raises () =
+  (* tapes are single-use: the pull closures are consumed by the sweep,
+     so a second backward must fail loudly rather than return zeros *)
+  let tape = Ad.tape () in
+  let x = Ad.param tape (Tensor.of_array ~batch:1 ~width:2 [| 1.0; 2.0 |]) in
+  let loss = Ad.sum_all (Ad.mul x x) in
+  Ad.backward loss;
+  (match Ad.backward loss with
+  | () -> Alcotest.fail "second backward on the same tape should raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the single-use constraint" true
+        (let n = String.length msg and m = String.length "single-use" in
+         let rec go i = i + m <= n && (String.sub msg i m = "single-use" || go (i + 1)) in
+         go 0));
+  (* a fresh tape over the same tensor works fine *)
+  let tape2 = Ad.tape () in
+  let x2 = Ad.param tape2 (Tensor.of_array ~batch:1 ~width:2 [| 1.0; 2.0 |]) in
+  let loss2 = Ad.sum_all (Ad.mul x2 x2) in
+  Ad.backward loss2;
+  Test_util.check_close ~msg:"fresh tape grad" 2.0 (Tensor.get (Ad.grad x2) 0 0)
+
+let test_ir_records_ops () =
+  (* every operator leaves one IR node with op name, args and shape *)
+  let tape = Ad.tape () in
+  let x = Ad.param tape (Tensor.of_array ~batch:2 ~width:3 [| 1.; 2.; 3.; 4.; 5.; 6. |]) in
+  let loss =
+    Ad.with_context "test.loss" @@ fun () -> Ad.sum_all (Ad.mul x (Ad.add_scalar 1.0 x))
+  in
+  let ir = Ad.ir tape in
+  Alcotest.(check int) "one IR node per tape node" (Ad.node_count tape) (Array.length ir);
+  Alcotest.(check int) "loss is the last node" (Array.length ir - 1) (Ad.node_id loss);
+  Alcotest.(check string) "param recorded" "param" ir.(Ad.node_id x).Ad.Ir.op;
+  let last = ir.(Ad.node_id loss) in
+  Alcotest.(check string) "op name" "sum_all" last.Ad.Ir.op;
+  Alcotest.(check bool) "shape" true (last.Ad.Ir.shape = { Ad.Ir.batch = 1; width = 1 });
+  Alcotest.(check string) "context label" "test.loss" last.Ad.Ir.context;
+  Alcotest.(check bool) "args point at earlier nodes" true
+    (Array.for_all
+       (fun nd -> Array.for_all (fun a -> a >= 0) nd.Ad.Ir.args)
+       ir)
+
 (* --------------------------------------------------------------- optim *)
 
 let test_adam_minimises_quadratic () =
@@ -236,6 +277,8 @@ let () =
            Alcotest.test_case "fan-out accumulates" `Quick test_grad_accumulates_fanout;
            Alcotest.test_case "const blocks grad" `Quick test_const_blocks_grad;
            Alcotest.test_case "node count" `Quick test_node_count;
+           Alcotest.test_case "double backward raises" `Quick test_double_backward_raises;
+           Alcotest.test_case "ir records ops" `Quick test_ir_records_ops;
          ] );
        ( "optim",
          [

@@ -639,6 +639,76 @@ let test_nan_recovery () =
   Alcotest.(check int) "no recoveries" 0 after.Smoothe_extract.recoveries;
   Alcotest.(check bool) "healthy" true (after.Smoothe_extract.health = [])
 
+(* --- the pre-flight gate ---------------------------------------------- *)
+
+(* strip wall-clock from a history point so runs can be compared *)
+let history_shape run =
+  List.map
+    (fun h ->
+      ( h.Smoothe_extract.iter,
+        h.Smoothe_extract.relaxed_loss,
+        h.Smoothe_extract.sampled_cost,
+        h.Smoothe_extract.incumbent ))
+    run.Smoothe_extract.history
+
+let test_preflight_bit_identical () =
+  (* the gate is events-only: with analysis on or off, the optimisation
+     trajectory must match bit for bit *)
+  let g = small_graph () in
+  let off = Smoothe_extract.extract ~config:quick_cfg ~preflight:false g in
+  let on = Smoothe_extract.extract ~config:quick_cfg ~preflight:true g in
+  Alcotest.(check (float 0.0)) "same cost" off.Smoothe_extract.result.Extractor.cost
+    on.Smoothe_extract.result.Extractor.cost;
+  Alcotest.(check int) "same iterations" off.Smoothe_extract.iterations
+    on.Smoothe_extract.iterations;
+  Alcotest.(check int) "same best seed" off.Smoothe_extract.best_seed
+    on.Smoothe_extract.best_seed;
+  Alcotest.(check bool) "same trajectory" true (history_shape off = history_shape on);
+  (* a clean graph produces no preflight events *)
+  Alcotest.(check bool) "clean graph, silent gate" true
+    (List.for_all
+       (fun e -> e.Health.kind <> Health.Preflight)
+       on.Smoothe_extract.health)
+
+(* a structurally valid graph with a corrupted base cost: the lint flags
+   it (EG006) but the run itself proceeds *)
+let corrupt_cost_graph () =
+  let b = Egraph.Builder.create ~name:"corrupt" () in
+  let root = Egraph.Builder.add_class b in
+  let leaf = Egraph.Builder.add_class b in
+  ignore (Egraph.Builder.add_node b ~cls:root ~op:"f" ~cost:(-3.0) ~children:[ leaf ]);
+  ignore (Egraph.Builder.add_node b ~cls:root ~op:"g" ~cost:5.0 ~children:[ leaf ]);
+  ignore (Egraph.Builder.add_node b ~cls:leaf ~op:"leaf" ~cost:1.0 ~children:[]);
+  Egraph.Builder.freeze b ~root
+
+let test_preflight_flags_corrupt_graph () =
+  let g = corrupt_cost_graph () in
+  (* even with a fault plan poisoning a gradient pass, the gate reports
+     the corrupted input and the supervised loop still finishes *)
+  Fault_plan.with_plan
+    [ Fault_plan.Nan_grad 3 ]
+    (fun () ->
+      let run = Smoothe_extract.extract ~config:quick_cfg ~preflight:true g in
+      Alcotest.(check bool) "run still completes" true
+        (run.Smoothe_extract.result.Extractor.solution <> None);
+      let pf =
+        List.filter (fun e -> e.Health.kind = Health.Preflight) run.Smoothe_extract.health
+      in
+      Alcotest.(check int) "one finding surfaced" 1 (List.length pf);
+      Alcotest.(check bool) "event carries the rendered diagnostic" true
+        (let s = (List.hd pf).Health.detail in
+         let has sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has "EG006" && has "negative base cost"));
+  (* the escape hatch: the same corrupted graph with the gate off runs
+     silently, matching the pre-gate behaviour *)
+  let off = Smoothe_extract.extract ~config:quick_cfg ~preflight:false g in
+  Alcotest.(check bool) "no preflight events when disabled" true
+    (List.for_all (fun e -> e.Health.kind <> Health.Preflight) off.Smoothe_extract.health)
+
 let test_mem_pressure_derates () =
   let g = small_graph () in
   let fp () =
@@ -807,6 +877,9 @@ let () =
       ( "recovery",
         [
           Alcotest.test_case "nan recovery" `Quick test_nan_recovery;
+          Alcotest.test_case "preflight is bit-identical" `Quick test_preflight_bit_identical;
+          Alcotest.test_case "preflight flags corrupt graph" `Quick
+            test_preflight_flags_corrupt_graph;
           Alcotest.test_case "mem pressure" `Quick test_mem_pressure_derates;
           Alcotest.test_case "solver stall" `Quick test_solver_stall;
         ] );
