@@ -6,6 +6,7 @@
      dune exec bench/main.exe                  # everything, default budget
      dune exec bench/main.exe -- table2 fig7   # selected experiments
      dune exec bench/main.exe -- --quick all   # smoke-test budget
+     dune exec bench/main.exe -- --jobs 4 all  # fan sweeps over 4 domains
      dune exec bench/main.exe -- kernels       # Bechamel micro-benchmarks *)
 
 let kernels () =
@@ -82,8 +83,21 @@ let kernels () =
 let () =
   let quick = ref false in
   let selected = ref [] in
-  let spec = [ ("--quick", Arg.Set quick, "use the fast smoke-test budget") ] in
-  Arg.parse spec (fun name -> selected := name :: !selected) "bench [--quick] [experiments...]";
+  let spec =
+    [
+      ("--quick", Arg.Set quick, "use the fast smoke-test budget");
+      ( "--jobs",
+        Arg.Int
+          (fun j ->
+            if j < 1 then raise (Arg.Bad "--jobs must be >= 1");
+            Pool.set_jobs j),
+        "N  size of the domain pool the sweeps and tensor kernels fan over (default 1; \
+         results are bit-identical at any value)" );
+    ]
+  in
+  Arg.parse spec
+    (fun name -> selected := name :: !selected)
+    "bench [--quick] [--jobs N] [experiments...]";
   let budget = if !quick then Budget.quick else Budget.default in
   let bank = Runbank.create budget in
   let wanted = List.rev !selected in

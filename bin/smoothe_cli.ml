@@ -100,7 +100,7 @@ let method_conv =
     ]
 
 let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~health
-    ~checkpoint_dir ~checkpoint_every ~resume ~show_term ~preflight =
+    ~checkpoint_dir ~checkpoint_every ~resume ~show_term ~preflight ~jobs =
   if resume && checkpoint_dir = None then begin
     Printf.eprintf "--resume needs --checkpoint-dir (where should the snapshot come from?)\n";
     exit 1
@@ -130,6 +130,7 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~h
                 Portfolio.time_budget = time_limit;
                 checkpoint_dir;
                 checkpoint_every;
+                jobs;
               }
             ~health (Rng.create seed) g
         in
@@ -287,6 +288,16 @@ let metrics_flag =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Record counters/gauges/histograms and write a JSON snapshot to $(docv).")
 
+let jobs_flag =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool: tensor kernels chunk their element loops over $(docv) \
+           domains, and $(b,-m portfolio) runs its anytime members concurrently (each with \
+           the full remaining budget). Results are bit-identical at any $(docv) for \
+           iteration-bounded runs. Default 1 (sequential).")
+
 let no_preflight_flag =
   Arg.(
     value & flag
@@ -319,7 +330,13 @@ let write_health_report health = function
 
 let extract_cmd =
   let run spec method_ time_limit batch iters assumption lambda seed fault_plan health_report
-      trace_out metrics_out checkpoint_dir checkpoint_every resume show_term no_preflight =
+      trace_out metrics_out checkpoint_dir checkpoint_every resume show_term no_preflight jobs
+      =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be >= 1\n";
+      exit 1
+    end;
+    Pool.set_jobs jobs;
     let g = load_egraph spec in
     let health = Health.create () in
     if trace_out <> None || metrics_out <> None then begin
@@ -354,14 +371,14 @@ let extract_cmd =
             ignore
               (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed
                  ~health ~checkpoint_dir ~checkpoint_every ~resume ~show_term
-                 ~preflight:(not no_preflight))))
+                 ~preflight:(not no_preflight) ~jobs)))
   in
   Cmd.v (Cmd.info "extract" ~doc:"Extract an optimised program from an e-graph.")
     Term.(
       const run $ instance_arg $ method_flag $ time_limit_flag $ batch_flag $ iters_flag
       $ assumption_flag $ lambda_flag $ seed_flag $ fault_plan_flag $ health_report_flag
       $ trace_flag $ metrics_flag $ checkpoint_dir_flag $ checkpoint_every_flag $ resume_flag
-      $ show_term_flag $ no_preflight_flag)
+      $ show_term_flag $ no_preflight_flag $ jobs_flag)
 
 (* --------------------------------------------------------------- analyze *)
 
@@ -525,7 +542,7 @@ let compare_cmd =
         ignore
           (run_method g ~method_ ~time_limit ~batch:16 ~iters:150 ~assumption:"hybrid"
              ~lambda:100.0 ~seed:7 ~health:(Health.create ()) ~checkpoint_dir:None
-             ~checkpoint_every:25 ~resume:false ~show_term:false ~preflight:false))
+             ~checkpoint_every:25 ~resume:false ~show_term:false ~preflight:false ~jobs:1))
       methods
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every extraction method on one e-graph.")

@@ -14,6 +14,7 @@ type config = {
   checkpoint_dir : string option;
   checkpoint_every : int;
   retry_attempts : int;
+  jobs : int;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     checkpoint_dir = None;
     checkpoint_every = 25;
     retry_attempts = 3;
+    jobs = 1;
   }
 
 let extract ?(config = default_config) ?model ?health rng g =
@@ -37,21 +39,20 @@ let extract ?(config = default_config) ?model ?health rng g =
   @@ fun () ->
   let model = match model with Some m -> m | None -> Cost_model.of_egraph g in
   let log = Health.create () in
-  let members = ref [] in
-  let record ?(status = Completed) name (r : Extractor.r) =
+  let rescore ?(status = Completed) name (r : Extractor.r) =
     (* re-score under the evaluation model so members are comparable *)
     let rescored =
       Extractor.make_with_model ~trace:r.Extractor.trace ~notes:r.Extractor.notes
         ~proved_optimal:r.Extractor.proved_optimal ~method_name:r.Extractor.method_name
         ~time_s:r.Extractor.time_s ~model g r.Extractor.solution
     in
-    members := { member_name = name; result = rescored; status } :: !members
+    { member_name = name; result = rescored; status }
   in
   (* free heuristics first — the portfolio always has at least these,
      whatever happens to the anytime members below *)
-  record "heuristic" (Greedy.extract g);
-  record "heuristic+" (Greedy_dag.extract g);
-  (* split the remaining budget between the enabled anytime members *)
+  let heuristics =
+    [ rescore "heuristic" (Greedy.extract g); rescore "heuristic+" (Greedy_dag.extract g) ]
+  in
   let anytime_members =
     List.filter snd
       [
@@ -65,91 +66,131 @@ let extract ?(config = default_config) ?model ?health rng g =
   let naive_share = config.time_budget /. float_of_int n_anytime in
   (* one shared monotonic deadline for the whole portfolio: a member
      that crashes or finishes early leaves its unused share to the
-     survivors *)
+     survivors (sequential mode), or bounds everyone (parallel mode) *)
   let portfolio_deadline = Timer.deadline_after config.time_budget in
-  let left = ref (List.length anytime_members) in
-  let run_supervised display_name share run =
-    let timeouts_before = Health.count ~member:display_name log Health.Timeout in
-    let outcome =
-      Trace.with_span ~cat:"portfolio"
-        ~attrs:(if !Obs.on then [ ("budget_s", Printf.sprintf "%.3f" share) ] else [])
-        ("portfolio." ^ display_name)
-        run
-    in
-    let timed_out = Health.count ~member:display_name log Health.Timeout > timeouts_before in
-    match outcome with
-    | Supervisor.Finished r ->
-        record ~status:(if timed_out then Timed_out else Completed) display_name r
-    | Supervisor.Crashed { exn } ->
-        record ~status:(Faulted exn) display_name
-          (Extractor.failed ~method_name:display_name ~time_s:0.0)
-  in
-  let supervised display_name share f =
-    run_supervised display_name share (fun () ->
-        Supervisor.run ~health:log ~name:display_name ~budget:share f)
-  in
-  List.iter
-    (fun (name, _) ->
-      let share =
-        (* a tiny floor keeps a member whose budget is already gone from
-           getting an *unlimited* deadline (deadline_after treats <= 0
-           as "no limit") *)
-        let rem = Timer.remaining portfolio_deadline in
-        if Float.is_finite rem then
-          Float.max 1e-3 (rem /. float_of_int (max 1 !left))
-        else naive_share
+  (* Each member draws from its own stream, split off in fixed member
+     order — NOT the shared [rng] in turn — so the randomness a member
+     sees is the same whether members run one by one or concurrently.
+     Likewise each member records into its own health log, merged in
+     member order after the join. *)
+  let tagged = List.map (fun m -> (m, Rng.split rng)) anytime_members in
+  (* run one member to a [member] record; everything it touches is its
+     own ([mlog], [mrng]) or read-only ([g], [model], [config]) *)
+  let run_member ~mlog ~share (name, mrng) =
+    let record ?status name r = rescore ?status name r in
+    let run_supervised display_name run =
+      let timeouts_before = Health.count ~member:display_name mlog Health.Timeout in
+      let outcome =
+        Trace.with_span ~cat:"portfolio"
+          ~attrs:(if !Obs.on then [ ("budget_s", Printf.sprintf "%.3f" share) ] else [])
+          ("portfolio." ^ display_name)
+          run
       in
-      decr left;
-      if share > naive_share *. 1.05 then
-        Health.record log ~member:name Health.Budget_reallocated
-          (Printf.sprintf "share grew to %.2fs (naive split %.2fs)" share naive_share);
-      (match name with
-      | "smoothe" -> (
-          let smoothe_config = { config.smoothe with Smoothe_config.time_limit = share } in
-          match config.checkpoint_dir with
-          | None ->
-              supervised "smoothe" share (fun _deadline ->
-                  (Smoothe_extract.extract ~config:smoothe_config ~model ~health:log g)
-                    .Smoothe_extract.result)
-          | Some dir ->
-              (* durable mode: the member checkpoints as it goes and a
-                 crash resumes from the newest usable generation instead
-                 of forfeiting the share *)
-              let store = Checkpoint.store ~dir ~name:"portfolio-smoothe" () in
-              run_supervised "smoothe" share (fun () ->
-                  Supervisor.run_retrying ~health:log ~rng:(Rng.copy rng)
-                    ~attempts:config.retry_attempts ~name:"smoothe" ~budget:share
-                    (fun ~attempt _deadline ->
-                      let resume_from =
-                        if attempt = 0 then None
-                        else
-                          Option.map fst
-                            (Checkpoint.load_latest ~health:log ~member:"smoothe" store)
-                      in
-                      (Smoothe_extract.extract ~config:smoothe_config ~model ~health:log
-                         ~checkpoint:store ~checkpoint_every:config.checkpoint_every
-                         ?resume_from g)
-                        .Smoothe_extract.result)))
-      | "ilp" ->
-          (* ILP optimises the linear part only; with a non-linear model
-             its solution is re-scored by [record] (the ILP* of §5.5) *)
-          let warm = (Greedy_dag.extract g).Extractor.solution in
-          let display = if Cost_model.is_linear model then "ilp" else "ilp*" in
-          supervised display share (fun _deadline ->
-              Ilp.extract ~time_limit:share ?warm_start:warm ~profile:Bnb.cplex_like g)
-      | "annealing" ->
-          supervised "annealing" share (fun _deadline ->
-              Annealing.extract
-                ~config:{ Annealing.default_config with Annealing.time_limit = share }
-                ~model rng g)
-      | "genetic" ->
-          supervised "genetic" share (fun _deadline ->
-              Genetic.extract
-                ~config:{ Genetic.default_config with Genetic.time_limit = share }
-                ~model rng g)
-      | _ -> ()))
-    anytime_members;
-  let members = List.rev !members in
+      let timed_out = Health.count ~member:display_name mlog Health.Timeout > timeouts_before in
+      match outcome with
+      | Supervisor.Finished r ->
+          record ~status:(if timed_out then Timed_out else Completed) display_name r
+      | Supervisor.Crashed { exn } ->
+          record ~status:(Faulted exn) display_name
+            (Extractor.failed ~method_name:display_name ~time_s:0.0)
+    in
+    let supervised display_name f =
+      run_supervised display_name (fun () ->
+          Supervisor.run ~health:mlog ~name:display_name ~budget:share f)
+    in
+    match name with
+    | "smoothe" -> (
+        let smoothe_config = { config.smoothe with Smoothe_config.time_limit = share } in
+        match config.checkpoint_dir with
+        | None ->
+            supervised "smoothe" (fun _deadline ->
+                (Smoothe_extract.extract ~config:smoothe_config ~model ~health:mlog g)
+                  .Smoothe_extract.result)
+        | Some dir ->
+            (* durable mode: the member checkpoints as it goes and a
+               crash resumes from the newest usable generation instead
+               of forfeiting the share *)
+            let store = Checkpoint.store ~dir ~name:"portfolio-smoothe" () in
+            run_supervised "smoothe" (fun () ->
+                Supervisor.run_retrying ~health:mlog ~rng:(Rng.copy mrng)
+                  ~attempts:config.retry_attempts ~name:"smoothe" ~budget:share
+                  (fun ~attempt _deadline ->
+                    let resume_from =
+                      if attempt = 0 then None
+                      else
+                        Option.map fst
+                          (Checkpoint.load_latest ~health:mlog ~member:"smoothe" store)
+                    in
+                    (Smoothe_extract.extract ~config:smoothe_config ~model ~health:mlog
+                       ~checkpoint:store ~checkpoint_every:config.checkpoint_every
+                       ?resume_from g)
+                      .Smoothe_extract.result)))
+    | "ilp" ->
+        (* ILP optimises the linear part only; with a non-linear model
+           its solution is re-scored by [rescore] (the ILP* of §5.5) *)
+        let warm = (Greedy_dag.extract g).Extractor.solution in
+        let display = if Cost_model.is_linear model then "ilp" else "ilp*" in
+        supervised display (fun _deadline ->
+            Ilp.extract ~time_limit:share ?warm_start:warm ~profile:Bnb.cplex_like g)
+    | "annealing" ->
+        supervised "annealing" (fun _deadline ->
+            Annealing.extract
+              ~config:{ Annealing.default_config with Annealing.time_limit = share }
+              ~model mrng g)
+    | "genetic" ->
+        supervised "genetic" (fun _deadline ->
+            Genetic.extract
+              ~config:{ Genetic.default_config with Genetic.time_limit = share }
+              ~model mrng g)
+    | _ -> rescore ~status:(Faulted "unknown member") name (Extractor.failed ~method_name:name ~time_s:0.0)
+  in
+  let parallel = config.jobs > 1 && List.length tagged > 1 in
+  let ran =
+    if not parallel then
+      (* sequential: redistribute budget a member leaves unused *)
+      let left = ref (List.length tagged) in
+      List.map
+        (fun ((name, _), mrng) ->
+          let share =
+            (* a tiny floor keeps a member whose budget is already gone
+               from getting an *unlimited* deadline (deadline_after
+               treats <= 0 as "no limit") *)
+            let rem = Timer.remaining portfolio_deadline in
+            if Float.is_finite rem then Float.max 1e-3 (rem /. float_of_int (max 1 !left))
+            else naive_share
+          in
+          decr left;
+          let mlog = Health.create () in
+          if share > naive_share *. 1.05 then
+            Health.record mlog ~member:name Health.Budget_reallocated
+              (Printf.sprintf "share grew to %.2fs (naive split %.2fs)" share naive_share);
+          (run_member ~mlog ~share (name, mrng), mlog))
+        tagged
+    else begin
+      (* parallel: every member starts now with the whole remaining
+         budget, so portfolio wall-clock is the slowest member, not the
+         sum of shares. A private pool sized to the member count keeps
+         this independent of (and composable with) the default pool
+         the tensor kernels chunk over. *)
+      let pool = Pool.create ~jobs:(min config.jobs (List.length tagged)) () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          Pool.run_list pool
+            (List.map
+               (fun ((name, _), mrng) () ->
+                 let share =
+                   let rem = Timer.remaining portfolio_deadline in
+                   if Float.is_finite rem then Float.max 1e-3 rem else naive_share
+                 in
+                 let mlog = Health.create () in
+                 (run_member ~mlog ~share (name, mrng), mlog))
+               tagged))
+    end
+  in
+  (* merge per-member logs in member order: deterministic at any jobs *)
+  List.iter (fun (_, mlog) -> Health.merge ~into:log mlog) ran;
+  let members = heuristics @ List.map fst ran in
   let winner =
     List.fold_left
       (fun acc m ->

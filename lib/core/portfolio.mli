@@ -41,6 +41,16 @@ type config = {
           instead of forfeiting its share. [None] (default) disables it. *)
   checkpoint_every : int;  (** snapshot interval in iterations (default 25) *)
   retry_attempts : int;  (** total tries for the SmoothE member (default 3) *)
+  jobs : int;
+      (** [> 1]: run the anytime members concurrently on a private
+          domain pool, each with the {e whole} remaining budget under
+          the shared deadline — wall-clock becomes the slowest member
+          instead of the sum of shares. Default 1 (sequential, with
+          budget redistribution). Either way each member draws from
+          its own [Rng.split] stream taken in fixed member order and
+          logs to its own health log merged in member order, so
+          iteration-bounded configs extract identically at any
+          [jobs]. *)
 }
 
 val default_config : config

@@ -722,37 +722,54 @@ let phases bank =
   Report.set_columns [ 20; 10; 10; 10; 10; 10; 12 ];
   Report.row [ "configuration"; "forward"; "backward"; "adam"; "sample"; "total"; "sq/matexp" ];
   Report.rule ();
-  List.iter
-    (fun (label, device, matexp) ->
-      let config =
-        { base with Smoothe_config.scc_decomposition = matexp; batched_matexp = matexp }
+  (* the four cases fan across the default pool. Each runs against a
+     scoped metrics registry and a captured trace, so concurrent cases
+     read only their own counters and spans; the captured events are
+     re-absorbed so the pool merges them into the global trace in case
+     order, and rows print in case order after the join. *)
+  Obs.with_enabled (fun () ->
+      Trace.reset ();
+      Metrics.reset ();
+      let rows =
+        Pool.run_list (Pool.get ())
+          (List.map
+             (fun (label, device, matexp) () ->
+               let config =
+                 { base with Smoothe_config.scc_decomposition = matexp; batched_matexp = matexp }
+               in
+               Metrics.scoped (fun () ->
+                   let (), evs =
+                     Trace.capturing (fun () ->
+                         ignore (Smoothe_extract.extract ~config ~device g))
+                   in
+                   let totals = Trace.span_totals_of evs in
+                   Trace.absorb evs;
+                   let total name =
+                     match List.find_opt (fun (n, _, _) -> n = name) totals with
+                     | Some (_, _, t) -> t
+                     | None -> 0.0
+                   in
+                   let calls = Metrics.counter_value "tensor.matexp_calls" in
+                   let sq = Metrics.counter_value "tensor.matexp_squarings" in
+                   [
+                     label;
+                     Report.secs (total "smoothe.forward");
+                     Report.secs (total "smoothe.backward");
+                     Report.secs (total "smoothe.adam_step");
+                     Report.secs (total "smoothe.sample");
+                     Report.secs (total "smoothe.extract");
+                     (if calls > 0.0 then Printf.sprintf "%.1f" (sq /. calls) else "-");
+                   ]))
+             cases)
       in
-      Obs.with_enabled (fun () ->
-          Trace.reset ();
-          Metrics.reset ();
-          ignore (Smoothe_extract.extract ~config ~device g);
-          let totals = Trace.span_totals () in
-          let total name =
-            match List.find_opt (fun (n, _, _) -> n = name) totals with
-            | Some (_, _, t) -> t
-            | None -> 0.0
-          in
-          let calls = Metrics.counter_value "tensor.matexp_calls" in
-          let sq = Metrics.counter_value "tensor.matexp_squarings" in
-          Report.row
-            [
-              label;
-              Report.secs (total "smoothe.forward");
-              Report.secs (total "smoothe.backward");
-              Report.secs (total "smoothe.adam_step");
-              Report.secs (total "smoothe.sample");
-              Report.secs (total "smoothe.extract");
-              (if calls > 0.0 then Printf.sprintf "%.1f" (sq /. calls) else "-");
-            ]))
-    cases;
+      List.iter Report.row rows;
+      (* the merged trace (all four cases, absorbed in case order even
+         when they ran concurrently) doubles as a CI artifact *)
+      Trace.write_file "phases-trace.json");
   print_endline
     "Phase times are summed from recorded smoothe.* spans; sq/matexp is the mean\n\
-     squaring count per matrix exponential (Eq. 11 batching shrinks it)."
+     squaring count per matrix exponential (Eq. 11 batching shrinks it).\n\
+     Merged span trace written to phases-trace.json."
 
 let durability bank =
   Report.heading "Durability: checkpoint overhead vs snapshot interval (mcm_8)";
@@ -766,46 +783,58 @@ let durability bank =
       max_iters = min 60 budget.Budget.smoothe.Smoothe_config.max_iters;
     }
   in
-  let dir =
+  (* one snapshot dir per interval (not one shared dir): the rows fan
+     across the default pool, and concurrent stores must not interleave
+     generations in each other's directories *)
+  let dir_for interval =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "smoothe-durability-%d" (Unix.getpid ()))
+      (Printf.sprintf "smoothe-durability-%d-%d" (Unix.getpid ()) interval)
   in
-  let cleanup () =
+  let cleanup dir =
     if Sys.file_exists dir then begin
       Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
       Unix.rmdir dir
     end
   in
+  let intervals = [ 0; 1; 5; 25 ] in
   Report.set_columns [ 10; 10; 10; 10; 10; 12 ];
   Report.row [ "interval"; "time"; "cost"; "iters"; "writes"; "KiB written" ];
   Report.rule ();
-  Fun.protect ~finally:cleanup (fun () ->
-      List.iter
-        (fun interval ->
-          cleanup ();
-          let store =
-            if interval = 0 then None else Some (Checkpoint.store ~dir ~name:"durability" ())
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun i -> cleanup (dir_for i)) intervals)
+    (fun () ->
+      Obs.with_enabled (fun () ->
+          let rows =
+            Pool.run_list (Pool.get ())
+              (List.map
+                 (fun interval () ->
+                   let dir = dir_for interval in
+                   cleanup dir;
+                   let store =
+                     if interval = 0 then None
+                     else Some (Checkpoint.store ~dir ~name:"durability" ())
+                   in
+                   (* scoped: each row reads only its own checkpoint
+                      counters, whatever its neighbours are writing *)
+                   Metrics.scoped (fun () ->
+                       let run, t =
+                         Timer.time (fun () ->
+                             Smoothe_extract.extract ~config ?checkpoint:store
+                               ~checkpoint_every:interval g)
+                       in
+                       [
+                         (if interval = 0 then "off" else string_of_int interval);
+                         Report.secs t;
+                         Printf.sprintf "%.4g" run.Smoothe_extract.result.Extractor.cost;
+                         string_of_int run.Smoothe_extract.iterations;
+                         Printf.sprintf "%.0f" (Metrics.counter_value "checkpoint.writes");
+                         Printf.sprintf "%.1f"
+                           (Metrics.counter_value "checkpoint.bytes_written" /. 1024.0);
+                       ]))
+                 intervals)
           in
-          Obs.with_enabled (fun () ->
-              Trace.reset ();
-              Metrics.reset ();
-              let run, t =
-                Timer.time (fun () ->
-                    Smoothe_extract.extract ~config ?checkpoint:store
-                      ~checkpoint_every:interval g)
-              in
-              Report.row
-                [
-                  (if interval = 0 then "off" else string_of_int interval);
-                  Report.secs t;
-                  Printf.sprintf "%.4g" run.Smoothe_extract.result.Extractor.cost;
-                  string_of_int run.Smoothe_extract.iterations;
-                  Printf.sprintf "%.0f" (Metrics.counter_value "checkpoint.writes");
-                  Printf.sprintf "%.1f"
-                    (Metrics.counter_value "checkpoint.bytes_written" /. 1024.0);
-                ]))
-        [ 0; 1; 5; 25 ]);
+          List.iter Report.row rows));
   print_endline
     "Same seed and iteration budget in every row, so cost must not move; the\n\
      delta against `off' is the price of durability at each snapshot interval."
@@ -815,57 +844,131 @@ let preflight bank =
   Report.set_columns [ 20; 8; 8; 8; 10; 8; 10 ];
   Report.row [ "instance"; "nodes"; "classes"; "errors"; "warnings"; "infos"; "verdict" ];
   Report.rule ();
-  let total_errors = ref 0 and total_warnings = ref 0 in
-  List.iter
-    (fun ds ->
-      List.iter
-        (fun inst ->
-          let g = Runbank.egraph bank inst in
-          (* lint the graph, then a tiny recorded forward tape: batch 2
-             and two propagation steps exercise every op kind the real
-             run would build, at negligible cost *)
-          let config =
-            {
-              Smoothe_config.default with
-              Smoothe_config.batch = 2;
-              prop_iters = Some 2;
-            }
-          in
-          let tape_ds =
-            match
-              let compiled = Relaxation.compile config g in
-              let theta = Tensor.create ~batch:2 ~width:(Egraph.num_nodes g) in
-              let fwd =
-                Relaxation.forward compiled ~config ~model:(Cost_model.of_egraph g) ~theta
-              in
-              let ir = Ad.ir fwd.Relaxation.tape in
-              Shape_check.check ir @ Grad_flow.check ~root:(Ad.node_id fwd.Relaxation.loss) ir
-            with
-            | ds -> ds
-            | exception e ->
-                [
-                  Diagnostic.error ~code:"AN001" Diagnostic.Graph
-                    "building the forward tape failed: %s" (Printexc.to_string e);
-                ]
-          in
-          let ds = Egraph_lint.check g @ tape_ds in
-          total_errors := !total_errors + Diagnostic.errors ds;
-          total_warnings := !total_warnings + Diagnostic.warnings ds;
-          Report.row
-            [
-              inst.Registry.inst_name;
-              string_of_int (Egraph.num_nodes g);
-              string_of_int (Egraph.num_classes g);
-              string_of_int (Diagnostic.errors ds);
-              string_of_int (Diagnostic.warnings ds);
-              string_of_int (Diagnostic.infos ds);
-              (if Diagnostic.ok ~strict:true ds then "clean" else "FINDINGS");
-            ])
-        ds.Registry.instances)
-    Registry.all;
+  (* materialise every instance through the Runbank cache on this
+     domain first — its memo Hashtbls are not domain-safe — then fan
+     the per-instance analysis (the expensive part: a forward tape and
+     three checkers each) across the default pool. Results come back
+     in instance order, so the table and the totals are identical at
+     any jobs count. *)
+  let cases =
+    List.concat_map
+      (fun ds -> List.map (fun inst -> (inst, Runbank.egraph bank inst)) ds.Registry.instances)
+      Registry.all
+  in
+  let analyse (inst, g) =
+    (* lint the graph, then a tiny recorded forward tape: batch 2
+       and two propagation steps exercise every op kind the real
+       run would build, at negligible cost *)
+    let config =
+      { Smoothe_config.default with Smoothe_config.batch = 2; prop_iters = Some 2 }
+    in
+    let tape_ds =
+      match
+        let compiled = Relaxation.compile config g in
+        let theta = Tensor.create ~batch:2 ~width:(Egraph.num_nodes g) in
+        let fwd = Relaxation.forward compiled ~config ~model:(Cost_model.of_egraph g) ~theta in
+        let ir = Ad.ir fwd.Relaxation.tape in
+        Shape_check.check ir @ Grad_flow.check ~root:(Ad.node_id fwd.Relaxation.loss) ir
+      with
+      | ds -> ds
+      | exception e ->
+          [
+            Diagnostic.error ~code:"AN001" Diagnostic.Graph
+              "building the forward tape failed: %s" (Printexc.to_string e);
+          ]
+    in
+    let ds = Egraph_lint.check g @ tape_ds in
+    let row =
+      [
+        inst.Registry.inst_name;
+        string_of_int (Egraph.num_nodes g);
+        string_of_int (Egraph.num_classes g);
+        string_of_int (Diagnostic.errors ds);
+        string_of_int (Diagnostic.warnings ds);
+        string_of_int (Diagnostic.infos ds);
+        (if Diagnostic.ok ~strict:true ds then "clean" else "FINDINGS");
+      ]
+    in
+    (row, Diagnostic.errors ds, Diagnostic.warnings ds)
+  in
+  let results =
+    Pool.run_list (Pool.get ()) (List.map (fun case () -> analyse case) cases)
+  in
+  List.iter (fun (row, _, _) -> Report.row row) results;
+  let total_errors = List.fold_left (fun acc (_, e, _) -> acc + e) 0 results in
+  let total_warnings = List.fold_left (fun acc (_, _, w) -> acc + w) 0 results in
   Printf.printf
     "Every bundled instance must lint clean (infos allowed): %d errors, %d warnings.\n"
-    !total_errors !total_warnings
+    total_errors total_warnings
+
+(* ------------------------------------------------------------- parallel *)
+
+(* The --jobs machinery measured end to end: the same seeded extraction
+   and the same chunked kernel workload at jobs=1 and at the host's
+   recommended width. Costs must agree bit-for-bit (the determinism
+   contract); the wall-clock columns show whatever speedup the host's
+   cores actually deliver. *)
+let parallel bank =
+  Report.heading "Parallel execution: jobs sweep (bit-identical results required)";
+  let budget = Runbank.budget bank in
+  let g = Runbank.egraph bank (Registry.find_instance "box_3") in
+  let config =
+    {
+      budget.Budget.smoothe with
+      Smoothe_config.assumption = Smoothe_config.Independent;
+      time_limit = 0.0 (* iteration-bounded, so every jobs value does identical work *);
+      max_iters = min 40 budget.Budget.smoothe.Smoothe_config.max_iters;
+    }
+  in
+  let kernel_workload () =
+    let x =
+      Tensor.init ~batch:32 ~width:20_000 (fun b i ->
+          float_of_int (((b * 31) + i) mod 97) /. 97.0)
+    in
+    let y = Tensor.exp x in
+    let z = Tensor.mul x y in
+    Tensor.sum z
+  in
+  let widths =
+    let rec dedup = function a :: (b :: _ as tl) when a = b -> dedup tl | a :: tl -> a :: dedup tl | [] -> [] in
+    dedup [ 1; 2; Stdlib.max 2 (Domain.recommended_domain_count ()) ]
+  in
+  Report.set_columns [ 6; 12; 12; 14; 14 ];
+  Report.row [ "jobs"; "extract(s)"; "kernels(s)"; "cost"; "kernel sum" ];
+  Report.rule ();
+  let saved = Pool.jobs () in
+  let reference = ref None in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_jobs saved)
+    (fun () ->
+      List.iter
+        (fun jobs ->
+          Pool.set_jobs jobs;
+          let run, t = Timer.time (fun () -> Smoothe_extract.extract ~config g) in
+          let cost = run.Smoothe_extract.result.Extractor.cost in
+          let ksum = ref 0.0 in
+          let (), kt = Timer.time (fun () -> ksum := kernel_workload ()) in
+          (match !reference with
+          | None -> reference := Some (cost, !ksum)
+          | Some (c, s) ->
+              if c <> cost || s <> !ksum then
+                failwith
+                  (Printf.sprintf
+                     "parallel: results diverged at jobs=%d (cost %.17g vs %.17g, sum %.17g \
+                      vs %.17g)"
+                     jobs cost c !ksum s));
+          Report.row
+            [
+              string_of_int jobs;
+              Report.secs t;
+              Report.secs kt;
+              Printf.sprintf "%.6g" cost;
+              Printf.sprintf "%.6g" !ksum;
+            ])
+        widths);
+  print_endline
+    "Chunk boundaries depend only on input size, never on the pool, so every row\n\
+     must report the same cost and kernel sum; the experiment fails loudly if not."
 
 (* -------------------------------------------------------------- driver *)
 
@@ -891,6 +994,7 @@ let registry =
     ("phases", phases);
     ("durability", durability);
     ("preflight", preflight);
+    ("parallel", parallel);
   ]
 
 let names = List.map fst registry

@@ -11,16 +11,38 @@ type cell =
   | Gauge of float ref
   | Histogram of histogram ref
 
-let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+let global : (string, cell) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+(* A scoped registry installed by {!scoped} for the current domain.
+   Pool tasks that want isolated counters run under one; everything
+   else shares [global]. *)
+let scope_key : (string, cell) Hashtbl.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* Run [f] on the registry in scope, atomically. A scoped registry is
+   domain-local so only the global one needs the lock; either way [f]
+   must not re-enter the registry (the lock is not reentrant), which
+   is why every public operation below is a single [with_registry]. *)
+let with_registry f =
+  match !(Domain.DLS.get scope_key) with
+  | Some tbl -> f tbl
+  | None -> Mutex.protect lock (fun () -> f global)
+
+let scoped f =
+  let slot = Domain.DLS.get scope_key in
+  let saved = !slot in
+  slot := Some (Hashtbl.create 64);
+  Fun.protect ~finally:(fun () -> slot := saved) f
 
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
 
-let find_or_create name make =
-  match Hashtbl.find_opt registry name with
+let find_or_create tbl name make =
+  match Hashtbl.find_opt tbl name with
   | Some cell -> cell
   | None ->
       let cell = make () in
-      Hashtbl.replace registry name cell;
+      Hashtbl.replace tbl name cell;
       cell
 
 let wrong_kind name cell want =
@@ -29,66 +51,77 @@ let wrong_kind name cell want =
 
 let incr ?(by = 1.0) name =
   if !Obs.on then
-    match find_or_create name (fun () -> Counter (ref 0.0)) with
-    | Counter r -> r := !r +. by
-    | cell -> wrong_kind name cell "counter"
+    with_registry (fun tbl ->
+        match find_or_create tbl name (fun () -> Counter (ref 0.0)) with
+        | Counter r -> r := !r +. by
+        | cell -> wrong_kind name cell "counter")
 
 let set_gauge name v =
   if !Obs.on then
-    match find_or_create name (fun () -> Gauge (ref 0.0)) with
-    | Gauge r -> r := v
-    | cell -> wrong_kind name cell "gauge"
+    with_registry (fun tbl ->
+        match find_or_create tbl name (fun () -> Gauge (ref 0.0)) with
+        | Gauge r -> r := v
+        | cell -> wrong_kind name cell "gauge")
 
 let empty_histogram = { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; last = 0.0 }
 
 let observe name v =
   if !Obs.on then
-    match find_or_create name (fun () -> Histogram (ref empty_histogram)) with
-    | Histogram r ->
-        let h = !r in
-        r :=
-          {
-            count = h.count + 1;
-            sum = h.sum +. v;
-            min_v = Float.min h.min_v v;
-            max_v = Float.max h.max_v v;
-            last = v;
-          }
-    | cell -> wrong_kind name cell "histogram"
+    with_registry (fun tbl ->
+        match find_or_create tbl name (fun () -> Histogram (ref empty_histogram)) with
+        | Histogram r ->
+            let h = !r in
+            r :=
+              {
+                count = h.count + 1;
+                sum = h.sum +. v;
+                min_v = Float.min h.min_v v;
+                max_v = Float.max h.max_v v;
+                last = v;
+              }
+        | cell -> wrong_kind name cell "histogram")
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with Some (Counter r) -> !r | _ -> 0.0
+  with_registry (fun tbl ->
+      match Hashtbl.find_opt tbl name with Some (Counter r) -> !r | _ -> 0.0)
 
 let gauge_value name =
-  match Hashtbl.find_opt registry name with Some (Gauge r) -> !r | _ -> 0.0
+  with_registry (fun tbl ->
+      match Hashtbl.find_opt tbl name with Some (Gauge r) -> !r | _ -> 0.0)
 
 let histogram_stats name =
-  match Hashtbl.find_opt registry name with Some (Histogram r) -> Some !r | _ -> None
+  with_registry (fun tbl ->
+      match Hashtbl.find_opt tbl name with Some (Histogram r) -> Some !r | _ -> None)
 
-let names () =
-  Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort compare
+let sorted_names tbl =
+  Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort compare
 
-let reset () = Hashtbl.reset registry
+let names () = with_registry sorted_names
+
+let reset () = with_registry Hashtbl.reset
 
 let snapshot () =
-  let field name =
-    match Hashtbl.find_opt registry name with
-    | None -> Json.Null
-    | Some (Counter r) ->
-        Json.Object [ "type", Json.String "counter"; "value", Json.Number !r ]
-    | Some (Gauge r) -> Json.Object [ "type", Json.String "gauge"; "value", Json.Number !r ]
-    | Some (Histogram r) ->
-        let h = !r in
-        let mean = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
-        Json.Object
-          [
-            "type", Json.String "histogram";
-            "count", Json.Number (float_of_int h.count);
-            "sum", Json.Number h.sum;
-            "mean", Json.Number mean;
-            "min", Json.Number (if h.count = 0 then 0.0 else h.min_v);
-            "max", Json.Number (if h.count = 0 then 0.0 else h.max_v);
-            "last", Json.Number h.last;
-          ]
-  in
-  Json.Object (List.map (fun name -> name, field name) (names ()))
+  (* one registry transaction: [find_opt] per name would deadlock on
+     the non-reentrant lock and could tear across concurrent updates *)
+  with_registry (fun tbl ->
+      let field name =
+        match Hashtbl.find_opt tbl name with
+        | None -> Json.Null
+        | Some (Counter r) ->
+            Json.Object [ "type", Json.String "counter"; "value", Json.Number !r ]
+        | Some (Gauge r) -> Json.Object [ "type", Json.String "gauge"; "value", Json.Number !r ]
+        | Some (Histogram r) ->
+            let h = !r in
+            let mean = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
+            Json.Object
+              [
+                "type", Json.String "histogram";
+                "count", Json.Number (float_of_int h.count);
+                "sum", Json.Number h.sum;
+                "mean", Json.Number mean;
+                "min", Json.Number (if h.count = 0 then 0.0 else h.min_v);
+                "max", Json.Number (if h.count = 0 then 0.0 else h.max_v);
+                "last", Json.Number h.last;
+              ]
+      in
+      Json.Object (List.map (fun name -> name, field name) (sorted_names tbl)))

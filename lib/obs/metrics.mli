@@ -4,6 +4,13 @@
     {!Obs} is disabled, so instrumented hot paths cost one branch.
     Reads and {!snapshot} always work on whatever was recorded.
 
+    The registry is domain-safe: every operation — including
+    {!reset}, {!names} and {!snapshot} — is one atomic registry
+    transaction, so a reset racing an increment can never observe a
+    half-registered cell, and concurrent increments of the same
+    counter never lose updates. Code that wants counters isolated
+    from other pool tasks (the bench sweeps) runs under {!scoped}.
+
     Metric names are dotted lowercase strings grouped by subsystem,
     e.g. [lp.pivots], [tensor.matexp_squarings], [smoothe.loss]; the
     full taxonomy is documented in DESIGN.md ("Observability"). *)
@@ -42,6 +49,15 @@ val names : unit -> string list
 (** Sorted. *)
 
 val reset : unit -> unit
+
+(** {1 Scoping} *)
+
+val scoped : (unit -> 'a) -> 'a
+(** [scoped f] runs [f] against a fresh, empty registry private to the
+    current domain (restored afterwards, also on raise). Reads inside
+    [f] see only what [f] recorded; the enclosing registry is
+    untouched. This is how parallel bench tasks keep per-case
+    counters without tearing each other's [reset]. *)
 
 val snapshot : unit -> Json.t
 (** One JSON object keyed by metric name; each value is an object with

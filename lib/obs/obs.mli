@@ -14,7 +14,13 @@ type sink =
 
 val on : bool ref
 (** The raw flag, for hot paths: [if !Obs.on then ...]. Prefer the
-    functions below everywhere else. *)
+    functions below everywhere else.
+
+    Domain discipline: the flag is a plain [ref] on purpose (an
+    [Atomic] read per tensor op would defeat the point of the gate).
+    Flip it only while no pool tasks are in flight — the harness
+    enables the sink before fanning out and restores it after the
+    join; workers treat it as read-only. *)
 
 val sink : unit -> sink
 val set_sink : sink -> unit

@@ -18,20 +18,35 @@ type instant = {
 type event = Span of span | Instant of instant
 
 let store : event Vec.t = Vec.create ()
+let store_lock = Mutex.create ()
 
-(* The open-span stack, innermost first. Kept as names only: the path
-   of a closing span is rebuilt from it, so an exception that unwinds
-   through with_span cannot leave a stale frame behind (Fun.protect
-   pops it). *)
-let stack : string list ref = ref []
+(* The open-span stack, innermost first, one per domain (a worker's
+   spans must not graft themselves onto whatever the main domain has
+   open). Kept as names only: the path of a closing span is rebuilt
+   from it, so an exception that unwinds through with_span cannot
+   leave a stale frame behind (Fun.protect pops it). *)
+let stack_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let open_depth () = List.length !stack
+(* Per-domain capture buffer. [None] (the default) routes events to
+   the global store under its lock; [Some buf] — installed by
+   {!capturing} for the duration of a pool task — collects them
+   domain-locally so concurrent tasks don't interleave. The pool
+   absorbs the buffers in deterministic task order at the join. *)
+let capture_key : event Vec.t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-let reset () = Vec.clear store
+let emit e =
+  match !(Domain.DLS.get capture_key) with
+  | Some buf -> Vec.push buf e
+  | None -> Mutex.protect store_lock (fun () -> Vec.push store e)
+
+let open_depth () = List.length !(Domain.DLS.get stack_key)
+
+let reset () = Mutex.protect store_lock (fun () -> Vec.clear store)
 
 let with_span ?(cat = "") ?(attrs = []) name f =
   if not !Obs.on then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     let ts = Timer.now () in
     stack := name :: !stack;
     let depth = List.length !stack - 1 in
@@ -39,16 +54,38 @@ let with_span ?(cat = "") ?(attrs = []) name f =
     let close () =
       let dur = Timer.now () -. ts in
       (match !stack with _ :: tl -> stack := tl | [] -> ());
-      Vec.push store (Span { name; cat; path; depth; ts; dur; args = attrs })
+      emit (Span { name; cat; path; depth; ts; dur; args = attrs })
     in
     Fun.protect ~finally:close f
   end
 
 let instant ?(cat = "") ?(attrs = []) name =
   if !Obs.on then
-    Vec.push store (Instant { i_name = name; i_cat = cat; i_ts = Timer.now (); i_args = attrs })
+    emit (Instant { i_name = name; i_cat = cat; i_ts = Timer.now (); i_args = attrs })
 
-let events () = Vec.to_list store
+let capturing f =
+  let capture = Domain.DLS.get capture_key in
+  let stack = Domain.DLS.get stack_key in
+  let saved_capture = !capture and saved_stack = !stack in
+  let buf = Vec.create () in
+  capture := Some buf;
+  stack := [];
+  let restore () =
+    capture := saved_capture;
+    stack := saved_stack
+  in
+  match f () with
+  | v ->
+      restore ();
+      (v, Vec.to_list buf)
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      restore ();
+      Printexc.raise_with_backtrace e bt
+
+let absorb evs = List.iter emit evs
+
+let events () = Mutex.protect store_lock (fun () -> Vec.to_list store)
 
 let spans () =
   List.filter_map (function Span s -> Some s | Instant _ -> None) (events ())
@@ -56,19 +93,22 @@ let spans () =
 let instants () =
   List.filter_map (function Instant i -> Some i | Span _ -> None) (events ())
 
-let totals_by key =
+let totals_by key span_list =
   let tbl = Hashtbl.create 32 in
   List.iter
     (fun s ->
       let k = key s in
       let count, total = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl k) in
       Hashtbl.replace tbl k (count + 1, total +. s.dur))
-    (spans ());
+    span_list;
   Hashtbl.fold (fun k (c, t) acc -> (k, c, t) :: acc) tbl []
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
-let span_totals () = totals_by (fun s -> s.name)
-let phase_totals () = totals_by (fun s -> s.path)
+let span_totals () = totals_by (fun s -> s.name) (spans ())
+let phase_totals () = totals_by (fun s -> s.path) (spans ())
+
+let span_totals_of evs =
+  totals_by (fun s -> s.name) (List.filter_map (function Span s -> Some s | Instant _ -> None) evs)
 
 (* ------------------------------------------------------------- export *)
 

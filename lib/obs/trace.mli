@@ -10,7 +10,13 @@
     context.
 
     Everything is a no-op while {!Obs} is disabled. The store is
-    global and single-threaded, matching the rest of the repo.
+    global and domain-safe: pushes are serialised by a lock, and the
+    open-span stack is per-domain ({!Domain.DLS}), so spans recorded
+    on a pool worker nest among themselves rather than grafting onto
+    whatever the submitting domain has open. A pool task runs under
+    {!capturing}, which collects its events in a domain-local buffer;
+    the pool {!absorb}s the buffers in task order at the join, so an
+    enabled sink sees the same event sequence at any pool size.
 
     Two export formats:
     - Chrome [trace_event] JSON (an object with a ["traceEvents"]
@@ -50,8 +56,23 @@ val reset : unit -> unit
     unaffected: they record against the fresh store when they close. *)
 
 val open_depth : unit -> int
-(** Number of spans currently open — 0 whenever no [with_span] is on
-    the call stack, however the enclosing code exited. *)
+(** Number of spans currently open on {e this domain} — 0 whenever no
+    [with_span] is on the call stack, however the enclosing code
+    exited. *)
+
+(** {1 Per-domain capture (the pool's merge-on-join hook)} *)
+
+val capturing : (unit -> 'a) -> 'a * event list
+(** [capturing f] runs [f] with a fresh domain-local event buffer and
+    an empty span stack, restoring both afterwards (also on raise),
+    and returns the events [f] recorded, in completion order. Events
+    of a nested [capturing] that were {!absorb}ed land in the
+    enclosing buffer. On an exception the buffered events are
+    dropped with the task. *)
+
+val absorb : event list -> unit
+(** Append previously captured events to the current sink: the global
+    store, or the enclosing capture buffer if one is installed. *)
 
 (** {1 Inspection} *)
 
@@ -68,6 +89,10 @@ val span_totals : unit -> (string * int * float) list
 
 val phase_totals : unit -> (string * int * float) list
 (** Per span {e path} (the full stack), same aggregation. *)
+
+val span_totals_of : event list -> (string * int * float) list
+(** {!span_totals} over an explicit event list — e.g. the capture of a
+    single pool task — instead of the global store. *)
 
 (** {1 Export} *)
 

@@ -1,0 +1,43 @@
+let default_grain = 4096
+
+let sequential_cutoff = ref 16384
+
+let bounds ~grain n k =
+  let lo = k * grain in
+  (lo, Stdlib.min n (lo + grain))
+
+let chunks ?(grain = default_grain) ?(cost = 1) n body =
+  if grain < 1 then invalid_arg "Parallel.chunks: grain must be >= 1";
+  if n > 0 then
+    if Pool.jobs () <= 1 || n * cost < !sequential_cutoff || n <= grain then body 0 n
+    else begin
+      let nchunks = (n + grain - 1) / grain in
+      let tasks =
+        Array.init nchunks (fun k ->
+            let lo, hi = bounds ~grain n k in
+            fun () -> body lo hi)
+      in
+      ignore (Pool.run_array (Pool.get ()) tasks : unit array)
+    end
+
+let fold_chunks ?(grain = default_grain) ?(cost = 1) n ~chunk ~combine ~init =
+  if grain < 1 then invalid_arg "Parallel.fold_chunks: grain must be >= 1";
+  if n <= 0 then init
+  else begin
+    let nchunks = (n + grain - 1) / grain in
+    let partials =
+      if Pool.jobs () <= 1 || n * cost < !sequential_cutoff || nchunks = 1 then
+        (* same chunk boundaries as the parallel path, so the float
+           association — and thus the result bits — cannot depend on
+           the pool size *)
+        Array.init nchunks (fun k ->
+            let lo, hi = bounds ~grain n k in
+            chunk lo hi)
+      else
+        Pool.run_array (Pool.get ())
+          (Array.init nchunks (fun k ->
+               let lo, hi = bounds ~grain n k in
+               fun () -> chunk lo hi))
+    in
+    Array.fold_left combine init partials
+  end

@@ -1,0 +1,43 @@
+(** Chunked data-parallel loops over the default {!Pool}.
+
+    The index range [0, n) is cut at {e fixed} chunk boundaries that
+    depend only on [n] and [grain] — never on the pool size — so the
+    same elements are always grouped together. For elementwise loop
+    bodies this makes any schedule bit-identical to the sequential
+    loop; for reductions, {!fold_chunks} combines the per-chunk
+    partials in chunk-index order, so the floating-point association
+    is fixed too. The determinism-matrix test in [test_parallel.ml]
+    enforces both properties.
+
+    Small inputs ([n < sequential_cutoff]) and size-1 pools skip the
+    pool entirely and run inline on the calling domain, so tensor
+    kernels on tiny operands never pay fork/join overhead. *)
+
+val default_grain : int
+(** Elements per chunk when [?grain] is omitted (4096). *)
+
+val sequential_cutoff : int ref
+(** Inputs with less total work ([n * cost]) than this run inline even
+    when the pool is larger than 1 (default 16384). Tests lower it to
+    force small inputs through the pool. *)
+
+val chunks : ?grain:int -> ?cost:int -> int -> (int -> int -> unit) -> unit
+(** [chunks n body] calls [body lo hi] for every chunk [[lo, hi)] of
+    [[0, n)]. Bodies may run concurrently and must write disjoint
+    locations. Inline (single call [body 0 n]) when the pool is size 1
+    or the total work is under the cutoff. [cost] is the work per
+    index relative to one elementwise float op (default 1) — segment
+    kernels chunk over batch {e rows} and pass their row width. *)
+
+val fold_chunks :
+  ?grain:int ->
+  ?cost:int ->
+  int ->
+  chunk:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** [fold_chunks n ~chunk ~combine ~init] computes a partial per chunk
+    and folds them left-to-right in chunk-index order. The chunking —
+    and therefore the float association — is identical at every pool
+    size, including the inline path. *)

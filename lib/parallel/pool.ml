@@ -1,0 +1,182 @@
+type task = unit -> unit
+
+type t = {
+  total : int;  (* execution slots: submitting domain + workers *)
+  queue : task Queue.t;  (* guarded by [lock] *)
+  lock : Mutex.t;
+  wake : Condition.t;  (* new work, batch completion, or shutdown *)
+  mutable stop : bool;  (* guarded by [lock] *)
+  mutable workers : unit Domain.t array;
+}
+
+(* Workers block here between tasks. Returns [None] only on shutdown. *)
+let take_blocking pool =
+  Mutex.lock pool.lock;
+  let rec go () =
+    if pool.stop then begin
+      Mutex.unlock pool.lock;
+      None
+    end
+    else
+      match Queue.take_opt pool.queue with
+      | Some t ->
+          Mutex.unlock pool.lock;
+          Some t
+      | None ->
+          Condition.wait pool.wake pool.lock;
+          go ()
+  in
+  go ()
+
+let create ?jobs () =
+  let total =
+    match jobs with
+    | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+    | Some j ->
+        if j < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+        j
+  in
+  let pool =
+    {
+      total;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  if total > 1 then begin
+    let worker () =
+      let rec loop () =
+        match take_blocking pool with
+        | None -> ()
+        | Some t ->
+            t ();
+            loop ()
+      in
+      loop ()
+    in
+    pool.workers <- Array.init (total - 1) (fun _ -> Domain.spawn worker)
+  end;
+  pool
+
+let size pool = pool.total
+
+let shutdown pool =
+  let workers = pool.workers in
+  pool.workers <- [||];
+  Mutex.lock pool.lock;
+  pool.stop <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join workers
+
+type 'a slot = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+let run_array pool fs =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else if pool.total <= 1 || pool.stop || n = 1 then Array.map (fun f -> f ()) fs
+  else begin
+    let results = Array.make n Pending in
+    let traces = Array.make n [] in
+    let remaining = Atomic.make n in
+    let run i () =
+      (* capture this task's trace events in a domain-local buffer so
+         concurrent tasks don't interleave in the global store; the
+         join below absorbs the buffers in task order *)
+      (match Trace.capturing fs.(i) with
+      | v, evs ->
+          traces.(i) <- evs;
+          results.(i) <- Done v
+      | exception e -> results.(i) <- Failed (e, Printexc.get_raw_backtrace ()));
+      (* the non-atomic writes above happen-before any read that
+         observed this decrement (OCaml atomics are SC) *)
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock pool.lock;
+        Condition.broadcast pool.wake;
+        Mutex.unlock pool.lock
+      end
+    in
+    Mutex.lock pool.lock;
+    for i = 0 to n - 1 do
+      Queue.add (run i) pool.queue
+    done;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.lock;
+    (* The submitting domain works the queue too. It may execute tasks
+       from other in-flight batches (nested submissions); that is
+       work-sharing, not a bug — it guarantees progress when every
+       worker is blocked joining a nested batch of its own. *)
+    let rec help () =
+      if Atomic.get remaining > 0 then begin
+        Mutex.lock pool.lock;
+        let t =
+          match Queue.take_opt pool.queue with
+          | Some t ->
+              Mutex.unlock pool.lock;
+              Some t
+          | None ->
+              (* re-check under the lock: the finisher broadcasts under
+                 the same lock, so this wait cannot miss the wakeup *)
+              if Atomic.get remaining > 0 then Condition.wait pool.wake pool.lock;
+              Mutex.unlock pool.lock;
+              None
+        in
+        (match t with Some t -> t () | None -> ());
+        help ()
+      end
+    in
+    help ();
+    (* deterministic join: trace buffers land in task order, and the
+       lowest-indexed failure wins whatever order tasks finished in *)
+    Array.iter Trace.absorb traces;
+    Array.map
+      (function
+        | Done v -> v
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+      results
+  end
+
+let run_list pool fs = Array.to_list (run_array pool (Array.of_list fs))
+
+(* ------------------------------------------------- process-wide default *)
+
+let default_jobs = Atomic.make 1
+let default_pool : t option ref = ref None (* guarded by [default_lock] *)
+let default_lock = Mutex.create ()
+let cleanup_registered = ref false (* guarded by [default_lock] *)
+
+let jobs () = Atomic.get default_jobs
+
+let set_jobs j =
+  if j < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  Mutex.protect default_lock (fun () ->
+      (match !default_pool with
+      | Some p when p.total <> j ->
+          shutdown p;
+          default_pool := None
+      | Some _ | None -> ());
+      Atomic.set default_jobs j)
+
+let get () =
+  Mutex.protect default_lock (fun () ->
+      match !default_pool with
+      | Some p -> p
+      | None ->
+          let p = create ~jobs:(Atomic.get default_jobs) () in
+          default_pool := Some p;
+          if not !cleanup_registered then begin
+            cleanup_registered := true;
+            (* join idle workers on exit so the runtime shuts down clean *)
+            at_exit (fun () ->
+                Mutex.protect default_lock (fun () ->
+                    match !default_pool with
+                    | Some p ->
+                        default_pool := None;
+                        shutdown p
+                    | None -> ()))
+          end;
+          p)

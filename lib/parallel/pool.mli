@@ -1,0 +1,64 @@
+(** A fixed pool of worker domains with a deterministic join order.
+
+    The pool is the repo's one multicore primitive: every parallel
+    layer — concurrent portfolio members, chunked tensor kernels
+    ({!Parallel.chunks}), fanned-out bench sweeps — submits batches of
+    tasks here instead of spawning domains ad hoc, so total
+    parallelism is bounded by one knob ([--jobs] on the CLI).
+
+    Determinism contract:
+    - {!run_array} returns results indexed exactly like its input, and
+      re-raises the lowest-indexed failure, whatever order tasks
+      actually finished in;
+    - each task's {!Trace} events are captured in a per-domain buffer
+      while it runs and absorbed into the global store in task order
+      at the join, so an enabled observability sink sees the same
+      event sequence at any pool size;
+    - a pool of size 1 (the default) runs every task inline on the
+      submitting domain, bit-identical to code that never heard of the
+      pool.
+
+    Tasks must not assume which domain runs them: the submitting
+    domain works the shared queue too (so nested submissions cannot
+    deadlock), and a task batch submitted from inside another task is
+    serviced by the same workers. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] builds a pool with [jobs] total execution slots:
+    the submitting domain plus [jobs - 1] spawned worker domains.
+    [jobs] defaults to [Domain.recommended_domain_count ()].
+    @raise Invalid_argument on [jobs < 1]. *)
+
+val size : t -> int
+(** Total execution slots (1 = no worker domains, fully sequential). *)
+
+val run_array : t -> (unit -> 'a) array -> 'a array
+(** Run every thunk, possibly concurrently, and return their results
+    in input order. The first (lowest-index) exception, if any, is
+    re-raised after all tasks have settled. On a size-1 pool the
+    thunks run inline, left to right. *)
+
+val run_list : t -> (unit -> 'a) list -> 'a list
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Submitting to a
+    shut-down pool runs tasks inline. *)
+
+(** {1 The process-wide default pool}
+
+    Sized by {!set_jobs} (default 1, so nothing in the repo pays for
+    parallelism unless asked), created lazily on first use and resized
+    by shutting the old pool down. *)
+
+val set_jobs : int -> unit
+(** Set the default pool's size ([--jobs N]). Takes effect on the next
+    {!get}; an existing default pool of a different size is shut down.
+    @raise Invalid_argument on [jobs < 1]. *)
+
+val jobs : unit -> int
+(** The configured default size — cheap enough for hot-path guards. *)
+
+val get : unit -> t
+(** The default pool, created on first call. *)

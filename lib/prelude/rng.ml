@@ -31,12 +31,30 @@ let int64 rng =
   rng.s3 <- rotl rng.s3 45;
   result
 
+(* The child is derived from ALL FOUR parent state words, folded
+   through splitmix64 one at a time (a sponge), plus one output draw
+   so repeated splits of the same parent differ. Seeding from a single
+   [int64 rng] output — the old scheme — collapsed the 256-bit parent
+   state to 64 bits, and worse: the xoshiro256** output function reads
+   only [s1], so two parents that happened to share [s1] produced
+   bit-identical children regardless of the other 192 bits. *)
 let split rng =
-  let state = ref (int64 rng) in
+  let out = int64 rng in
+  let state = ref out in
+  let absorb w =
+    state := Int64.logxor !state (splitmix64 (ref w));
+    ignore (splitmix64 state : int64)
+  in
+  absorb rng.s0;
+  absorb rng.s1;
+  absorb rng.s2;
+  absorb rng.s3;
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
+  (* splitmix64 is a bijection of a nonzero-increment counter, so the
+     all-zero child state cannot occur for any absorbed input *)
   { s0; s1; s2; s3 }
 
 let copy rng = { s0 = rng.s0; s1 = rng.s1; s2 = rng.s2; s3 = rng.s3 }

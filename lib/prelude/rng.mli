@@ -14,8 +14,15 @@ val create : int -> t
 (** [create seed] builds a generator from a 63-bit seed. *)
 
 val split : t -> t
-(** [split rng] derives an independent generator; also advances [rng].
-    Used to hand child components their own streams. *)
+(** [split rng] derives an independent generator; also advances [rng]
+    by one draw. Used to hand child components — and pool tasks —
+    their own streams.
+
+    The child seed digests the parent's {e full} 256-bit state through
+    a splitmix64 sponge, not just one 64-bit output: xoshiro256**'s
+    output function reads only one state word, so an output-seeded
+    child would collide whenever two parents shared that word. The
+    child never has the all-zero state. *)
 
 val copy : t -> t
 

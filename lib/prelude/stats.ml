@@ -46,9 +46,19 @@ let max_abs_diff xs =
 
 let percentile xs q =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
-  if q < 0.0 || q > 100.0 then invalid_arg "Stats.percentile: q outside [0,100]";
+  (* the negated form also rejects a NaN q, which every comparison in
+     the original [q < 0.0 || q > 100.0] bound check let through *)
+  if not (q >= 0.0 && q <= 100.0) then invalid_arg "Stats.percentile: q outside [0,100]";
+  if Array.exists Float.is_nan xs then Float.nan
+  else begin
+  (* Float.compare, not polymorphic compare: the latter goes through
+     the generic structural path (slow) and orders boxed floats by
+     their bit patterns on some immediates, so NaNs could land
+     anywhere in the sorted array and poison the interpolation
+     silently. With NaNs handled above, Float.compare is a total
+     order on what remains. *)
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
@@ -57,6 +67,7 @@ let percentile xs q =
   else begin
     let frac = pos -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
   end
 
 let median xs = percentile xs 50.0

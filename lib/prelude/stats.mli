@@ -29,6 +29,16 @@ val max_abs_diff : float array -> float
     error bar the paper attaches to SmoothE results over 3 runs. *)
 
 val median : float array -> float
+(** [median xs = percentile xs 50.0], including the NaN policy. *)
 
 val percentile : float array -> float -> float
-(** [percentile xs q] with [q] in [0,100], linear interpolation. *)
+(** [percentile xs q] with [q] in [0,100], linear interpolation over
+    the array sorted with [Float.compare].
+
+    NaN policy: if any input is NaN the result is NaN — a poisoned
+    sample poisons the summary, loudly, instead of landing at an
+    arbitrary rank (the old polymorphic-compare sort put NaNs at
+    unspecified positions and silently shifted every quantile).
+    Infinities are ordered normally ([-inf] first, [inf] last).
+    @raise Invalid_argument on an empty array or [q] outside [0,100]
+    (a NaN [q] is outside). *)

@@ -109,42 +109,59 @@ let of_string s =
 (* The active plan is ambient state: faults must reach the AD tape, the
    device memory model and the LP inner loop without threading a value
    through every signature. [install]/[clear] reset the deterministic
-   counters, so equal plans replay identically. *)
-let active_plan = ref none
-let backward_count = ref 0
-let skew_pending = ref 0.0
-let mem_noted = ref false
-let stall_noted = ref false
-let crash_fired = ref false
-let torn_fired = ref false
-let injections : string list ref = ref []
+   counters, so equal plans replay identically.
 
-let record_injection what = injections := what :: !injections
+   The counters and fire-once flags are atomics and the injection log
+   sits behind a mutex: a supervised run may execute on a pool worker
+   while another domain reads [drain_injections], and the fire-once
+   faults must fire exactly once even if two domains hit the hook
+   together. Installing/clearing a plan is still a single-domain
+   affair (done before fan-out / after join). *)
+let active_plan = Atomic.make none
+let backward_count = Atomic.make 0
+let skew_pending = Atomic.make 0.0
+let mem_noted = Atomic.make false
+let stall_noted = Atomic.make false
+let crash_fired = Atomic.make false
+let torn_fired = Atomic.make false
+let injections : string list ref = ref [] (* guarded by [injections_lock] *)
+let injections_lock = Mutex.create ()
+
+let record_injection what =
+  Mutex.protect injections_lock (fun () -> injections := what :: !injections)
 
 let drain_injections () =
-  let out = List.rev !injections in
-  injections := [];
-  out
+  Mutex.protect injections_lock (fun () ->
+      let out = List.rev !injections in
+      injections := [];
+      out)
 
-let active () = !active_plan
+(* [CAS false -> true]: true for exactly one caller per install. *)
+let fire_once flag = Atomic.compare_and_set flag false true
+
+let active () = Atomic.get active_plan
 
 let clear () =
-  (match List.exists (function Clock_skew _ -> true | _ -> false) !active_plan with
+  (match List.exists (function Clock_skew _ -> true | _ -> false) (Atomic.get active_plan) with
   | true -> Timer.set_skew 0.0
   | false -> ());
-  active_plan := none;
-  backward_count := 0;
-  skew_pending := 0.0;
-  mem_noted := false;
-  stall_noted := false;
-  crash_fired := false;
-  torn_fired := false;
-  injections := []
+  Atomic.set active_plan none;
+  Atomic.set backward_count 0;
+  Atomic.set skew_pending 0.0;
+  Atomic.set mem_noted false;
+  Atomic.set stall_noted false;
+  Atomic.set crash_fired false;
+  Atomic.set torn_fired false;
+  Mutex.protect injections_lock (fun () -> injections := [])
 
 let install p =
   clear ();
-  active_plan := p;
-  List.iter (function Clock_skew s -> skew_pending := !skew_pending +. s | _ -> ()) p
+  Atomic.set active_plan p;
+  List.iter
+    (function
+      | Clock_skew s -> Atomic.set skew_pending (Atomic.get skew_pending +. s)
+      | _ -> ())
+    p
 
 let with_plan p f =
   install p;
@@ -154,12 +171,12 @@ let with_plan p f =
 
 let on_backward () =
   match
-    List.find_opt (function Nan_grad _ -> true | _ -> false) !active_plan
+    List.find_opt (function Nan_grad _ -> true | _ -> false) (Atomic.get active_plan)
   with
   | None -> false
   | Some (Nan_grad k) ->
-      incr backward_count;
-      if !backward_count = k then begin
+      let count = Atomic.fetch_and_add backward_count 1 + 1 in
+      if count = k then begin
         record_injection (Printf.sprintf "nan-grad at backward pass %d" k);
         true
       end
@@ -168,34 +185,28 @@ let on_backward () =
 
 let mem_pressure () =
   match
-    List.find_opt (function Mem_pressure _ -> true | _ -> false) !active_plan
+    List.find_opt (function Mem_pressure _ -> true | _ -> false) (Atomic.get active_plan)
   with
   | Some (Mem_pressure s) ->
-      if not !mem_noted then begin
-        mem_noted := true;
-        record_injection (Printf.sprintf "memory pressure x%g" s)
-      end;
+      if fire_once mem_noted then
+        record_injection (Printf.sprintf "memory pressure x%g" s);
       s
   | Some _ | None -> 1.0
 
 let stall_active () =
-  List.exists (function Solver_stall -> true | _ -> false) !active_plan
+  List.exists (function Solver_stall -> true | _ -> false) (Atomic.get active_plan)
 
 let stall_solver deadline =
   if stall_active () then begin
-    if not !stall_noted then begin
-      stall_noted := true;
-      record_injection "solver stall"
-    end;
+    if fire_once stall_noted then record_injection "solver stall";
     Timer.sleep_until deadline;
     true
   end
   else false
 
 let trigger_clock_skew () =
-  if !skew_pending > 0.0 then begin
-    let s = !skew_pending in
-    skew_pending := 0.0;
+  let s = Atomic.exchange skew_pending 0.0 in
+  if s > 0.0 then begin
     Timer.set_skew (Timer.get_skew () +. s);
     record_injection (Printf.sprintf "clock skew +%gs" s);
     true
@@ -203,17 +214,19 @@ let trigger_clock_skew () =
   else false
 
 let crash_now ~iter =
-  match List.find_opt (function Crash_at _ -> true | _ -> false) !active_plan with
-  | Some (Crash_at k) when (not !crash_fired) && iter >= k ->
-      crash_fired := true;
+  match
+    List.find_opt (function Crash_at _ -> true | _ -> false) (Atomic.get active_plan)
+  with
+  | Some (Crash_at k) when iter >= k && fire_once crash_fired ->
       record_injection (Printf.sprintf "crash injected at iteration %d" iter);
       raise (Injected_crash iter)
   | Some _ | None -> ()
 
 let torn_write () =
-  match List.exists (function Torn_write -> true | _ -> false) !active_plan with
-  | true when not !torn_fired ->
-      torn_fired := true;
+  match
+    List.exists (function Torn_write -> true | _ -> false) (Atomic.get active_plan)
+  with
+  | true when fire_once torn_fired ->
       record_injection "torn checkpoint write";
       true
   | true | false -> false

@@ -19,18 +19,25 @@ let of_lens lens =
 let count seg = Array.length seg.starts
 let seg_len seg s = seg.lens.(s)
 
+(* Guards the [owners] cache of every segmentation. Always taken — an
+   unsynchronised fast-path read of the [Some] could observe the
+   option before the array contents under the OCaml memory model —
+   and cold (once per AD tape node, not per element). *)
+let owners_lock = Mutex.create ()
+
 let seg_of_index seg =
-  match seg.owners with
-  | Some owner -> owner
-  | None ->
-      let owner = Array.make seg.width (-1) in
-      for s = 0 to count seg - 1 do
-        for i = seg.starts.(s) to seg.starts.(s) + seg.lens.(s) - 1 do
-          owner.(i) <- s
-        done
-      done;
-      seg.owners <- Some owner;
-      owner
+  Mutex.protect owners_lock (fun () ->
+      match seg.owners with
+      | Some owner -> owner
+      | None ->
+          let owner = Array.make seg.width (-1) in
+          for s = 0 to count seg - 1 do
+            for i = seg.starts.(s) to seg.starts.(s) + seg.lens.(s) - 1 do
+              owner.(i) <- s
+            done
+          done;
+          seg.owners <- Some owner;
+          owner)
 
 let reader = Tensor.Backend.reader
 
@@ -41,6 +48,17 @@ let count_op name =
     Metrics.incr "tensor.segment_ops";
     Metrics.incr ("tensor.segment_ops." ^ name)
   end
+
+(* Segment kernels chunk over batch *rows*: each row reads and writes
+   its own slice, so any row schedule is bit-identical to the
+   sequential loop (per-element accumulation order within a row never
+   changes). Grain keeps chunks near [Parallel.default_grain] elements
+   of actual work; [~cost] makes the sequential cutoff count elements
+   too, not rows. *)
+let row_grain width = Stdlib.max 1 (Parallel.default_grain / Stdlib.max 1 width)
+
+let by_rows width batch body =
+  Parallel.chunks ~grain:(row_grain width) ~cost:(Stdlib.max 1 width) batch body
 
 let check_width name seg (x : Tensor.t) =
   if x.Tensor.width <> seg.width then
@@ -55,29 +73,30 @@ let softmax x seg =
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
-  for b = 0 to x.Tensor.batch - 1 do
-    let base = b * w in
-    for s = 0 to count seg - 1 do
-      let start = base + seg.starts.(s) and len = seg.lens.(s) in
-      if len > 0 then begin
-        let m = ref neg_infinity in
-        for i = start to start + len - 1 do
-          let v = get src i in
-          if v > !m then m := v
-        done;
-        let z = ref 0.0 in
-        for i = start to start + len - 1 do
-          let e = Stdlib.exp (get src i -. !m) in
-          dst.(i) <- e;
-          z := !z +. e
-        done;
-        let inv = 1.0 /. !z in
-        for i = start to start + len - 1 do
-          dst.(i) <- dst.(i) *. inv
+  by_rows w x.Tensor.batch (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        let base = b * w in
+        for s = 0 to count seg - 1 do
+          let start = base + seg.starts.(s) and len = seg.lens.(s) in
+          if len > 0 then begin
+            let m = ref neg_infinity in
+            for i = start to start + len - 1 do
+              let v = get src i in
+              if v > !m then m := v
+            done;
+            let z = ref 0.0 in
+            for i = start to start + len - 1 do
+              let e = Stdlib.exp (get src i -. !m) in
+              dst.(i) <- e;
+              z := !z +. e
+            done;
+            let inv = 1.0 /. !z in
+            for i = start to start + len - 1 do
+              dst.(i) <- dst.(i) *. inv
+            done
+          end
         done
-      end
-    done
-  done;
+      done);
   out
 
 let sum x seg =
@@ -88,17 +107,18 @@ let sum x seg =
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
-  for b = 0 to x.Tensor.batch - 1 do
-    let base = b * w in
-    for s = 0 to nsegs - 1 do
-      let start = base + seg.starts.(s) and len = seg.lens.(s) in
-      let acc = ref 0.0 in
-      for i = start to start + len - 1 do
-        acc := !acc +. get src i
-      done;
-      dst.((b * nsegs) + s) <- !acc
-    done
-  done;
+  by_rows w x.Tensor.batch (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        let base = b * w in
+        for s = 0 to nsegs - 1 do
+          let start = base + seg.starts.(s) and len = seg.lens.(s) in
+          let acc = ref 0.0 in
+          for i = start to start + len - 1 do
+            acc := !acc +. get src i
+          done;
+          dst.((b * nsegs) + s) <- !acc
+        done
+      done);
   out
 
 let prod x seg =
@@ -109,17 +129,18 @@ let prod x seg =
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
-  for b = 0 to x.Tensor.batch - 1 do
-    let base = b * w in
-    for s = 0 to nsegs - 1 do
-      let start = base + seg.starts.(s) and len = seg.lens.(s) in
-      let acc = ref 1.0 in
-      for i = start to start + len - 1 do
-        acc := !acc *. get src i
-      done;
-      dst.((b * nsegs) + s) <- !acc
-    done
-  done;
+  by_rows w x.Tensor.batch (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        let base = b * w in
+        for s = 0 to nsegs - 1 do
+          let start = base + seg.starts.(s) and len = seg.lens.(s) in
+          let acc = ref 1.0 in
+          for i = start to start + len - 1 do
+            acc := !acc *. get src i
+          done;
+          dst.((b * nsegs) + s) <- !acc
+        done
+      done);
   out
 
 (* product-of-others via prefix/suffix sweeps: robust when a segment
@@ -131,26 +152,27 @@ let prod_grad_scratch x seg =
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
-  for b = 0 to x.Tensor.batch - 1 do
-    let base = b * w in
-    for s = 0 to count seg - 1 do
-      let start = base + seg.starts.(s) and len = seg.lens.(s) in
-      if len > 0 then begin
-        (* forward pass: dst.(i) holds the product of elements before i *)
-        let acc = ref 1.0 in
-        for i = start to start + len - 1 do
-          dst.(i) <- !acc;
-          acc := !acc *. get src i
-        done;
-        (* backward pass: multiply in the product of elements after i *)
-        let acc = ref 1.0 in
-        for i = start + len - 1 downto start do
-          dst.(i) <- dst.(i) *. !acc;
-          acc := !acc *. get src i
+  by_rows w x.Tensor.batch (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        let base = b * w in
+        for s = 0 to count seg - 1 do
+          let start = base + seg.starts.(s) and len = seg.lens.(s) in
+          if len > 0 then begin
+            (* forward pass: dst.(i) holds the product of elements before i *)
+            let acc = ref 1.0 in
+            for i = start to start + len - 1 do
+              dst.(i) <- !acc;
+              acc := !acc *. get src i
+            done;
+            (* backward pass: multiply in the product of elements after i *)
+            let acc = ref 1.0 in
+            for i = start + len - 1 downto start do
+              dst.(i) <- dst.(i) *. !acc;
+              acc := !acc *. get src i
+            done
+          end
         done
-      end
-    done
-  done;
+      done);
   out
 
 let max x seg =
@@ -162,25 +184,26 @@ let max x seg =
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
-  for b = 0 to x.Tensor.batch - 1 do
-    let base = b * w in
-    for s = 0 to nsegs - 1 do
-      let start = base + seg.starts.(s) and len = seg.lens.(s) in
-      if len = 0 then dst.((b * nsegs) + s) <- 0.0
-      else begin
-        let best = ref (get src start) and besti = ref start in
-        for i = start + 1 to start + len - 1 do
-          let v = get src i in
-          if v > !best then begin
-            best := v;
-            besti := i
+  by_rows w x.Tensor.batch (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        let base = b * w in
+        for s = 0 to nsegs - 1 do
+          let start = base + seg.starts.(s) and len = seg.lens.(s) in
+          if len = 0 then dst.((b * nsegs) + s) <- 0.0
+          else begin
+            let best = ref (get src start) and besti = ref start in
+            for i = start + 1 to start + len - 1 do
+              let v = get src i in
+              if v > !best then begin
+                best := v;
+                besti := i
+              end
+            done;
+            dst.((b * nsegs) + s) <- !best;
+            arg.((b * nsegs) + s) <- !besti
           end
-        done;
-        dst.((b * nsegs) + s) <- !best;
-        arg.((b * nsegs) + s) <- !besti
-      end
-    done
-  done;
+        done
+      done);
   out, arg
 
 let gather src idx =
@@ -191,12 +214,14 @@ let gather src idx =
   let m = src.Tensor.width in
   (match Tensor.Backend.current () with
   | Tensor.Backend.Vectorized ->
-      for b = 0 to src.Tensor.batch - 1 do
-        let sbase = b * m and dbase = b * n in
-        for e = 0 to n - 1 do
-          Array.unsafe_set d (dbase + e) (Array.unsafe_get s (sbase + Array.unsafe_get idx e))
-        done
-      done
+      by_rows n src.Tensor.batch (fun blo bhi ->
+          for b = blo to bhi - 1 do
+            let sbase = b * m and dbase = b * n in
+            for e = 0 to n - 1 do
+              Array.unsafe_set d (dbase + e)
+                (Array.unsafe_get s (sbase + Array.unsafe_get idx e))
+            done
+          done)
   | Tensor.Backend.Scalar ->
       for b = 0 to src.Tensor.batch - 1 do
         for e = 0 to n - 1 do
@@ -214,10 +239,13 @@ let scatter_add ~into idx src =
   let s = Tensor.unsafe_data src and d = Tensor.unsafe_data into in
   let get = reader () in
   let m = into.Tensor.width in
-  for b = 0 to src.Tensor.batch - 1 do
-    let sbase = b * n and dbase = b * m in
-    for e = 0 to n - 1 do
-      let j = dbase + idx.(e) in
-      d.(j) <- d.(j) +. get s (sbase + e)
-    done
-  done
+  (* rows write disjoint destination slices even when [idx] repeats an
+     index: collisions stay within a row, in sequential order *)
+  by_rows n src.Tensor.batch (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        let sbase = b * n and dbase = b * m in
+        for e = 0 to n - 1 do
+          let j = dbase + idx.(e) in
+          d.(j) <- d.(j) +. get s (sbase + e)
+        done
+      done)

@@ -3,14 +3,23 @@ type t = { data : float array; batch : int; width : int }
 module Backend = struct
   type mode = Vectorized | Scalar
 
-  let mode = ref Vectorized
-  let set m = mode := m
-  let current () = !mode
+  (* Domain-local: [Device.run] installs the mode around a whole
+     extraction, and under the pool that extraction lives on one
+     domain — per-domain state lets concurrent pool tasks run
+     different backends (the phases sweep pits scalar against
+     vectorised cases). Kernels read the mode once at entry, on the
+     task's own domain, so the chunk bodies a Vectorized kernel fans
+     out never re-read it. Fresh domains start Vectorized. *)
+  let mode_key : mode ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref Vectorized)
+
+  let set m = Domain.DLS.get mode_key := m
+  let current () = !(Domain.DLS.get mode_key)
 
   let with_mode m f =
-    let saved = !mode in
-    mode := m;
-    Fun.protect ~finally:(fun () -> mode := saved) f
+    let cell = Domain.DLS.get mode_key in
+    let saved = !cell in
+    cell := m;
+    Fun.protect ~finally:(fun () -> cell := saved) f
 
   (* The Scalar execution model: every element access goes through an
      indirect call (a mutable function cell the compiler cannot inline,
@@ -25,7 +34,7 @@ module Backend = struct
   let scalar_read a i = (Sys.opaque_identity !scalar_read_cell) a i
 
   let reader () =
-    match !mode with
+    match current () with
     | Vectorized -> fun (a : float array) i -> Array.unsafe_get a i
     | Scalar -> scalar_read
 end
@@ -91,18 +100,22 @@ let check_same_shape name a b =
 
 (* The Scalar backend goes element-by-element through a closure, with
    checked accesses and a boxed accumulator — an honest model of the
-   paper's unvectorised CPU baseline, computing identical results. *)
+   paper's unvectorised CPU baseline, computing identical results; it
+   stays sequential for the same reason. The Vectorized branches run
+   under [Parallel.chunks]: elementwise bodies write disjoint indices,
+   so any chunk schedule is bit-identical to the sequential loop. *)
 let map2_named name f a b =
   check_same_shape name a b;
   let n = numel a in
   count_alloc n;
   let out = { data = Array.make n 0.0; batch = a.batch; width = a.width } in
-  (match !Backend.mode with
+  (match Backend.current () with
   | Backend.Vectorized ->
       let da = a.data and db = b.data and dd = out.data in
-      for i = 0 to n - 1 do
-        Array.unsafe_set dd i (f (Array.unsafe_get da i) (Array.unsafe_get db i))
-      done
+      Parallel.chunks n (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set dd i (f (Array.unsafe_get da i) (Array.unsafe_get db i))
+          done)
   | Backend.Scalar ->
       for i = 0 to n - 1 do
         let x = Backend.scalar_read a.data i in
@@ -115,12 +128,13 @@ let map f a =
   let n = numel a in
   count_alloc n;
   let out = { data = Array.make n 0.0; batch = a.batch; width = a.width } in
-  (match !Backend.mode with
+  (match Backend.current () with
   | Backend.Vectorized ->
       let da = a.data and dd = out.data in
-      for i = 0 to n - 1 do
-        Array.unsafe_set dd i (f (Array.unsafe_get da i))
-      done
+      Parallel.chunks n (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set dd i (f (Array.unsafe_get da i))
+          done)
   | Backend.Scalar ->
       for i = 0 to n - 1 do
         let x = Backend.scalar_read a.data i in
@@ -148,11 +162,13 @@ let clamp ~lo ~hi a = map (fun x -> Float.min hi (Float.max lo x)) a
 let add_inplace dst src =
   check_same_shape "add_inplace" dst src;
   let n = numel dst in
-  match !Backend.mode with
+  match Backend.current () with
   | Backend.Vectorized ->
-      for i = 0 to n - 1 do
-        Array.unsafe_set dst.data i (Array.unsafe_get dst.data i +. Array.unsafe_get src.data i)
-      done
+      Parallel.chunks n (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set dst.data i
+              (Array.unsafe_get dst.data i +. Array.unsafe_get src.data i)
+          done)
   | Backend.Scalar ->
       for i = 0 to n - 1 do
         let x = Backend.scalar_read dst.data i and y = Backend.scalar_read src.data i in
@@ -162,11 +178,13 @@ let add_inplace dst src =
 let axpy a x y =
   check_same_shape "axpy" x y;
   let n = numel x in
-  match !Backend.mode with
+  match Backend.current () with
   | Backend.Vectorized ->
-      for i = 0 to n - 1 do
-        Array.unsafe_set y.data i ((a *. Array.unsafe_get x.data i) +. Array.unsafe_get y.data i)
-      done
+      Parallel.chunks n (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set y.data i
+              ((a *. Array.unsafe_get x.data i) +. Array.unsafe_get y.data i)
+          done)
   | Backend.Scalar ->
       for i = 0 to n - 1 do
         let xv = Backend.scalar_read x.data i and yv = Backend.scalar_read y.data i in
@@ -175,9 +193,10 @@ let axpy a x y =
 
 let scale_inplace k t =
   let n = numel t in
-  for i = 0 to n - 1 do
-    Array.unsafe_set t.data i (k *. Array.unsafe_get t.data i)
-  done
+  Parallel.chunks n (fun lo hi ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set t.data i (k *. Array.unsafe_get t.data i)
+      done)
 
 let sum t = Array.fold_left ( +. ) 0.0 t.data
 
@@ -252,20 +271,28 @@ let matmul_nt a b =
       (Printf.sprintf "Tensor.matmul_nt: inner dims differ (%d vs %d)" a.width b.width);
   let p = a.batch and q = b.batch and n = a.width in
   let out = create ~batch:p ~width:q in
-  (match !Backend.mode with
+  (match Backend.current () with
   | Backend.Vectorized ->
-      for i = 0 to p - 1 do
-        let abase = i * n in
-        for j = 0 to q - 1 do
-          let bbase = j * n in
-          let acc = ref 0.0 in
-          for k = 0 to n - 1 do
-            acc :=
-              !acc +. (Array.unsafe_get a.data (abase + k) *. Array.unsafe_get b.data (bbase + k))
-          done;
-          out.data.((i * q) + j) <- !acc
-        done
-      done
+      (* chunk over output rows: each writes its own slice, and the
+         per-row accumulation order never changes *)
+      let row_cost = Stdlib.max 1 (q * n) in
+      Parallel.chunks
+        ~grain:(Stdlib.max 1 (Parallel.default_grain / row_cost))
+        ~cost:row_cost p
+        (fun ilo ihi ->
+          for i = ilo to ihi - 1 do
+            let abase = i * n in
+            for j = 0 to q - 1 do
+              let bbase = j * n in
+              let acc = ref 0.0 in
+              for k = 0 to n - 1 do
+                acc :=
+                  !acc
+                  +. (Array.unsafe_get a.data (abase + k) *. Array.unsafe_get b.data (bbase + k))
+              done;
+              out.data.((i * q) + j) <- !acc
+            done
+          done)
   | Backend.Scalar ->
       let read = Backend.scalar_read in
       let dot_row i j =
@@ -325,7 +352,7 @@ module Lu = struct
         perm.(!pivot) <- tp
       end;
       let pk = m.((k * d) + k) in
-      (match !Backend.mode with
+      (match Backend.current () with
       | Backend.Vectorized ->
           for i = k + 1 to d - 1 do
             let factor = Array.unsafe_get m ((i * d) + k) /. pk in

@@ -182,6 +182,46 @@ let test_metrics_registry =
       Alcotest.(check (float 1e-9)) "snapshot mean" 3.0
         (Json.get_number (Json.member "mean" (Json.member "h" j))))
 
+(* Regression for the reset/dump race: increments from several domains
+   hammering one counter must all land — under the old unlocked
+   Hashtbl, concurrent [incr] lost updates (and could corrupt the
+   table). Runs real domains even on a 1-core host: the scheduler
+   still interleaves them at safepoints. *)
+let test_metrics_concurrent_incr =
+  fresh (fun () ->
+      let domains = 4 and per_domain = 5_000 in
+      let spawned =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to per_domain do
+                  Metrics.incr "hammered";
+                  if i mod 100 = d then ignore (Metrics.counter_value "hammered");
+                  if i mod 1000 = 0 then ignore (Metrics.snapshot ())
+                done))
+      in
+      List.iter Domain.join spawned;
+      Alcotest.(check (float 1e-9)) "no lost increments"
+        (float_of_int (domains * per_domain))
+        (Metrics.counter_value "hammered"))
+
+let test_metrics_scoped_isolation =
+  fresh (fun () ->
+      Metrics.incr ~by:10.0 "outside";
+      let inner =
+        Metrics.scoped (fun () ->
+            (* the scope starts empty and absorbs everything recorded
+               inside it, leaving the global registry untouched *)
+            Alcotest.(check (list string)) "scope starts empty" [] (Metrics.names ());
+            Metrics.incr ~by:3.0 "outside";
+            Metrics.incr "inside";
+            Metrics.snapshot ())
+      in
+      Alcotest.(check (float 1e-9)) "global unchanged" 10.0 (Metrics.counter_value "outside");
+      Alcotest.(check bool) "scoped names invisible outside" true
+        (not (List.mem "inside" (Metrics.names ())));
+      Alcotest.(check (float 1e-9)) "scope saw its own increments" 3.0
+        (Json.get_number (Json.member "value" (Json.member "outside" inner))))
+
 let escaping_roundtrip =
   qtest ~count:500 "json string escaping round-trips any bytes"
     QCheck2.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 64))
@@ -291,7 +331,13 @@ let () =
           Alcotest.test_case "chrome sorted" `Quick test_chrome_sorted_by_ts;
           Alcotest.test_case "folded stacks" `Quick test_folded_export;
         ] );
-      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry; escaping_roundtrip ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "concurrent incr" `Quick test_metrics_concurrent_incr;
+          Alcotest.test_case "scoped isolation" `Quick test_metrics_scoped_isolation;
+          escaping_roundtrip;
+        ] );
       ( "skew",
         [
           Alcotest.test_case "set_skew visible" `Quick test_skew_visible_in_spans;

@@ -106,6 +106,52 @@ let test_rng_split_independent () =
   let ys = Array.init 50 (fun _ -> Rng.int child 1000) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+(* Regression: split must digest the parent's full 256-bit state.
+   xoshiro256**'s output function reads only one state word, so a
+   split seeded from one output would hand identical children to any
+   two parents sharing that word — exactly the states built here. *)
+let test_rng_split_full_state () =
+  let base = Rng.state (Rng.create 41) in
+  let variant i =
+    (* same output-bearing word, different everywhere else *)
+    let st = Array.copy base in
+    st.(0) <- Int64.logxor st.(0) (Int64.of_int (0x1234 + i));
+    st.(2) <- Int64.logxor st.(2) (Int64.of_int (0xbeef * (i + 1)));
+    st.(3) <- Int64.add st.(3) (Int64.of_int (i + 1));
+    Rng.of_state st
+  in
+  let child_stream p = Array.init 32 (fun _ -> Rng.int64 (Rng.split p)) in
+  let streams = Array.init 8 (fun i -> child_stream (variant i)) in
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "children of parents %d,%d differ" i j)
+              true (si <> sj))
+        streams)
+    streams
+
+let test_rng_split_decorrelated () =
+  (* parent and child streams should not share draws pairwise; a weak
+     split (child = perturbed parent) fails this long before any
+     statistical test would *)
+  let parent = Rng.create 1234 in
+  let child = Rng.split parent in
+  let grandchild = Rng.split child in
+  let stream r = Array.init 256 (fun _ -> Rng.int r 2) in
+  let a = stream parent and b = stream child and c = stream grandchild in
+  let agree x y =
+    let n = ref 0 in
+    Array.iteri (fun i xi -> if xi = y.(i) then incr n) x;
+    float_of_int !n /. 256.0
+  in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) (name ^ " near 1/2") true (Float.abs (f -. 0.5) < 0.15))
+    [ ("parent/child", agree a b); ("parent/grandchild", agree a c); ("child/grandchild", agree b c) ]
+
 let test_rng_gaussian_moments () =
   let rng = Rng.create 9 in
   let n = 20000 in
@@ -292,6 +338,39 @@ let test_stats_percentile () =
   Test_util.check_close ~msg:"p100" 50.0 (Stats.percentile xs 100.0);
   Test_util.check_close ~msg:"p25" 20.0 (Stats.percentile xs 25.0)
 
+let test_stats_nan_policy () =
+  (* any NaN input poisons the result — visibly, not by landing at an
+     arbitrary rank of a bit-pattern sort *)
+  Alcotest.(check bool) "percentile propagates NaN" true
+    (Float.is_nan (Stats.percentile [| 1.0; Float.nan; 3.0 |] 50.0));
+  Alcotest.(check bool) "median propagates NaN" true
+    (Float.is_nan (Stats.median [| Float.nan; 2.0 |]));
+  (* a NaN quantile is a caller bug, not data *)
+  Alcotest.check_raises "NaN q rejected"
+    (Invalid_argument "Stats.percentile: q outside [0,100]") (fun () ->
+      ignore (Stats.percentile [| 1.0; 2.0 |] Float.nan));
+  (* infinities are data and sort correctly under Float.compare *)
+  Test_util.check_close ~msg:"p50 with -inf" 2.0
+    (Stats.percentile [| Float.neg_infinity; 2.0; 3.0 |] 50.0);
+  Test_util.check_close ~msg:"p0 is min" Float.neg_infinity
+    (Stats.percentile [| 5.0; Float.neg_infinity |] 0.0)
+
+let percentile_nan_and_bounds =
+  qtest "percentile: NaN iff input has NaN, else within [min,max]"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30)
+           (oneof [ float_range (-50.0) 50.0; return Float.nan; return Float.infinity ]))
+        (float_range 0.0 100.0))
+    (fun (xs, q) ->
+      let a = Array.of_list xs in
+      let r = Stats.percentile a q in
+      if List.exists Float.is_nan xs then Float.is_nan r
+      else
+        let lo = List.fold_left Float.min Float.infinity xs in
+        let hi = List.fold_left Float.max Float.neg_infinity xs in
+        lo <= r && r <= hi)
+
 let geomean_le_mean =
   qtest "geomean <= mean (AM-GM)"
     QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.01 100.0))
@@ -456,6 +535,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "split digests full state" `Quick test_rng_split_full_state;
+          Alcotest.test_case "split decorrelated" `Quick test_rng_split_decorrelated;
           Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
           Alcotest.test_case "choose_weighted" `Slow test_rng_choose_weighted;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
@@ -477,6 +558,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "geomean zero" `Quick test_stats_geomean_zero;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "NaN policy" `Quick test_stats_nan_policy;
+          percentile_nan_and_bounds;
           geomean_le_mean;
         ] );
       ("heap", [ Alcotest.test_case "sorts" `Quick test_heap_sorts; heap_sort_matches_list_sort ]);
