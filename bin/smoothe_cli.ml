@@ -5,9 +5,24 @@
      smoothe dump fir_5 out.egraph       -- serialize an instance
      smoothe extract fir_5 -m smoothe    -- run one extractor
      smoothe compare fir_5               -- run every extractor
+     smoothe serve --socket /tmp/s.sock  -- run the extraction daemon
+     smoothe request fir_5 --socket ...  -- send one request to it
 *)
 
 open Cmdliner
+
+(* Budget/deadline/limit flags are validated before anything starts:
+   zero, negative or non-finite values die with a one-line error here
+   instead of propagating into the runtime as a deadline that never
+   expires or a queue that admits nothing. *)
+let require what = function
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" what msg;
+      exit 1
+
+let checked_pos_float ~flag v = require flag (Serve_protocol.positive_float ~what:flag v)
+let checked_pos_int ~flag v = require flag (Serve_protocol.positive_int ~what:flag v)
 
 let load_egraph spec =
   (* an instance name from the registry, or a path to a serialized file
@@ -314,19 +329,23 @@ let parse_fault_plan spec =
       Printf.eprintf "%s\n" msg;
       exit 1
 
+let render_health_report health =
+  if Health.is_empty health then "health: healthy\n"
+  else Format.asprintf "health: %s@.%a@." (Health.summary health) Health.pp health
+
 let write_health_report health = function
   | None -> ()
-  | Some "-" ->
-      if Health.is_empty health then Format.printf "health: healthy@."
-      else Format.printf "health: %s@.%a@." (Health.summary health) Health.pp health
+  | Some "-" -> print_string (render_health_report health)
   | Some path ->
-      let oc = open_out path in
-      let fmt = Format.formatter_of_out_channel oc in
-      (if Health.is_empty health then Format.fprintf fmt "health: healthy@."
-       else Format.fprintf fmt "health: %s@.%a@." (Health.summary health) Health.pp health);
-      Format.pp_print_flush fmt ();
-      close_out oc;
+      (* tmp + rename: a crash mid-write never leaves a truncated report *)
+      Fsio.write_atomic ~path (render_health_report health);
       Printf.printf "health report written to %s\n" path
+
+let write_metrics_snapshot = function
+  | None -> ()
+  | Some path ->
+      Fsio.write_atomic ~path (Json.to_string ~pretty:true (Metrics.snapshot ()) ^ "\n");
+      Printf.printf "metrics written to %s\n" path
 
 let extract_cmd =
   let run spec method_ time_limit batch iters assumption lambda seed fault_plan health_report
@@ -357,14 +376,7 @@ let extract_cmd =
           Printf.printf "trace written to %s (%d events)\n" path
             (List.length (Trace.events ()))
       | None -> ());
-      match metrics_out with
-      | Some path ->
-          let oc = open_out path in
-          output_string oc (Json.to_string ~pretty:true (Metrics.snapshot ()));
-          output_string oc "\n";
-          close_out oc;
-          Printf.printf "metrics written to %s\n" path
-      | None -> ()
+      write_metrics_snapshot metrics_out
     in
     Fault_plan.with_plan (parse_fault_plan fault_plan) (fun () ->
         Fun.protect ~finally:finish (fun () ->
@@ -487,10 +499,8 @@ let analyze_cmd =
 (* --------------------------------------------------------- trace-summary *)
 
 let trace_summary_cmd =
-  let run path =
-    let ic = open_in_bin path in
-    let src = really_input_string ic (in_channel_length ic) in
-    close_in ic;
+  let run path out =
+    let src = Fsio.read_file path in
     let j = Json.parse src in
     let events = Json.get_list (Json.member "traceEvents" j) in
     let tbl = Hashtbl.create 32 in
@@ -508,14 +518,22 @@ let trace_summary_cmd =
       events;
     let rows = Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tbl [] in
     let rows = List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows in
-    Printf.printf "%-24s %8s %12s\n" "span" "count" "total_ms";
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "%-24s %8s %12s\n" "span" "count" "total_ms");
     List.iter
-      (fun (name, c, t) -> Printf.printf "%-24s %8d %12.3f\n" name c (t /. 1000.0))
+      (fun (name, c, t) ->
+        Buffer.add_string buf (Printf.sprintf "%-24s %8d %12.3f\n" name c (t /. 1000.0)))
       rows;
-    Printf.printf "%d instant event(s)%s\n" (List.length !instants)
-      (match List.sort_uniq compare !instants with
-      | [] -> ""
-      | names -> ": " ^ String.concat ", " names)
+    Buffer.add_string buf
+      (Printf.sprintf "%d instant event(s)%s\n" (List.length !instants)
+         (match List.sort_uniq compare !instants with
+         | [] -> ""
+         | names -> ": " ^ String.concat ", " names));
+    match out with
+    | None -> print_string (Buffer.contents buf)
+    | Some out_path ->
+        Fsio.write_atomic ~path:out_path (Buffer.contents buf);
+        Printf.printf "trace summary written to %s\n" out_path
   in
   let path =
     Arg.(
@@ -523,10 +541,285 @@ let trace_summary_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TRACE" ~doc:"Chrome trace JSON file written by $(b,--trace).")
   in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the summary to $(docv) (atomic tmp+rename write) instead of stdout.")
+  in
   Cmd.v
     (Cmd.info "trace-summary"
        ~doc:"Summarise a recorded trace: per-span counts and total durations.")
-    Term.(const run $ path)
+    Term.(const run $ path $ out)
+
+(* ----------------------------------------------------------------- serve *)
+
+let socket_flag =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket queue_limit executors default_budget max_budget retry_attempts
+      cache_capacity preflight jobs metrics_out health_report trace_out =
+    let queue_limit = checked_pos_int ~flag:"--queue-limit" queue_limit in
+    let default_budget = checked_pos_float ~flag:"--default-budget" default_budget in
+    let max_budget = checked_pos_float ~flag:"--max-budget" max_budget in
+    let retry_attempts = checked_pos_int ~flag:"--retry-attempts" retry_attempts in
+    if executors < 0 then begin
+      Printf.eprintf "--executors: must be >= 0, got %d\n" executors;
+      exit 1
+    end;
+    if cache_capacity < 0 then begin
+      Printf.eprintf "--cache-capacity: must be >= 0, got %d\n" cache_capacity;
+      exit 1
+    end;
+    let jobs = checked_pos_int ~flag:"--jobs" jobs in
+    Pool.set_jobs jobs;
+    if trace_out <> None || metrics_out <> None then begin
+      Obs.enable ();
+      Trace.reset ();
+      Metrics.reset ()
+    end;
+    let config =
+      {
+        Serve_engine.queue_limit;
+        executors;
+        default_budget;
+        max_budget;
+        retry_attempts;
+        cache_capacity;
+        preflight;
+      }
+    in
+    let engine =
+      match Serve_engine.validate_config config with
+      | Ok c -> Serve_engine.create ~config:c ()
+      | Error msg ->
+          Printf.eprintf "serve: %s\n" msg;
+          exit 1
+    in
+    let srv = Serve_socket.create ~engine ~path:socket in
+    List.iter
+      (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve_socket.shutdown srv)))
+      [ Sys.sigterm; Sys.sigint ];
+    Printf.printf
+      "smoothe serve: listening on %s (queue limit %d, %d executor(s), budgets %g/%gs, \
+       cache %d)\n\
+       %!"
+      socket queue_limit executors default_budget max_budget cache_capacity;
+    Serve_socket.run srv;
+    let s = Serve_engine.stats engine in
+    Printf.printf
+      "smoothe serve: drained cleanly (admitted %d, completed %d, shed %d, refused %d, \
+       cache hits %d)\n"
+      s.Serve_engine.admission.Admission.admitted
+      s.Serve_engine.admission.Admission.completed s.Serve_engine.admission.Admission.shed
+      s.Serve_engine.admission.Admission.refused s.Serve_engine.cache_hits;
+    write_health_report (Serve_engine.health engine) health_report;
+    (match trace_out with
+    | Some path ->
+        Trace.write_file path;
+        Printf.printf "trace written to %s\n" path
+    | None -> ());
+    write_metrics_snapshot metrics_out
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: requests beyond $(docv) waiting are shed with a \
+             structured $(b,overloaded) response instead of queueing without limit.")
+  in
+  let executors =
+    Arg.(
+      value & opt int 1
+      & info [ "executors" ] ~docv:"N"
+          ~doc:
+            "Executor domains pulling from the admission queue. 0 only admits (useful for \
+             protocol debugging); per-request fault plans require at most 1.")
+  in
+  let default_budget =
+    Arg.(
+      value & opt float 30.0
+      & info [ "default-budget" ] ~docv:"SECONDS"
+          ~doc:"Compute budget for requests that name none.")
+  in
+  let max_budget =
+    Arg.(
+      value & opt float 300.0
+      & info [ "max-budget" ] ~docv:"SECONDS" ~doc:"Per-request compute-budget ceiling.")
+  in
+  let retry_attempts =
+    Arg.(
+      value & opt int 2
+      & info [ "retry-attempts" ] ~docv:"N"
+          ~doc:
+            "Supervised attempts per request (shared deadline, capped exponential \
+             backoff); a request that crashes on every attempt gets a structured \
+             $(b,crashed) response and the daemon lives on.")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:
+            "Solution-cache entries (LRU, keyed by e-graph fingerprint + content CRC); 0 \
+             disables caching.")
+  in
+  let preflight =
+    Arg.(
+      value & flag
+      & info [ "preflight" ] ~doc:"Run the static e-graph lint gate inside each request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant extraction daemon: line-framed JSON requests over a Unix \
+          socket, bounded admission with load shedding, per-request deadlines and \
+          supervised retry, fingerprint-keyed solution cache, graceful drain on SIGTERM.")
+    Term.(
+      const run $ socket_flag $ queue_limit $ executors $ default_budget $ max_budget
+      $ retry_attempts $ cache_capacity $ preflight $ jobs_flag $ metrics_flag
+      $ health_report_flag $ trace_flag)
+
+(* --------------------------------------------------------------- request *)
+
+let request_cmd =
+  let run spec socket ping stats method_name budget deadline_ms seed batch iters lambda
+      fault_plan no_cache id =
+    let frame =
+      if ping then Json.Object [ ("op", Json.String "ping") ]
+      else if stats then Json.Object [ ("op", Json.String "stats") ]
+      else begin
+        let spec =
+          match spec with
+          | Some s -> s
+          | None ->
+              Printf.eprintf
+                "request: give an instance name or e-graph file (or --ping / --stats)\n";
+              exit 1
+        in
+        let budget =
+          Option.map (fun b -> checked_pos_float ~flag:"--budget" b) budget
+        in
+        let deadline_ms =
+          Option.map (fun d -> checked_pos_float ~flag:"--deadline-ms" d) deadline_ms
+        in
+        let batch = checked_pos_int ~flag:"--batch" batch in
+        let iters = checked_pos_int ~flag:"--iters" iters in
+        let source =
+          if Sys.file_exists spec then
+            let g =
+              if Filename.check_suffix spec ".json" then Gym.read_file spec
+              else Egraph.Serial.read_file spec
+            in
+            Serve_protocol.Inline (Egraph.Serial.to_string g)
+          else Serve_protocol.Instance spec
+        in
+        let method_ =
+          match Serve_protocol.method_of_name method_name with
+          | Some m -> m
+          | None ->
+              Printf.eprintf "request: unknown method %S\n" method_name;
+              exit 1
+        in
+        Serve_protocol.request_to_json
+          {
+            Serve_protocol.default_request with
+            Serve_protocol.id;
+            source;
+            method_;
+            budget;
+            deadline_ms;
+            seed;
+            batch;
+            iters;
+            lambda_ = lambda;
+            fault_plan;
+            use_cache = not no_cache;
+          }
+      end
+    in
+    match Serve_socket.call ~path:socket frame with
+    | resp ->
+        print_endline (Json.to_string resp);
+        let status =
+          match Json.member "status" resp with Json.String s -> s | _ -> "error"
+        in
+        if status <> "ok" then exit 3
+    | exception Failure msg ->
+        Printf.eprintf "request: %s\n" msg;
+        exit 1
+  in
+  let spec =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"EGRAPH"
+          ~doc:"Instance name (resolved by the daemon) or serialized e-graph file (sent \
+                inline).")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Fetch admission/cache counters.")
+  in
+  let method_name =
+    Arg.(
+      value & opt string "smoothe"
+      & info [ "m"; "method" ] ~docv:"METHOD"
+          ~doc:"Extraction method: $(b,smoothe), $(b,greedy) or $(b,greedy-dag).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS" ~doc:"Compute budget (daemon default if absent).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Overall deadline including queue wait; expired requests are answered \
+                $(b,deadline_expired) without running.")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "b"; "batch" ] ~docv:"B" ~doc:"SmoothE seed batch.")
+  in
+  let iters =
+    Arg.(value & opt int 60 & info [ "iters" ] ~docv:"K" ~doc:"SmoothE iteration cap.")
+  in
+  let lambda =
+    Arg.(value & opt float 100.0 & info [ "lambda" ] ~docv:"L" ~doc:"NOTEARS weight.")
+  in
+  let fault_plan =
+    Arg.(
+      value & opt string ""
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Test-only deterministic faults applied to this request's execution (single-\
+             executor daemons only), e.g. $(b,crash\\@5).")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Bypass the daemon's solution cache.")
+  in
+  let id =
+    Arg.(value & opt string "cli" & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed back.")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one extraction request (or a $(b,--ping)/$(b,--stats) probe) to a running \
+          $(b,smoothe serve) daemon and print the JSON response. Exits 0 on an $(b,ok) \
+          response, 3 on a structured error response.")
+    Term.(
+      const run $ spec $ socket_flag $ ping $ stats $ method_name $ budget $ deadline_ms
+      $ seed_flag $ batch $ iters $ lambda $ fault_plan $ no_cache $ id)
 
 (* --------------------------------------------------------------- compare *)
 
@@ -558,5 +851,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; stats_cmd; dump_cmd; analyze_cmd; extract_cmd; compare_cmd;
-            trace_summary_cmd;
+            trace_summary_cmd; serve_cmd; request_cmd;
           ]))

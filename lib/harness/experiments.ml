@@ -970,6 +970,104 @@ let parallel bank =
     "Chunk boundaries depend only on input size, never on the pool, so every row\n\
      must report the same cost and kernel sum; the experiment fails loudly if not."
 
+(* --------------------------------------------------------------- serve *)
+
+let serve bank =
+  Report.heading
+    "Serve: admission control under ramped offered load (mcm_8, manual executors)";
+  let g = Runbank.egraph bank (Registry.find_instance "mcm_8") in
+  let inline = Egraph.Serial.to_string g in
+  let queue_limit = 8 in
+  let mk i =
+    {
+      Serve_protocol.default_request with
+      Serve_protocol.id = Printf.sprintf "r%d" i;
+      source = Serve_protocol.Inline inline;
+      iters = 12;
+      batch = 2;
+      seed = i;
+    }
+  in
+  Report.set_columns [ 8; 9; 6; 8; 10; 10; 10 ];
+  Report.row [ "offered"; "admitted"; "shed"; "shed%"; "p50(ms)"; "p95(ms)"; "rehits" ];
+  Report.rule ();
+  List.iter
+    (fun offered ->
+      let engine =
+        Serve_engine.create
+          ~config:
+            {
+              Serve_engine.default_config with
+              Serve_engine.queue_limit;
+              executors = 0;
+              cache_capacity = 64;
+            }
+          ()
+      in
+      (* wave 1: burst of [offered] arrivals against a cold queue; in
+         manual mode nothing executes until [run_pending], so the burst
+         probes pure admission policy *)
+      let outcomes = List.init offered (fun i -> Serve_engine.offer engine (mk i)) in
+      ignore (Serve_engine.run_pending engine);
+      let responses =
+        List.map
+          (function
+            | Serve_engine.Queued tk -> Serve_engine.await tk
+            | Serve_engine.Done r -> r)
+          outcomes
+      in
+      let shed =
+        List.length
+          (List.filter
+             (fun r ->
+               match r.Serve_protocol.body with
+               | Error { Serve_protocol.code = Serve_protocol.Overloaded; _ } -> true
+               | _ -> false)
+             responses)
+      in
+      let latencies =
+        Array.of_list
+          (List.filter_map
+             (fun r ->
+               match r.Serve_protocol.body with
+               | Ok _ -> Some (r.Serve_protocol.queue_ms +. r.Serve_protocol.elapsed_ms)
+               | Error _ -> None)
+             responses)
+      in
+      (* wave 2: re-offer the requests that completed; the warmed cache
+         must answer every one at admission time *)
+      let survivors = Stdlib.min offered queue_limit in
+      let rehits = ref 0 in
+      List.iter
+        (fun outcome ->
+          let r =
+            match outcome with
+            | Serve_engine.Queued tk -> Serve_engine.await tk
+            | Serve_engine.Done r -> r
+          in
+          match r.Serve_protocol.body with
+          | Ok b when b.Serve_protocol.cache_hit -> incr rehits
+          | _ -> ())
+        (List.init survivors (fun i -> Serve_engine.offer engine (mk i)));
+      ignore (Serve_engine.run_pending engine);
+      Serve_engine.stop engine;
+      let admitted = offered - shed in
+      Report.row
+        [
+          string_of_int offered;
+          string_of_int admitted;
+          string_of_int shed;
+          Printf.sprintf "%.0f%%" (100.0 *. float_of_int shed /. float_of_int offered);
+          Printf.sprintf "%.2f" (Stats.percentile latencies 50.0);
+          Printf.sprintf "%.2f" (Stats.percentile latencies 95.0);
+          Printf.sprintf "%d/%d" !rehits survivors;
+        ])
+    [ 4; 8; 16; 32 ];
+  Printf.printf
+    "Queue limit %d: every request beyond it in a burst must be shed with a retry\n\
+     hint, and every re-offered completed request must hit the solution cache.\n"
+    queue_limit
+
 (* -------------------------------------------------------------- driver *)
 
 let registry =
@@ -995,6 +1093,7 @@ let registry =
     ("durability", durability);
     ("preflight", preflight);
     ("parallel", parallel);
+    ("serve", serve);
   ]
 
 let names = List.map fst registry

@@ -81,6 +81,14 @@ let observe name v =
               }
         | cell -> wrong_kind name cell "histogram")
 
+let time name f =
+  if !Obs.on then begin
+    let v, dt = Timer.time f in
+    observe name (dt *. 1000.0);
+    v
+  end
+  else f ()
+
 let counter_value name =
   with_registry (fun tbl ->
       match Hashtbl.find_opt tbl name with Some (Counter r) -> !r | _ -> 0.0)

@@ -36,6 +36,14 @@ val observe : string -> float -> unit
     enough for loss and grad-norm trajectories without unbounded
     storage). *)
 
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] and feeds its wall-clock duration in
+    milliseconds into the histogram [name] — for callers that only
+    want the latency recorded and not the duration value itself (those
+    pair {!Timer.time} with {!observe}, as the serve daemon does for
+    [serve.request_ms]). Exactly [f ()] while {!Obs} is disabled: no
+    clock is read. *)
+
 (** {1 Reads (always live)} *)
 
 val counter_value : string -> float

@@ -197,5 +197,4 @@ let write_file path =
     if Filename.check_suffix path ".folded" then to_folded ()
     else Json.to_string (to_chrome ())
   in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body)
+  Fsio.write_atomic ~path body

@@ -105,4 +105,6 @@ val to_folded : unit -> string
 
 val write_file : string -> unit
 (** Write the trace: a path ending in [.folded] gets folded stacks,
-    anything else Chrome JSON. *)
+    anything else Chrome JSON. The write is atomic (tmp + rename, via
+    {!Fsio.write_atomic}) so a crash mid-export never leaves a
+    truncated trace behind. *)

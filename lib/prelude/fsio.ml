@@ -1,0 +1,16 @@
+let write_atomic ~path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match output_string oc content with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

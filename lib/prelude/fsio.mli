@@ -1,0 +1,20 @@
+(** Crash-safe file writes.
+
+    Every durable artifact the toolchain emits — checkpoints, health
+    reports, trace files, metrics snapshots, trace summaries — goes
+    through {!write_atomic}: the content is written to a sibling
+    temporary file and renamed over the destination, so a crash (or an
+    injected fault) mid-write can never leave a truncated report at the
+    final path. Rename is atomic on POSIX filesystems; readers see
+    either the old complete file or the new complete file, never a
+    prefix. *)
+
+val write_atomic : path:string -> string -> unit
+(** [write_atomic ~path content] writes [content] to [path ^ ".tmp"]
+    and renames it onto [path], replacing any previous file. The
+    channel is flushed and closed before the rename; on any write
+    error the temporary file is removed and the destination is left
+    untouched. *)
+
+val read_file : string -> string
+(** The whole file, read in binary mode. *)

@@ -252,12 +252,18 @@ let deserialize s =
     let version = Int32.to_int (String.get_int32_le s 4) in
     if version <> format_version then err "unsupported checkpoint version %d" version
     else begin
-      let payload_len = Int64.to_int (String.get_int64_le s 8) in
-      if payload_len < 0 || header_len + payload_len <> String.length s then
-        err "length mismatch: header says %d payload bytes, file has %d (torn write?)"
-          payload_len
+      (* compare the length as a full 64-bit value: [Int64.to_int]
+         truncates modulo 2^63, so a corrupted top bit would otherwise
+         leave the truncated length unchanged and slip past this check
+         (the CRC only covers the payload, not the header) *)
+      let payload_len64 = String.get_int64_le s 8 in
+      if Int64.compare payload_len64 (Int64.of_int (String.length s - header_len)) <> 0
+      then
+        err "length mismatch: header says %Ld payload bytes, file has %d (torn write?)"
+          payload_len64
           (String.length s - header_len)
       else begin
+        let payload_len = Int64.to_int payload_len64 in
         let stored_crc = Int32.to_int (String.get_int32_le s 16) land 0xFFFFFFFF in
         let actual_crc = Checksum.crc32 ~off:header_len ~len:payload_len s in
         if stored_crc <> actual_crc then
@@ -308,10 +314,6 @@ let generations st =
       in
       Array.to_list files |> List.filter_map parse |> List.sort (fun a b -> compare b a)
 
-let write_file path content =
-  let oc = open_out_bin path in
-  output_string oc content;
-  close_out oc
 
 let save st snap =
   Trace.with_span ~cat:"checkpoint"
@@ -325,10 +327,7 @@ let save st snap =
   let data =
     if Fault_plan.torn_write () then String.sub data 0 (String.length data / 2) else data
   in
-  let final = path st gen in
-  let tmp = final ^ ".tmp" in
-  write_file tmp data;
-  Sys.rename tmp final;
+  Fsio.write_atomic ~path:(path st gen) data;
   if !Obs.on then begin
     Metrics.incr "checkpoint.writes";
     Metrics.incr ~by:(float_of_int (String.length data)) "checkpoint.bytes_written"
@@ -342,12 +341,7 @@ let save st snap =
   gen
 
 let read_file p =
-  match
-    let ic = open_in_bin p in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
+  match Fsio.read_file p with
   | exception Sys_error msg -> Error msg
   | content -> Ok content
 

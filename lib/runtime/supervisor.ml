@@ -25,14 +25,20 @@ let run ?(health = Health.create ()) ~name ~budget f =
 
 let value ~default = function Finished v -> v | Crashed _ -> default
 
+let default_max_backoff = 5.0
+
 (* Bounded retry with exponential backoff. The jitter is drawn from a
    caller-supplied RNG so a retried run is as replayable as a clean
    one; the member decides for itself how to warm-start (typically by
    reloading its latest checkpoint when [attempt > 0]). One deadline
-   covers all attempts: retrying never extends the budget. *)
-let run_retrying ?(health = Health.create ()) ?rng ?(attempts = 3) ?(backoff = 0.05) ~name
-    ~budget f =
+   covers all attempts: retrying never extends the budget, and the
+   per-retry sleep saturates at [max_backoff] so a high attempt count
+   cannot turn into an unbounded doubling sequence. *)
+let run_retrying ?(health = Health.create ()) ?rng ?(attempts = 3) ?(backoff = 0.05)
+    ?(max_backoff = default_max_backoff) ~name ~budget f =
   if attempts < 1 then invalid_arg "Supervisor.run_retrying: attempts must be >= 1";
+  if not (Float.is_finite max_backoff && max_backoff > 0.0) then
+    invalid_arg "Supervisor.run_retrying: max_backoff must be positive and finite";
   let rng = match rng with Some r -> r | None -> Rng.create 0 in
   let deadline = Timer.deadline_after budget in
   if Fault_plan.trigger_clock_skew () then drain_into health ~member:name;
@@ -59,6 +65,7 @@ let run_retrying ?(health = Health.create ()) ?rng ?(attempts = 3) ?(backoff = 0
           let pause =
             backoff *. (2.0 ** float_of_int attempt) *. (1.0 +. Rng.uniform rng)
           in
+          let pause = Float.min pause max_backoff in
           let pause = Float.min pause (Timer.remaining deadline) in
           Health.record health ~member:name Health.Recovery
             (Printf.sprintf "retrying (attempt %d/%d) after %.3fs backoff" (attempt + 2)

@@ -26,11 +26,15 @@ val run :
 
 val value : default:'a -> 'a outcome -> 'a
 
+val default_max_backoff : float
+(** The documented backoff ceiling: 5.0 seconds. *)
+
 val run_retrying :
   ?health:Health.log ->
   ?rng:Rng.t ->
   ?attempts:int ->
   ?backoff:float ->
+  ?max_backoff:float ->
   name:string ->
   budget:float ->
   (attempt:int -> Timer.deadline -> 'a) ->
@@ -43,8 +47,16 @@ val run_retrying :
     {!Checkpoint} generation) so no progress is discarded.
 
     Between attempts the supervisor sleeps an exponential backoff
-    ([backoff] · 2^attempt, default base 0.05 s) with deterministic
-    jitter drawn from [rng] (default a fixed seed), capped by the
-    remaining budget. Each failure is a [Member_failed] event; each
-    retry adds a [Recovery] event. The last failure's exception is the
-    {!Crashed} payload when every attempt is exhausted. *)
+    ([backoff] · 2^attempt · (1 + jitter), default base 0.05 s) with
+    deterministic jitter in [0, 1) drawn from [rng] (default a fixed
+    seed). The sleep saturates at [max_backoff]
+    ({!default_max_backoff} = 5 s) and is further capped by the
+    remaining budget, so the sleep sequence is bounded however many
+    attempts are configured — a supervised daemon request can never
+    stall arbitrarily long between retries. Each failure is a
+    [Member_failed] event; each retry adds a [Recovery] event whose
+    detail records the exact pause, making the sequence auditable from
+    the health log. The last failure's exception is the {!Crashed}
+    payload when every attempt is exhausted.
+    @raise Invalid_argument on [attempts < 1] or a non-positive /
+    non-finite [max_backoff]. *)

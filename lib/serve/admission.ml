@@ -1,0 +1,88 @@
+type state = Accepting | Draining | Stopped
+
+let state_name = function
+  | Accepting -> "accepting"
+  | Draining -> "draining"
+  | Stopped -> "stopped"
+
+type decision = Admit | Shed of { retry_after_ms : float } | Refuse of state
+
+type t = {
+  limit : int;
+  mutable st : state;
+  mutable queued : int;
+  mutable inflight : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable refused : int;
+  mutable completed : int;
+}
+
+let create ~queue_limit =
+  if queue_limit < 1 then invalid_arg "Admission.create: queue_limit must be >= 1";
+  {
+    limit = queue_limit;
+    st = Accepting;
+    queued = 0;
+    inflight = 0;
+    admitted = 0;
+    shed = 0;
+    refused = 0;
+    completed = 0;
+  }
+
+let state t = t.st
+let queue_limit t = t.limit
+
+let offer t ~est_ms =
+  match t.st with
+  | Draining | Stopped ->
+      t.refused <- t.refused + 1;
+      Refuse t.st
+  | Accepting ->
+      if t.queued >= t.limit then begin
+        t.shed <- t.shed + 1;
+        let backlog = float_of_int (t.queued + t.inflight) in
+        Shed { retry_after_ms = Float.max 1.0 (backlog *. Float.max 1.0 est_ms) }
+      end
+      else begin
+        t.queued <- t.queued + 1;
+        t.admitted <- t.admitted + 1;
+        Admit
+      end
+
+let start t =
+  if t.queued < 1 then invalid_arg "Admission.start: nothing queued";
+  t.queued <- t.queued - 1;
+  t.inflight <- t.inflight + 1
+
+let finish t =
+  if t.inflight < 1 then invalid_arg "Admission.finish: nothing in flight";
+  t.inflight <- t.inflight - 1;
+  t.completed <- t.completed + 1
+
+let drain t = if t.st = Accepting then t.st <- Draining
+let stop t = t.st <- Stopped
+
+type snapshot = {
+  snap_state : state;
+  queued : int;
+  inflight : int;
+  admitted : int;
+  shed : int;
+  refused : int;
+  completed : int;
+}
+
+let snapshot t =
+  {
+    snap_state = t.st;
+    queued = t.queued;
+    inflight = t.inflight;
+    admitted = t.admitted;
+    shed = t.shed;
+    refused = t.refused;
+    completed = t.completed;
+  }
+
+let idle (t : t) = t.queued = 0 && t.inflight = 0

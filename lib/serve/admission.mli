@@ -1,0 +1,77 @@
+(** Admission control for the extraction daemon.
+
+    A small, explicitly-enumerated state machine — the part of the
+    daemon DESIGN.md documents as a table — kept separate from the
+    engine so its transitions are unit-testable without threads,
+    sockets or extractions.
+
+    {2 States}
+
+    - [Accepting]: new requests are admitted while the bounded queue
+      has room; beyond [queue_limit] they are {e shed} with an
+      [overloaded] response instead of queueing without bound.
+    - [Draining]: no new requests are admitted ([draining] response);
+      queued and in-flight requests run to completion. Entered on
+      SIGTERM and never left.
+    - [Stopped]: terminal; nothing is admitted and nothing runs.
+
+    {2 Transitions}
+
+    [offer] admits, sheds or refuses depending on state and queue
+    depth; [start] moves one request from queued to in-flight;
+    [finish] retires an in-flight request. [drain] and [stop] are
+    monotone: [Accepting → Draining → Stopped].
+
+    The type is not internally locked — the engine calls every
+    transition under its own mutex. *)
+
+type state = Accepting | Draining | Stopped
+
+val state_name : state -> string
+
+type decision =
+  | Admit
+  | Shed of { retry_after_ms : float }
+      (** queue full: reject now, invite a retry once roughly one
+          queue drain's worth of time has passed *)
+  | Refuse of state  (** draining or stopped *)
+
+type t
+
+val create : queue_limit:int -> t
+(** @raise Invalid_argument on [queue_limit < 1]. *)
+
+val state : t -> state
+val queue_limit : t -> int
+
+val offer : t -> est_ms:float -> decision
+(** Decide one arrival and apply the transition: [Admit] increments
+    the queued count. [est_ms] is the engine's rolling per-request
+    latency estimate; a shed response suggests waiting
+    [(queued + inflight) · est_ms]. *)
+
+val start : t -> unit
+(** Queued → in-flight. @raise Invalid_argument when nothing is queued. *)
+
+val finish : t -> unit
+(** Retire one in-flight request. @raise Invalid_argument when nothing
+    is in flight. *)
+
+val drain : t -> unit
+val stop : t -> unit
+
+(** {1 Counters} *)
+
+type snapshot = {
+  snap_state : state;
+  queued : int;
+  inflight : int;
+  admitted : int;  (** total ever admitted *)
+  shed : int;  (** total ever shed *)
+  refused : int;  (** total refused while draining/stopped *)
+  completed : int;  (** total retired *)
+}
+
+val snapshot : t -> snapshot
+val idle : t -> bool
+(** No queued and no in-flight work. *)

@@ -1,0 +1,71 @@
+type key = string
+
+let key ~fingerprint ~graph_crc ~config_digest =
+  Printf.sprintf "%s|crc=%08x|%s"
+    (Checkpoint.fingerprint_to_string fingerprint)
+    graph_crc config_digest
+
+type 'a t = {
+  cap : int;
+  tbl : (key, 'a * int ref) Hashtbl.t;
+  mutable tick : int;  (** monotonically increasing recency stamp *)
+  mutable hits : int;
+  mutable misses : int;
+  m : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Serve_cache.create: capacity must be >= 0";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    m = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let capacity t = t.cap
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some (v, stamp) ->
+          t.tick <- t.tick + 1;
+          stamp := t.tick;
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let evict_lru t =
+  (* O(size) scan; the cache is small (hundreds of entries) and
+     eviction only runs on insert-at-capacity *)
+  let victim =
+    Hashtbl.fold
+      (fun k (_, stamp) acc ->
+        match acc with
+        | Some (_, best) when best <= !stamp -> acc
+        | _ -> Some (k, !stamp))
+      t.tbl None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+
+let add t k v =
+  if t.cap > 0 then
+    locked t (fun () ->
+        t.tick <- t.tick + 1;
+        (if not (Hashtbl.mem t.tbl k) then
+           while Hashtbl.length t.tbl >= t.cap do
+             evict_lru t
+           done);
+        Hashtbl.replace t.tbl k (v, ref t.tick))
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)

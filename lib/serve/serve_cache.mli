@@ -1,0 +1,42 @@
+(** Fingerprint-keyed solution cache.
+
+    Repeat extraction requests are the common case for a long-lived
+    daemon (the same e-graph re-submitted while a client iterates on
+    everything around it), and every extractor in this repository is
+    deterministic given its configuration — so a cached solution is
+    not an approximation, it {e is} the answer, served in microseconds
+    instead of seconds.
+
+    The key combines the checkpoint subsystem's run fingerprint
+    ({!Checkpoint.fingerprint}: graph name, sizes, seed, batch) with a
+    CRC-32 over the canonical serialized e-graph text and a digest of
+    the request configuration. The content CRC is what makes the cache
+    safe: two graphs with the same name and shape but any single-bit
+    difference — one cost nudged, one operator renamed, one edge
+    rewired — produce different keys and miss.
+
+    The cache is bounded (LRU eviction) and internally locked, so
+    concurrent executor threads can share one instance. *)
+
+type key = string
+
+val key : fingerprint:Checkpoint.fingerprint -> graph_crc:int -> config_digest:string -> key
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] 0 disables the cache (every lookup misses, nothing is
+    stored). @raise Invalid_argument on negative capacity. *)
+
+val capacity : 'a t -> int
+val size : 'a t -> int
+
+val find : 'a t -> key -> 'a option
+(** Refreshes the entry's recency on a hit. *)
+
+val add : 'a t -> key -> 'a -> unit
+(** Insert or refresh; evicts the least-recently-used entry when the
+    cache is over capacity. No-op at capacity 0. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int

@@ -1,0 +1,504 @@
+module P = Serve_protocol
+
+type config = {
+  queue_limit : int;
+  executors : int;
+  default_budget : float;
+  max_budget : float;
+  retry_attempts : int;
+  cache_capacity : int;
+  preflight : bool;
+}
+
+let default_config =
+  {
+    queue_limit = 64;
+    executors = 0;
+    default_budget = 30.0;
+    max_budget = 300.0;
+    retry_attempts = 2;
+    cache_capacity = 128;
+    preflight = false;
+  }
+
+let validate_config c =
+  let ( let* ) = Result.bind in
+  let* _ = P.positive_int ~what:"queue limit" c.queue_limit in
+  let* _ =
+    if c.executors < 0 then
+      Error (Printf.sprintf "executors must be >= 0, got %d" c.executors)
+    else Ok c.executors
+  in
+  let* _ = P.positive_float ~what:"default budget" c.default_budget in
+  let* _ = P.positive_float ~what:"max budget" c.max_budget in
+  let* _ = P.positive_int ~what:"retry attempts" c.retry_attempts in
+  let* _ =
+    if c.cache_capacity < 0 then
+      Error (Printf.sprintf "cache capacity must be >= 0, got %d" c.cache_capacity)
+    else Ok c.cache_capacity
+  in
+  Ok c
+
+(* A ticket is the engine's promise of a response: the admission path
+   hands it to the caller, an executor fulfils it. *)
+type ticket = {
+  req : P.request;
+  graph : Egraph.t;
+  cache_key : Serve_cache.key option;
+  budget : float;
+  overall : Timer.deadline;  (** includes queue wait; armed at admission *)
+  enq_at : float;
+  tk_m : Mutex.t;
+  tk_cv : Condition.t;
+  mutable resp : P.response option;
+}
+
+type offer_outcome = Queued of ticket | Done of P.response
+
+type t = {
+  cfg : config;
+  adm : Admission.t;
+  q : ticket Queue.t;
+  m : Mutex.t;
+  cv_work : Condition.t;  (** executors wait here for arrivals *)
+  cv_idle : Condition.t;  (** drain waits here for quiescence *)
+  cache : P.ok_body Serve_cache.t;
+  daemon_health : Health.log;
+  mutable latency_est_ms : float;
+  mutable domains : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let fulfill tk resp =
+  Mutex.lock tk.tk_m;
+  tk.resp <- Some resp;
+  Condition.broadcast tk.tk_cv;
+  Mutex.unlock tk.tk_m
+
+let await tk =
+  Mutex.lock tk.tk_m;
+  let rec wait () =
+    match tk.resp with
+    | Some r -> r
+    | None ->
+        Condition.wait tk.tk_cv tk.tk_m;
+        wait ()
+  in
+  Fun.protect ~finally:(fun () -> Mutex.unlock tk.tk_m) wait
+
+let peek tk =
+  Mutex.lock tk.tk_m;
+  let r = tk.resp in
+  Mutex.unlock tk.tk_m;
+  r
+
+(* --- request resolution ------------------------------------------------ *)
+
+let resolve_graph req =
+  match req.P.source with
+  | P.Inline text -> (
+      match Egraph.Serial.of_string text with
+      | g -> Ok g
+      | exception Failure msg -> Error (Printf.sprintf "unparsable e-graph: %s" msg))
+  | P.Instance name -> (
+      match Registry.find_instance name with
+      | inst -> Ok (inst.Registry.build ())
+      | exception Not_found -> Error (Printf.sprintf "unknown instance %S" name))
+
+let apply_costs req g =
+  match req.P.costs with
+  | None -> Ok g
+  | Some costs -> (
+      match Egraph.set_costs g costs with
+      | g -> Ok g
+      | exception Invalid_argument msg -> Error (Printf.sprintf "bad cost override: %s" msg))
+
+let cache_key_of req g =
+  (* canonical serialized text (cost overrides already applied), so the
+     key tracks content, not submission formatting *)
+  let text = Egraph.Serial.to_string g in
+  let fingerprint =
+    {
+      Checkpoint.fp_graph = g.Egraph.name;
+      fp_nodes = Egraph.num_nodes g;
+      fp_classes = Egraph.num_classes g;
+      fp_seed = req.P.seed;
+      fp_batch = req.P.batch;
+    }
+  in
+  let config_digest =
+    Printf.sprintf "m=%s;iters=%d;lambda=%h" (P.method_name req.P.method_) req.P.iters
+      req.P.lambda_
+  in
+  Serve_cache.key ~fingerprint ~graph_crc:(Checksum.crc32 text) ~config_digest
+
+(* --- execution --------------------------------------------------------- *)
+
+let choices_of_solution = function
+  | None -> []
+  | Some s ->
+      let acc = ref [] in
+      Array.iteri
+        (fun cls node -> match node with Some n -> acc := (cls, n) :: !acc | None -> ())
+        s.Egraph.Solution.choice;
+      List.rev !acc
+
+let run_extraction cfg req g ~health ~time_limit =
+  match req.P.method_ with
+  | P.Greedy -> (Greedy.extract g, 0)
+  | P.Greedy_dag -> (Greedy_dag.extract g, 0)
+  | P.Smoothe ->
+      let config =
+        {
+          Smoothe_config.default with
+          Smoothe_config.batch = req.P.batch;
+          max_iters = req.P.iters;
+          time_limit;
+          seed = req.P.seed;
+          lambda_ = req.P.lambda_;
+        }
+      in
+      let run = Smoothe_extract.extract ~config ~health ~preflight:cfg.preflight g in
+      (run.Smoothe_extract.result, run.Smoothe_extract.iterations)
+
+let execute t tk =
+  let req = tk.req in
+  let queue_ms = Float.max 0.0 ((Timer.now () -. tk.enq_at) *. 1000.0) in
+  if !Obs.on then Metrics.observe "serve.queue_ms" queue_ms;
+  if Timer.expired tk.overall then begin
+    if !Obs.on then Metrics.incr "serve.deadline_expired";
+    P.error_response ~queue_ms ~id:req.P.id P.Deadline_expired
+      (Printf.sprintf "deadline passed after %.1fms in queue" queue_ms)
+  end
+  else begin
+    let health = Health.create () in
+    let member = "request:" ^ req.P.id in
+    let budget = Float.min tk.budget (Timer.remaining tk.overall) in
+    let supervised () =
+      Supervisor.run_retrying ~health ~rng:(Rng.create (req.P.seed + 0x5eed))
+        ~attempts:t.cfg.retry_attempts ~backoff:0.01 ~name:member ~budget
+        (fun ~attempt:_ dl -> run_extraction t.cfg req tk.graph ~health ~time_limit:(Timer.remaining dl))
+    in
+    let outcome, dt =
+      Timer.time (fun () ->
+          Trace.with_span ~cat:"serve"
+            ~attrs:
+              (if !Obs.on then
+                 [ ("id", req.P.id); ("method", P.method_name req.P.method_) ]
+               else [])
+            "serve.request"
+            (fun () ->
+              if req.P.fault_plan = "" then supervised ()
+              else Fault_plan.with_plan (Fault_plan.of_string req.P.fault_plan) supervised))
+    in
+    let elapsed_ms = dt *. 1000.0 in
+    if !Obs.on then Metrics.observe "serve.request_ms" elapsed_ms;
+    locked t (fun () -> Health.merge ~into:t.daemon_health health);
+    match outcome with
+    | Supervisor.Finished _ when Timer.expired tk.overall ->
+        (* the overall deadline is a response deadline: a result the
+           client has already given up on is not a success *)
+        if !Obs.on then Metrics.incr "serve.deadline_expired";
+        {
+          (P.error_response ~queue_ms ~id:req.P.id P.Deadline_expired
+             (Printf.sprintf "completed after the %.1fms deadline"
+                (Option.value ~default:0.0 req.P.deadline_ms)))
+          with
+          P.elapsed_ms;
+        }
+    | Supervisor.Finished (result, iterations) ->
+        let valid =
+          match result.Extractor.solution with
+          | Some s -> Egraph.Solution.is_valid tk.graph s
+          | None -> false
+        in
+        let body =
+          {
+            P.cost = result.Extractor.cost;
+            valid;
+            choices = choices_of_solution result.Extractor.solution;
+            iterations;
+            cache_hit = false;
+            health = Health.summary health;
+          }
+        in
+        (* only fault-free, valid runs are worth replaying to the next
+           client; a faulted run answers its own request but is not
+           representative *)
+        (match tk.cache_key with
+        | Some key when valid && req.P.fault_plan = "" -> Serve_cache.add t.cache key body
+        | Some _ | None -> ());
+        if !Obs.on then Metrics.incr "serve.completed";
+        { P.resp_id = req.P.id; elapsed_ms; queue_ms; body = Ok body }
+    | Supervisor.Crashed { exn } ->
+        if !Obs.on then Metrics.incr "serve.crashed";
+        {
+          (P.error_response ~queue_ms ~id:req.P.id P.Crashed
+             (Printf.sprintf "run failed after %d attempt(s): %s" t.cfg.retry_attempts exn))
+          with
+          P.elapsed_ms;
+        }
+  end
+
+(* --- executor loop ----------------------------------------------------- *)
+
+let finish_one t =
+  Mutex.lock t.m;
+  Admission.finish t.adm;
+  if !Obs.on then
+    Metrics.set_gauge "serve.queue_depth" (float_of_int (Admission.snapshot t.adm).Admission.queued);
+  if Admission.idle t.adm then Condition.broadcast t.cv_idle;
+  Mutex.unlock t.m
+
+let record_latency t elapsed_ms =
+  (* rolling estimate backing the shed responses' retry-after hints *)
+  Mutex.lock t.m;
+  t.latency_est_ms <- (0.8 *. t.latency_est_ms) +. (0.2 *. elapsed_ms);
+  Mutex.unlock t.m
+
+let execute_and_fulfill t tk =
+  let resp =
+    match execute t tk with
+    | resp -> resp
+    | exception e ->
+        (* an executor must never die with its request *)
+        locked t (fun () ->
+            Health.record t.daemon_health ~member:("request:" ^ tk.req.P.id)
+              Health.Member_failed (Printexc.to_string e));
+        if !Obs.on then Metrics.incr "serve.internal_errors";
+        P.error_response ~id:tk.req.P.id P.Internal (Printexc.to_string e)
+  in
+  (* settle the admission counters before the caller can observe the
+     response, so a stats probe right after a reply never sees the
+     finished request still in flight *)
+  finish_one t;
+  fulfill tk resp;
+  record_latency t resp.P.elapsed_ms
+
+let rec exec_loop t =
+  Mutex.lock t.m;
+  let rec next () =
+    if not (Queue.is_empty t.q) then
+      match Admission.state t.adm with
+      | Admission.Stopped -> `Exit  (* stop() fails the leftovers *)
+      | Admission.Accepting | Admission.Draining -> `Work (Queue.pop t.q)
+    else
+      match Admission.state t.adm with
+      | Admission.Stopped | Admission.Draining -> `Exit
+      | Admission.Accepting ->
+          Condition.wait t.cv_work t.m;
+          next ()
+  in
+  match next () with
+  | `Exit ->
+      Condition.broadcast t.cv_idle;
+      Mutex.unlock t.m
+  | `Work tk ->
+      Admission.start t.adm;
+      if !Obs.on then
+        Metrics.set_gauge "serve.queue_depth"
+          (float_of_int (Admission.snapshot t.adm).Admission.queued);
+      Mutex.unlock t.m;
+      execute_and_fulfill t tk;
+      exec_loop t
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let create ?(config = default_config) () =
+  (match validate_config config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Serve_engine.create: " ^ msg));
+  let t =
+    {
+      cfg = config;
+      adm = Admission.create ~queue_limit:config.queue_limit;
+      q = Queue.create ();
+      m = Mutex.create ();
+      cv_work = Condition.create ();
+      cv_idle = Condition.create ();
+      cache = Serve_cache.create ~capacity:config.cache_capacity;
+      daemon_health = Health.create ();
+      latency_est_ms = 50.0;
+      domains = [];
+    }
+  in
+  t.domains <- List.init config.executors (fun _ -> Domain.spawn (fun () -> exec_loop t));
+  t
+
+let fresh_ticket req graph cache_key ~budget ~overall =
+  {
+    req;
+    graph;
+    cache_key;
+    budget;
+    overall;
+    enq_at = Timer.now ();
+    tk_m = Mutex.create ();
+    tk_cv = Condition.create ();
+    resp = None;
+  }
+
+let offer t req =
+  if !Obs.on then Metrics.incr "serve.requests";
+  let bad msg = Done (P.error_response ~id:req.P.id P.Bad_request msg) in
+  if req.P.fault_plan <> "" && t.cfg.executors > 1 then
+    bad "per-request fault plans need a daemon with at most one executor (they install \
+         process-ambient state)"
+  else
+    match Result.bind (resolve_graph req) (apply_costs req) with
+    | Error msg -> bad msg
+    | Ok graph -> (
+        let budget =
+          Float.min t.cfg.max_budget (Option.value ~default:t.cfg.default_budget req.P.budget)
+        in
+        let key =
+          if req.P.use_cache && Serve_cache.capacity t.cache > 0 then
+            Some (cache_key_of req graph)
+          else None
+        in
+        let cached = Option.bind key (Serve_cache.find t.cache) in
+        match cached with
+        | Some body ->
+            if !Obs.on then Metrics.incr "serve.cache_hits";
+            Done
+              {
+                P.resp_id = req.P.id;
+                elapsed_ms = 0.0;
+                queue_ms = 0.0;
+                body = Ok { body with P.cache_hit = true };
+              }
+        | None ->
+            if !Obs.on && key <> None then Metrics.incr "serve.cache_misses";
+            let overall =
+              match req.P.deadline_ms with
+              | None -> Timer.no_deadline
+              | Some ms -> Timer.deadline_after (ms /. 1000.0)
+            in
+            let decision =
+              locked t (fun () ->
+                  let d = Admission.offer t.adm ~est_ms:t.latency_est_ms in
+                  (match d with
+                  | Admission.Admit ->
+                      if !Obs.on then begin
+                        Metrics.incr "serve.admitted";
+                        Metrics.set_gauge "serve.queue_depth"
+                          (float_of_int (Admission.snapshot t.adm).Admission.queued)
+                      end
+                  | Admission.Shed _ -> if !Obs.on then Metrics.incr "serve.shed"
+                  | Admission.Refuse _ -> if !Obs.on then Metrics.incr "serve.refused");
+                  d)
+            in
+            (match decision with
+            | Admission.Admit ->
+                let tk = fresh_ticket req graph key ~budget ~overall in
+                locked t (fun () ->
+                    Queue.push tk t.q;
+                    Condition.signal t.cv_work);
+                Queued tk
+            | Admission.Shed { retry_after_ms } ->
+                Done
+                  (P.error_response ~retry_after_ms ~id:req.P.id P.Overloaded
+                     (Printf.sprintf "admission queue full (limit %d); retry after %.0fms"
+                        t.cfg.queue_limit retry_after_ms))
+            | Admission.Refuse st ->
+                Done
+                  (P.error_response ~id:req.P.id P.Draining
+                     (Printf.sprintf "daemon is %s; not accepting new requests"
+                        (Admission.state_name st)))))
+
+let submit t req = match offer t req with Queued tk -> await tk | Done r -> r
+
+let run_pending t =
+  let rec go n =
+    let work =
+      locked t (fun () ->
+          if Queue.is_empty t.q then None
+          else begin
+            let tk = Queue.pop t.q in
+            Admission.start t.adm;
+            Some tk
+          end)
+    in
+    match work with
+    | None -> n
+    | Some tk ->
+        execute_and_fulfill t tk;
+        go (n + 1)
+  in
+  go 0
+
+let drain t =
+  Mutex.lock t.m;
+  Admission.drain t.adm;
+  Condition.broadcast t.cv_work;
+  if t.domains <> [] then
+    while not (Admission.idle t.adm) do
+      Condition.wait t.cv_idle t.m
+    done;
+  Mutex.unlock t.m
+
+let stop t =
+  let leftovers =
+    locked t (fun () ->
+        Admission.stop t.adm;
+        Condition.broadcast t.cv_work;
+        let rec pop acc =
+          if Queue.is_empty t.q then List.rev acc else pop (Queue.pop t.q :: acc)
+        in
+        pop [])
+  in
+  List.iter
+    (fun tk ->
+      (* the admission counters still owe a start/finish for each
+         admitted-but-never-run ticket *)
+      locked t (fun () ->
+          Admission.start t.adm;
+          Admission.finish t.adm);
+      fulfill tk
+        (P.error_response ~id:tk.req.P.id P.Draining "daemon stopped before execution"))
+    leftovers;
+  locked t (fun () -> if Admission.idle t.adm then Condition.broadcast t.cv_idle);
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let health t = t.daemon_health
+
+type stats = {
+  admission : Admission.snapshot;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  latency_est_ms : float;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        admission = Admission.snapshot t.adm;
+        cache_hits = Serve_cache.hits t.cache;
+        cache_misses = Serve_cache.misses t.cache;
+        cache_size = Serve_cache.size t.cache;
+        latency_est_ms = t.latency_est_ms;
+      })
+
+let stats_json t =
+  let s = stats t in
+  let a = s.admission in
+  Json.Object
+    [
+      ("state", Json.String (Admission.state_name a.Admission.snap_state));
+      ("queued", Json.Number (float_of_int a.Admission.queued));
+      ("inflight", Json.Number (float_of_int a.Admission.inflight));
+      ("admitted", Json.Number (float_of_int a.Admission.admitted));
+      ("shed", Json.Number (float_of_int a.Admission.shed));
+      ("refused", Json.Number (float_of_int a.Admission.refused));
+      ("completed", Json.Number (float_of_int a.Admission.completed));
+      ("cache_hits", Json.Number (float_of_int s.cache_hits));
+      ("cache_misses", Json.Number (float_of_int s.cache_misses));
+      ("cache_size", Json.Number (float_of_int s.cache_size));
+      ("latency_est_ms", Json.Number s.latency_est_ms);
+    ]

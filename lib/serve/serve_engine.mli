@@ -1,0 +1,112 @@
+(** The extraction daemon's core: bounded admission, supervised
+    execution, caching and graceful drain — everything except the
+    socket.
+
+    The engine is deliberately separable from its transport so every
+    robustness property is testable deterministically in-process:
+
+    - {b Admission control}: arrivals pass through {!Admission} under
+      one mutex. Beyond the queue limit they are shed with a
+      structured [overloaded] response carrying a retry hint, never
+      queued without bound.
+    - {b Supervised execution}: each admitted request runs under
+      {!Supervisor.run_retrying} with a per-request {!Health} log, so
+      an injected crash, a NaN blow-up or a deadline overrun in one
+      request becomes a structured response — the daemon never dies
+      with a request.
+    - {b Deadlines}: a request's optional overall deadline
+      ([deadline_ms], armed at admission) covers queue wait; a request
+      that expires while queued is answered [deadline_expired] without
+      running, and one that finishes past the deadline is answered
+      [deadline_expired] too — it is a response deadline, the client
+      has already given up. The compute budget is additionally capped
+      by whatever remains of the overall deadline at dequeue.
+    - {b Caching}: results of fault-free runs are stored in a
+      {!Serve_cache} keyed by the checkpoint fingerprint plus a
+      content CRC; a repeat request is answered at admission time in
+      microseconds with a bit-identical solution.
+    - {b Drain}: {!drain} refuses new work and completes everything
+      already admitted; {!stop} additionally fails still-queued
+      tickets with structured errors and joins the executors.
+
+    Execution modes: [executors = 0] is {e manual} — {!offer} only
+    admits, {!run_pending} executes on the calling thread; this is the
+    deterministic mode the tests and the bench drive. [executors > 0]
+    spawns that many executor domains which pull from the queue;
+    kernels inside a request additionally fan over the shared
+    {!Pool} ([--jobs]). Per-request fault plans install the ambient
+    {!Fault_plan} and are therefore only accepted when at most one
+    executor exists. *)
+
+type config = {
+  queue_limit : int;  (** max requests waiting (excluding in-flight) *)
+  executors : int;  (** executor domains; 0 = manual ({!run_pending}) *)
+  default_budget : float;  (** compute seconds when a request names none *)
+  max_budget : float;  (** per-request compute ceiling *)
+  retry_attempts : int;  (** {!Supervisor.run_retrying} attempts per request *)
+  cache_capacity : int;  (** solution-cache entries; 0 disables *)
+  preflight : bool;  (** run the e-graph lint gate inside SmoothE requests *)
+}
+
+val default_config : config
+
+val validate_config : config -> (config, string) result
+(** One-line reason on the first invalid field (non-positive or
+    non-finite budgets, non-positive queue limit / attempts, negative
+    executors or cache capacity); the CLI front end funnels its flag
+    values through this before the daemon starts. *)
+
+type t
+type ticket
+
+type offer_outcome =
+  | Queued of ticket  (** admitted; execution pending *)
+  | Done of Serve_protocol.response
+      (** answered at admission time: cache hit, shed, refused or
+          invalid *)
+
+val create : ?config:config -> unit -> t
+(** @raise Invalid_argument when the config fails {!validate_config}. *)
+
+val offer : t -> Serve_protocol.request -> offer_outcome
+(** Parse, validate, consult the cache, and pass admission — all
+    synchronous. Never blocks on execution. *)
+
+val await : ticket -> Serve_protocol.response
+(** Block until the ticket's request has executed. *)
+
+val peek : ticket -> Serve_protocol.response option
+
+val submit : t -> Serve_protocol.request -> Serve_protocol.response
+(** [offer] then [await]: the blocking call a connection handler makes. *)
+
+val run_pending : t -> int
+(** Manual mode: execute queued requests on the calling thread until
+    the queue is empty; returns how many ran. *)
+
+val drain : t -> unit
+(** Refuse new requests and complete the admitted ones. With
+    executors, blocks until the queue and all in-flight requests have
+    settled; in manual mode it only flips the admission state (the
+    caller still owns execution via {!run_pending}). Idempotent. *)
+
+val stop : t -> unit
+(** Terminal: refuse everything, answer still-queued tickets with a
+    structured [draining] error, and join the executor domains.
+    In-flight requests finish first. Idempotent. *)
+
+val health : t -> Health.log
+(** The daemon-wide supervision log: every request-scoped log is
+    merged in on completion, so [--health-report] covers the whole
+    service lifetime. *)
+
+type stats = {
+  admission : Admission.snapshot;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  latency_est_ms : float;  (** rolling mean used for retry-after hints *)
+}
+
+val stats : t -> stats
+val stats_json : t -> Json.t

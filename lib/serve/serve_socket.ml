@@ -1,0 +1,163 @@
+module P = Serve_protocol
+
+type t = {
+  engine : Serve_engine.t;
+  path : string;
+  listen_fd : Unix.file_descr;
+  stop : bool Atomic.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;  (** open connection fds *)
+  conns_m : Mutex.t;
+  mutable handlers : Thread.t list;
+}
+
+let create ~engine ~path =
+  (if Sys.file_exists path then
+     match (Unix.stat path).Unix.st_kind with
+     | Unix.S_SOCK -> Unix.unlink path
+     | _ -> failwith (Printf.sprintf "refusing to replace non-socket file %S" path));
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  {
+    engine;
+    path;
+    listen_fd = fd;
+    stop = Atomic.make false;
+    conns = Hashtbl.create 16;
+    conns_m = Mutex.create ();
+    handlers = [];
+  }
+
+let track t fd =
+  Mutex.lock t.conns_m;
+  Hashtbl.replace t.conns fd ();
+  Mutex.unlock t.conns_m
+
+let untrack t fd =
+  Mutex.lock t.conns_m;
+  Hashtbl.remove t.conns fd;
+  Mutex.unlock t.conns_m
+
+let send_line oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc
+
+(* One frame -> one response. Control frames short-circuit; anything
+   else goes through the full admission path. *)
+let answer engine line =
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+      P.response_to_json (P.error_response ~id:"" P.Bad_request ("unparsable frame: " ^ msg))
+  | json -> (
+      match Json.member "op" json with
+      | Json.String "ping" ->
+          Json.Object [ ("status", Json.String "ok"); ("op", Json.String "ping") ]
+      | Json.String "stats" ->
+          Json.Object
+            [
+              ("status", Json.String "ok");
+              ("op", Json.String "stats");
+              ("stats", Serve_engine.stats_json engine);
+            ]
+      | Json.String other ->
+          P.response_to_json
+            (P.error_response ~id:"" P.Bad_request (Printf.sprintf "unknown op %S" other))
+      | _ -> (
+          match P.request_of_json json with
+          | Error msg -> P.response_to_json (P.error_response ~id:"" P.Bad_request msg)
+          | Ok req -> P.response_to_json (Serve_engine.submit engine req)))
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        (match send_line oc (answer t.engine line) with
+        | () -> loop ()
+        | exception Sys_error _ -> ())
+  in
+  loop ();
+  untrack t fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then begin
+    (* wake the accept loop with a throwaway connection: closing the
+       listening fd from another thread does not reliably unblock a
+       thread parked in [accept], but an arriving connection always
+       does. When called from a signal handler on the accepting thread
+       itself, the signal has already interrupted [accept] (EINTR) and
+       the loop re-checks the stop flag — the dial is then merely a
+       queued connection the drain path never accepts. *)
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        (try Unix.connect fd (Unix.ADDR_UNIX t.path) with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+let run t =
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          track t fd;
+          t.handlers <- Thread.create (fun () -> handle_connection t fd) () :: t.handlers;
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ ->
+          (* listener closed by shutdown (or fatally broken): drain *)
+          ()
+  in
+  accept_loop ();
+  Atomic.set t.stop true;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* finish everything already admitted; refuse the rest *)
+  Serve_engine.drain t.engine;
+  (* give handlers a beat to flush final responses, then force idle
+     connections (clients that never closed) off so join cannot hang *)
+  Thread.delay 0.2;
+  Mutex.lock t.conns_m;
+  let lingering = Hashtbl.fold (fun fd () acc -> fd :: acc) t.conns [] in
+  Mutex.unlock t.conns_m;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    lingering;
+  List.iter Thread.join t.handlers;
+  Serve_engine.stop t.engine;
+  try Unix.unlink t.path with Unix.Unix_error _ -> ()
+
+(* --- client ------------------------------------------------------------ *)
+
+let call_many ~path frames =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> ()
+      | exception Unix.Unix_error (err, _, _) ->
+          failwith
+            (Printf.sprintf "cannot connect to %S: %s" path (Unix.error_message err)));
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      List.map
+        (fun frame ->
+          send_line oc frame;
+          match input_line ic with
+          | exception End_of_file -> failwith "connection closed before a response arrived"
+          | line -> (
+              match Json.parse line with
+              | j -> j
+              | exception Json.Parse_error msg ->
+                  failwith ("unparsable response frame: " ^ msg)))
+        frames)
+
+let call ~path frame =
+  match call_many ~path [ frame ] with
+  | [ resp ] -> resp
+  | _ -> assert false

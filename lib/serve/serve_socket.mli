@@ -1,0 +1,41 @@
+(** Unix-socket transport for the extraction daemon.
+
+    Line-framed JSON: each connection carries a sequence of request
+    frames, one JSON object per [\n]-terminated line, answered in
+    order by one response frame each (see {!Serve_protocol}). Two
+    control frames bypass extraction: [{"op":"ping"}] answers
+    immediately (liveness) and [{"op":"stats"}] returns the engine's
+    admission/cache counters.
+
+    The server owns an accept loop on the calling thread and one
+    handler thread per connection; handlers block in
+    {!Serve_engine.submit}, so concurrency and backpressure are
+    entirely the engine's admission policy. {!shutdown} is async-safe
+    (a signal handler may call it): it flips a flag and closes the
+    listening socket, which makes {!run} fall out of [accept], drain
+    the engine — in-flight and queued requests finish, new ones are
+    refused with [draining] — and close lingering connections. *)
+
+type t
+
+val create : engine:Serve_engine.t -> path:string -> t
+(** Bind and listen on Unix-domain socket [path], replacing a stale
+    socket file left by a previous daemon.
+    @raise Unix.Unix_error when binding fails (e.g. the path's
+    directory does not exist or the name is too long). *)
+
+val run : t -> unit
+(** Serve until {!shutdown} is called, then drain and return. *)
+
+val shutdown : t -> unit
+(** Idempotent; callable from a signal handler. *)
+
+(** {1 Client side} *)
+
+val call : path:string -> Json.t -> Json.t
+(** Connect, send one frame, read one response frame, close.
+    @raise Failure on connection errors, EOF before a response, or an
+    unparsable response line. *)
+
+val call_many : path:string -> Json.t list -> Json.t list
+(** One connection, several frames pipelined in order. *)

@@ -252,6 +252,51 @@ let test_run_retrying_exhausted () =
   Alcotest.(check int) "both failures logged" 2 (Health.count log Health.Member_failed);
   Alcotest.(check int) "one retry between them" 1 (Health.count log Health.Recovery)
 
+let test_run_retrying_backoff_cap () =
+  let max_backoff = 0.02 in
+  (* the Recovery detail records the exact pause, so the sleep sequence
+     is observable without timing anything *)
+  let pauses seed =
+    let log = Health.create () in
+    let outcome =
+      Supervisor.run_retrying ~health:log ~rng:(Rng.create seed) ~attempts:6
+        ~backoff:0.004 ~max_backoff ~name:"m" ~budget:10.0
+        (fun ~attempt:_ _dl -> failwith "always")
+    in
+    (match outcome with
+    | Supervisor.Crashed _ -> ()
+    | Supervisor.Finished _ -> Alcotest.fail "expected exhaustion");
+    List.filter_map
+      (fun e ->
+        if e.Health.kind = Health.Recovery then
+          Some
+            (Scanf.sscanf e.Health.detail "retrying (attempt %d/%d) after %fs backoff"
+               (fun _ _ p -> p))
+        else None)
+      (Health.events log)
+  in
+  let ps = pauses 11 in
+  Alcotest.(check int) "five retries recorded" 5 (List.length ps);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pause %.3f bounded by cap" p)
+        true
+        (p <= max_backoff +. 1e-9))
+    ps;
+  (* exponential growth from 0.004 doubles past the cap by attempt 3, so
+     saturation must actually occur *)
+  Alcotest.(check bool)
+    "cap reached" true
+    (List.exists (fun p -> Float.abs (p -. max_backoff) <= 1e-9) ps);
+  Alcotest.(check (list (float 1e-12))) "deterministic under fixed rng" ps (pauses 11);
+  Alcotest.check_raises "zero cap rejected"
+    (Invalid_argument "Supervisor.run_retrying: max_backoff must be positive and finite")
+    (fun () ->
+      ignore
+        (Supervisor.run_retrying ~max_backoff:0.0 ~name:"m" ~budget:1.0
+           (fun ~attempt:_ _dl -> ())))
+
 (* --- checkpoints ------------------------------------------------------- *)
 
 let with_tmpdir f =
@@ -854,6 +899,7 @@ let () =
           Alcotest.test_case "crash then timeout" `Quick test_supervisor_crash_then_timeout;
           Alcotest.test_case "retry eventual success" `Quick test_run_retrying_eventual_success;
           Alcotest.test_case "retry exhausted" `Quick test_run_retrying_exhausted;
+          Alcotest.test_case "retry backoff cap" `Quick test_run_retrying_backoff_cap;
           Alcotest.test_case "timer poll" `Quick test_timer_poll;
         ] );
       ( "checkpoint",

@@ -1,0 +1,564 @@
+(* The extraction daemon, tested deterministically: the engine's manual
+   executor mode makes admission decisions synchronous and execution
+   explicit ([run_pending]), so overload, crash, deadline and drain
+   behaviour are all exact assertions, not timing-dependent ones. *)
+
+module P = Serve_protocol
+
+let small_graph () = (Registry.find_instance "mcm_8").Registry.build ()
+
+let inline_source () = P.Inline (Egraph.Serial.to_string (small_graph ()))
+
+let quick_request ?(id = "r") ?(seed = 7) ?(iters = 10) ?(batch = 2) ?deadline_ms
+    ?(fault_plan = "") ?(use_cache = true) () =
+  {
+    P.default_request with
+    P.id;
+    source = inline_source ();
+    seed;
+    iters;
+    batch;
+    deadline_ms;
+    fault_plan;
+    use_cache;
+  }
+
+let manual_engine ?(queue_limit = 3) ?(retry_attempts = 1) ?(cache_capacity = 16) () =
+  Serve_engine.create
+    ~config:
+      {
+        Serve_engine.default_config with
+        Serve_engine.queue_limit;
+        executors = 0;
+        retry_attempts;
+        cache_capacity;
+      }
+    ()
+
+let code_of resp =
+  match resp.P.body with Ok _ -> None | Error e -> Some e.P.code
+
+let ok_of what resp =
+  match resp.P.body with
+  | Ok body -> body
+  | Error e ->
+      Alcotest.failf "%s: expected ok, got %s: %s" what (P.error_code_name e.P.code)
+        e.P.message
+
+(* --- protocol ---------------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  let req =
+    {
+      P.id = "abc";
+      source = P.Instance "mcm_8";
+      method_ = P.Greedy_dag;
+      budget = Some 1.5;
+      deadline_ms = Some 250.0;
+      seed = 13;
+      batch = 4;
+      iters = 17;
+      lambda_ = 5.0;
+      costs = Some [| 1.0; 2.5 |];
+      fault_plan = "crash@2";
+      use_cache = false;
+    }
+  in
+  let text = Json.to_string (P.request_to_json req) in
+  match P.request_of_json (Json.parse text) with
+  | Error msg -> Alcotest.failf "round-trip rejected: %s" msg
+  | Ok got ->
+      Alcotest.(check string) "id" req.P.id got.P.id;
+      Alcotest.(check bool) "source" true (got.P.source = P.Instance "mcm_8");
+      Alcotest.(check bool) "method" true (got.P.method_ = P.Greedy_dag);
+      Alcotest.(check (option (float 0.0))) "budget" req.P.budget got.P.budget;
+      Alcotest.(check (option (float 0.0))) "deadline" req.P.deadline_ms got.P.deadline_ms;
+      Alcotest.(check int) "seed" req.P.seed got.P.seed;
+      Alcotest.(check int) "batch" req.P.batch got.P.batch;
+      Alcotest.(check int) "iters" req.P.iters got.P.iters;
+      Alcotest.(check string) "fault plan" req.P.fault_plan got.P.fault_plan;
+      Alcotest.(check bool) "cache flag" req.P.use_cache got.P.use_cache;
+      Alcotest.(check bool) "costs" true (got.P.costs = Some [| 1.0; 2.5 |])
+
+let test_response_roundtrip () =
+  let ok =
+    {
+      P.resp_id = "x";
+      elapsed_ms = 12.5;
+      queue_ms = 0.25;
+      body =
+        Ok
+          {
+            P.cost = 166.0;
+            valid = true;
+            choices = [ (0, 0); (3, 7) ];
+            iterations = 20;
+            cache_hit = true;
+            health = "healthy";
+          };
+    }
+  in
+  (match P.response_of_json (Json.parse (Json.to_string (P.response_to_json ok))) with
+  | Error msg -> Alcotest.failf "ok round-trip rejected: %s" msg
+  | Ok got -> Alcotest.(check bool) "ok preserved" true (got = ok));
+  let err = P.error_response ~retry_after_ms:120.0 ~id:"y" P.Overloaded "full" in
+  match P.response_of_json (Json.parse (Json.to_string (P.response_to_json err))) with
+  | Error msg -> Alcotest.failf "error round-trip rejected: %s" msg
+  | Ok got -> Alcotest.(check bool) "error preserved" true (got = err)
+
+let test_request_validation () =
+  let base = P.request_to_json (quick_request ()) in
+  let with_field name v =
+    match base with
+    | Json.Object fields -> Json.Object ((name, v) :: List.remove_assoc name fields)
+    | _ -> assert false
+  in
+  let rejects what j =
+    match P.request_of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: should have been rejected" what
+  in
+  rejects "zero budget" (with_field "budget" (Json.Number 0.0));
+  rejects "negative budget" (with_field "budget" (Json.Number (-1.0)));
+  rejects "nan budget" (with_field "budget" (Json.Number Float.nan));
+  rejects "infinite deadline" (with_field "deadline_ms" (Json.Number Float.infinity));
+  rejects "zero batch" (with_field "batch" (Json.Number 0.0));
+  rejects "fractional iters" (with_field "iters" (Json.Number 2.5));
+  rejects "unknown method" (with_field "method" (Json.String "simplex"));
+  rejects "bad fault plan" (with_field "fault_plan" (Json.String "frobnicate@9"));
+  rejects "non-finite cost" (with_field "costs" (Json.Array [ Json.Number Float.nan ]));
+  rejects "no source"
+    (Json.Object [ ("id", Json.String "x"); ("method", Json.String "smoothe") ]);
+  rejects "not an object" (Json.String "hello");
+  match P.request_of_json base with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "valid request rejected: %s" msg
+
+(* --- admission state machine ------------------------------------------- *)
+
+let test_admission_machine () =
+  let adm = Admission.create ~queue_limit:2 in
+  let offer () = Admission.offer adm ~est_ms:10.0 in
+  Alcotest.(check bool) "1st admitted" true (offer () = Admission.Admit);
+  Alcotest.(check bool) "2nd admitted" true (offer () = Admission.Admit);
+  (match offer () with
+  | Admission.Shed { retry_after_ms } ->
+      Alcotest.(check bool) "retry hint positive" true (retry_after_ms >= 1.0)
+  | _ -> Alcotest.fail "3rd offer should shed");
+  Admission.start adm;
+  (* one slot freed: queued is back under the limit *)
+  Alcotest.(check bool) "post-start admitted" true (offer () = Admission.Admit);
+  Admission.finish adm;
+  Admission.drain adm;
+  (match offer () with
+  | Admission.Refuse Admission.Draining -> ()
+  | _ -> Alcotest.fail "draining must refuse");
+  Admission.stop adm;
+  (* terminal: drain cannot resurrect, refusals now carry Stopped *)
+  Admission.drain adm;
+  (match offer () with
+  | Admission.Refuse Admission.Stopped -> ()
+  | _ -> Alcotest.fail "stopped must refuse");
+  let s = Admission.snapshot adm in
+  Alcotest.(check int) "admitted" 3 s.Admission.admitted;
+  Alcotest.(check int) "shed" 1 s.Admission.shed;
+  Alcotest.(check int) "refused" 2 s.Admission.refused;
+  Alcotest.(check int) "completed" 1 s.Admission.completed;
+  Alcotest.(check bool) "not idle (2 queued)" false (Admission.idle adm);
+  Alcotest.check_raises "queue limit must be >= 1"
+    (Invalid_argument "Admission.create: queue_limit must be >= 1") (fun () ->
+      ignore (Admission.create ~queue_limit:0))
+
+(* --- cache ------------------------------------------------------------- *)
+
+let test_cache_lru () =
+  let c = Serve_cache.create ~capacity:2 in
+  Serve_cache.add c "k1" 1;
+  Serve_cache.add c "k2" 2;
+  Alcotest.(check (option int)) "k1 present" (Some 1) (Serve_cache.find c "k1");
+  (* k1 was just refreshed, so adding k3 must evict k2 *)
+  Serve_cache.add c "k3" 3;
+  Alcotest.(check (option int)) "k2 evicted" None (Serve_cache.find c "k2");
+  Alcotest.(check (option int)) "k1 survived" (Some 1) (Serve_cache.find c "k1");
+  Alcotest.(check (option int)) "k3 present" (Some 3) (Serve_cache.find c "k3");
+  Alcotest.(check int) "size bounded" 2 (Serve_cache.size c);
+  Alcotest.(check int) "hits" 3 (Serve_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Serve_cache.misses c);
+  let off = Serve_cache.create ~capacity:0 in
+  Serve_cache.add off "k" 1;
+  Alcotest.(check (option int)) "capacity 0 stores nothing" None (Serve_cache.find off "k");
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Serve_cache.create: capacity must be >= 0") (fun () ->
+      ignore (Serve_cache.create ~capacity:(-1)))
+
+let test_cache_key_bit_sensitivity () =
+  let g = small_graph () in
+  let text = Egraph.Serial.to_string g in
+  let fingerprint =
+    {
+      Checkpoint.fp_graph = g.Egraph.name;
+      fp_nodes = Egraph.num_nodes g;
+      fp_classes = Egraph.num_classes g;
+      fp_seed = 7;
+      fp_batch = 8;
+    }
+  in
+  let key_of text =
+    Serve_cache.key ~fingerprint ~graph_crc:(Checksum.crc32 text) ~config_digest:"cfg"
+  in
+  let base = key_of text in
+  Alcotest.(check string) "identical content, identical key" base (key_of text);
+  (* every single-bit mutation of the serialized text must change the
+     key, even though name/shape/seed/batch (the fingerprint) agree *)
+  let mutations = ref 0 in
+  String.iteri
+    (fun i _ ->
+      if i mod 97 = 0 then
+        for bit = 0 to 7 do
+          let b = Bytes.of_string text in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          incr mutations;
+          if key_of (Bytes.to_string b) = base then
+            Alcotest.failf "bit %d of byte %d flipped but the key did not move" bit i
+        done)
+    text;
+  Alcotest.(check bool) "mutations exercised" true (!mutations > 50)
+
+let test_cache_end_to_end () =
+  let engine = manual_engine () in
+  let submit req =
+    match Serve_engine.offer engine req with
+    | Serve_engine.Done r -> r
+    | Serve_engine.Queued tk ->
+        ignore (Serve_engine.run_pending engine);
+        Serve_engine.await tk
+  in
+  let first = ok_of "first run" (submit (quick_request ())) in
+  Alcotest.(check bool) "first run misses" false first.P.cache_hit;
+  let hit = ok_of "repeat" (submit (quick_request ())) in
+  Alcotest.(check bool) "repeat hits" true hit.P.cache_hit;
+  (* bit-identical: same cost bits, same choices, same iteration count *)
+  Alcotest.(check int64) "cost bits identical"
+    (Int64.bits_of_float first.P.cost)
+    (Int64.bits_of_float hit.P.cost);
+  Alcotest.(check bool) "choices identical" true (first.P.choices = hit.P.choices);
+  Alcotest.(check int) "iterations identical" first.P.iterations hit.P.iterations;
+  let other_seed = ok_of "other seed" (submit (quick_request ~seed:8 ())) in
+  Alcotest.(check bool) "different seed misses" false other_seed.P.cache_hit;
+  let no_cache = ok_of "bypass" (submit (quick_request ~use_cache:false ())) in
+  Alcotest.(check bool) "cache bypass misses" false no_cache.P.cache_hit;
+  (* a changed cost vector is a content change: the key must miss even
+     though the graph name, shape, seed and batch all agree *)
+  let g = small_graph () in
+  let costs = Array.init (Egraph.num_nodes g) (fun i -> 1.0 +. float_of_int (i mod 3)) in
+  let tweaked = Array.copy costs in
+  tweaked.(0) <- tweaked.(0) +. 1.0;
+  let a =
+    ok_of "costs A" (submit { (quick_request ()) with P.costs = Some costs })
+  in
+  Alcotest.(check bool) "costs A misses" false a.P.cache_hit;
+  let b =
+    ok_of "costs B" (submit { (quick_request ()) with P.costs = Some tweaked })
+  in
+  Alcotest.(check bool) "mutated costs miss" false b.P.cache_hit;
+  Serve_engine.stop engine
+
+(* --- the deterministic overload acceptance test ------------------------ *)
+
+let test_overload_crash_and_survival () =
+  (* queue limit Q = 3, N = 8 offered in one burst: exactly N - Q = 5
+     must shed with a structured overloaded response; the admitted ones
+     complete within their deadline; one admitted request carries an
+     injected crash and with retry_attempts = 1 becomes a structured
+     crashed response — after which the daemon serves the next request *)
+  let engine = manual_engine ~queue_limit:3 ~retry_attempts:1 () in
+  let requests =
+    List.init 8 (fun i ->
+        quick_request
+          ~id:(Printf.sprintf "r%d" i)
+          ~seed:i
+          ~deadline_ms:60_000.0
+          ~fault_plan:(if i = 1 then "crash@1" else "")
+          ~use_cache:false ())
+  in
+  let outcomes = List.map (Serve_engine.offer engine) requests in
+  let shed =
+    List.filter_map
+      (function
+        | Serve_engine.Done r when code_of r = Some P.Overloaded -> Some r | _ -> None)
+      outcomes
+  in
+  Alcotest.(check int) "exactly N - Q shed" 5 (List.length shed);
+  List.iter
+    (fun r ->
+      match r.P.body with
+      | Error { P.retry_after_ms = Some ms; _ } ->
+          Alcotest.(check bool) "retry hint positive" true (ms > 0.0)
+      | _ -> Alcotest.fail "shed response must carry retry_after_ms")
+    shed;
+  let ran = Serve_engine.run_pending engine in
+  Alcotest.(check int) "exactly Q executed" 3 ran;
+  List.iteri
+    (fun i outcome ->
+      match outcome with
+      | Serve_engine.Done _ -> ()
+      | Serve_engine.Queued tk -> (
+          let r = Serve_engine.await tk in
+          if i = 1 then (
+            Alcotest.(check (option string))
+              "crash-fault request crashed, structurally" (Some "crashed")
+              (Option.map P.error_code_name (code_of r));
+            match r.P.body with
+            | Error e ->
+                Alcotest.(check bool)
+                  "crash message names the attempts" true
+                  (String.length e.P.message > 0)
+            | Ok _ -> assert false)
+          else
+            let body = ok_of (Printf.sprintf "admitted r%d" i) r in
+            Alcotest.(check bool) (Printf.sprintf "r%d valid" i) true body.P.valid))
+    outcomes;
+  (* the injected crash must not have taken the daemon down *)
+  let after =
+    match Serve_engine.offer engine (quick_request ~id:"after" ~use_cache:false ()) with
+    | Serve_engine.Done r -> r
+    | Serve_engine.Queued tk ->
+        ignore (Serve_engine.run_pending engine);
+        Serve_engine.await tk
+  in
+  let body = ok_of "post-crash request" after in
+  Alcotest.(check bool) "post-crash request valid" true body.P.valid;
+  let s = Serve_engine.stats engine in
+  Alcotest.(check int) "admitted counted" 4 s.Serve_engine.admission.Admission.admitted;
+  Alcotest.(check int) "completed counted" 4 s.Serve_engine.admission.Admission.completed;
+  Alcotest.(check int) "shed counted" 5 s.Serve_engine.admission.Admission.shed;
+  Serve_engine.stop engine
+
+let test_crash_with_retry_recovers () =
+  let engine = manual_engine ~retry_attempts:2 () in
+  let resp =
+    match
+      Serve_engine.offer engine (quick_request ~fault_plan:"crash@1" ~use_cache:false ())
+    with
+    | Serve_engine.Done r -> r
+    | Serve_engine.Queued tk ->
+        ignore (Serve_engine.run_pending engine);
+        Serve_engine.await tk
+  in
+  let body = ok_of "crash then retry" resp in
+  Alcotest.(check bool) "recovered run valid" true body.P.valid;
+  Alcotest.(check bool)
+    "health records the recovery" true
+    (let h = body.P.health in
+     let has needle =
+       let nl = String.length needle and hl = String.length h in
+       let rec go i = i + nl <= hl && (String.sub h i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "recovery");
+  (* a faulted run must not poison the cache *)
+  let again =
+    match
+      Serve_engine.offer engine (quick_request ~fault_plan:"" ~use_cache:true ())
+    with
+    | Serve_engine.Done r -> r
+    | Serve_engine.Queued tk ->
+        ignore (Serve_engine.run_pending engine);
+        Serve_engine.await tk
+  in
+  Alcotest.(check bool)
+    "faulted run not cached" false (ok_of "clean rerun" again).P.cache_hit;
+  Serve_engine.stop engine
+
+let test_deadline_expiry () =
+  let engine = manual_engine () in
+  match Serve_engine.offer engine (quick_request ~deadline_ms:20.0 ~use_cache:false ()) with
+  | Serve_engine.Done r ->
+      Alcotest.failf "expected admission, got immediate %s"
+        (match code_of r with Some c -> P.error_code_name c | None -> "ok")
+  | Serve_engine.Queued tk ->
+      (* the request waits in queue past its overall deadline *)
+      Unix.sleepf 0.05;
+      ignore (Serve_engine.run_pending engine);
+      let r = Serve_engine.await tk in
+      Alcotest.(check (option string))
+        "expired in queue" (Some "deadline_expired")
+        (Option.map P.error_code_name (code_of r));
+      Alcotest.(check bool) "queue wait reported" true (r.P.queue_ms >= 20.0);
+      Serve_engine.stop engine
+
+let test_bad_requests_never_admitted () =
+  let engine = manual_engine () in
+  let expect_bad what req =
+    match Serve_engine.offer engine req with
+    | Serve_engine.Done r ->
+        Alcotest.(check (option string))
+          what (Some "bad_request")
+          (Option.map P.error_code_name (code_of r))
+    | Serve_engine.Queued _ -> Alcotest.failf "%s: must not be admitted" what
+  in
+  expect_bad "unknown instance"
+    { (quick_request ()) with P.source = P.Instance "no_such_instance" };
+  expect_bad "garbage inline graph" { (quick_request ()) with P.source = P.Inline "%%%" };
+  expect_bad "cost vector length mismatch"
+    { (quick_request ()) with P.costs = Some [| 1.0 |] };
+  let s = Serve_engine.stats engine in
+  Alcotest.(check int) "nothing admitted" 0 s.Serve_engine.admission.Admission.admitted;
+  Serve_engine.stop engine
+
+let test_drain_refuses_then_stop_fails_queued () =
+  let engine = manual_engine ~queue_limit:4 () in
+  let tickets =
+    List.filter_map
+      (fun i ->
+        match
+          Serve_engine.offer engine
+            (quick_request ~id:(Printf.sprintf "q%d" i) ~seed:i ~use_cache:false ())
+        with
+        | Serve_engine.Queued tk -> Some tk
+        | Serve_engine.Done _ -> None)
+      [ 0; 1 ]
+  in
+  Alcotest.(check int) "both queued" 2 (List.length tickets);
+  Serve_engine.drain engine;
+  (match Serve_engine.offer engine (quick_request ~id:"late" ()) with
+  | Serve_engine.Done r ->
+      Alcotest.(check (option string))
+        "refused while draining" (Some "draining")
+        (Option.map P.error_code_name (code_of r))
+  | Serve_engine.Queued _ -> Alcotest.fail "draining engine admitted a request");
+  (* manual mode: drain leaves execution to the caller; stop instead
+     fails whatever is still queued with a structured error *)
+  Serve_engine.stop engine;
+  List.iter
+    (fun tk ->
+      let r = Serve_engine.await tk in
+      Alcotest.(check (option string))
+        "queued ticket failed structurally" (Some "draining")
+        (Option.map P.error_code_name (code_of r)))
+    tickets
+
+let test_executor_domains () =
+  let engine =
+    Serve_engine.create
+      ~config:
+        {
+          Serve_engine.default_config with
+          Serve_engine.queue_limit = 8;
+          executors = 2;
+          cache_capacity = 0;
+        }
+      ()
+  in
+  let tickets =
+    List.map
+      (fun i ->
+        Serve_engine.offer engine
+          (quick_request ~id:(Printf.sprintf "d%d" i) ~seed:i ~iters:6 ()))
+      [ 0; 1; 2; 3 ]
+  in
+  List.iteri
+    (fun i outcome ->
+      let r =
+        match outcome with
+        | Serve_engine.Queued tk -> Serve_engine.await tk
+        | Serve_engine.Done r -> r
+      in
+      let body = ok_of (Printf.sprintf "domain-executed d%d" i) r in
+      Alcotest.(check bool) (Printf.sprintf "d%d valid" i) true body.P.valid)
+    tickets;
+  (* per-request fault plans are process-ambient: a multi-executor
+     daemon must reject them instead of racing *)
+  (match Serve_engine.offer engine (quick_request ~fault_plan:"crash@1" ()) with
+  | Serve_engine.Done r ->
+      Alcotest.(check (option string))
+        "fault plan rejected with >1 executor" (Some "bad_request")
+        (Option.map P.error_code_name (code_of r))
+  | Serve_engine.Queued _ -> Alcotest.fail "fault plan admitted with 2 executors");
+  Serve_engine.drain engine;
+  let s = Serve_engine.stats engine in
+  Alcotest.(check int) "all completed" 4 s.Serve_engine.admission.Admission.completed;
+  Serve_engine.stop engine
+
+(* --- socket transport --------------------------------------------------- *)
+
+let test_socket_end_to_end () =
+  let path = Printf.sprintf "/tmp/smoothe-test-%d.sock" (Unix.getpid ()) in
+  let engine =
+    Serve_engine.create
+      ~config:
+        { Serve_engine.default_config with Serve_engine.queue_limit = 8; executors = 1 }
+      ()
+  in
+  let srv = Serve_socket.create ~engine ~path in
+  let server = Thread.create (fun () -> Serve_socket.run srv) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve_socket.shutdown srv;
+      Thread.join server;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let ping = Serve_socket.call ~path (Json.Object [ ("op", Json.String "ping") ]) in
+      Alcotest.(check string)
+        "ping answered" "ok"
+        (Json.get_string (Json.member "status" ping));
+      let req = P.request_to_json (quick_request ~id:"sock" ()) in
+      let garbage_then_work =
+        Serve_socket.call_many ~path
+          [ Json.Object [ ("op", Json.String "wat") ]; req; req ]
+      in
+      (match garbage_then_work with
+      | [ bad; first; second ] ->
+          Alcotest.(check string)
+            "unknown op answered structurally" "error"
+            (Json.get_string (Json.member "status" bad));
+          (match P.response_of_json first with
+          | Ok r -> Alcotest.(check bool) "extraction ok" true (Result.is_ok r.P.body)
+          | Error msg -> Alcotest.failf "unparsable first response: %s" msg);
+          (match P.response_of_json second with
+          | Ok r ->
+              let body = ok_of "pipelined repeat" r in
+              Alcotest.(check bool) "served from cache" true body.P.cache_hit
+          | Error msg -> Alcotest.failf "unparsable second response: %s" msg)
+      | other -> Alcotest.failf "expected 3 responses, got %d" (List.length other));
+      let stats = Serve_socket.call ~path (Json.Object [ ("op", Json.String "stats") ]) in
+      let completed =
+        Json.get_number (Json.member "completed" (Json.member "stats" stats))
+      in
+      Alcotest.(check bool) "stats counts the run" true (completed >= 1.0))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "validation rejects" `Quick test_request_validation;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "state machine" `Quick test_admission_machine;
+          Alcotest.test_case "bad requests never admitted" `Quick
+            test_bad_requests_never_admitted;
+          Alcotest.test_case "drain then stop" `Quick
+            test_drain_refuses_then_stop_fails_queued;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru bounds" `Quick test_cache_lru;
+          Alcotest.test_case "single-bit key sensitivity" `Quick
+            test_cache_key_bit_sensitivity;
+          Alcotest.test_case "end to end" `Quick test_cache_end_to_end;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "overload, crash, survival" `Quick
+            test_overload_crash_and_survival;
+          Alcotest.test_case "crash with retry recovers" `Quick
+            test_crash_with_retry_recovers;
+          Alcotest.test_case "deadline expiry in queue" `Quick test_deadline_expiry;
+          Alcotest.test_case "executor domains" `Quick test_executor_domains;
+        ] );
+      ("socket", [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ]);
+    ]
