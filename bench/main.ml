@@ -80,12 +80,51 @@ let kernels () =
       | Some _ | None -> Report.row [ name; "-" ])
     (List.sort compare rows)
 
+(* --record: serialise exactly what an experiment printed — the Report
+   tables, captured cell by cell — into a schema-versioned result file,
+   so CI and later sessions can diff bench output structurally instead
+   of scraping stdout. *)
+let record_schema_version = 1
+
+let write_record ~name ~quick tables =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let doc =
+    Json.Object
+      [
+        ("schema_version", Json.Number (float_of_int record_schema_version));
+        ("experiment", Json.String name);
+        ("budget", Json.String (if quick then "quick" else "default"));
+        ( "tables",
+          Json.Array
+            (List.map
+               (fun (title, rows) ->
+                 Json.Object
+                   [
+                     ("title", Json.String title);
+                     ( "rows",
+                       Json.Array
+                         (List.map
+                            (fun cells ->
+                              Json.Array (List.map (fun c -> Json.String c) cells))
+                            rows) );
+                   ])
+               tables) );
+      ]
+  in
+  Fsio.write_atomic ~path (Json.to_string ~pretty:true doc ^ "\n");
+  Printf.printf "[recorded %s]\n%!" path
+
 let () =
   let quick = ref false in
+  let record = ref false in
   let selected = ref [] in
   let spec =
     [
       ("--quick", Arg.Set quick, "use the fast smoke-test budget");
+      ( "--record",
+        Arg.Set record,
+        " write each experiment's tables to BENCH_<experiment>.json (atomic, \
+         schema-versioned)" );
       ( "--jobs",
         Arg.Int
           (fun j ->
@@ -97,20 +136,28 @@ let () =
   in
   Arg.parse spec
     (fun name -> selected := name :: !selected)
-    "bench [--quick] [--jobs N] [experiments...]";
+    "bench [--quick] [--record] [--jobs N] [experiments...]";
   let budget = if !quick then Budget.quick else Budget.default in
   let bank = Runbank.create budget in
   let wanted = List.rev !selected in
+  let recording name f =
+    if !record then begin
+      let (), tables = Report.record f in
+      write_record ~name ~quick:!quick tables
+    end
+    else f ()
+  in
   let run_one name =
     match name with
     | "all" ->
-        Experiments.all bank;
-        kernels ()
-    | "kernels" -> kernels ()
+        recording "all" (fun () ->
+            Experiments.all bank;
+            kernels ())
+    | "kernels" -> recording "kernels" kernels
     | name -> (
         match Experiments.by_name name with
         | Some f ->
-            let (), t = Timer.time (fun () -> f bank) in
+            let (), t = Timer.time (fun () -> recording name (fun () -> f bank)) in
             Printf.printf "[%s completed in %.1fs]\n%!" name t
         | None ->
             Printf.eprintf "unknown experiment %S; available: %s, kernels, all\n" name

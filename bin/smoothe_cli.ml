@@ -341,10 +341,15 @@ let write_health_report health = function
       Fsio.write_atomic ~path (render_health_report health);
       Printf.printf "health report written to %s\n" path
 
-let write_metrics_snapshot = function
+let write_metrics_snapshot ?(format = `Json) = function
   | None -> ()
   | Some path ->
-      Fsio.write_atomic ~path (Json.to_string ~pretty:true (Metrics.snapshot ()) ^ "\n");
+      let body =
+        match format with
+        | `Json -> Json.to_string ~pretty:true (Metrics.snapshot ()) ^ "\n"
+        | `Prom -> Prom.render ()
+      in
+      Fsio.write_atomic ~path body;
       Printf.printf "metrics written to %s\n" path
 
 let extract_cmd =
@@ -503,7 +508,7 @@ let trace_summary_cmd =
     let src = Fsio.read_file path in
     let j = Json.parse src in
     let events = Json.get_list (Json.member "traceEvents" j) in
-    let tbl = Hashtbl.create 32 in
+    let tbl : (string, float Vec.t) Hashtbl.t = Hashtbl.create 32 in
     let instants = ref [] in
     List.iter
       (fun e ->
@@ -511,18 +516,38 @@ let trace_summary_cmd =
         let name = Json.get_string (Json.member "name" e) in
         if ph = "X" then begin
           let dur = Json.get_number (Json.member "dur" e) in
-          let count, total = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl name) in
-          Hashtbl.replace tbl name (count + 1, total +. dur)
+          let durs =
+            match Hashtbl.find_opt tbl name with
+            | Some v -> v
+            | None ->
+                let v = Vec.create () in
+                Hashtbl.add tbl name v;
+                v
+          in
+          Vec.push durs dur
         end
         else if ph = "i" then instants := name :: !instants)
       events;
-    let rows = Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tbl [] in
-    let rows = List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows in
+    let rows =
+      Hashtbl.fold
+        (fun name durs acc ->
+          let xs = Array.of_list (Vec.to_list durs) in
+          let total = Array.fold_left ( +. ) 0.0 xs in
+          (* exact per-span quantiles: the trace keeps every duration,
+             unlike the live bucketed histograms *)
+          (name, Array.length xs, total, Stats.percentile xs 50.0, Stats.percentile xs 95.0)
+          :: acc)
+        tbl []
+    in
+    let rows = List.sort (fun (_, _, a, _, _) (_, _, b, _, _) -> compare b a) rows in
     let buf = Buffer.create 1024 in
-    Buffer.add_string buf (Printf.sprintf "%-24s %8s %12s\n" "span" "count" "total_ms");
+    Buffer.add_string buf
+      (Printf.sprintf "%-24s %8s %12s %10s %10s\n" "span" "count" "total_ms" "p50_ms" "p95_ms");
     List.iter
-      (fun (name, c, t) ->
-        Buffer.add_string buf (Printf.sprintf "%-24s %8d %12.3f\n" name c (t /. 1000.0)))
+      (fun (name, c, t, p50, p95) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %8d %12.3f %10.3f %10.3f\n" name c (t /. 1000.0)
+             (p50 /. 1000.0) (p95 /. 1000.0)))
       rows;
     Buffer.add_string buf
       (Printf.sprintf "%d instant event(s)%s\n" (List.length !instants)
@@ -562,9 +587,28 @@ let socket_flag =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
+let metrics_format_flag =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:
+          "Format of the $(b,--metrics) snapshot: $(b,json) (the registry snapshot) or \
+           $(b,prom) (Prometheus text exposition).")
+
+let log_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Write request-scoped structured logs (one JSON object per line, each stamped \
+           with the request id minted at admission) to $(docv); $(b,-) logs to stderr.")
+
 let serve_cmd =
   let run socket queue_limit executors default_budget max_budget retry_attempts
-      cache_capacity preflight jobs metrics_out health_report trace_out =
+      cache_capacity preflight jobs metrics_out metrics_format log_out health_report
+      trace_out =
     let queue_limit = checked_pos_int ~flag:"--queue-limit" queue_limit in
     let default_budget = checked_pos_float ~flag:"--default-budget" default_budget in
     let max_budget = checked_pos_float ~flag:"--max-budget" max_budget in
@@ -579,11 +623,24 @@ let serve_cmd =
     end;
     let jobs = checked_pos_int ~flag:"--jobs" jobs in
     Pool.set_jobs jobs;
-    if trace_out <> None || metrics_out <> None then begin
-      Obs.enable ();
-      Trace.reset ();
-      Metrics.reset ()
-    end;
+    (* the daemon always keeps the metrics/trace sink live: the
+       [telemetry] control op and [smoothe top] must have data without
+       a restart (extraction results are unaffected — instrumentation
+       never feeds back into the numerics) *)
+    Obs.enable ();
+    Trace.reset ();
+    Metrics.reset ();
+    let log_channel =
+      match log_out with
+      | None -> None
+      | Some "-" ->
+          Log.set_sink (Log.Channel stderr);
+          None
+      | Some path ->
+          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+          Log.set_sink (Log.Channel oc);
+          Some oc
+    in
     let config =
       {
         Serve_engine.queue_limit;
@@ -625,7 +682,12 @@ let serve_cmd =
         Trace.write_file path;
         Printf.printf "trace written to %s\n" path
     | None -> ());
-    write_metrics_snapshot metrics_out
+    write_metrics_snapshot ~format:metrics_format metrics_out;
+    match log_channel with
+    | Some oc ->
+        Log.set_sink Log.Silent;
+        close_out oc
+    | None -> ()
   in
   let queue_limit =
     Arg.(
@@ -685,7 +747,7 @@ let serve_cmd =
     Term.(
       const run $ socket_flag $ queue_limit $ executors $ default_budget $ max_budget
       $ retry_attempts $ cache_capacity $ preflight $ jobs_flag $ metrics_flag
-      $ health_report_flag $ trace_flag)
+      $ metrics_format_flag $ log_flag $ health_report_flag $ trace_flag)
 
 (* --------------------------------------------------------------- request *)
 
@@ -821,6 +883,164 @@ let request_cmd =
       const run $ spec $ socket_flag $ ping $ stats $ method_name $ budget $ deadline_ms
       $ seed_flag $ batch $ iters $ lambda $ fault_plan $ no_cache $ id)
 
+(* ------------------------------------------------------------------- top *)
+
+(* The monitor's single data source is the daemon's [telemetry] control
+   op: one frame per poll, so a busy daemon pays one registry
+   transaction per refresh, never one lock round-trip per metric. *)
+let top_cmd =
+  let run socket interval once as_json as_prom =
+    let interval = checked_pos_float ~flag:"--interval" interval in
+    if as_json && as_prom then begin
+      Printf.eprintf "top: --json and --prom are mutually exclusive\n";
+      exit 1
+    end;
+    let num j = match (j : Json.t) with Json.Number v -> v | _ -> 0.0 in
+    let fetch () =
+      let frame =
+        Json.Object
+          (("op", Json.String "telemetry")
+          :: (if as_prom then [ ("format", Json.String "prom") ] else []))
+      in
+      match Serve_socket.call ~path:socket frame with
+      | reply -> reply
+      | exception Failure msg ->
+          Printf.eprintf "top: %s\n" msg;
+          exit 1
+    in
+    (* a metric that saw no traffic yet has no cell at all: read its
+       fields as Null / 0 instead of raising on member-of-Null *)
+    let field name f metrics =
+      match Json.member name metrics with
+      | Json.Object _ as m -> Json.member f m
+      | _ -> Json.Null
+    in
+    (* a flat scrape-friendly summary: rates from the meters, quantiles
+       from the bucketed histograms, depths from the admission stats *)
+    let summary reply =
+      let stats = Json.member "stats" reply in
+      let metrics = Json.member "metrics" reply in
+      let stat f = Json.member f stats in
+      let met name f = field name f metrics in
+      let rate name f = Json.Number (num (met name f)) in
+      Json.Object
+        [
+          ("uptime_s", stat "uptime_s");
+          ("state", stat "state");
+          ("qps_1s", rate "serve.offered.rate" "rate_1s");
+          ("qps_10s", rate "serve.offered.rate" "rate_10s");
+          ("qps_60s", rate "serve.offered.rate" "rate_60s");
+          ("shed_per_s_10s", rate "serve.shed.rate" "rate_10s");
+          ("completed_per_s_10s", rate "serve.completed.rate" "rate_10s");
+          ("queue_depth", stat "queued");
+          ("queue_limit", stat "queue_limit");
+          ("inflight", stat "inflight");
+          ("cache_hit_rate", stat "cache_hit_rate");
+          ("request_ms_p50", met "serve.request_ms" "p50");
+          ("request_ms_p95", met "serve.request_ms" "p95");
+          ("request_ms_p99", met "serve.request_ms" "p99");
+          ("request_ms_count", met "serve.request_ms" "count");
+          ("queue_ms_p50", met "serve.queue_ms" "p50");
+          ("queue_ms_p95", met "serve.queue_ms" "p95");
+          ("queue_ms_p99", met "serve.queue_ms" "p99");
+          ("requests", stat "admitted");
+          ("completed", stat "completed");
+          ("shed", stat "shed");
+          ("refused", stat "refused");
+          ("cache_hits", stat "cache_hits");
+          ("cache_misses", stat "cache_misses");
+        ]
+    in
+    let render_human reply =
+      let stats = Json.member "stats" reply in
+      let metrics = Json.member "metrics" reply in
+      let stat f = num (Json.member f stats) in
+      let met name f = num (field name f metrics) in
+      let hist_line label name =
+        Printf.printf "  %-12s %9.3f %9.3f %9.3f %9.3f %9.0f\n" label (met name "p50")
+          (met name "p95") (met name "p99") (met name "mean") (met name "count")
+      in
+      Printf.printf "smoothe top — %s    up %.0fs    state %s\n\n" socket (stat "uptime_s")
+        (match Json.member "state" stats with Json.String s -> s | _ -> "?");
+      Printf.printf "  %-12s 1s %6.1f   10s %6.1f   60s %6.1f\n" "qps"
+        (met "serve.offered.rate" "rate_1s")
+        (met "serve.offered.rate" "rate_10s")
+        (met "serve.offered.rate" "rate_60s");
+      Printf.printf "  %-12s 1s %6.1f   10s %6.1f   60s %6.1f\n" "done/s"
+        (met "serve.completed.rate" "rate_1s")
+        (met "serve.completed.rate" "rate_10s")
+        (met "serve.completed.rate" "rate_60s");
+      Printf.printf "  %-12s 1s %6.1f   10s %6.1f   60s %6.1f\n" "shed/s"
+        (met "serve.shed.rate" "rate_1s")
+        (met "serve.shed.rate" "rate_10s")
+        (met "serve.shed.rate" "rate_60s");
+      Printf.printf "  %-12s %.0f / %.0f waiting, %.0f in flight\n" "queue"
+        (stat "queued") (stat "queue_limit") (stat "inflight");
+      Printf.printf "  %-12s %.0f%% hit rate (%.0f hits / %.0f misses, %.0f / %.0f entries)\n\n"
+        "cache"
+        (100.0 *. stat "cache_hit_rate")
+        (stat "cache_hits") (stat "cache_misses") (stat "cache_size")
+        (stat "cache_capacity");
+      Printf.printf "  %-12s %9s %9s %9s %9s %9s\n" "latency ms" "p50" "p95" "p99" "mean"
+        "count";
+      hist_line "request" "serve.request_ms";
+      hist_line "queue" "serve.queue_ms";
+      Printf.printf "\n  %-12s requests %.0f  admitted %.0f  completed %.0f  shed %.0f  \
+                     refused %.0f\n"
+        "counters"
+        (met "serve.requests" "value")
+        (stat "admitted") (stat "completed") (stat "shed") (stat "refused")
+    in
+    let rec loop first =
+      let reply = fetch () in
+      if as_prom then print_string (Json.get_string (Json.member "prom" reply))
+      else if as_json then print_endline (Json.to_string (summary reply))
+      else begin
+        (* repaint in place, like top(1); the first frame keeps the
+           scrollback so --once output survives in a pipe *)
+        if not first then print_string "\027[H\027[2J";
+        render_human reply
+      end;
+      flush stdout;
+      if not once then begin
+        Unix.sleepf interval;
+        loop false
+      end
+    in
+    loop true
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period between polls.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Print one sample and exit (for scripts).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "One flat JSON summary per sample (rates, depths, latency quantiles, \
+             counters) instead of the screen display.")
+  in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"Print the daemon's Prometheus text exposition instead of the screen \
+                display.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live monitor for a running $(b,smoothe serve) daemon: polls the $(b,telemetry) \
+          control op and shows qps, shed and completion rates, queue depth, cache hit \
+          rate and latency quantiles. $(b,--once --json) emits one machine-readable \
+          sample.")
+    Term.(const run $ socket_flag $ interval $ once $ json $ prom)
+
 (* --------------------------------------------------------------- compare *)
 
 let compare_cmd =
@@ -851,5 +1071,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; stats_cmd; dump_cmd; analyze_cmd; extract_cmd; compare_cmd;
-            trace_summary_cmd; serve_cmd; request_cmd;
+            trace_summary_cmd; serve_cmd; request_cmd; top_cmd;
           ]))

@@ -2,17 +2,52 @@ let columns = ref []
 
 let set_columns widths = columns := widths
 
+(* --- capture ----------------------------------------------------------- *)
+
+(* When recording is on (bench --record), every heading/subheading
+   starts a table and every row lands in the current one, while the
+   plain-text output still prints — the recorded result is exactly the
+   printed tables, cell by cell. *)
+type table = { t_title : string; mutable t_rows : string list list (* reversed *) }
+
+let cap : table list ref option ref = ref None
+
+let capture_title title =
+  match !cap with
+  | None -> ()
+  | Some tables -> tables := { t_title = title; t_rows = [] } :: !tables
+
+let capture_row cells =
+  match !cap with
+  | None -> ()
+  | Some tables -> (
+      match !tables with
+      | [] -> tables := [ { t_title = ""; t_rows = [ cells ] } ]
+      | t :: _ -> t.t_rows <- cells :: t.t_rows)
+
+let record f =
+  let tables = ref [] in
+  cap := Some tables;
+  let v = Fun.protect ~finally:(fun () -> cap := None) f in
+  (v, List.rev_map (fun t -> (t.t_title, List.rev t.t_rows)) !tables)
+
+(* --- rendering --------------------------------------------------------- *)
+
 let heading title =
+  capture_title title;
   let line = String.make (String.length title + 4) '=' in
   Printf.printf "\n%s\n= %s =\n%s\n" line title line
 
-let subheading title = Printf.printf "\n-- %s --\n" title
+let subheading title =
+  capture_title title;
+  Printf.printf "\n-- %s --\n" title
 
 let pad width s =
   let len = String.length s in
   if len >= width then s else s ^ String.make (width - len) ' '
 
 let row cells =
+  capture_row cells;
   let rec zip widths cells =
     match widths, cells with
     | _, [] -> []

@@ -14,6 +14,12 @@ val set_columns : int list -> unit
 val rule : unit -> unit
 (** Horizontal rule matching the current columns. *)
 
+val record : (unit -> 'a) -> 'a * (string * string list list) list
+(** Run a thunk with table capture on (printing still happens) and
+    return its result plus the tables it printed, in order: each
+    {!heading}/{!subheading} starts a [(title, rows)] table, each
+    {!row} appends its cells verbatim. Backs [bench --record]. *)
+
 val pct : float -> string
 (** Format a quality increase: "2.8%", "6.3x" for large values, "Failed"
     for infinity — the Table 2/4 conventions. *)

@@ -1,0 +1,45 @@
+type sink = Silent | Memory | Channel of out_channel
+
+let current = ref Silent
+let lock = Mutex.create ()
+let store : Json.t Vec.t = Vec.create ()
+
+let sink () = !current
+let set_sink s = Mutex.protect lock (fun () -> current := s)
+
+let reset () = Mutex.protect lock (fun () -> Vec.clear store)
+
+let line_of_record r = Json.to_string r
+
+let emit ?req ~event fields =
+  (* the cheap path first: a silent sink costs one dereference *)
+  match !current with
+  | Silent -> ()
+  | _ ->
+      let record =
+        Json.Object
+          (("ts", Json.Number (Timer.now ()))
+           :: ("event", Json.String event)
+           :: (match req with None -> [] | Some id -> [ ("req", Json.String id) ])
+          @ fields)
+      in
+      Mutex.protect lock (fun () ->
+          match !current with
+          | Silent -> ()
+          | Memory -> Vec.push store record
+          | Channel oc ->
+              (* one record per line, flushed: a tail -f on the file
+                 always sees whole records *)
+              output_string oc (line_of_record record);
+              output_char oc '\n';
+              flush oc)
+
+let records () = Mutex.protect lock (fun () -> Vec.to_list store)
+
+let lines () = List.map line_of_record (records ())
+
+let with_memory f =
+  let saved = Mutex.protect lock (fun () -> !current) in
+  set_sink Memory;
+  reset ();
+  Fun.protect ~finally:(fun () -> set_sink saved) f

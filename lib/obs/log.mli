@@ -1,0 +1,46 @@
+(** Structured JSON-lines logging with request-scoped correlation.
+
+    Each {!emit} produces one JSON object — ["ts"] (from {!Timer.now},
+    so injected clock skew is visible), ["event"] (a dotted lowercase
+    name, e.g. [request.admitted]), an optional ["req"] request id, and
+    any caller-supplied fields — serialised as exactly one line, so a
+    log file is greppable by request id and parseable line by line.
+
+    The serve daemon mints a request id at admission and stamps it on
+    every line for that request (and on the request's trace span and
+    health events), so one request can be followed across
+    queue → retry → cache → solution; see DESIGN.md ("Observability")
+    for the request-id lifecycle and field taxonomy.
+
+    The sink is independent of the {!Obs} metrics/trace switch and
+    defaults to {!Silent}, where {!emit} is a single dereference — an
+    un-logged run allocates nothing and behaves bit-identically to an
+    un-instrumented one. *)
+
+type sink =
+  | Silent  (** the default: {!emit} is a no-op *)
+  | Memory  (** collect records in-process (tests, [records]/[lines]) *)
+  | Channel of out_channel
+      (** write each record as one flushed line (the daemon's
+          [--log FILE]); the channel is owned by the caller *)
+
+val sink : unit -> sink
+val set_sink : sink -> unit
+
+val emit : ?req:string -> event:string -> (string * Json.t) list -> unit
+(** Thread-safe; field order is preserved ([ts], [event], [req], then
+    the caller's fields). *)
+
+val records : unit -> Json.t list
+(** What the Memory sink collected, oldest first. *)
+
+val lines : unit -> string list
+(** {!records} rendered as JSON lines (no trailing newline). *)
+
+val reset : unit -> unit
+(** Drop the Memory sink's records. *)
+
+val with_memory : (unit -> 'a) -> 'a
+(** Run a thunk against a fresh Memory sink, restoring the previous
+    sink afterwards (also on raise). The collected records survive for
+    inspection via {!records}. *)

@@ -1,15 +1,152 @@
+(* --- bucketed histograms ------------------------------------------------ *)
+
+(* Fixed log-scale buckets: bound i = 1e-3 * (sqrt 2)^i, i.e. one bucket
+   per half power of two from 1e-3 up to ~3e6, plus an overflow bucket.
+   64 buckets cover nine decades — microsecond-resolution latencies in
+   milliseconds up to ~50 minutes — with a worst-case quantile error of
+   one bucket (~41% of the value), at 65 ints of memory per histogram. *)
+let bucket_count = 64
+
+let bucket_bound =
+  let bounds =
+    Array.init bucket_count (fun i -> 1e-3 *. (Float.sqrt 2.0 ** float_of_int i))
+  in
+  fun i -> bounds.(i)
+
+(* Least bucket whose upper bound contains [v]; [bucket_count] is the
+   overflow bucket. Non-positive values land in bucket 0. *)
+let bucket_of v =
+  if not (v > bucket_bound 0) then 0
+  else if v > bucket_bound (bucket_count - 1) then bucket_count
+  else begin
+    (* binary search: least i with v <= bound i *)
+    let lo = ref 0 and hi = ref (bucket_count - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bucket_bound mid then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
 type histogram = {
   count : int;
+  non_finite : int;
   sum : float;
   min_v : float;
   max_v : float;
   last : float;
+  buckets : int array;
 }
+
+let empty_histogram () =
+  {
+    count = 0;
+    non_finite = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    last = 0.0;
+    buckets = Array.make (bucket_count + 1) 0;
+  }
+
+(* NaN-safe by construction: non-finite observations are quarantined in
+   [non_finite] and never touch [sum]/[min_v]/[max_v]/[buckets], so the
+   derived mean of a histogram that saw any finite value is always a
+   finite number, and an all-NaN histogram reports count = 0. *)
+let hist_observe h v =
+  if not (Float.is_finite v) then { h with non_finite = h.non_finite + 1 }
+  else begin
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    {
+      h with
+      count = h.count + 1;
+      sum = h.sum +. v;
+      min_v = Float.min h.min_v v;
+      max_v = Float.max h.max_v v;
+      last = v;
+    }
+  end
+
+let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let quantile h q =
+  if Float.is_nan q || q < 0.0 || q > 100.0 then
+    invalid_arg (Printf.sprintf "Metrics.quantile: q must be in [0,100], got %g" q)
+  else if h.count = 0 then None
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (ceil (q /. 100.0 *. float_of_int h.count))) in
+    let b = ref 0 and seen = ref 0 in
+    while !seen < rank && !b <= bucket_count do
+      seen := !seen + h.buckets.(!b);
+      if !seen < rank then incr b
+    done;
+    (* the rank-th smallest observation lies in bucket !b: estimate it
+       as the bucket's upper bound, clamped into the exact [min,max]
+       envelope — the error is at most one bucket width *)
+    let raw = if !b >= bucket_count then h.max_v else bucket_bound !b in
+    Some (Float.max h.min_v (Float.min raw h.max_v))
+  end
+
+(* --- meters (rolling windows) ------------------------------------------- *)
+
+(* A ring of per-second slots: slot [sec mod slots] carries the sum of
+   marks in epoch second [sec], lazily zeroed when the second moves on.
+   61 slots back a 60 s window that can never alias the current second. *)
+let meter_slots = 61
+
+type meter = {
+  m_sums : float array;
+  m_secs : int array;  (** epoch second each slot currently describes *)
+  mutable m_total : float;
+}
+
+type meter_rates = {
+  rate_1s : float;
+  rate_10s : float;
+  rate_60s : float;
+  total : float;
+}
+
+let empty_meter () =
+  { m_sums = Array.make meter_slots 0.0; m_secs = Array.make meter_slots min_int; m_total = 0.0 }
+
+let meter_mark m ~now by =
+  let sec = int_of_float (Float.floor now) in
+  let idx = ((sec mod meter_slots) + meter_slots) mod meter_slots in
+  if m.m_secs.(idx) <> sec then begin
+    m.m_secs.(idx) <- sec;
+    m.m_sums.(idx) <- 0.0
+  end;
+  m.m_sums.(idx) <- m.m_sums.(idx) +. by;
+  m.m_total <- m.m_total +. by
+
+(* Sum of the [w] most recent seconds including the current (partial)
+   one, over [w]: marks show up in the 1 s rate immediately, at the
+   price of the newest second being under way. *)
+let meter_rate m ~now w =
+  let sec = int_of_float (Float.floor now) in
+  let acc = ref 0.0 in
+  for s = sec - w + 1 to sec do
+    let idx = ((s mod meter_slots) + meter_slots) mod meter_slots in
+    if m.m_secs.(idx) = s then acc := !acc +. m.m_sums.(idx)
+  done;
+  !acc /. float_of_int w
+
+let meter_rates_of m ~now =
+  {
+    rate_1s = meter_rate m ~now 1;
+    rate_10s = meter_rate m ~now 10;
+    rate_60s = meter_rate m ~now 60;
+    total = m.m_total;
+  }
+
+(* --- registry ----------------------------------------------------------- *)
 
 type cell =
   | Counter of float ref
   | Gauge of float ref
   | Histogram of histogram ref
+  | Meter of meter
 
 let global : (string, cell) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
@@ -35,7 +172,11 @@ let scoped f =
   slot := Some (Hashtbl.create 64);
   Fun.protect ~finally:(fun () -> slot := saved) f
 
-let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Meter _ -> "meter"
 
 let find_or_create tbl name make =
   match Hashtbl.find_opt tbl name with
@@ -63,22 +204,11 @@ let set_gauge name v =
         | Gauge r -> r := v
         | cell -> wrong_kind name cell "gauge")
 
-let empty_histogram = { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; last = 0.0 }
-
 let observe name v =
   if !Obs.on then
     with_registry (fun tbl ->
-        match find_or_create tbl name (fun () -> Histogram (ref empty_histogram)) with
-        | Histogram r ->
-            let h = !r in
-            r :=
-              {
-                count = h.count + 1;
-                sum = h.sum +. v;
-                min_v = Float.min h.min_v v;
-                max_v = Float.max h.max_v v;
-                last = v;
-              }
+        match find_or_create tbl name (fun () -> Histogram (ref (empty_histogram ()))) with
+        | Histogram r -> r := hist_observe !r v
         | cell -> wrong_kind name cell "histogram")
 
 let time name f =
@@ -88,6 +218,15 @@ let time name f =
     v
   end
   else f ()
+
+let mark ?(by = 1.0) ?now name =
+  if !Obs.on then begin
+    let now = match now with Some t -> t | None -> Timer.now () in
+    with_registry (fun tbl ->
+        match find_or_create tbl name (fun () -> Meter (empty_meter ())) with
+        | Meter m -> meter_mark m ~now by
+        | cell -> wrong_kind name cell "meter")
+  end
 
 let counter_value name =
   with_registry (fun tbl ->
@@ -99,7 +238,19 @@ let gauge_value name =
 
 let histogram_stats name =
   with_registry (fun tbl ->
-      match Hashtbl.find_opt tbl name with Some (Histogram r) -> Some !r | _ -> None)
+      match Hashtbl.find_opt tbl name with
+      | Some (Histogram r) -> Some { !r with buckets = Array.copy !r.buckets }
+      | _ -> None)
+
+let histogram_quantile name q =
+  match histogram_stats name with None -> None | Some h -> quantile h q
+
+let meter_rates ?now name =
+  let now = match now with Some t -> t | None -> Timer.now () in
+  with_registry (fun tbl ->
+      match Hashtbl.find_opt tbl name with
+      | Some (Meter m) -> Some (meter_rates_of m ~now)
+      | _ -> None)
 
 let sorted_names tbl =
   Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort compare
@@ -108,28 +259,76 @@ let names () = with_registry sorted_names
 
 let reset () = with_registry Hashtbl.reset
 
-let snapshot () =
-  (* one registry transaction: [find_opt] per name would deadlock on
-     the non-reentrant lock and could tear across concurrent updates *)
+type value =
+  | Counter_v of float
+  | Gauge_v of float
+  | Histogram_v of histogram
+  | Meter_v of meter_rates
+
+let dump ?now () =
+  let now = match now with Some t -> t | None -> Timer.now () in
   with_registry (fun tbl ->
-      let field name =
-        match Hashtbl.find_opt tbl name with
-        | None -> Json.Null
-        | Some (Counter r) ->
-            Json.Object [ "type", Json.String "counter"; "value", Json.Number !r ]
-        | Some (Gauge r) -> Json.Object [ "type", Json.String "gauge"; "value", Json.Number !r ]
-        | Some (Histogram r) ->
-            let h = !r in
-            let mean = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
-            Json.Object
-              [
-                "type", Json.String "histogram";
-                "count", Json.Number (float_of_int h.count);
-                "sum", Json.Number h.sum;
-                "mean", Json.Number mean;
-                "min", Json.Number (if h.count = 0 then 0.0 else h.min_v);
-                "max", Json.Number (if h.count = 0 then 0.0 else h.max_v);
-                "last", Json.Number h.last;
-              ]
-      in
-      Json.Object (List.map (fun name -> name, field name) (sorted_names tbl)))
+      List.map
+        (fun name ->
+          let v =
+            match Hashtbl.find tbl name with
+            | Counter r -> Counter_v !r
+            | Gauge r -> Gauge_v !r
+            | Histogram r -> Histogram_v { !r with buckets = Array.copy !r.buckets }
+            | Meter m -> Meter_v (meter_rates_of m ~now)
+          in
+          (name, v))
+        (sorted_names tbl))
+
+let histogram_json h =
+  let q p = match quantile h p with Some v -> Json.Number v | None -> Json.Null in
+  let buckets =
+    (* only occupied buckets: [upper bound, count] pairs, the overflow
+       bucket rendered with a null bound *)
+    List.filter_map
+      (fun i ->
+        if h.buckets.(i) = 0 then None
+        else
+          Some
+            (Json.Array
+               [
+                 (if i = bucket_count then Json.Null else Json.Number (bucket_bound i));
+                 Json.Number (float_of_int h.buckets.(i));
+               ]))
+      (List.init (bucket_count + 1) Fun.id)
+  in
+  Json.Object
+    [
+      ("type", Json.String "histogram");
+      ("count", Json.Number (float_of_int h.count));
+      ("non_finite", Json.Number (float_of_int h.non_finite));
+      ("sum", Json.Number h.sum);
+      ("mean", Json.Number (mean h));
+      ("min", Json.Number (if h.count = 0 then 0.0 else h.min_v));
+      ("max", Json.Number (if h.count = 0 then 0.0 else h.max_v));
+      ("last", Json.Number h.last);
+      ("p50", q 50.0);
+      ("p95", q 95.0);
+      ("p99", q 99.0);
+      ("buckets", Json.Array buckets);
+    ]
+
+let value_json = function
+  | Counter_v v -> Json.Object [ ("type", Json.String "counter"); ("value", Json.Number v) ]
+  | Gauge_v v -> Json.Object [ ("type", Json.String "gauge"); ("value", Json.Number v) ]
+  | Histogram_v h -> histogram_json h
+  | Meter_v r ->
+      Json.Object
+        [
+          ("type", Json.String "meter");
+          ("total", Json.Number r.total);
+          ("rate_1s", Json.Number r.rate_1s);
+          ("rate_10s", Json.Number r.rate_10s);
+          ("rate_60s", Json.Number r.rate_60s);
+        ]
+
+let snapshot ?now () =
+  (* [dump] is one registry transaction: [find_opt] per name would
+     deadlock on the non-reentrant lock and could tear across
+     concurrent updates *)
+  Json.Object (List.map (fun (name, v) -> (name, value_json v)) (dump ?now ()))

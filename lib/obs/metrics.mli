@@ -1,8 +1,9 @@
-(** A process-wide registry of named counters, gauges and histograms.
+(** A process-wide registry of named counters, gauges, histograms and
+    meters.
 
-    Updates ({!incr}, {!set_gauge}, {!observe}) are no-ops while
-    {!Obs} is disabled, so instrumented hot paths cost one branch.
-    Reads and {!snapshot} always work on whatever was recorded.
+    Updates ({!incr}, {!set_gauge}, {!observe}, {!mark}) are no-ops
+    while {!Obs} is disabled, so instrumented hot paths cost one
+    branch. Reads and {!snapshot} always work on whatever was recorded.
 
     The registry is domain-safe: every operation — including
     {!reset}, {!names} and {!snapshot} — is one atomic registry
@@ -15,12 +16,68 @@
     e.g. [lp.pivots], [tensor.matexp_squarings], [smoothe.loss]; the
     full taxonomy is documented in DESIGN.md ("Observability"). *)
 
+(** {1 Bucketed histograms}
+
+    Histograms carry fixed log-scale buckets alongside the exact
+    summary fields: {!bucket_count} buckets whose upper bounds grow by
+    [sqrt 2] per step from [1e-3] (see {!bucket_bound}), plus one
+    overflow bucket. {!quantile} walks the cumulative counts, so
+    p50/p95/p99 estimates cost 65 ints of memory per histogram and are
+    off by at most the width of the bucket holding the exact value.
+
+    Non-finite observations are {e quarantined}: a NaN or infinite
+    value increments [non_finite] and leaves [count], [sum], the
+    min/max envelope and the buckets untouched. The derived mean
+    ([sum /. count], 0 when [count] is 0) is therefore always finite —
+    an all-NaN histogram reports [count = 0], [mean = 0], not a
+    silently-[null] JSON field. *)
+
+val bucket_count : int
+(** Number of bounded buckets (the overflow bucket is extra). *)
+
+val bucket_bound : int -> float
+(** Upper bound of bucket [i], for [0 <= i < bucket_count]. Bucket [i]
+    holds values in [(bucket_bound (i-1), bucket_bound i]]; bucket 0
+    also absorbs everything [<= bucket_bound 0] (including negatives). *)
+
 type histogram = {
-  count : int;
-  sum : float;
+  count : int;  (** finite observations *)
+  non_finite : int;  (** NaN/infinite observations, quarantined *)
+  sum : float;  (** sum of the finite observations *)
   min_v : float;
   max_v : float;
-  last : float;
+  last : float;  (** most recent finite observation *)
+  buckets : int array;  (** length [bucket_count + 1]; last = overflow *)
+}
+
+val mean : histogram -> float
+(** [sum /. count]; 0 when the histogram saw no finite observation.
+    Finite by construction (see the quarantine note above). *)
+
+val quantile : histogram -> float -> float option
+(** [quantile h q] estimates the [q]-th percentile ([q] in [0..100])
+    from the buckets: the upper bound of the bucket holding the
+    rank-[ceil (q/100 * count)] observation, clamped into the exact
+    [[min_v, max_v]] envelope. [None] when [count = 0]; the error is
+    bounded by the width of the bucket containing the exact value
+    (observations beyond the last bound estimate as [max_v]).
+    @raise Invalid_argument when [q] is outside [0..100] or NaN. *)
+
+(** {1 Meters (rolling windows)}
+
+    A meter is a ring of per-second slots: {!mark} adds to the current
+    epoch second's slot, {!meter_rates} sums the last 1/10/60 seconds
+    (including the current, still-filling one) into per-second rates.
+    Memory is fixed (61 slots); old seconds are lazily overwritten as
+    the clock advances, so an idle meter decays to 0 without any
+    background work. The serve daemon feeds [serve.*.rate] meters so
+    [smoothe top] can show live qps / shed / cache-hit rates. *)
+
+type meter_rates = {
+  rate_1s : float;
+  rate_10s : float;
+  rate_60s : float;
+  total : float;  (** lifetime sum of all marks *)
 }
 
 (** {1 Updates (no-ops while disabled)} *)
@@ -32,9 +89,9 @@ val set_gauge : string -> float -> unit
 (** Set a gauge to its latest value. *)
 
 val observe : string -> float -> unit
-(** Feed one observation into a histogram (count/sum/min/max/last —
-    enough for loss and grad-norm trajectories without unbounded
-    storage). *)
+(** Feed one observation into a histogram (count/sum/min/max/last plus
+    the log-scale buckets — enough for loss and grad-norm trajectories
+    and latency quantiles without unbounded storage). *)
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f] and feeds its wall-clock duration in
@@ -44,6 +101,11 @@ val time : string -> (unit -> 'a) -> 'a
     [serve.request_ms]). Exactly [f ()] while {!Obs} is disabled: no
     clock is read. *)
 
+val mark : ?by:float -> ?now:float -> string -> unit
+(** Add [by] (default 1.0) to the meter's current one-second slot.
+    [now] overrides the clock ({!Timer.now}) — tests drive rotation
+    deterministically with a fake clock. *)
+
 (** {1 Reads (always live)} *)
 
 val counter_value : string -> float
@@ -52,11 +114,30 @@ val counter_value : string -> float
 val gauge_value : string -> float
 
 val histogram_stats : string -> histogram option
+(** A snapshot copy: the returned [buckets] array is private to the
+    caller. *)
+
+val histogram_quantile : string -> float -> float option
+(** [quantile] on the named histogram; [None] when absent or empty. *)
+
+val meter_rates : ?now:float -> string -> meter_rates option
+(** [None] when no meter of that name exists. *)
 
 val names : unit -> string list
 (** Sorted. *)
 
 val reset : unit -> unit
+
+type value =
+  | Counter_v of float
+  | Gauge_v of float
+  | Histogram_v of histogram
+  | Meter_v of meter_rates
+
+val dump : ?now:float -> unit -> (string * value) list
+(** Every cell's current value in one registry transaction, sorted by
+    name — the raw feed behind {!snapshot} and the Prometheus
+    exposition ({!Prom.render}). *)
 
 (** {1 Scoping} *)
 
@@ -67,7 +148,12 @@ val scoped : (unit -> 'a) -> 'a
     untouched. This is how parallel bench tasks keep per-case
     counters without tearing each other's [reset]. *)
 
-val snapshot : unit -> Json.t
+val snapshot : ?now:float -> unit -> Json.t
 (** One JSON object keyed by metric name; each value is an object with
-    a ["type"] field ("counter" / "gauge" / "histogram") and the
-    metric's current numbers (histograms add a derived ["mean"]). *)
+    a ["type"] field ("counter" / "gauge" / "histogram" / "meter") and
+    the metric's current numbers. Histograms add the derived ["mean"]
+    (NaN-safe, see above), ["p50"]/["p95"]/["p99"] estimates ([null]
+    when empty), the ["non_finite"] quarantine count, and the occupied
+    ["buckets"] as [[upper_bound, count]] pairs (the overflow bucket's
+    bound is [null]). Meters carry ["total"] and the three window
+    rates. *)

@@ -1,0 +1,58 @@
+(* Prometheus text exposition format (version 0.0.4) over the metrics
+   registry. Written by hand against the format spec: one metric family
+   per cell, `# TYPE` headers, cumulative `_bucket{le="..."}` series
+   for histograms, `window`-labelled gauges for meters. *)
+
+let sane_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_'
+
+let sane name = "smoothe_" ^ String.map sane_char name
+
+(* %h-style output is not valid Prometheus; %.17g round-trips doubles
+   and stays within the format's float grammar *)
+let num v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let render_cell buf name value =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n = sane name in
+  match (value : Metrics.value) with
+  | Metrics.Counter_v v ->
+      p "# TYPE %s counter\n" n;
+      p "%s %s\n" n (num v)
+  | Metrics.Gauge_v v ->
+      p "# TYPE %s gauge\n" n;
+      p "%s %s\n" n (num v)
+  | Metrics.Histogram_v h ->
+      p "# TYPE %s histogram\n" n;
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cumulative := !cumulative + c;
+          (* only emit a bound when something below it exists — the 65
+             series would otherwise dominate the exposition *)
+          if c > 0 && i < Metrics.bucket_count then
+            p "%s_bucket{le=\"%s\"} %d\n" n (num (Metrics.bucket_bound i)) !cumulative)
+        h.Metrics.buckets;
+      p "%s_bucket{le=\"+Inf\"} %d\n" n h.Metrics.count;
+      p "%s_sum %s\n" n (num h.Metrics.sum);
+      p "%s_count %d\n" n h.Metrics.count;
+      if h.Metrics.non_finite > 0 then begin
+        p "# TYPE %s_non_finite counter\n" n;
+        p "%s_non_finite %d\n" n h.Metrics.non_finite
+      end
+  | Metrics.Meter_v r ->
+      p "# TYPE %s_total counter\n" n;
+      p "%s_total %s\n" n (num r.Metrics.total);
+      p "# TYPE %s_rate gauge\n" n;
+      p "%s_rate{window=\"1s\"} %s\n" n (num r.Metrics.rate_1s);
+      p "%s_rate{window=\"10s\"} %s\n" n (num r.Metrics.rate_10s);
+      p "%s_rate{window=\"60s\"} %s\n" n (num r.Metrics.rate_60s)
+
+let render ?now () =
+  let buf = Buffer.create 4096 in
+  List.iter (fun (name, v) -> render_cell buf name v) (Metrics.dump ?now ());
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Prometheus text-format exposition of the metrics registry.
+
+    {!render} walks one atomic {!Metrics.dump} and emits text
+    exposition format 0.0.4: counters and gauges verbatim, histograms
+    as cumulative [_bucket{le="..."}] series (occupied bounds only)
+    plus [_sum]/[_count], meters as a [_total] counter and a
+    [window]-labelled [_rate] gauge. Metric names are prefixed with
+    [smoothe_] and dots become underscores ([serve.request_ms] →
+    [smoothe_serve_request_ms]).
+
+    The serve daemon answers the [telemetry] control op with this text
+    when asked for [format = "prom"], and [--metrics FILE
+    --metrics-format prom] writes it at drain — either way a standard
+    Prometheus scraper (or [promtool check metrics]) can consume the
+    output directly. *)
+
+val render : ?now:float -> unit -> string
+(** [now] overrides the meter-window clock, as in {!Metrics.dump}. *)

@@ -43,6 +43,7 @@ let validate_config c =
    hands it to the caller, an executor fulfils it. *)
 type ticket = {
   req : P.request;
+  rid : string;  (** request id minted at admission; see [mint_rid] *)
   graph : Egraph.t;
   cache_key : Serve_cache.key option;
   budget : float;
@@ -64,6 +65,8 @@ type t = {
   cv_idle : Condition.t;  (** drain waits here for quiescence *)
   cache : P.ok_body Serve_cache.t;
   daemon_health : Health.log;
+  created_at : float;
+  mutable seq : int;  (** request-id sequence, guarded by [m] *)
   mutable latency_est_ms : float;
   mutable domains : unit Domain.t list;
 }
@@ -71,6 +74,15 @@ type t = {
 let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Every request that reaches [offer] gets a daemon-unique id — the
+   client id plus an admission sequence number — stamped on its log
+   lines, its [serve.request] trace span and its health events, so one
+   request can be followed across queue -> retry -> cache -> solution
+   even when clients reuse ids. *)
+let mint_rid t id =
+  let n = locked t (fun () -> t.seq <- t.seq + 1; t.seq) in
+  Printf.sprintf "%s#%d" (if id = "" then "anon" else id) n
 
 let fulfill tk resp =
   Mutex.lock tk.tk_m;
@@ -168,14 +180,17 @@ let execute t tk =
   let req = tk.req in
   let queue_ms = Float.max 0.0 ((Timer.now () -. tk.enq_at) *. 1000.0) in
   if !Obs.on then Metrics.observe "serve.queue_ms" queue_ms;
+  Log.emit ~req:tk.rid ~event:"request.dequeued" [ ("queue_ms", Json.Number queue_ms) ];
   if Timer.expired tk.overall then begin
     if !Obs.on then Metrics.incr "serve.deadline_expired";
+    Log.emit ~req:tk.rid ~event:"request.deadline_expired"
+      [ ("where", Json.String "queue"); ("queue_ms", Json.Number queue_ms) ];
     P.error_response ~queue_ms ~id:req.P.id P.Deadline_expired
       (Printf.sprintf "deadline passed after %.1fms in queue" queue_ms)
   end
   else begin
     let health = Health.create () in
-    let member = "request:" ^ req.P.id in
+    let member = "request:" ^ tk.rid in
     let budget = Float.min tk.budget (Timer.remaining tk.overall) in
     let supervised () =
       Supervisor.run_retrying ~health ~rng:(Rng.create (req.P.seed + 0x5eed))
@@ -187,7 +202,11 @@ let execute t tk =
           Trace.with_span ~cat:"serve"
             ~attrs:
               (if !Obs.on then
-                 [ ("id", req.P.id); ("method", P.method_name req.P.method_) ]
+                 [
+                   ("id", req.P.id);
+                   ("rid", tk.rid);
+                   ("method", P.method_name req.P.method_);
+                 ]
                else [])
             "serve.request"
             (fun () ->
@@ -196,12 +215,28 @@ let execute t tk =
     in
     let elapsed_ms = dt *. 1000.0 in
     if !Obs.on then Metrics.observe "serve.request_ms" elapsed_ms;
+    (* replay the request's health timeline onto the log with its id:
+       retries, faults and recoveries stay attributable per request *)
+    (match Log.sink () with
+    | Log.Silent -> ()
+    | Log.Memory | Log.Channel _ ->
+        List.iter
+          (fun e ->
+            Log.emit ~req:tk.rid ~event:"request.health"
+              [
+                ("kind", Json.String (Health.kind_name e.Health.kind));
+                ("member", Json.String e.Health.member);
+                ("detail", Json.String e.Health.detail);
+              ])
+          (Health.events health));
     locked t (fun () -> Health.merge ~into:t.daemon_health health);
     match outcome with
     | Supervisor.Finished _ when Timer.expired tk.overall ->
         (* the overall deadline is a response deadline: a result the
            client has already given up on is not a success *)
         if !Obs.on then Metrics.incr "serve.deadline_expired";
+        Log.emit ~req:tk.rid ~event:"request.deadline_expired"
+          [ ("where", Json.String "completion"); ("elapsed_ms", Json.Number elapsed_ms) ];
         {
           (P.error_response ~queue_ms ~id:req.P.id P.Deadline_expired
              (Printf.sprintf "completed after the %.1fms deadline"
@@ -231,10 +266,21 @@ let execute t tk =
         (match tk.cache_key with
         | Some key when valid && req.P.fault_plan = "" -> Serve_cache.add t.cache key body
         | Some _ | None -> ());
-        if !Obs.on then Metrics.incr "serve.completed";
+        if !Obs.on then begin
+          Metrics.incr "serve.completed";
+          Metrics.mark "serve.completed.rate"
+        end;
+        Log.emit ~req:tk.rid ~event:"request.completed"
+          [
+            ("cost", Json.Number result.Extractor.cost);
+            ("valid", Json.Bool valid);
+            ("iterations", Json.Number (float_of_int iterations));
+            ("elapsed_ms", Json.Number elapsed_ms);
+          ];
         { P.resp_id = req.P.id; elapsed_ms; queue_ms; body = Ok body }
     | Supervisor.Crashed { exn } ->
         if !Obs.on then Metrics.incr "serve.crashed";
+        Log.emit ~req:tk.rid ~event:"request.crashed" [ ("error", Json.String exn) ];
         {
           (P.error_response ~queue_ms ~id:req.P.id P.Crashed
              (Printf.sprintf "run failed after %d attempt(s): %s" t.cfg.retry_attempts exn))
@@ -266,9 +312,11 @@ let execute_and_fulfill t tk =
     | exception e ->
         (* an executor must never die with its request *)
         locked t (fun () ->
-            Health.record t.daemon_health ~member:("request:" ^ tk.req.P.id)
+            Health.record t.daemon_health ~member:("request:" ^ tk.rid)
               Health.Member_failed (Printexc.to_string e));
         if !Obs.on then Metrics.incr "serve.internal_errors";
+        Log.emit ~req:tk.rid ~event:"request.internal_error"
+          [ ("error", Json.String (Printexc.to_string e)) ];
         P.error_response ~id:tk.req.P.id P.Internal (Printexc.to_string e)
   in
   (* settle the admission counters before the caller can observe the
@@ -321,6 +369,8 @@ let create ?(config = default_config) () =
       cv_idle = Condition.create ();
       cache = Serve_cache.create ~capacity:config.cache_capacity;
       daemon_health = Health.create ();
+      created_at = Timer.now ();
+      seq = 0;
       latency_est_ms = 50.0;
       domains = [];
     }
@@ -328,9 +378,10 @@ let create ?(config = default_config) () =
   t.domains <- List.init config.executors (fun _ -> Domain.spawn (fun () -> exec_loop t));
   t
 
-let fresh_ticket req graph cache_key ~budget ~overall =
+let fresh_ticket req ~rid graph cache_key ~budget ~overall =
   {
     req;
+    rid;
     graph;
     cache_key;
     budget;
@@ -342,8 +393,20 @@ let fresh_ticket req graph cache_key ~budget ~overall =
   }
 
 let offer t req =
-  if !Obs.on then Metrics.incr "serve.requests";
-  let bad msg = Done (P.error_response ~id:req.P.id P.Bad_request msg) in
+  let rid = mint_rid t req.P.id in
+  if !Obs.on then begin
+    Metrics.incr "serve.requests";
+    Metrics.mark "serve.offered.rate"
+  end;
+  Log.emit ~req:rid ~event:"request.received"
+    [
+      ("id", Json.String req.P.id);
+      ("method", Json.String (P.method_name req.P.method_));
+    ];
+  let bad msg =
+    Log.emit ~req:rid ~event:"request.rejected" [ ("error", Json.String msg) ];
+    Done (P.error_response ~id:req.P.id P.Bad_request msg)
+  in
   if req.P.fault_plan <> "" && t.cfg.executors > 1 then
     bad "per-request fault plans need a daemon with at most one executor (they install \
          process-ambient state)"
@@ -362,7 +425,12 @@ let offer t req =
         let cached = Option.bind key (Serve_cache.find t.cache) in
         match cached with
         | Some body ->
-            if !Obs.on then Metrics.incr "serve.cache_hits";
+            if !Obs.on then begin
+              Metrics.incr "serve.cache_hits";
+              Metrics.mark "serve.cache_hit.rate"
+            end;
+            Log.emit ~req:rid ~event:"request.cache_hit"
+              [ ("cost", Json.Number body.P.cost) ];
             Done
               {
                 P.resp_id = req.P.id;
@@ -371,7 +439,10 @@ let offer t req =
                 body = Ok { body with P.cache_hit = true };
               }
         | None ->
-            if !Obs.on && key <> None then Metrics.incr "serve.cache_misses";
+            if !Obs.on && key <> None then begin
+              Metrics.incr "serve.cache_misses";
+              Metrics.mark "serve.cache_miss.rate"
+            end;
             let overall =
               match req.P.deadline_ms with
               | None -> Timer.no_deadline
@@ -387,23 +458,40 @@ let offer t req =
                         Metrics.set_gauge "serve.queue_depth"
                           (float_of_int (Admission.snapshot t.adm).Admission.queued)
                       end
-                  | Admission.Shed _ -> if !Obs.on then Metrics.incr "serve.shed"
+                  | Admission.Shed _ ->
+                      if !Obs.on then begin
+                        Metrics.incr "serve.shed";
+                        Metrics.mark "serve.shed.rate"
+                      end
                   | Admission.Refuse _ -> if !Obs.on then Metrics.incr "serve.refused");
                   d)
             in
             (match decision with
             | Admission.Admit ->
-                let tk = fresh_ticket req graph key ~budget ~overall in
+                let tk = fresh_ticket req ~rid graph key ~budget ~overall in
+                (* log before the push: once the ticket is visible an
+                   executor may dequeue it, and the admitted line must
+                   precede the dequeued one in the request's timeline *)
+                Log.emit ~req:rid ~event:"request.admitted"
+                  [
+                    ("queued",
+                     Json.Number
+                       (float_of_int (Admission.snapshot t.adm).Admission.queued));
+                  ];
                 locked t (fun () ->
                     Queue.push tk t.q;
                     Condition.signal t.cv_work);
                 Queued tk
             | Admission.Shed { retry_after_ms } ->
+                Log.emit ~req:rid ~event:"request.shed"
+                  [ ("retry_after_ms", Json.Number retry_after_ms) ];
                 Done
                   (P.error_response ~retry_after_ms ~id:req.P.id P.Overloaded
                      (Printf.sprintf "admission queue full (limit %d); retry after %.0fms"
                         t.cfg.queue_limit retry_after_ms))
             | Admission.Refuse st ->
+                Log.emit ~req:rid ~event:"request.refused"
+                  [ ("state", Json.String (Admission.state_name st)) ];
                 Done
                   (P.error_response ~id:req.P.id P.Draining
                      (Printf.sprintf "daemon is %s; not accepting new requests"
@@ -472,17 +560,25 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_size : int;
+  cache_hit_rate : float;
   latency_est_ms : float;
+  uptime_s : float;
 }
 
 let stats t =
   locked t (fun () ->
+      let hits = Serve_cache.hits t.cache and misses = Serve_cache.misses t.cache in
+      let lookups = hits + misses in
       {
         admission = Admission.snapshot t.adm;
-        cache_hits = Serve_cache.hits t.cache;
-        cache_misses = Serve_cache.misses t.cache;
+        cache_hits = hits;
+        cache_misses = misses;
         cache_size = Serve_cache.size t.cache;
+        (* 0/0 lookups reads as 0%, not NaN: a fresh daemon has not
+           missed anything yet either *)
+        cache_hit_rate = (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups);
         latency_est_ms = t.latency_est_ms;
+        uptime_s = Float.max 0.0 (Timer.now () -. t.created_at);
       })
 
 let stats_json t =
@@ -492,6 +588,7 @@ let stats_json t =
     [
       ("state", Json.String (Admission.state_name a.Admission.snap_state));
       ("queued", Json.Number (float_of_int a.Admission.queued));
+      ("queue_limit", Json.Number (float_of_int t.cfg.queue_limit));
       ("inflight", Json.Number (float_of_int a.Admission.inflight));
       ("admitted", Json.Number (float_of_int a.Admission.admitted));
       ("shed", Json.Number (float_of_int a.Admission.shed));
@@ -499,6 +596,9 @@ let stats_json t =
       ("completed", Json.Number (float_of_int a.Admission.completed));
       ("cache_hits", Json.Number (float_of_int s.cache_hits));
       ("cache_misses", Json.Number (float_of_int s.cache_misses));
+      ("cache_hit_rate", Json.Number s.cache_hit_rate);
       ("cache_size", Json.Number (float_of_int s.cache_size));
+      ("cache_capacity", Json.Number (float_of_int t.cfg.cache_capacity));
       ("latency_est_ms", Json.Number s.latency_est_ms);
+      ("uptime_s", Json.Number s.uptime_s);
     ]

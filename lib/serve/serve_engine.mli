@@ -105,8 +105,13 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_size : int;
+  cache_hit_rate : float;  (** hits / lookups; 0.0 before any lookup *)
   latency_est_ms : float;  (** rolling mean used for retry-after hints *)
+  uptime_s : float;  (** seconds since {!create} *)
 }
 
 val stats : t -> stats
+
 val stats_json : t -> Json.t
+(** {!stats} plus the static [queue_limit] and [cache_capacity], as
+    the [stats] control op replies. *)

@@ -60,6 +60,24 @@ let answer engine line =
               ("op", Json.String "stats");
               ("stats", Serve_engine.stats_json engine);
             ]
+      | Json.String "telemetry" ->
+          (* the monitoring scrape: admission stats plus the whole
+             metrics registry in one consistent frame. [format = prom]
+             additionally inlines the Prometheus text exposition. *)
+          let base =
+            [
+              ("status", Json.String "ok");
+              ("op", Json.String "telemetry");
+              ("stats", Serve_engine.stats_json engine);
+              ("metrics", Metrics.snapshot ());
+            ]
+          in
+          let extra =
+            match Json.member "format" json with
+            | Json.String "prom" -> [ ("prom", Json.String (Prom.render ())) ]
+            | _ -> []
+          in
+          Json.Object (base @ extra)
       | Json.String other ->
           P.response_to_json
             (P.error_response ~id:"" P.Bad_request (Printf.sprintf "unknown op %S" other))

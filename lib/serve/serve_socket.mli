@@ -4,8 +4,12 @@
     frames, one JSON object per [\n]-terminated line, answered in
     order by one response frame each (see {!Serve_protocol}). Two
     control frames bypass extraction: [{"op":"ping"}] answers
-    immediately (liveness) and [{"op":"stats"}] returns the engine's
-    admission/cache counters.
+    immediately (liveness), [{"op":"stats"}] returns the engine's
+    admission/cache counters, and [{"op":"telemetry"}] additionally
+    snapshots the whole metrics registry (histogram quantiles, meter
+    rates); with [{"op":"telemetry","format":"prom"}] the reply also
+    carries the Prometheus text exposition under ["prom"]. [smoothe
+    top] polls the telemetry op.
 
     The server owns an accept loop on the calling thread and one
     handler thread per connection; handlers block in

@@ -165,7 +165,7 @@ let test_metrics_registry =
       Alcotest.(check (float 1e-9)) "counter accumulates" 3.5 (Metrics.counter_value "c");
       Alcotest.(check (float 1e-9)) "gauge keeps last" 7.0 (Metrics.gauge_value "g");
       (match Metrics.histogram_stats "h" with
-      | Some { Metrics.count = 2; sum = 6.0; min_v = 2.0; max_v = 4.0; last = 4.0 } -> ()
+      | Some { Metrics.count = 2; sum = 6.0; min_v = 2.0; max_v = 4.0; last = 4.0; non_finite = 0; _ } -> ()
       | Some h -> Alcotest.failf "wrong histogram: count=%d sum=%g" h.Metrics.count h.Metrics.sum
       | None -> Alcotest.fail "histogram missing");
       Alcotest.(check (list string)) "sorted names" [ "c"; "g"; "h" ] (Metrics.names ());
@@ -229,6 +229,254 @@ let escaping_roundtrip =
       match Json.parse (Json.to_string (Json.String s)) with
       | Json.String s' -> s' = s
       | _ -> false)
+
+(* --- bucketed quantiles ------------------------------------------------ *)
+
+(* Width of the bucket holding [v] — the documented error bound of the
+   bucketed estimate. Bucket 0 spans (0, bound 0]. *)
+let bucket_width_at v =
+  let rec find i =
+    if i >= Metrics.bucket_count - 1 || v <= Metrics.bucket_bound i then i else find (i + 1)
+  in
+  let b = find 0 in
+  if b = 0 then Metrics.bucket_bound 0
+  else Metrics.bucket_bound b -. Metrics.bucket_bound (b - 1)
+
+(* The estimate must land within one bucket width of the exact rank
+   statistic it approximates: both live in the same log-scale bucket,
+   so |estimate - exact| <= width of exact's bucket. The generator is
+   log-uniform across the bounded range, including sub-bound-0 values. *)
+let quantile_error_bounded =
+  qtest ~count:300 "bucketed quantile within one bucket width of exact"
+    QCheck2.Gen.(
+      pair
+        (list_size (1 -- 80) (map Float.exp (float_range (-7.5) 12.5)))
+        (float_range 0.0 100.0))
+    (fun (xs, q) ->
+      Obs.with_enabled (fun () ->
+          Metrics.scoped (fun () ->
+              List.iter (Metrics.observe "q") xs;
+              let n = List.length xs in
+              let sorted = List.sort Float.compare xs in
+              let rank =
+                Stdlib.max 1 (int_of_float (ceil (q /. 100.0 *. float_of_int n)))
+              in
+              let exact = List.nth sorted (rank - 1) in
+              match Metrics.histogram_quantile "q" q with
+              | None -> false
+              | Some est ->
+                  Float.abs (est -. exact) <= bucket_width_at exact +. 1e-12
+                  (* and the estimate never escapes the observed envelope *)
+                  && est >= List.hd sorted && est <= List.nth sorted (n - 1))))
+
+let test_quantile_edge_cases =
+  fresh (fun () ->
+      Alcotest.(check (option (float 0.0))) "empty histogram" None
+        (Metrics.histogram_quantile "absent" 50.0);
+      Metrics.observe "one" 7.0;
+      (* a single observation pins every quantile to it via the clamp *)
+      Alcotest.(check (option (float 1e-9))) "p0 = the value" (Some 7.0)
+        (Metrics.histogram_quantile "one" 0.0);
+      Alcotest.(check (option (float 1e-9))) "p100 = the value" (Some 7.0)
+        (Metrics.histogram_quantile "one" 100.0);
+      (match Metrics.histogram_stats "one" with
+      | Some h ->
+          Alcotest.check_raises "q out of range"
+            (Invalid_argument "Metrics.quantile: q must be in [0,100], got 101") (fun () ->
+              ignore (Metrics.quantile h 101.0))
+      | None -> Alcotest.fail "histogram missing");
+      (* beyond the last bound: the overflow bucket estimates as max_v *)
+      Metrics.observe "huge" 1e9;
+      Metrics.observe "huge" 2e9;
+      Alcotest.(check (option (float 1e-9))) "overflow clamps to max" (Some 2e9)
+        (Metrics.histogram_quantile "huge" 99.0))
+
+(* Satellite fix: an all-non-finite histogram must report a finite
+   (zero) mean, not a silent JSON null — NaN/Inf observations are
+   quarantined in [non_finite] and never touch the summary fields. *)
+let test_histogram_nan_quarantine =
+  fresh (fun () ->
+      Metrics.observe "h" Float.nan;
+      Metrics.observe "h" Float.infinity;
+      Metrics.observe "h" Float.neg_infinity;
+      (match Metrics.histogram_stats "h" with
+      | Some h ->
+          Alcotest.(check int) "no finite counts" 0 h.Metrics.count;
+          Alcotest.(check int) "quarantined" 3 h.Metrics.non_finite;
+          Alcotest.(check (float 0.0)) "mean is 0, not NaN" 0.0 (Metrics.mean h);
+          Alcotest.(check int) "buckets untouched" 0
+            (Array.fold_left ( + ) 0 h.Metrics.buckets)
+      | None -> Alcotest.fail "histogram missing");
+      let j = Json.parse (Json.to_string (Metrics.snapshot ())) in
+      let h = Json.member "h" j in
+      Alcotest.(check (float 0.0)) "snapshot mean finite" 0.0
+        (Json.get_number (Json.member "mean" h));
+      Alcotest.(check bool) "empty quantile is null" true (Json.member "p50" h = Json.Null);
+      Alcotest.(check (float 0.0)) "non_finite surfaced" 3.0
+        (Json.get_number (Json.member "non_finite" h));
+      (* a finite observation after the quarantine keeps the mean exact *)
+      Metrics.observe "h" 2.0;
+      match Metrics.histogram_stats "h" with
+      | Some h2 -> Alcotest.(check (float 1e-12)) "mean of the finite part" 2.0 (Metrics.mean h2)
+      | None -> Alcotest.fail "histogram vanished")
+
+(* --- meters under a fake clock ----------------------------------------- *)
+
+let rates name now =
+  match Metrics.meter_rates ~now name with
+  | Some r -> r
+  | None -> Alcotest.failf "meter %S missing" name
+
+let test_meter_windows =
+  fresh (fun () ->
+      let t0 = 1000.0 in
+      Metrics.mark ~by:5.0 ~now:t0 "m";
+      Metrics.mark ~by:1.0 ~now:(t0 +. 0.4) "m";
+      let r = rates "m" (t0 +. 0.9) in
+      Alcotest.(check (float 1e-9)) "1s window sums the current second" 6.0 r.Metrics.rate_1s;
+      Alcotest.(check (float 1e-9)) "10s window" 0.6 r.Metrics.rate_10s;
+      Alcotest.(check (float 1e-9)) "60s window" 0.1 r.Metrics.rate_60s;
+      Alcotest.(check (float 1e-9)) "total" 6.0 r.Metrics.total;
+      (* one second later the marks leave the 1 s window but not the others *)
+      let r = rates "m" (t0 +. 1.0) in
+      Alcotest.(check (float 1e-9)) "1s window rotated" 0.0 r.Metrics.rate_1s;
+      Alcotest.(check (float 1e-9)) "10s window keeps them" 0.6 r.Metrics.rate_10s;
+      (* 61 s later the mark reuses the very same ring slot (1000 and
+         1061 are congruent mod 61): the old second must be lazily
+         discarded, not added *)
+      Metrics.mark ~by:7.0 ~now:(t0 +. 61.0) "m";
+      let r = rates "m" (t0 +. 61.0) in
+      Alcotest.(check (float 1e-9)) "aliased slot overwritten" (7.0 /. 60.0) r.Metrics.rate_60s;
+      Alcotest.(check (float 1e-9)) "lifetime total survives rotation" 13.0 r.Metrics.total;
+      (* an idle meter decays to zero with no background work *)
+      let r = rates "m" (t0 +. 130.0) in
+      Alcotest.(check (float 1e-9)) "idle 1s" 0.0 r.Metrics.rate_1s;
+      Alcotest.(check (float 1e-9)) "idle 60s" 0.0 r.Metrics.rate_60s;
+      Alcotest.(check (float 1e-9)) "idle total" 13.0 r.Metrics.total)
+
+let test_meter_deterministic_replay =
+  fresh (fun () ->
+      (* the same mark/read schedule under the same fake clock yields
+         bit-identical rates, independent of wall time *)
+      let run name =
+        List.iter (fun (t, by) -> Metrics.mark ~by ~now:t name)
+          [ (50.0, 1.0); (50.5, 2.0); (53.0, 4.0); (58.9, 8.0); (112.0, 16.0) ];
+        List.map (fun t -> rates name t) [ 51.0; 59.0; 112.5; 200.0 ]
+      in
+      let a = run "replay.a" in
+      let b = run "replay.b" in
+      List.iter2
+        (fun (x : Metrics.meter_rates) (y : Metrics.meter_rates) ->
+          Alcotest.(check (float 0.0)) "1s bit-identical" x.Metrics.rate_1s y.Metrics.rate_1s;
+          Alcotest.(check (float 0.0)) "10s bit-identical" x.Metrics.rate_10s y.Metrics.rate_10s;
+          Alcotest.(check (float 0.0)) "60s bit-identical" x.Metrics.rate_60s y.Metrics.rate_60s;
+          Alcotest.(check (float 0.0)) "total bit-identical" x.Metrics.total y.Metrics.total)
+        a b)
+
+(* --- structured logs ---------------------------------------------------- *)
+
+let test_log_jsonl () =
+  Log.with_memory (fun () ->
+      Log.emit ~req:"r#1" ~event:"request.admitted" [ ("queued", Json.Number 2.0) ];
+      Log.emit ~event:"daemon.start" [ ("detail", Json.String nasty) ]);
+  (match Log.records () with
+  | [ first; second ] ->
+      Alcotest.(check string) "event field" "request.admitted"
+        (Json.get_string (Json.member "event" first));
+      Alcotest.(check string) "request id stamped" "r#1"
+        (Json.get_string (Json.member "req" first));
+      Alcotest.(check (float 1e-9)) "caller fields kept" 2.0
+        (Json.get_number (Json.member "queued" first));
+      Alcotest.(check bool) "ts present" true
+        (match Json.member "ts" first with Json.Number _ -> true | _ -> false);
+      Alcotest.(check bool) "req omitted when absent" true
+        (Json.member "req" second = Json.Null)
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs));
+  (* each record is exactly one parseable line, whatever is in it *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "no embedded newline" true (not (String.contains line '\n'));
+      match Json.parse line with
+      | Json.Object _ -> ()
+      | _ -> Alcotest.failf "log line is not an object: %s" line)
+    (Log.lines ());
+  (* the silent sink records nothing and is restored by with_memory *)
+  Alcotest.(check bool) "sink restored to silent" true (Log.sink () = Log.Silent);
+  let before = List.length (Log.records ()) in
+  Log.emit ~event:"ignored" [];
+  Alcotest.(check int) "silent emit is a no-op" before (List.length (Log.records ()))
+
+(* --- prometheus exposition ---------------------------------------------- *)
+
+(* Minimal grammar check over the exposition: every line is either a
+   comment or `name[{labels}] value` with a float-parseable value —
+   what `promtool check metrics` enforces structurally. *)
+let check_prom_grammar text =
+  Alcotest.(check bool) "exposition ends with a newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "# ") then begin
+        let name_end =
+          match (String.index_opt line '{', String.index_opt line ' ') with
+          | Some b, _ -> b
+          | None, Some sp -> sp
+          | None, None -> Alcotest.failf "malformed prom line: %s" line
+        in
+        String.iter
+          (fun c ->
+            match c with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+            | c -> Alcotest.failf "bad metric-name char %C in: %s" c line)
+          (String.sub line 0 name_end);
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "no value on prom line: %s" line
+        | Some sp -> (
+            let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+            match (v, float_of_string_opt v) with
+            | ("NaN" | "+Inf" | "-Inf"), _ | _, Some _ -> ()
+            | _, None -> Alcotest.failf "unparsable prom value %S in: %s" v line)
+      end)
+    (String.split_on_char '\n' text)
+
+let test_prom_render =
+  fresh (fun () ->
+      Metrics.incr ~by:3.0 "serve.requests";
+      Metrics.set_gauge "serve.queue_depth" 2.0;
+      List.iter (Metrics.observe "serve.request_ms") [ 0.5; 5.0; 50.0; 50.0 ];
+      Metrics.mark ~by:4.0 ~now:1234.5 "serve.offered.rate";
+      let text = Prom.render ~now:1234.9 () in
+      check_prom_grammar text;
+      let lines = String.split_on_char '\n' text in
+      let has l = Alcotest.(check bool) (Printf.sprintf "has %S" l) true (List.mem l lines) in
+      has "# TYPE smoothe_serve_requests counter";
+      has "smoothe_serve_requests 3";
+      has "# TYPE smoothe_serve_request_ms histogram";
+      has "smoothe_serve_request_ms_bucket{le=\"+Inf\"} 4";
+      has "smoothe_serve_request_ms_count 4";
+      has "smoothe_serve_offered_rate_total 4";
+      has "smoothe_serve_offered_rate_rate{window=\"1s\"} 4";
+      (* cumulative bucket counts are non-decreasing in bound order *)
+      let buckets =
+        List.filter_map
+          (fun l ->
+            let prefix = "smoothe_serve_request_ms_bucket{le=\"" in
+            if String.length l > String.length prefix
+               && String.sub l 0 (String.length prefix) = prefix
+            then
+              match String.rindex_opt l ' ' with
+              | Some sp ->
+                  int_of_string_opt (String.sub l (sp + 1) (String.length l - sp - 1))
+              | None -> None
+            else None)
+          lines
+      in
+      Alcotest.(check bool) "some bounded buckets emitted" true (List.length buckets >= 2);
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "cumulative and sorted" true (non_decreasing buckets))
 
 (* --- timestamps under clock skew -------------------------------------- *)
 
@@ -338,6 +586,19 @@ let () =
           Alcotest.test_case "scoped isolation" `Quick test_metrics_scoped_isolation;
           escaping_roundtrip;
         ] );
+      ( "quantiles",
+        [
+          quantile_error_bounded;
+          Alcotest.test_case "edge cases" `Quick test_quantile_edge_cases;
+          Alcotest.test_case "nan quarantine" `Quick test_histogram_nan_quarantine;
+        ] );
+      ( "meters",
+        [
+          Alcotest.test_case "window rotation" `Quick test_meter_windows;
+          Alcotest.test_case "deterministic replay" `Quick test_meter_deterministic_replay;
+        ] );
+      ("log", [ Alcotest.test_case "jsonl records" `Quick test_log_jsonl ]);
+      ("prom", [ Alcotest.test_case "exposition" `Quick test_prom_render ]);
       ( "skew",
         [
           Alcotest.test_case "set_skew visible" `Quick test_skew_visible_in_spans;

@@ -261,6 +261,19 @@ let test_cache_end_to_end () =
     ok_of "costs B" (submit { (quick_request ()) with P.costs = Some tweaked })
   in
   Alcotest.(check bool) "mutated costs miss" false b.P.cache_hit;
+  (* satellite fix: hit/miss counters must be observable from outside
+     the process, through stats and its JSON reply *)
+  let s = Serve_engine.stats engine in
+  Alcotest.(check int) "one hit surfaced" 1 s.Serve_engine.cache_hits;
+  Alcotest.(check int) "misses surfaced" 4 s.Serve_engine.cache_misses;
+  Alcotest.(check (float 1e-9)) "hit rate derived" 0.2 s.Serve_engine.cache_hit_rate;
+  let j = Serve_engine.stats_json engine in
+  Alcotest.(check (float 1e-9)) "hits in the stats reply" 1.0
+    (Json.get_number (Json.member "cache_hits" j));
+  Alcotest.(check (float 1e-9)) "misses in the stats reply" 4.0
+    (Json.get_number (Json.member "cache_misses" j));
+  Alcotest.(check (float 1e-9)) "hit rate in the stats reply" 0.2
+    (Json.get_number (Json.member "cache_hit_rate" j));
   Serve_engine.stop engine
 
 (* --- the deterministic overload acceptance test ------------------------ *)
@@ -480,9 +493,100 @@ let test_executor_domains () =
   Alcotest.(check int) "all completed" 4 s.Serve_engine.admission.Admission.completed;
   Serve_engine.stop engine
 
+(* --- request-id correlation --------------------------------------------- *)
+
+let test_request_id_propagation () =
+  (* one request followed across the three telemetry surfaces: every
+     log line, the serve.request trace span and the health events must
+     carry the same daemon-minted id — client id + admission sequence —
+     so a crash-and-retry is attributable even when clients reuse ids *)
+  Obs.enable ();
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Trace.reset ();
+      Metrics.reset ())
+  @@ fun () ->
+  let engine = manual_engine ~retry_attempts:2 () in
+  Log.with_memory (fun () ->
+      match
+        Serve_engine.offer engine
+          (quick_request ~id:"follow" ~fault_plan:"crash@1" ~use_cache:false ())
+      with
+      | Serve_engine.Done r ->
+          Alcotest.failf "expected admission, got %s"
+            (Json.to_string (P.response_to_json r))
+      | Serve_engine.Queued tk ->
+          ignore (Serve_engine.run_pending engine);
+          ignore (ok_of "retried request" (Serve_engine.await tk)));
+  let rid = "follow#1" in
+  (* the log: every record of the request carries the minted id *)
+  let tagged =
+    List.filter_map
+      (fun r ->
+        match Json.member "req" r with
+        | Json.String id when id = rid ->
+            Some (Json.get_string (Json.member "event" r))
+        | _ -> None)
+      (Log.records ())
+  in
+  List.iter
+    (fun e -> Alcotest.(check bool) (e ^ " logged under the rid") true (List.mem e tagged))
+    [
+      "request.received"; "request.admitted"; "request.dequeued"; "request.health";
+      "request.completed";
+    ];
+  Alcotest.(check bool) "no record escaped the rid" true
+    (List.for_all
+       (fun r -> match Json.member "req" r with Json.String id -> id = rid | _ -> false)
+       (Log.records ()));
+  (* the trace: the request span is stamped with the same id *)
+  (match
+     List.find_opt (fun s -> s.Trace.name = "serve.request") (Trace.spans ())
+   with
+  | Some s ->
+      Alcotest.(check (option string)) "span rid attr" (Some rid)
+        (List.assoc_opt "rid" s.Trace.args);
+      Alcotest.(check (option string)) "span keeps the client id" (Some "follow")
+        (List.assoc_opt "id" s.Trace.args)
+  | None -> Alcotest.fail "serve.request span missing");
+  (* the health log: the injected crash and its retry are attributed to
+     the request's member name *)
+  let members =
+    List.map (fun e -> e.Health.member) (Health.events (Serve_engine.health engine))
+  in
+  Alcotest.(check bool) "health events name the rid" true
+    (List.mem ("request:" ^ rid) members);
+  (* a second request gets a fresh sequence number even with the same
+     client id *)
+  Log.with_memory (fun () ->
+      match Serve_engine.offer engine (quick_request ~id:"follow" ~use_cache:false ()) with
+      | Serve_engine.Done _ -> Alcotest.fail "expected admission"
+      | Serve_engine.Queued tk ->
+          ignore (Serve_engine.run_pending engine);
+          ignore (ok_of "second request" (Serve_engine.await tk)));
+  Alcotest.(check bool) "sequence advances" true
+    (List.exists
+       (fun r -> match Json.member "req" r with Json.String id -> id = "follow#2" | _ -> false)
+       (Log.records ()));
+  Serve_engine.stop engine
+
 (* --- socket transport --------------------------------------------------- *)
 
 let test_socket_end_to_end () =
+  (* the daemon keeps its metrics sink live (the CLI enables it
+     unconditionally): mirror that here so the telemetry op has data *)
+  Obs.enable ();
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Trace.reset ();
+      Metrics.reset ())
+  @@ fun () ->
   let path = Printf.sprintf "/tmp/smoothe-test-%d.sock" (Unix.getpid ()) in
   let engine =
     Serve_engine.create
@@ -525,7 +629,38 @@ let test_socket_end_to_end () =
       let completed =
         Json.get_number (Json.member "completed" (Json.member "stats" stats))
       in
-      Alcotest.(check bool) "stats counts the run" true (completed >= 1.0))
+      Alcotest.(check bool) "stats counts the run" true (completed >= 1.0);
+      (* the telemetry op: stats plus the whole metrics registry in one
+         frame, with the Prometheus text inlined on request *)
+      let tel =
+        Serve_socket.call ~path
+          (Json.Object
+             [ ("op", Json.String "telemetry"); ("format", Json.String "prom") ])
+      in
+      Alcotest.(check string) "telemetry ok" "ok"
+        (Json.get_string (Json.member "status" tel));
+      let metrics = Json.member "metrics" tel in
+      let request_ms = Json.member "serve.request_ms" metrics in
+      Alcotest.(check bool) "request latency histogram present" true
+        (Json.get_number (Json.member "count" request_ms) >= 1.0);
+      List.iter
+        (fun q ->
+          Alcotest.(check bool) (q ^ " estimated") true
+            (match Json.member q request_ms with
+            | Json.Number v -> Float.is_finite v && v > 0.0
+            | _ -> false))
+        [ "p50"; "p95"; "p99" ];
+      Alcotest.(check bool) "offered meter present" true
+        (Json.get_number
+           (Json.member "total" (Json.member "serve.offered.rate" metrics))
+        >= 1.0);
+      let prom = Json.get_string (Json.member "prom" tel) in
+      Alcotest.(check bool) "prom exposition inlined" true
+        (String.length prom > 0);
+      Alcotest.(check bool) "prom names the request histogram" true
+        (List.exists
+           (fun l -> l = "# TYPE smoothe_serve_request_ms histogram")
+           (String.split_on_char '\n' prom)))
 
 let () =
   Alcotest.run "serve"
@@ -560,5 +695,8 @@ let () =
           Alcotest.test_case "deadline expiry in queue" `Quick test_deadline_expiry;
           Alcotest.test_case "executor domains" `Quick test_executor_domains;
         ] );
+      ( "telemetry",
+        [ Alcotest.test_case "request-id propagation" `Quick test_request_id_propagation ]
+      );
       ("socket", [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ]);
     ]
