@@ -608,7 +608,8 @@ let log_flag =
 let serve_cmd =
   let run socket queue_limit executors default_budget max_budget retry_attempts
       cache_capacity preflight jobs metrics_out metrics_format log_out health_report
-      trace_out =
+      trace_out journal_dir supervise max_restarts restart_window read_timeout
+      max_frame_bytes =
     let queue_limit = checked_pos_int ~flag:"--queue-limit" queue_limit in
     let default_budget = checked_pos_float ~flag:"--default-budget" default_budget in
     let max_budget = checked_pos_float ~flag:"--max-budget" max_budget in
@@ -622,72 +623,169 @@ let serve_cmd =
       exit 1
     end;
     let jobs = checked_pos_int ~flag:"--jobs" jobs in
-    Pool.set_jobs jobs;
-    (* the daemon always keeps the metrics/trace sink live: the
-       [telemetry] control op and [smoothe top] must have data without
-       a restart (extraction results are unaffected — instrumentation
-       never feeds back into the numerics) *)
-    Obs.enable ();
-    Trace.reset ();
-    Metrics.reset ();
-    let log_channel =
-      match log_out with
-      | None -> None
-      | Some "-" ->
-          Log.set_sink (Log.Channel stderr);
-          None
+    let max_restarts = checked_pos_int ~flag:"--max-restarts" max_restarts in
+    let restart_window = checked_pos_float ~flag:"--restart-window" restart_window in
+    let read_timeout = checked_pos_float ~flag:"--read-timeout" read_timeout in
+    let max_frame_bytes = checked_pos_int ~flag:"--max-frame-bytes" max_frame_bytes in
+    let run_daemon () =
+      Pool.set_jobs jobs;
+      (* the daemon always keeps the metrics/trace sink live: the
+         [telemetry] control op and [smoothe top] must have data without
+         a restart (extraction results are unaffected — instrumentation
+         never feeds back into the numerics) *)
+      Obs.enable ();
+      Trace.reset ();
+      Metrics.reset ();
+      let log_channel =
+        match log_out with
+        | None ->
+            Log.set_sink Log.Silent;
+            None
+        | Some "-" ->
+            Log.set_sink (Log.Channel stderr);
+            None
+        | Some path ->
+            let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+            Log.set_sink (Log.Channel oc);
+            Some oc
+      in
+      let config =
+        {
+          Serve_engine.queue_limit;
+          executors;
+          default_budget;
+          max_budget;
+          retry_attempts;
+          cache_capacity;
+          preflight;
+        }
+      in
+      let journal =
+        match journal_dir with
+        | None -> None
+        | Some dir -> (
+            match Serve_journal.open_ ~dir ~name:"requests" () with
+            | j -> Some j
+            | exception e ->
+                Printf.eprintf "serve: cannot open request journal in %s: %s\n" dir
+                  (Printexc.to_string e);
+                exit 1)
+      in
+      let engine =
+        match Serve_engine.validate_config config with
+        | Ok c -> Serve_engine.create ~config:c ?journal ()
+        | Error msg ->
+            Printf.eprintf "serve: %s\n" msg;
+            exit 1
+      in
+      (* replay what a dead predecessor was holding before the socket
+         starts accepting, so recovered work is first in line *)
+      (match journal with
+      | Some j ->
+          let replayed = Serve_engine.recover engine in
+          Printf.printf
+            "smoothe serve: journal %s (generation %d): warmed %d cache entries, replayed \
+             %d pending request(s)%s\n\
+             %!"
+            (Serve_journal.file j) (Serve_journal.generation j)
+            (Serve_engine.warmed engine) replayed
+            (match Serve_journal.torn j with
+            | [] -> ""
+            | torn -> Printf.sprintf ", dropped %d torn frame tail(s)" (List.length torn))
+      | None -> ());
+      let srv =
+        Serve_socket.create ~read_timeout ~max_frame:max_frame_bytes ~engine ~path:socket
+          ()
+      in
+      List.iter
+        (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve_socket.shutdown srv)))
+        [ Sys.sigterm; Sys.sigint ];
+      Printf.printf
+        "smoothe serve: listening on %s (queue limit %d, %d executor(s), budgets %g/%gs, \
+         cache %d)\n\
+         %!"
+        socket queue_limit executors default_budget max_budget cache_capacity;
+      Serve_socket.run srv;
+      (match journal with Some j -> Serve_journal.close j | None -> ());
+      let s = Serve_engine.stats engine in
+      Printf.printf
+        "smoothe serve: drained cleanly (admitted %d, completed %d, shed %d, refused %d, \
+         cache hits %d)\n"
+        s.Serve_engine.admission.Admission.admitted
+        s.Serve_engine.admission.Admission.completed s.Serve_engine.admission.Admission.shed
+        s.Serve_engine.admission.Admission.refused s.Serve_engine.cache_hits;
+      write_health_report (Serve_engine.health engine) health_report;
+      (match trace_out with
       | Some path ->
-          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-          Log.set_sink (Log.Channel oc);
-          Some oc
+          Trace.write_file path;
+          Printf.printf "trace written to %s\n" path
+      | None -> ());
+      write_metrics_snapshot ~format:metrics_format metrics_out;
+      match log_channel with
+      | Some oc ->
+          Log.set_sink Log.Silent;
+          close_out oc
+      | None -> ()
     in
-    let config =
-      {
-        Serve_engine.queue_limit;
-        executors;
-        default_budget;
-        max_budget;
-        retry_attempts;
-        cache_capacity;
-        preflight;
-      }
-    in
-    let engine =
-      match Serve_engine.validate_config config with
-      | Ok c -> Serve_engine.create ~config:c ()
-      | Error msg ->
-          Printf.eprintf "serve: %s\n" msg;
-          exit 1
-    in
-    let srv = Serve_socket.create ~engine ~path:socket in
-    List.iter
-      (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve_socket.shutdown srv)))
-      [ Sys.sigterm; Sys.sigint ];
-    Printf.printf
-      "smoothe serve: listening on %s (queue limit %d, %d executor(s), budgets %g/%gs, \
-       cache %d)\n\
-       %!"
-      socket queue_limit executors default_budget max_budget cache_capacity;
-    Serve_socket.run srv;
-    let s = Serve_engine.stats engine in
-    Printf.printf
-      "smoothe serve: drained cleanly (admitted %d, completed %d, shed %d, refused %d, \
-       cache hits %d)\n"
-      s.Serve_engine.admission.Admission.admitted
-      s.Serve_engine.admission.Admission.completed s.Serve_engine.admission.Admission.shed
-      s.Serve_engine.admission.Admission.refused s.Serve_engine.cache_hits;
-    write_health_report (Serve_engine.health engine) health_report;
-    (match trace_out with
-    | Some path ->
-        Trace.write_file path;
-        Printf.printf "trace written to %s\n" path
-    | None -> ());
-    write_metrics_snapshot ~format:metrics_format metrics_out;
-    match log_channel with
-    | Some oc ->
-        Log.set_sink Log.Silent;
-        close_out oc
-    | None -> ()
+    if not supervise then run_daemon ()
+    else begin
+      (* watchdog mode: fork a fresh daemon per attempt, BEFORE any
+         engine state or thread exists in this process (fork and
+         threads do not mix), and restart it on abnormal exit *)
+      Log.set_sink (Log.Channel stderr);
+      let stopping = ref false in
+      let child = ref (-1) in
+      let forward signal _ =
+        stopping := true;
+        if !child > 0 then try Unix.kill !child signal with Unix.Unix_error _ -> ()
+      in
+      List.iter
+        (fun s -> Sys.set_signal s (Sys.Signal_handle (forward Sys.sigterm)))
+        [ Sys.sigterm; Sys.sigint ];
+      let spawn ~attempt:_ =
+        match Unix.fork () with
+        | 0 ->
+            (* child: drop the watchdog's handlers (run_daemon installs
+               its own drain handlers) and its stderr log sink *)
+            List.iter
+              (fun s -> Sys.set_signal s Sys.Signal_default)
+              [ Sys.sigterm; Sys.sigint ];
+            Log.set_sink Log.Silent;
+            (match run_daemon () with
+            | () -> Stdlib.exit 0
+            | exception e ->
+                Printf.eprintf "smoothe serve: daemon died: %s\n" (Printexc.to_string e);
+                Stdlib.exit 70)
+        | pid -> (
+            child := pid;
+            let rec wait () =
+              match Unix.waitpid [] pid with
+              | _, status -> status
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+            in
+            let status = wait () in
+            child := -1;
+            (* an exit while the operator is stopping us counts as
+               clean: the drain was interrupted on purpose *)
+            match status with
+            | _ when !stopping -> Watchdog.Exited 0
+            | Unix.WEXITED code -> Watchdog.Exited code
+            | Unix.WSIGNALED sg | Unix.WSTOPPED sg -> Watchdog.Signaled sg)
+      in
+      let health = Health.create () in
+      let policy =
+        { Watchdog.default_policy with Watchdog.max_restarts; window = restart_window }
+      in
+      match Watchdog.supervise ~policy ~health ~name:"smoothe-serve" spawn with
+      | Watchdog.Clean_exit -> ()
+      | Watchdog.Crash_loop { crashes; window } ->
+          Printf.eprintf
+            "smoothe serve: crash-loop breaker tripped (%d abnormal exits within %.0fs); \
+             giving up\n"
+            crashes window;
+          write_health_report health health_report;
+          exit 70
+    end
   in
   let queue_limit =
     Arg.(
@@ -738,22 +836,81 @@ let serve_cmd =
       value & flag
       & info [ "preflight" ] ~doc:"Run the static e-graph lint gate inside each request.")
   in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write-ahead request journal directory: every admitted request is journaled \
+             durably before execution and marked completed on fulfilment, so a crashed \
+             daemon replays unanswered work on restart (and serves already-answered \
+             replays from the warmed solution cache). Without this flag a crash loses \
+             queued and in-flight requests.")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Watchdog mode: fork the daemon and restart it on abnormal exit with capped \
+             exponential backoff; $(b,--max-restarts) abnormal exits within \
+             $(b,--restart-window) seconds trip the crash-loop breaker and give up with a \
+             structured health event. A clean SIGTERM drain ends supervision.")
+  in
+  let max_restarts =
+    Arg.(
+      value & opt int 5
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:"Crash-loop breaker threshold (with $(b,--supervise)).")
+  in
+  let restart_window =
+    Arg.(
+      value & opt float 60.0
+      & info [ "restart-window" ] ~docv:"SECONDS"
+          ~doc:"Crash-loop breaker window (with $(b,--supervise)).")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection frame-read deadline: a client that dribbles or stalls \
+             mid-frame is answered with a structured $(b,timeout) error and \
+             disconnected.")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "max-frame-bytes" ] ~docv:"N"
+          ~doc:
+            "Request-line length cap; longer frames are answered with a structured \
+             $(b,frame_too_long) error and disconnected.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the fault-tolerant extraction daemon: line-framed JSON requests over a Unix \
           socket, bounded admission with load shedding, per-request deadlines and \
-          supervised retry, fingerprint-keyed solution cache, graceful drain on SIGTERM.")
+          supervised retry, fingerprint-keyed solution cache, graceful drain on SIGTERM; \
+          optionally crash-only ($(b,--journal-dir)) and supervised by a restart watchdog \
+          ($(b,--supervise)).")
     Term.(
       const run $ socket_flag $ queue_limit $ executors $ default_budget $ max_budget
       $ retry_attempts $ cache_capacity $ preflight $ jobs_flag $ metrics_flag
-      $ metrics_format_flag $ log_flag $ health_report_flag $ trace_flag)
+      $ metrics_format_flag $ log_flag $ health_report_flag $ trace_flag $ journal_dir
+      $ supervise $ max_restarts $ restart_window $ read_timeout $ max_frame_bytes)
 
 (* --------------------------------------------------------------- request *)
 
 let request_cmd =
   let run spec socket ping stats method_name budget deadline_ms seed batch iters lambda
-      fault_plan no_cache id =
+      fault_plan no_cache id retries =
+    if retries < 0 then begin
+      Printf.eprintf "--retries: must be >= 0, got %d\n" retries;
+      exit 1
+    end;
     let frame =
       if ping then Json.Object [ ("op", Json.String "ping") ]
       else if stats then Json.Object [ ("op", Json.String "stats") ]
@@ -807,7 +964,7 @@ let request_cmd =
           }
       end
     in
-    match Serve_socket.call ~path:socket frame with
+    match Serve_socket.call ~retries ~rng:(Rng.create seed) ~path:socket frame with
     | resp ->
         print_endline (Json.to_string resp);
         let status =
@@ -873,6 +1030,15 @@ let request_cmd =
   let id =
     Arg.(value & opt string "cli" & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed back.")
   in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "When the daemon sheds with $(b,overloaded), honor its $(b,retry_after_ms) \
+             hint and re-send up to $(docv) times (exponential backoff, deterministic \
+             jitter). 0 returns the shed response immediately.")
+  in
   Cmd.v
     (Cmd.info "request"
        ~doc:
@@ -881,7 +1047,7 @@ let request_cmd =
           response, 3 on a structured error response.")
     Term.(
       const run $ spec $ socket_flag $ ping $ stats $ method_name $ budget $ deadline_ms
-      $ seed_flag $ batch $ iters $ lambda $ fault_plan $ no_cache $ id)
+      $ seed_flag $ batch $ iters $ lambda $ fault_plan $ no_cache $ id $ retries)
 
 (* ------------------------------------------------------------------- top *)
 

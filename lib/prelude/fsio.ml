@@ -14,3 +14,34 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------- append *)
+
+(* Journals cannot use [write_atomic]: a write-ahead log grows by
+   appending frames, and rewriting the whole file per record would turn
+   O(1) admissions into O(n). The durability discipline is instead
+   flush + fsync per append: after [append] returns, the bytes are on
+   disk (or the call raised). Torn *tails* — a crash mid-append — are
+   the reader's problem; framed journal formats tolerate them by
+   construction. *)
+
+type appender = { ap_path : string; oc : out_channel; fsync : bool }
+
+let open_append ?(fsync = true) path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { ap_path = path; oc; fsync }
+
+let append a content =
+  output_string a.oc content;
+  flush a.oc;
+  if a.fsync then Unix.fsync (Unix.descr_of_out_channel a.oc)
+
+let append_path a = a.ap_path
+
+let close_append a = close_out_noerr a.oc

@@ -18,3 +18,33 @@ val write_atomic : path:string -> string -> unit
 
 val read_file : string -> string
 (** The whole file, read in binary mode. *)
+
+val mkdir_p : string -> unit
+(** Create [dir] and any missing parents, [mkdir -p] style. Racing
+    creators are tolerated (EEXIST is not an error). *)
+
+(** {1 Durable appends}
+
+    The write-ahead-journal discipline: an {!appender} holds an open
+    channel in append mode, and every {!append} flushes and (by
+    default) fsyncs before returning, so an acknowledged append has
+    reached the disk. A crash mid-append leaves a torn {e tail}, never
+    a torn middle; framed formats (CRC per record) recover by dropping
+    the tail. Use {!write_atomic} for whole-file artifacts and an
+    appender only for grow-only logs. *)
+
+type appender
+
+val open_append : ?fsync:bool -> string -> appender
+(** Open (creating if absent) [path] for durable appends. [fsync]
+    defaults to [true]; pass [false] only where durability is being
+    traded away knowingly (benchmark baselines). *)
+
+val append : appender -> string -> unit
+(** Append the bytes, flush, and fsync (unless disabled). Raises on
+    I/O errors; on return the bytes are durable. *)
+
+val append_path : appender -> string
+
+val close_append : appender -> unit
+(** Close the channel; never raises. *)

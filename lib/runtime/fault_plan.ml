@@ -5,6 +5,8 @@ type fault =
   | Clock_skew of float
   | Crash_at of int
   | Torn_write
+  | Torn_journal
+  | Crash_in_flight of int
 
 exception Injected_crash of int
 
@@ -21,6 +23,8 @@ let fault_to_string = function
   | Clock_skew s -> Printf.sprintf "skew@%g" s
   | Crash_at k -> Printf.sprintf "crash@%d" k
   | Torn_write -> "torn-write"
+  | Torn_journal -> "torn-journal"
+  | Crash_in_flight k -> Printf.sprintf "crash-in-flight@%d" k
 
 let to_string p = String.concat "," (List.map fault_to_string p)
 
@@ -67,11 +71,13 @@ let fault_of_string spec =
   | "skew" | "clock-skew" -> Clock_skew (float_arg "skew@SECONDS")
   | "crash" -> Crash_at (int_arg "crash@K")
   | "torn-write" | "torn" -> no_arg Torn_write
+  | "torn-journal" -> no_arg Torn_journal
+  | "crash-in-flight" -> Crash_in_flight (int_arg "crash-in-flight@K")
   | _ ->
       invalid_arg
         (Printf.sprintf
            "Fault_plan: unknown fault %S (expected nan@K, mem@SCALE, stall, skew@SECONDS, \
-            crash@K or torn-write)"
+            crash@K, torn-write, torn-journal or crash-in-flight@K)"
            spec)
 
 (* Two atoms of the same family make the plan ambiguous (the hooks fire
@@ -84,6 +90,8 @@ let family = function
   | Clock_skew _ -> "skew"
   | Crash_at _ -> "crash"
   | Torn_write -> "torn-write"
+  | Torn_journal -> "torn-journal"
+  | Crash_in_flight _ -> "crash-in-flight"
 
 let of_string s =
   let faults =
@@ -124,6 +132,8 @@ let mem_noted = Atomic.make false
 let stall_noted = Atomic.make false
 let crash_fired = Atomic.make false
 let torn_fired = Atomic.make false
+let torn_journal_fired = Atomic.make false
+let crash_in_flight_fired = Atomic.make false
 let injections : string list ref = ref [] (* guarded by [injections_lock] *)
 let injections_lock = Mutex.create ()
 
@@ -152,6 +162,8 @@ let clear () =
   Atomic.set stall_noted false;
   Atomic.set crash_fired false;
   Atomic.set torn_fired false;
+  Atomic.set torn_journal_fired false;
+  Atomic.set crash_in_flight_fired false;
   Mutex.protect injections_lock (fun () -> injections := [])
 
 let install p =
@@ -230,3 +242,22 @@ let torn_write () =
       record_injection "torn checkpoint write";
       true
   | true | false -> false
+
+let torn_journal () =
+  match
+    List.exists (function Torn_journal -> true | _ -> false) (Atomic.get active_plan)
+  with
+  | true when fire_once torn_journal_fired ->
+      record_injection "torn journal append";
+      true
+  | true | false -> false
+
+let crash_in_flight ~completed =
+  match
+    List.find_opt (function Crash_in_flight _ -> true | _ -> false) (Atomic.get active_plan)
+  with
+  | Some (Crash_in_flight k) when completed >= k && fire_once crash_in_flight_fired ->
+      record_injection
+        (Printf.sprintf "engine crash after %d completed request(s)" completed);
+      raise (Injected_crash completed)
+  | Some _ | None -> ()

@@ -37,6 +37,20 @@ type fault =
           power-loss torn write. The resulting file fails its checksum
           and the reader must fall back to the previous generation.
           Fires at most once per installation. *)
+  | Torn_journal
+      (** The next request-journal append is truncated halfway — a crash
+          mid-append. The torn frame fails its checksum on the next
+          startup scan and must be dropped without preventing recovery
+          of every frame before it. Fires at most once per
+          installation. *)
+  | Crash_in_flight of int
+      (** Raise {!Injected_crash} out of the serve engine's completion
+          path once [k] requests have completed — the daemon-death
+          analogue of [Crash_at]. Unlike per-request faults this
+          escapes the per-request supervisor, killing the whole engine
+          with requests still queued, which is exactly what the journal
+          replay path must survive. Fires at most once per
+          installation. *)
 
 exception Injected_crash of int
 (** Raised by {!crash_now}; carries the iteration at which it fired. *)
@@ -49,7 +63,8 @@ val is_none : t -> bool
 val of_string : string -> t
 (** Parse a comma-separated plan: ["nan@10,mem@8,stall,crash@25"].
     Accepted atoms: [nan@K], [mem@SCALE], [stall], [skew@SECONDS],
-    [crash@K], [torn-write]; empty string and ["none"] give {!none}.
+    [crash@K], [torn-write], [torn-journal], [crash-in-flight@K];
+    empty string and ["none"] give {!none}.
     @raise Invalid_argument on malformed specs: unknown fault names,
     missing / non-numeric / non-positive / non-finite arguments
     (e.g. [nan@-1], [nan@2.5], [mem@0], [mem@inf]), arguments to
@@ -105,6 +120,18 @@ val torn_write : unit -> bool
 (** Called by the checkpoint writer before committing a file; [true]
     (at most once per installation) means "truncate this write halfway"
     to simulate a torn write. *)
+
+val torn_journal : unit -> bool
+(** Called by the request journal before appending a frame; [true] (at
+    most once per installation) means "truncate this append halfway",
+    simulating a crash mid-append. *)
+
+val crash_in_flight : completed:int -> unit
+(** Called by the serve engine after each request completion with the
+    total completed count; under a [crash-in-flight@K] fault the first
+    call with [completed >= K] records the injection and raises
+    {!Injected_crash}, simulating the daemon dying with requests still
+    queued. All other calls return normally. *)
 
 (** {1 Injection records} *)
 

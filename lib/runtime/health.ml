@@ -10,6 +10,10 @@ type kind =
   | Checkpoint_corrupt
   | Resumed
   | Preflight
+  | Journal_torn
+  | Replayed
+  | Watchdog_restart
+  | Crash_loop
 
 type event = { at : float; member : string; kind : kind; detail : string }
 
@@ -19,6 +23,7 @@ let all_kinds =
   [
     Fault_injected; Nan_detected; Recovery; Oom_derate; Timeout; Member_failed;
     Budget_reallocated; Degraded; Checkpoint_corrupt; Resumed; Preflight;
+    Journal_torn; Replayed; Watchdog_restart; Crash_loop;
   ]
 
 let kind_name = function
@@ -33,6 +38,10 @@ let kind_name = function
   | Checkpoint_corrupt -> "checkpoint-corrupt"
   | Resumed -> "resumed"
   | Preflight -> "preflight"
+  | Journal_torn -> "journal-torn"
+  | Replayed -> "replayed"
+  | Watchdog_restart -> "watchdog-restart"
+  | Crash_loop -> "crash-loop"
 
 let kind_of_name name = List.find_opt (fun k -> kind_name k = name) all_kinds
 

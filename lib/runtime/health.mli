@@ -25,6 +25,18 @@ type kind =
       (** a static pre-flight analysis finding (e-graph lint) surfaced
           before the first iteration; detail carries the rendered
           diagnostic *)
+  | Journal_torn
+      (** a request-journal frame failed its checksum / framing check
+          (torn append, bit rot) and was dropped on the startup scan *)
+  | Replayed
+      (** an incomplete journaled request was re-offered through
+          admission after a restart *)
+  | Watchdog_restart
+      (** the watchdog observed an abnormal daemon exit and is
+          restarting it after backoff *)
+  | Crash_loop
+      (** the watchdog's crash-loop breaker tripped (too many abnormal
+          exits within the window) and it gave up restarting *)
 
 type event = {
   at : float;  (** seconds since the log was created *)

@@ -44,6 +44,10 @@ let validate_config c =
 type ticket = {
   req : P.request;
   rid : string;  (** request id minted at admission; see [mint_rid] *)
+  jrid : string;
+      (** journal id: equals [rid] for fresh requests; a replayed
+          request keeps the rid its admitted frame was journaled under,
+          so its completion frame closes that frame *)
   graph : Egraph.t;
   cache_key : Serve_cache.key option;
   budget : float;
@@ -65,9 +69,12 @@ type t = {
   cv_idle : Condition.t;  (** drain waits here for quiescence *)
   cache : P.ok_body Serve_cache.t;
   daemon_health : Health.log;
+  journal : Serve_journal.t option;
   created_at : float;
   mutable seq : int;  (** request-id sequence, guarded by [m] *)
   mutable latency_est_ms : float;
+  mutable replayed : int;  (** journal replays this process performed *)
+  mutable warmed : int;  (** cache entries restored from the journal *)
   mutable domains : unit Domain.t list;
 }
 
@@ -305,6 +312,31 @@ let record_latency t elapsed_ms =
   t.latency_est_ms <- (0.8 *. t.latency_est_ms) +. (0.2 *. elapsed_ms);
   Mutex.unlock t.m
 
+(* Durably mark the ticket answered. For cacheable successes the frame
+   carries the cache key and body, so the next process can warm its
+   solution cache and serve retries of this request as hits. A journal
+   write failure here must not kill the executor: the response still
+   goes out, the request merely replays (harmlessly) on next start. *)
+let journal_completion t tk resp =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+      let key, body =
+        match (resp.P.body, tk.cache_key) with
+        | Ok b, Some key when b.P.valid && tk.req.P.fault_plan = "" ->
+            (Some key, Some { b with P.cache_hit = false })
+        | _ -> (None, None)
+      in
+      try
+        Serve_journal.append_completed j ~rid:tk.jrid ?key ?body ();
+        if !Obs.on then Metrics.incr "serve.journal.appends"
+      with e ->
+        locked t (fun () ->
+            Health.record t.daemon_health ~member:"journal" Health.Degraded
+              ("completion append failed: " ^ Printexc.to_string e));
+        Log.emit ~req:tk.rid ~event:"journal.append_failed"
+          [ ("error", Json.String (Printexc.to_string e)) ])
+
 let execute_and_fulfill t tk =
   let resp =
     match execute t tk with
@@ -319,12 +351,18 @@ let execute_and_fulfill t tk =
           [ ("error", Json.String (Printexc.to_string e)) ];
         P.error_response ~id:tk.req.P.id P.Internal (Printexc.to_string e)
   in
+  journal_completion t tk resp;
   (* settle the admission counters before the caller can observe the
      response, so a stats probe right after a reply never sees the
      finished request still in flight *)
   finish_one t;
   fulfill tk resp;
-  record_latency t resp.P.elapsed_ms
+  record_latency t resp.P.elapsed_ms;
+  (* deliberately outside the per-request guard above: a
+     crash-in-flight fault models an engine bug that escapes request
+     supervision and kills the daemon with work still queued *)
+  Fault_plan.crash_in_flight
+    ~completed:(locked t (fun () -> (Admission.snapshot t.adm).Admission.completed))
 
 let rec exec_loop t =
   Mutex.lock t.m;
@@ -355,7 +393,7 @@ let rec exec_loop t =
 
 (* --- lifecycle --------------------------------------------------------- *)
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?journal () =
   (match validate_config config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Serve_engine.create: " ^ msg));
@@ -369,19 +407,41 @@ let create ?(config = default_config) () =
       cv_idle = Condition.create ();
       cache = Serve_cache.create ~capacity:config.cache_capacity;
       daemon_health = Health.create ();
+      journal;
       created_at = Timer.now ();
       seq = 0;
       latency_est_ms = 50.0;
+      replayed = 0;
+      warmed = 0;
       domains = [];
     }
   in
+  (match journal with
+  | None -> ()
+  | Some j ->
+      (* warm the solution cache from the journal's carried-forward
+         completions before any executor starts, so replays and client
+         retries of already-answered requests hit instead of recompute *)
+      List.iter (fun (key, body) -> Serve_cache.add t.cache key body) (Serve_journal.warm j);
+      t.warmed <- List.length (Serve_journal.warm j);
+      if !Obs.on && t.warmed > 0 then
+        Metrics.set_gauge "serve.journal.warmed" (float_of_int t.warmed);
+      List.iter
+        (fun (file, reason) ->
+          Health.record t.daemon_health ~member:"journal" Health.Journal_torn
+            (Printf.sprintf "%s: %s" file reason);
+          if !Obs.on then Metrics.incr "serve.journal.torn";
+          Log.emit ~event:"journal.torn"
+            [ ("file", Json.String file); ("reason", Json.String reason) ])
+        (Serve_journal.torn j));
   t.domains <- List.init config.executors (fun _ -> Domain.spawn (fun () -> exec_loop t));
   t
 
-let fresh_ticket req ~rid graph cache_key ~budget ~overall =
+let fresh_ticket req ~rid ~jrid graph cache_key ~budget ~overall =
   {
     req;
     rid;
+    jrid;
     graph;
     cache_key;
     budget;
@@ -392,7 +452,13 @@ let fresh_ticket req ~rid graph cache_key ~budget ~overall =
     resp = None;
   }
 
-let offer t req =
+(* [replay = Some jrid] re-offers a journaled request after a restart:
+   it runs the full validation/cache/admission gauntlet like any fresh
+   request, but keeps the journal rid of its existing admitted frame
+   (so its completion closes that frame) and skips re-journaling the
+   admission (the open-time compaction already carried the frame into
+   the current generation). *)
+let offer_aux t req ~replay =
   let rid = mint_rid t req.P.id in
   if !Obs.on then begin
     Metrics.incr "serve.requests";
@@ -467,21 +533,53 @@ let offer t req =
                   d)
             in
             (match decision with
-            | Admission.Admit ->
-                let tk = fresh_ticket req ~rid graph key ~budget ~overall in
-                (* log before the push: once the ticket is visible an
-                   executor may dequeue it, and the admitted line must
-                   precede the dequeued one in the request's timeline *)
-                Log.emit ~req:rid ~event:"request.admitted"
-                  [
-                    ("queued",
-                     Json.Number
-                       (float_of_int (Admission.snapshot t.adm).Admission.queued));
-                  ];
-                locked t (fun () ->
-                    Queue.push tk t.q;
-                    Condition.signal t.cv_work);
-                Queued tk
+            | Admission.Admit -> (
+                let jrid = Option.value ~default:rid replay in
+                let tk = fresh_ticket req ~rid ~jrid graph key ~budget ~overall in
+                (* the write-ahead step: the admitted frame must be on
+                   disk before the ticket is visible to executors, or a
+                   crash between visibility and durability would lose
+                   the request. Replays skip it — their frame is
+                   already in the current generation. *)
+                let journaled =
+                  match t.journal with
+                  | Some j when replay = None -> (
+                      try
+                        Serve_journal.append_admitted j ~rid:jrid req;
+                        if !Obs.on then Metrics.incr "serve.journal.appends";
+                        Ok ()
+                      with e -> Error (Printexc.to_string e))
+                  | Some _ | None -> Ok ()
+                in
+                match journaled with
+                | Error msg ->
+                    (* durability failed: refuse rather than accept a
+                       request we could silently lose. The admission
+                       slot is settled so counters stay exact. *)
+                    locked t (fun () ->
+                        Admission.start t.adm;
+                        Admission.finish t.adm;
+                        Health.record t.daemon_health ~member:"journal" Health.Degraded
+                          ("admit append failed: " ^ msg));
+                    Log.emit ~req:rid ~event:"journal.append_failed"
+                      [ ("error", Json.String msg) ];
+                    Done
+                      (P.error_response ~id:req.P.id P.Internal
+                         ("request journal append failed: " ^ msg))
+                | Ok () ->
+                    (* log before the push: once the ticket is visible an
+                       executor may dequeue it, and the admitted line must
+                       precede the dequeued one in the request's timeline *)
+                    Log.emit ~req:rid ~event:"request.admitted"
+                      [
+                        ("queued",
+                         Json.Number
+                           (float_of_int (Admission.snapshot t.adm).Admission.queued));
+                      ];
+                    locked t (fun () ->
+                        Queue.push tk t.q;
+                        Condition.signal t.cv_work);
+                    Queued tk)
             | Admission.Shed { retry_after_ms } ->
                 Log.emit ~req:rid ~event:"request.shed"
                   [ ("retry_after_ms", Json.Number retry_after_ms) ];
@@ -497,7 +595,53 @@ let offer t req =
                      (Printf.sprintf "daemon is %s; not accepting new requests"
                         (Admission.state_name st)))))
 
+let offer t req = offer_aux t req ~replay:None
+
 let submit t req = match offer t req with Queued tk -> await tk | Done r -> r
+
+(* --- journal replay ---------------------------------------------------- *)
+
+let recover t =
+  match t.journal with
+  | None -> 0
+  | Some j ->
+      let mark_answered jrid =
+        try Serve_journal.append_completed j ~rid:jrid ()
+        with _ -> () (* already logged via journal_completion's path on next write *)
+      in
+      let pending = Serve_journal.pending j in
+      List.iter
+        (fun (jrid, req) ->
+          if !Obs.on then Metrics.incr "serve.journal.replayed";
+          Health.record t.daemon_health ~member:("request:" ^ jrid) Health.Replayed
+            "re-offered from journal after restart";
+          Log.emit ~req:jrid ~event:"request.replayed" [ ("id", Json.String req.P.id) ];
+          let rec replay attempts =
+            match offer_aux t req ~replay:(Some jrid) with
+            | Queued _ -> () (* an executor (or run_pending) completes and journals it *)
+            | Done resp -> (
+                match resp.P.body with
+                | Error { P.code = P.Overloaded; retry_after_ms; _ }
+                  when attempts > 0 && t.cfg.executors > 0 ->
+                    (* executors are draining the backlog we just
+                       re-queued; give them the hinted pause *)
+                    Unix.sleepf (Option.value ~default:10.0 retry_after_ms /. 1000.0);
+                    replay (attempts - 1)
+                | Error { P.code = P.Overloaded; _ } ->
+                    (* still shed: leave the frame incomplete so the
+                       request replays on the next restart instead of
+                       being dropped *)
+                    Log.emit ~req:jrid ~event:"request.replay_shed" []
+                | Ok _ | Error _ ->
+                    (* answered at admission (cache hit from the warmed
+                       cache, or rejected as invalid): close the frame
+                       so it never replays again *)
+                    mark_answered jrid)
+          in
+          replay 3;
+          locked t (fun () -> t.replayed <- t.replayed + 1))
+        pending;
+      List.length pending
 
 let run_pending t =
   let rec go n =
@@ -554,6 +698,8 @@ let stop t =
   List.iter Domain.join ds
 
 let health t = t.daemon_health
+let replayed t = locked t (fun () -> t.replayed)
+let warmed t = t.warmed
 
 type stats = {
   admission : Admission.snapshot;
@@ -585,7 +731,7 @@ let stats_json t =
   let s = stats t in
   let a = s.admission in
   Json.Object
-    [
+    ([
       ("state", Json.String (Admission.state_name a.Admission.snap_state));
       ("queued", Json.Number (float_of_int a.Admission.queued));
       ("queue_limit", Json.Number (float_of_int t.cfg.queue_limit));
@@ -602,3 +748,21 @@ let stats_json t =
       ("latency_est_ms", Json.Number s.latency_est_ms);
       ("uptime_s", Json.Number s.uptime_s);
     ]
+    @
+    match t.journal with
+    | None -> []
+    | Some j ->
+        [
+          ( "journal",
+            Json.Object
+              [
+                ("generation", Json.Number (float_of_int (Serve_journal.generation j)));
+                ("appends", Json.Number (float_of_int (Serve_journal.appends j)));
+                ( "pending_at_start",
+                  Json.Number (float_of_int (List.length (Serve_journal.pending j))) );
+                ("warmed", Json.Number (float_of_int t.warmed));
+                ("replayed", Json.Number (float_of_int (replayed t)));
+                ( "torn_files",
+                  Json.Number (float_of_int (List.length (Serve_journal.torn j))) );
+              ] );
+        ])

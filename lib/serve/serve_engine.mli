@@ -28,6 +28,14 @@
     - {b Drain}: {!drain} refuses new work and completes everything
       already admitted; {!stop} additionally fails still-queued
       tickets with structured errors and joins the executors.
+    - {b Durability} (optional): with a {!Serve_journal}, every
+      admission is journaled before the request is visible to an
+      executor and every fulfilment is journaled on completion, making
+      the daemon crash-only — {!recover} replays what a dead process
+      was holding, and the warmed cache turns replays of
+      already-answered requests into hits. Drained-but-unserved
+      tickets ({!stop}'s structured failures) are deliberately {e not}
+      marked completed, so they too replay on the next start.
 
     Execution modes: [executors = 0] is {e manual} — {!offer} only
     admits, {!run_pending} executes on the calling thread; this is the
@@ -65,8 +73,22 @@ type offer_outcome =
       (** answered at admission time: cache hit, shed, refused or
           invalid *)
 
-val create : ?config:config -> unit -> t
-(** @raise Invalid_argument when the config fails {!validate_config}. *)
+val create : ?config:config -> ?journal:Serve_journal.t -> unit -> t
+(** @raise Invalid_argument when the config fails {!validate_config}.
+    With [journal], the solution cache is pre-warmed from the
+    journal's carried-forward completions and torn-frame notes are
+    surfaced as [journal-torn] health events; the engine takes over
+    appending but the caller keeps ownership (and must
+    {!Serve_journal.close} it after {!stop}). *)
+
+val recover : t -> int
+(** Replay every admitted-but-unanswered journaled request through the
+    normal admission path; returns how many were re-offered. Replays
+    keep their original journal rid so their completions close the
+    original frames; a replay answered at admission (warm cache hit,
+    or now-invalid request) is marked completed immediately, and one
+    shed by a full queue stays journaled for the next restart. Call
+    once, after {!create}; a no-op without a journal. *)
 
 val offer : t -> Serve_protocol.request -> offer_outcome
 (** Parse, validate, consult the cache, and pass admission — all
@@ -100,6 +122,12 @@ val health : t -> Health.log
     merged in on completion, so [--health-report] covers the whole
     service lifetime. *)
 
+val replayed : t -> int
+(** Journal replays performed by {!recover} in this process. *)
+
+val warmed : t -> int
+(** Cache entries restored from the journal at {!create}. *)
+
 type stats = {
   admission : Admission.snapshot;
   cache_hits : int;
@@ -113,5 +141,7 @@ type stats = {
 val stats : t -> stats
 
 val stats_json : t -> Json.t
-(** {!stats} plus the static [queue_limit] and [cache_capacity], as
-    the [stats] control op replies. *)
+(** {!stats} plus the static [queue_limit] and [cache_capacity] (and,
+    when a journal is attached, a [journal] sub-object with
+    generation / appends / pending / warmed / replayed / torn counts),
+    as the [stats] control op replies. *)

@@ -1,0 +1,324 @@
+(* Write-ahead request journal: the durable half of crash-only serving.
+
+   Every admitted request is appended as a CRC-framed [Admitted] record
+   before it becomes visible to executors; fulfilment appends a
+   [Completed] record. On startup the scan pairs them up: admitted
+   without completed = lost in the crash, replay it; completed with a
+   cached body = warm the solution cache so a replay (or a client
+   retry) of an already-answered request is a cache hit, not a
+   recomputation.
+
+   The frame format mirrors Checkpoint's: magic, version, framed
+   length, CRC-32 of the payload. The failure model differs, though —
+   a checkpoint is written atomically (whole file or nothing), while a
+   journal grows by fsynced appends, so the expected corruption is a
+   torn *tail*: the file ends mid-frame where the crash interrupted the
+   last append. The scan therefore walks frames from the start and
+   stops at the first one that fails its length or checksum check;
+   everything before it is trusted, everything from it on is dropped
+   and surfaced as a [Health.Journal_torn] note. A torn tail never
+   prevents startup and a corrupted frame is never replayed. *)
+
+module P = Serve_protocol
+
+let magic = "SMJR"
+let format_version = 1
+let header_len = 24 (* magic 4 + version 4 + kind 4 + length 8 + crc 4 *)
+
+type record =
+  | Admitted of { rid : string; request : P.request }
+  | Completed of { rid : string; key : string option; body : P.ok_body option }
+
+(* ------------------------------------------------------------- encode *)
+
+let w_int buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let w_str buf s =
+  w_int buf (String.length s);
+  Buffer.add_string buf s
+
+(* Bodies ride inside a full response frame so the journal reuses the
+   wire codec instead of inventing a second ok-body serialisation. *)
+let body_to_string ~rid body =
+  Json.to_string
+    (P.response_to_json { P.resp_id = rid; elapsed_ms = 0.0; queue_ms = 0.0; body = Ok body })
+
+let encode_payload = function
+  | Admitted { rid; request } ->
+      let buf = Buffer.create 256 in
+      w_str buf rid;
+      w_str buf (Json.to_string (P.request_to_json request));
+      Buffer.contents buf
+  | Completed { rid; key; body } ->
+      let buf = Buffer.create 256 in
+      w_str buf rid;
+      w_str buf (Option.value ~default:"" key);
+      w_str buf (match body with None -> "" | Some b -> body_to_string ~rid b);
+      Buffer.contents buf
+
+let kind_tag = function Admitted _ -> 1 | Completed _ -> 2
+
+let frame record =
+  let payload = encode_payload record in
+  let buf = Buffer.create (String.length payload + header_len) in
+  Buffer.add_string buf magic;
+  Buffer.add_int32_le buf (Int32.of_int format_version);
+  Buffer.add_int32_le buf (Int32.of_int (kind_tag record));
+  Buffer.add_int64_le buf (Int64.of_int (String.length payload));
+  Buffer.add_int32_le buf (Int32.of_int (Checksum.crc32 payload));
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------- decode *)
+
+exception Bad of string
+
+type reader = { src : string; mutable pos : int }
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.src then raise (Bad "truncated payload")
+
+let r_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_str r =
+  let n = r_int r in
+  if n < 0 || n > String.length r.src - r.pos then raise (Bad "implausible string length");
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let parse_json what s =
+  match Json.parse s with
+  | j -> j
+  | exception Json.Parse_error msg -> raise (Bad (Printf.sprintf "%s: %s" what msg))
+
+let decode_record kind payload =
+  let r = { src = payload; pos = 0 } in
+  let record =
+    match kind with
+    | 1 ->
+        let rid = r_str r in
+        let req_json = parse_json "admitted request" (r_str r) in
+        let request =
+          match P.request_of_json req_json with
+          | Ok req -> req
+          | Error msg -> raise (Bad ("admitted request: " ^ msg))
+        in
+        Admitted { rid; request }
+    | 2 ->
+        let rid = r_str r in
+        let key = match r_str r with "" -> None | k -> Some k in
+        let body =
+          match r_str r with
+          | "" -> None
+          | s -> (
+              match P.response_of_json (parse_json "completed body" s) with
+              | Ok { P.body = Ok b; _ } -> Some b
+              | Ok { P.body = Error _; _ } -> raise (Bad "completed body is an error frame")
+              | Error msg -> raise (Bad ("completed body: " ^ msg)))
+        in
+        Completed { rid; key; body }
+    | k -> raise (Bad (Printf.sprintf "unknown record kind %d" k))
+  in
+  if r.pos <> String.length payload then raise (Bad "trailing bytes in payload");
+  record
+
+(* Scan a whole journal file. Returns the records of the intact prefix
+   plus, when the scan stopped early, the offset and reason of the
+   first unreadable frame (the torn tail). Never raises. *)
+let scan_string s =
+  let len = String.length s in
+  let records = ref [] in
+  let rec go off =
+    if off = len then None
+    else if len - off < header_len then Some (off, "truncated frame header")
+    else if String.sub s off 4 <> magic then Some (off, "bad frame magic")
+    else
+      let version = Int32.to_int (String.get_int32_le s (off + 4)) in
+      if version <> format_version then
+        Some (off, Printf.sprintf "unsupported journal version %d" version)
+      else
+        let kind = Int32.to_int (String.get_int32_le s (off + 8)) in
+        let plen64 = String.get_int64_le s (off + 12) in
+        (* compare as full 64-bit values so a corrupted top bit cannot
+           alias a plausible length *)
+        if
+          Int64.compare plen64 0L < 0
+          || Int64.compare plen64 (Int64.of_int (len - off - header_len)) > 0
+        then Some (off, "frame length overruns the file (torn tail)")
+        else
+          let plen = Int64.to_int plen64 in
+          let stored = Int32.to_int (String.get_int32_le s (off + 20)) land 0xFFFFFFFF in
+          let actual = Checksum.crc32 ~off:(off + header_len) ~len:plen s in
+          if stored <> actual then Some (off, "frame checksum mismatch")
+          else
+            match decode_record kind (String.sub s (off + header_len) plen) with
+            | record ->
+                records := record :: !records;
+                go (off + header_len + plen)
+            | exception Bad msg -> Some (off, msg)
+  in
+  let torn = go 0 in
+  (List.rev !records, torn)
+
+(* -------------------------------------------------------- generations *)
+
+let path ~dir ~name gen = Filename.concat dir (Printf.sprintf "%s.%08d.jrnl" name gen)
+
+let generations ~dir ~name =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      let prefix = name ^ "." and suffix = ".jrnl" in
+      Array.to_list entries
+      |> List.filter_map (fun f ->
+             if
+               String.length f = String.length prefix + 8 + String.length suffix
+               && String.starts_with ~prefix f
+               && String.ends_with ~suffix f
+             then int_of_string_opt (String.sub f (String.length prefix) 8)
+             else None)
+      |> List.sort compare
+
+(* --------------------------------------------------------------- open *)
+
+type t = {
+  dir : string;
+  name : string;
+  gen : int;
+  appender : Fsio.appender;
+  m : Mutex.t;
+  mutable appends : int;
+  pending : (string * P.request) list;
+  warm : (string * P.ok_body) list;
+  torn : (string * string) list;
+  scanned : int;
+}
+
+let raw_append t data =
+  Mutex.protect t.m (fun () ->
+      (* a torn-journal fault truncates this one append halfway,
+         simulating power loss mid-write *)
+      let data =
+        if Fault_plan.torn_journal () then String.sub data 0 (String.length data / 2)
+        else data
+      in
+      Fsio.append t.appender data;
+      t.appends <- t.appends + 1)
+
+let open_ ?(keep_completed = 256) ?(fsync = true) ~dir ~name () =
+  if name = "" || String.contains name '/' then
+    invalid_arg (Printf.sprintf "Serve_journal.open_: bad journal name %S" name);
+  if keep_completed < 0 then
+    invalid_arg "Serve_journal.open_: keep_completed must be >= 0";
+  Fsio.mkdir_p dir;
+  let gens = generations ~dir ~name in
+  (* Fold oldest -> newest so later records supersede earlier ones:
+     the newest completion for a rid wins, and re-journaled admitted
+     frames (compaction carry-forward) collapse onto one entry. *)
+  let admitted : (string, P.request) Hashtbl.t = Hashtbl.create 64 in
+  let completed : (string, string option * P.ok_body option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let admit_order = ref [] (* newest first; rids, deduped *) in
+  let complete_order = ref [] (* newest first; rids, with duplicates *) in
+  let torn = ref [] in
+  List.iter
+    (fun gen ->
+      let p = path ~dir ~name gen in
+      match Fsio.read_file p with
+      | exception Sys_error msg -> torn := (p, msg) :: !torn
+      | content ->
+          let records, tail = scan_string content in
+          (match tail with
+          | Some (off, msg) ->
+              torn := (p, Printf.sprintf "%s at byte %d" msg off) :: !torn
+          | None -> ());
+          List.iter
+            (function
+              | Admitted { rid; request } ->
+                  if not (Hashtbl.mem admitted rid) then admit_order := rid :: !admit_order;
+                  Hashtbl.replace admitted rid request
+              | Completed { rid; key; body } ->
+                  Hashtbl.replace completed rid (key, body);
+                  complete_order := rid :: !complete_order)
+            records)
+    gens;
+  let pending =
+    List.rev !admit_order
+    |> List.filter_map (fun rid ->
+           if Hashtbl.mem completed rid then None
+           else Some (rid, Hashtbl.find admitted rid))
+  in
+  (* Completions worth carrying forward: those with a cache key and a
+     body (anything else can't warm the cache). Newest first, capped,
+     then flipped back to oldest-first so warming the cache in order
+     leaves the newest result installed on key collisions. *)
+  let carry =
+    let seen = Hashtbl.create 64 in
+    List.filter_map
+      (fun rid ->
+        if Hashtbl.mem seen rid then None
+        else begin
+          Hashtbl.add seen rid ();
+          match Hashtbl.find_opt completed rid with
+          | Some (Some key, Some body) -> Some (rid, key, body)
+          | _ -> None
+        end)
+      !complete_order
+    |> List.filteri (fun i _ -> i < keep_completed)
+    |> List.rev
+  in
+  let gen = 1 + List.fold_left max 0 gens in
+  let appender = Fsio.open_append ~fsync (path ~dir ~name gen) in
+  let t =
+    {
+      dir;
+      name;
+      gen;
+      appender;
+      m = Mutex.create ();
+      appends = 0;
+      pending;
+      warm = List.map (fun (_, key, body) -> (key, body)) carry;
+      torn = List.rev !torn;
+      scanned = List.length gens;
+    }
+  in
+  (* Compaction: make the fresh generation self-contained — carry
+     forward the warm completions and the still-pending admitted frames
+     in one append — then drop the old generations. If we crash before
+     the delete, the scan above is idempotent; if we crash after, the
+     new generation alone reconstructs the same state. *)
+  if gens <> [] || carry <> [] then begin
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (rid, key, body) ->
+        Buffer.add_string buf (frame (Completed { rid; key = Some key; body = Some body })))
+      carry;
+    List.iter
+      (fun (rid, request) -> Buffer.add_string buf (frame (Admitted { rid; request })))
+      pending;
+    if Buffer.length buf > 0 then Fsio.append t.appender (Buffer.contents buf);
+    List.iter
+      (fun g -> try Sys.remove (path ~dir ~name g) with Sys_error _ -> ())
+      gens
+  end;
+  t
+
+let append_admitted t ~rid request = raw_append t (frame (Admitted { rid; request }))
+
+let append_completed t ~rid ?key ?body () = raw_append t (frame (Completed { rid; key; body }))
+
+let pending t = t.pending
+let warm t = t.warm
+let torn t = t.torn
+let generations_scanned t = t.scanned
+let appends t = Mutex.protect t.m (fun () -> t.appends)
+let generation t = t.gen
+let file t = Fsio.append_path t.appender
+let close t = Fsio.close_append t.appender

@@ -51,6 +51,8 @@ type error_code =
   | Deadline_expired
   | Crashed
   | Internal
+  | Timed_out
+  | Frame_too_long
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -59,6 +61,8 @@ let error_code_name = function
   | Deadline_expired -> "deadline_expired"
   | Crashed -> "crashed"
   | Internal -> "internal"
+  | Timed_out -> "timeout"
+  | Frame_too_long -> "frame_too_long"
 
 let error_code_of_name = function
   | "bad_request" -> Some Bad_request
@@ -67,6 +71,8 @@ let error_code_of_name = function
   | "deadline_expired" -> Some Deadline_expired
   | "crashed" -> Some Crashed
   | "internal" -> Some Internal
+  | "timeout" -> Some Timed_out
+  | "frame_too_long" -> Some Frame_too_long
   | _ -> None
 
 type ok_body = {

@@ -17,7 +17,11 @@
       (or while) it could run.
     - [crashed] — the supervised run failed on every retry attempt;
       the daemon itself survives.
-    - [internal] — an unexpected server-side failure. *)
+    - [internal] — an unexpected server-side failure.
+    - [timeout] — the connection sat idle (or dribbled bytes) past the
+      per-connection read deadline; the server answers once and closes.
+    - [frame_too_long] — a request line exceeded the frame-length cap;
+      the server answers once and closes. *)
 
 type method_ = Smoothe | Greedy | Greedy_dag
 
@@ -54,6 +58,8 @@ type error_code =
   | Deadline_expired
   | Crashed
   | Internal
+  | Timed_out  (** per-connection read deadline expired mid-frame *)
+  | Frame_too_long  (** request line exceeded the frame-length cap *)
 
 val error_code_name : error_code -> string
 val error_code_of_name : string -> error_code option

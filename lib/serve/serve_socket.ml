@@ -1,8 +1,13 @@
 module P = Serve_protocol
 
+let default_read_timeout = 30.0
+let default_max_frame = 8 * 1024 * 1024
+
 type t = {
   engine : Serve_engine.t;
   path : string;
+  read_timeout : float;  (** per-frame read deadline, seconds *)
+  max_frame : int;  (** request-line length cap, bytes *)
   listen_fd : Unix.file_descr;
   stop : bool Atomic.t;
   conns : (Unix.file_descr, unit) Hashtbl.t;  (** open connection fds *)
@@ -10,7 +15,14 @@ type t = {
   mutable handlers : Thread.t list;
 }
 
-let create ~engine ~path =
+let create ?(read_timeout = default_read_timeout) ?(max_frame = default_max_frame) ~engine
+    ~path () =
+  (match P.positive_float ~what:"read timeout" read_timeout with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Serve_socket.create: " ^ msg));
+  (match P.positive_int ~what:"max frame length" max_frame with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Serve_socket.create: " ^ msg));
   (if Sys.file_exists path then
      match (Unix.stat path).Unix.st_kind with
      | Unix.S_SOCK -> Unix.unlink path
@@ -21,6 +33,8 @@ let create ~engine ~path =
   {
     engine;
     path;
+    read_timeout;
+    max_frame;
     listen_fd = fd;
     stop = Atomic.make false;
     conns = Hashtbl.create 16;
@@ -38,10 +52,103 @@ let untrack t fd =
   Hashtbl.remove t.conns fd;
   Mutex.unlock t.conns_m
 
-let send_line oc json =
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  flush oc
+(* --- hardened frame I/O ------------------------------------------------ *)
+
+(* A connection reader with a carry buffer: pipelined clients may land
+   several frames (or a frame fragment) in one packet, so leftover
+   bytes must survive across [read_frame] calls. *)
+type conn_reader = { fd : Unix.file_descr; mutable carry : string }
+
+type frame_result = Frame of string | Eof | Timed_out | Too_long
+
+let rec select_read fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | r, _, _ -> r <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_read fd timeout
+
+let rec select_write fd timeout =
+  match Unix.select [] [ fd ] [] timeout with
+  | _, w, _ -> w <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_write fd timeout
+
+(* Read one [\n]-terminated frame with a deadline and a length cap.
+   The deadline covers the whole frame, not just the first byte, so a
+   slow-loris client dribbling one byte per poll still times out; the
+   cap bounds memory per connection and is checked before the newline
+   arrives, so an endless unterminated line cannot grow the carry
+   unboundedly. *)
+let read_frame r ~timeout ~max_frame =
+  let deadline = Timer.deadline_after timeout in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt r.carry '\n' with
+    | Some i when i > max_frame -> Too_long
+    | Some i ->
+        let line = String.sub r.carry 0 i in
+        r.carry <- String.sub r.carry (i + 1) (String.length r.carry - i - 1);
+        Frame line
+    | None when String.length r.carry > max_frame -> Too_long
+    | None ->
+        let remaining = Timer.remaining deadline in
+        if remaining <= 0.0 then Timed_out
+        else if not (select_read r.fd (Float.min remaining 1.0)) then go ()
+        else begin
+          match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Eof (* any partial carry is an unterminated frame; drop it *)
+          | n ->
+              r.carry <- r.carry ^ Bytes.sub_string chunk 0 n;
+              go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              go ()
+          | exception Unix.Unix_error _ -> Eof
+        end
+  in
+  go ()
+
+(* Partial-write-safe sender: loops over [Unix.write] until the whole
+   frame is out (a response larger than the socket buffer arrives in
+   pieces), bounded by its own deadline so a client that stops reading
+   cannot pin the handler. Returns [false] when the frame could not be
+   delivered. *)
+let write_frame fd ~timeout json =
+  let s = Json.to_string json ^ "\n" in
+  let len = String.length s in
+  let deadline = Timer.deadline_after timeout in
+  let rec go off =
+    if off >= len then true
+    else
+      let remaining = Timer.remaining deadline in
+      if remaining <= 0.0 then false
+      else if not (select_write fd (Float.min remaining 1.0)) then go off
+      else
+        match Unix.write_substring fd s off (len - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            go off
+        | exception Unix.Unix_error _ -> false
+  in
+  go 0
+
+(* Deliver a final error frame before closing: closing a socket with
+   unread bytes in its receive buffer makes the kernel send RST, which
+   destroys the just-written response on the client side (a flooding
+   client would see a reset instead of the [frame_too_long] verdict).
+   Shut down our send side and drain briefly until the client hangs up
+   or a bounded deadline passes. *)
+let lingering_close fd ~timeout =
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  let deadline = Timer.deadline_after (Float.min timeout 1.0) in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let remaining = Timer.remaining deadline in
+    if remaining > 0.0 && select_read fd remaining then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | _ -> drain ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  drain ()
 
 (* One frame -> one response. Control frames short-circuit; anything
    else goes through the full admission path. *)
@@ -87,16 +194,36 @@ let answer engine line =
           | Ok req -> P.response_to_json (Serve_engine.submit engine req)))
 
 let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let r = { fd; carry = "" } in
+  let send json = write_frame fd ~timeout:t.read_timeout json in
   let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | line when String.trim line = "" -> loop ()
-    | line ->
-        (match send_line oc (answer t.engine line) with
-        | () -> loop ()
-        | exception Sys_error _ -> ())
+    match read_frame r ~timeout:t.read_timeout ~max_frame:t.max_frame with
+    | Eof -> ()
+    | Timed_out ->
+        (* answer once with a structured error, then hang up: a
+           slow-loris client does not get to pin this thread *)
+        if !Obs.on then Metrics.incr "serve.conn.read_timeouts";
+        Log.emit ~event:"conn.read_timeout"
+          [ ("timeout_ms", Json.Number (t.read_timeout *. 1000.0)) ];
+        if
+          send
+            (P.response_to_json
+               (P.error_response ~id:"" P.Timed_out
+                  (Printf.sprintf "no complete frame within the %.0fms read deadline"
+                     (t.read_timeout *. 1000.0))))
+        then lingering_close fd ~timeout:t.read_timeout
+    | Too_long ->
+        if !Obs.on then Metrics.incr "serve.conn.frames_too_long";
+        Log.emit ~event:"conn.frame_too_long"
+          [ ("max_frame", Json.Number (float_of_int t.max_frame)) ];
+        if
+          send
+            (P.response_to_json
+               (P.error_response ~id:"" P.Frame_too_long
+                  (Printf.sprintf "frame exceeds the %d-byte length cap" t.max_frame)))
+        then lingering_close fd ~timeout:t.read_timeout
+    | Frame line when String.trim line = "" -> loop ()
+    | Frame line -> if send (answer t.engine line) then loop ()
   in
   loop ();
   untrack t fd;
@@ -151,7 +278,27 @@ let run t =
 
 (* --- client ------------------------------------------------------------ *)
 
-let call_many ~path frames =
+let send_line oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc
+
+(* An overloaded daemon sheds with a [retry_after_ms] hint; honoring it
+   client-side turns a thundering retry herd into a paced one. The
+   backoff discipline matches {!Supervisor.run_retrying}: the hinted
+   pause doubles per attempt with deterministic jitter from [rng],
+   capped so a wildly pessimistic hint cannot stall a client for
+   minutes. *)
+let max_retry_pause = 5.0
+
+let retry_pause ~rng ~attempt hint_ms =
+  let base = Float.max 0.001 (hint_ms /. 1000.0) in
+  Float.min max_retry_pause
+    (base *. (2.0 ** float_of_int attempt) *. (1.0 +. Rng.uniform rng))
+
+let call_many ?(retries = 0) ?rng ~path frames =
+  if retries < 0 then invalid_arg "Serve_socket.call_many: retries must be >= 0";
+  let rng = match rng with Some r -> r | None -> Rng.create 0x7e57 in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -163,19 +310,27 @@ let call_many ~path frames =
             (Printf.sprintf "cannot connect to %S: %s" path (Unix.error_message err)));
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
-      List.map
-        (fun frame ->
-          send_line oc frame;
-          match input_line ic with
-          | exception End_of_file -> failwith "connection closed before a response arrived"
-          | line -> (
-              match Json.parse line with
-              | j -> j
-              | exception Json.Parse_error msg ->
-                  failwith ("unparsable response frame: " ^ msg)))
-        frames)
+      let exchange frame =
+        send_line oc frame;
+        match input_line ic with
+        | exception End_of_file -> failwith "connection closed before a response arrived"
+        | line -> (
+            match Json.parse line with
+            | j -> j
+            | exception Json.Parse_error msg ->
+                failwith ("unparsable response frame: " ^ msg))
+      in
+      let rec attempt frame n =
+        let resp = exchange frame in
+        match (Json.member "code" resp, Json.member "retry_after_ms" resp) with
+        | Json.String "overloaded", Json.Number hint_ms when n < retries ->
+            Unix.sleepf (retry_pause ~rng ~attempt:n hint_ms);
+            attempt frame (n + 1)
+        | _ -> resp
+      in
+      List.map (fun frame -> attempt frame 0) frames)
 
-let call ~path frame =
-  match call_many ~path [ frame ] with
+let call ?retries ?rng ~path frame =
+  match call_many ?retries ?rng ~path [ frame ] with
   | [ resp ] -> resp
   | _ -> assert false

@@ -18,13 +18,27 @@
     (a signal handler may call it): it flips a flag and closes the
     listening socket, which makes {!run} fall out of [accept], drain
     the engine — in-flight and queued requests finish, new ones are
-    refused with [draining] — and close lingering connections. *)
+    refused with [draining] — and close lingering connections.
+
+    {2 Hardening}
+
+    The transport does not trust clients to be fast or well-formed:
+    each frame read carries a deadline ([read_timeout]) covering the
+    whole line — a slow-loris client dribbling bytes is answered with
+    a structured [timeout] error and disconnected — and a length cap
+    ([max_frame]) answered with [frame_too_long]; responses are
+    written partial-write-safely under the same deadline, so a client
+    that stops reading cannot pin a handler thread either. *)
 
 type t
 
-val create : engine:Serve_engine.t -> path:string -> t
+val create :
+  ?read_timeout:float -> ?max_frame:int -> engine:Serve_engine.t -> path:string -> unit -> t
 (** Bind and listen on Unix-domain socket [path], replacing a stale
-    socket file left by a previous daemon.
+    socket file left by a previous daemon. [read_timeout] (seconds,
+    default 30) bounds each frame read and each response write;
+    [max_frame] (bytes, default 8 MiB) caps the request line.
+    @raise Invalid_argument on a non-positive timeout or cap.
     @raise Unix.Unix_error when binding fails (e.g. the path's
     directory does not exist or the name is too long). *)
 
@@ -36,10 +50,17 @@ val shutdown : t -> unit
 
 (** {1 Client side} *)
 
-val call : path:string -> Json.t -> Json.t
+val call : ?retries:int -> ?rng:Rng.t -> path:string -> Json.t -> Json.t
 (** Connect, send one frame, read one response frame, close.
+    [retries] (default 0) re-sends a frame answered [overloaded],
+    honoring the daemon's [retry_after_ms] hint with exponential
+    backoff and deterministic jitter from [rng] (the
+    {!Supervisor.run_retrying} discipline, capped at 5s per pause);
+    the shed response is returned as-is once retries are exhausted.
     @raise Failure on connection errors, EOF before a response, or an
-    unparsable response line. *)
+    unparsable response line.
+    @raise Invalid_argument on negative [retries]. *)
 
-val call_many : path:string -> Json.t list -> Json.t list
-(** One connection, several frames pipelined in order. *)
+val call_many : ?retries:int -> ?rng:Rng.t -> path:string -> Json.t list -> Json.t list
+(** One connection, several frames pipelined in order; [retries]
+    applies per frame. *)

@@ -1,0 +1,85 @@
+(* Restart supervision for the daemon process itself.
+
+   The loop is deliberately separated from process mechanics: [spawn]
+   runs one child to completion and reports how it exited, and the
+   clock and sleeper are injectable, so the backoff and breaker logic
+   is testable with fake exits and a virtual clock. The CLI wires
+   [spawn] to fork/waitpid. *)
+
+type status = Exited of int | Signaled of int
+
+let status_name = function
+  | Exited code -> Printf.sprintf "exited:%d" code
+  | Signaled sg -> Printf.sprintf "signaled:%d" sg
+
+type policy = {
+  max_restarts : int;
+  window : float;
+  backoff : float;
+  max_backoff : float;
+}
+
+let default_policy = { max_restarts = 5; window = 60.0; backoff = 0.5; max_backoff = 10.0 }
+
+let validate_policy p =
+  let ( let* ) = Result.bind in
+  let* _ = Serve_protocol.positive_int ~what:"max restarts" p.max_restarts in
+  let* _ = Serve_protocol.positive_float ~what:"restart window" p.window in
+  let* _ = Serve_protocol.positive_float ~what:"backoff" p.backoff in
+  let* _ = Serve_protocol.positive_float ~what:"max backoff" p.max_backoff in
+  if p.max_backoff < p.backoff then Error "max backoff must be >= backoff" else Ok p
+
+type outcome = Clean_exit | Crash_loop of { crashes : int; window : float }
+
+let supervise ?(policy = default_policy) ?health ?rng ?(sleep = Unix.sleepf)
+    ?(now = Timer.now) ~name spawn =
+  (match validate_policy policy with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Watchdog.supervise: " ^ msg));
+  let health = match health with Some h -> h | None -> Health.create () in
+  let rng = match rng with Some r -> r | None -> Rng.create 0xd09 in
+  let rec go ~attempt ~crashes =
+    match spawn ~attempt with
+    | Exited 0 -> Clean_exit
+    | status ->
+        let at = now () in
+        (* the breaker counts abnormal exits inside a sliding window:
+           a daemon that crashes rarely restarts forever, one that
+           crash-loops trips the breaker instead of spinning *)
+        let crashes = at :: List.filter (fun c -> at -. c <= policy.window) crashes in
+        let recent = List.length crashes in
+        if recent >= policy.max_restarts then begin
+          Health.record health ~member:name Health.Crash_loop
+            (Printf.sprintf "%d abnormal exits within %.0fs (last %s); giving up" recent
+               policy.window (status_name status));
+          Log.emit ~event:"watchdog.crash_loop"
+            [
+              ("name", Json.String name);
+              ("crashes", Json.Number (float_of_int recent));
+              ("window_s", Json.Number policy.window);
+              ("status", Json.String (status_name status));
+            ];
+          Crash_loop { crashes = recent; window = policy.window }
+        end
+        else begin
+          let pause =
+            Float.min policy.max_backoff
+              (policy.backoff
+              *. (2.0 ** float_of_int (recent - 1))
+              *. (1.0 +. Rng.uniform rng))
+          in
+          Health.record health ~member:name Health.Watchdog_restart
+            (Printf.sprintf "child %s; restart %d after %.3fs backoff" (status_name status)
+               (attempt + 1) pause);
+          Log.emit ~event:"watchdog.restart"
+            [
+              ("name", Json.String name);
+              ("attempt", Json.Number (float_of_int (attempt + 1)));
+              ("status", Json.String (status_name status));
+              ("backoff_s", Json.Number pause);
+            ];
+          sleep pause;
+          go ~attempt:(attempt + 1) ~crashes
+        end
+  in
+  go ~attempt:0 ~crashes:[]

@@ -1,0 +1,62 @@
+(** Crash-only process supervision: restart the daemon on abnormal
+    exit, with capped exponential backoff and a crash-loop breaker.
+
+    [smoothe serve --supervise] runs the daemon under this loop: the
+    parent forks a child per attempt, waits for it, and
+
+    - a clean exit (code 0 — the normal SIGTERM drain) ends
+      supervision;
+    - an abnormal exit (non-zero code or a signal, e.g. [kill -9])
+      triggers a restart after [backoff * 2^k] seconds with
+      deterministic jitter, capped at [max_backoff] — the
+      {!Supervisor.run_retrying} discipline applied to whole
+      processes. The restarted daemon recovers via its request
+      journal;
+    - [max_restarts] abnormal exits within a sliding [window] trip the
+      breaker: supervision gives up with a structured
+      [crash-loop] {!Health} event instead of spinning on a
+      deterministic crash (bad flags, corrupt state, missing socket
+      directory).
+
+    The process mechanics are injected ([spawn], [sleep], [now]), so
+    the backoff/breaker state machine is testable with fake exits and
+    a virtual clock. *)
+
+type status = Exited of int | Signaled of int
+(** How one child run ended, as reported by [spawn]. *)
+
+val status_name : status -> string
+(** ["exited:N"] / ["signaled:N"]. *)
+
+type policy = {
+  max_restarts : int;  (** breaker: abnormal exits within [window] *)
+  window : float;  (** breaker window, seconds *)
+  backoff : float;  (** pause before the first restart, seconds *)
+  max_backoff : float;  (** backoff cap, seconds *)
+}
+
+val default_policy : policy
+(** 5 crashes / 60s window, 0.5s base backoff capped at 10s. *)
+
+val validate_policy : policy -> (policy, string) result
+
+type outcome =
+  | Clean_exit  (** the child exited 0; supervision over *)
+  | Crash_loop of { crashes : int; window : float }
+      (** the breaker tripped; a [crash-loop] health event was
+          recorded *)
+
+val supervise :
+  ?policy:policy ->
+  ?health:Health.log ->
+  ?rng:Rng.t ->
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  name:string ->
+  (attempt:int -> status) ->
+  outcome
+(** [supervise ~name spawn] runs [spawn ~attempt] (attempt counts from
+    0) until it reports a clean exit or the breaker trips. Every
+    restart and the breaker trip are recorded on [health] and emitted
+    as [watchdog.*] log events.
+    @raise Invalid_argument when the policy fails {!validate_policy}. *)

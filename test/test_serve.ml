@@ -594,7 +594,7 @@ let test_socket_end_to_end () =
         { Serve_engine.default_config with Serve_engine.queue_limit = 8; executors = 1 }
       ()
   in
-  let srv = Serve_socket.create ~engine ~path in
+  let srv = Serve_socket.create ~engine ~path () in
   let server = Thread.create (fun () -> Serve_socket.run srv) () in
   Fun.protect
     ~finally:(fun () ->
@@ -662,6 +662,550 @@ let test_socket_end_to_end () =
            (fun l -> l = "# TYPE smoothe_serve_request_ms histogram")
            (String.split_on_char '\n' prom)))
 
+(* --- request journal & crash-only recovery ----------------------------- *)
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "smoothe-jrnl-%d-%d" (Unix.getpid ()) !n)
+    in
+    Fsio.mkdir_p d;
+    d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let journal_engine ?(queue_limit = 8) journal =
+  Serve_engine.create
+    ~config:
+      {
+        Serve_engine.default_config with
+        Serve_engine.queue_limit;
+        executors = 0;
+        retry_attempts = 1;
+        cache_capacity = 16;
+      }
+    ~journal ()
+
+let sample_body =
+  { P.cost = 166.0; valid = true; choices = [ (0, 1); (2, 3) ]; iterations = 9;
+    cache_hit = false; health = "healthy" }
+
+let body_fields b = (b.P.cost, b.P.choices, b.P.iterations)
+
+(* submit + complete one request, restart the journal: the completion is
+   carried forward, the cache is warm, and a retry of the same request
+   is a bit-identical hit without recomputation *)
+let test_journal_cache_warm_restart () =
+  with_temp_dir @@ fun dir ->
+  let j1 = Serve_journal.open_ ~dir ~name:"requests" () in
+  let engine1 = journal_engine j1 in
+  let req = quick_request ~id:"warm" ~seed:21 () in
+  let first =
+    match Serve_engine.offer engine1 req with
+    | Serve_engine.Done _ -> Alcotest.fail "expected admission"
+    | Serve_engine.Queued tk ->
+        ignore (Serve_engine.run_pending engine1);
+        ok_of "first run" (Serve_engine.await tk)
+  in
+  Alcotest.(check bool) "first run computed" false first.P.cache_hit;
+  (* the stats frame surfaces the journal sub-object *)
+  (match Json.member "journal" (Serve_engine.stats_json engine1) with
+  | Json.Object _ -> ()
+  | _ -> Alcotest.fail "stats_json should carry a journal object");
+  Serve_engine.stop engine1;
+  Serve_journal.close j1;
+  let j2 = Serve_journal.open_ ~dir ~name:"requests" () in
+  Alcotest.(check int) "nothing pending after clean completion" 0
+    (List.length (Serve_journal.pending j2));
+  Alcotest.(check int) "one warm completion carried" 1
+    (List.length (Serve_journal.warm j2));
+  Alcotest.(check bool) "generation advanced" true
+    (Serve_journal.generation j2 > 1);
+  (* compaction dropped the old generation files *)
+  Alcotest.(check int) "one generation file after compaction" 1
+    (Array.length
+       (Array.of_list
+          (List.filter
+             (fun f -> Filename.check_suffix f ".jrnl")
+             (Array.to_list (Sys.readdir dir)))));
+  let engine2 = journal_engine j2 in
+  Alcotest.(check int) "cache warmed from journal" 1 (Serve_engine.warmed engine2);
+  (match Serve_engine.offer engine2 req with
+  | Serve_engine.Done resp ->
+      let body = ok_of "warm retry" resp in
+      Alcotest.(check bool) "served from the warmed cache" true body.P.cache_hit;
+      Alcotest.(check (float 0.0)) "bit-identical cost" first.P.cost body.P.cost;
+      Alcotest.(check bool) "bit-identical choices" true
+        (body.P.choices = first.P.choices)
+  | Serve_engine.Queued _ -> Alcotest.fail "warm retry should be a cache hit");
+  Serve_engine.stop engine2;
+  Serve_journal.close j2
+
+(* the kill-at-K property: crash the engine after K completions with N
+   admitted, restart over the same journal, and the response set is
+   exactly the uninterrupted run's — completed requests from the warmed
+   cache, lost ones replayed *)
+let test_kill_at_k_replay () =
+  let n = 4 and k = 2 in
+  let reqs =
+    List.init n (fun i -> quick_request ~id:(Printf.sprintf "kk%d" i) ~seed:(31 + i) ())
+  in
+  (* uninterrupted reference run *)
+  let reference =
+    let engine = manual_engine ~queue_limit:8 () in
+    let tickets =
+      List.map
+        (fun req ->
+          match Serve_engine.offer engine req with
+          | Serve_engine.Queued tk -> tk
+          | Serve_engine.Done _ -> Alcotest.fail "reference: expected admission")
+        reqs
+    in
+    ignore (Serve_engine.run_pending engine);
+    let bodies = List.map (fun tk -> ok_of "reference" (Serve_engine.await tk)) tickets in
+    Serve_engine.stop engine;
+    bodies
+  in
+  with_temp_dir @@ fun dir ->
+  let j1 = Serve_journal.open_ ~dir ~name:"requests" () in
+  let engine1 = journal_engine j1 in
+  List.iter
+    (fun req ->
+      match Serve_engine.offer engine1 req with
+      | Serve_engine.Queued _ -> ()
+      | Serve_engine.Done _ -> Alcotest.fail "crash run: expected admission")
+    reqs;
+  (match
+     Fault_plan.with_plan [ Fault_plan.Crash_in_flight k ] (fun () ->
+         Serve_engine.run_pending engine1)
+   with
+  | exception Fault_plan.Injected_crash _ -> ()
+  | ran -> Alcotest.failf "crash-in-flight@%d never fired (%d ran)" k ran);
+  (* the process is dead: no drain, no stop — only what was fsynced
+     survives *)
+  Serve_journal.close j1;
+  let j2 = Serve_journal.open_ ~dir ~name:"requests" () in
+  Alcotest.(check int) "completions before the crash stay completed" (n - k)
+    (List.length (Serve_journal.pending j2));
+  Alcotest.(check int) "completed requests warm the cache" k
+    (List.length (Serve_journal.warm j2));
+  let engine2 = journal_engine j2 in
+  Alcotest.(check int) "warm count" k (Serve_engine.warmed engine2);
+  Alcotest.(check int) "recover replays the lost requests" (n - k)
+    (Serve_engine.recover engine2);
+  Alcotest.(check int) "replay counter" (n - k) (Serve_engine.replayed engine2);
+  Alcotest.(check int) "replayed health events" (n - k)
+    (Health.count (Serve_engine.health engine2) Health.Replayed);
+  Alcotest.(check int) "replays execute" (n - k) (Serve_engine.run_pending engine2);
+  (* every original request is now answerable from cache, bit-identical
+     to the uninterrupted run *)
+  let hits_before = (Serve_engine.stats engine2).Serve_engine.cache_hits in
+  List.iter2
+    (fun req ref_body ->
+      match Serve_engine.offer engine2 req with
+      | Serve_engine.Done resp ->
+          let body = ok_of ("replayed " ^ req.P.id) resp in
+          Alcotest.(check bool) (req.P.id ^ " is a cache hit") true body.P.cache_hit;
+          Alcotest.(check bool) (req.P.id ^ " bit-identical") true
+            (body_fields body = body_fields ref_body)
+      | Serve_engine.Queued _ -> Alcotest.failf "%s: expected a cache hit" req.P.id)
+    reqs reference;
+  Alcotest.(check int) "cache hit counters advanced" (hits_before + n)
+    (Serve_engine.stats engine2).Serve_engine.cache_hits;
+  Serve_engine.stop engine2;
+  Serve_journal.close j2
+
+(* truncating the journal at every byte boundary never prevents a scan
+   and never invents a record: the result is always an intact prefix *)
+let test_journal_torn_tail_every_byte () =
+  with_temp_dir @@ fun dir ->
+  let j = Serve_journal.open_ ~dir ~name:"requests" () in
+  Serve_journal.append_admitted j ~rid:"t1#1" (quick_request ~id:"t1" ~seed:41 ());
+  Serve_journal.append_completed j ~rid:"t1#1" ~key:"some-cache-key" ~body:sample_body ();
+  Serve_journal.append_admitted j ~rid:"t2#2" (quick_request ~id:"t2" ~seed:42 ());
+  let file = Serve_journal.file j in
+  Serve_journal.close j;
+  let content = Fsio.read_file file in
+  let full, tail = Serve_journal.scan_string content in
+  Alcotest.(check int) "full scan sees all records" 3 (List.length full);
+  Alcotest.(check bool) "full scan is clean" true (tail = None);
+  let is_prefix got =
+    List.length got <= List.length full
+    && List.for_all2 (fun a b -> a = b) got
+         (List.filteri (fun i _ -> i < List.length got) full)
+  in
+  for len = 0 to String.length content - 1 do
+    match Serve_journal.scan_string (String.sub content 0 len) with
+    | got, _ ->
+        if not (is_prefix got) then
+          Alcotest.failf "truncation at byte %d produced a non-prefix (%d records)" len
+            (List.length got)
+    | exception e ->
+        Alcotest.failf "truncation at byte %d raised %s" len (Printexc.to_string e)
+  done;
+  (* flipped bytes (bit rot) are as survivable as torn tails *)
+  let step = 13 in
+  let off = ref 0 in
+  while !off < String.length content do
+    let corrupted = Bytes.of_string content in
+    Bytes.set corrupted !off (Char.chr (Char.code (Bytes.get corrupted !off) lxor 0xFF));
+    (match Serve_journal.scan_string (Bytes.to_string corrupted) with
+    | got, _ ->
+        if not (is_prefix got) then
+          Alcotest.failf "corruption at byte %d produced a non-prefix" !off
+    | exception e ->
+        Alcotest.failf "corruption at byte %d raised %s" !off (Printexc.to_string e));
+    off := !off + step
+  done;
+  (* opening over a physically torn tail works and keeps the intact
+     prefix: the completed pair drops out, the torn admit is dropped *)
+  let torn_len = String.length content - 7 in
+  let oc = open_out_bin file in
+  output_string oc (String.sub content 0 torn_len);
+  close_out oc;
+  let j2 = Serve_journal.open_ ~dir ~name:"requests" () in
+  Alcotest.(check bool) "torn generation surfaced" true (Serve_journal.torn j2 <> []);
+  Alcotest.(check int) "intact pairs survive, torn frame dropped" 0
+    (List.length (Serve_journal.pending j2));
+  Alcotest.(check int) "intact completion still warms" 1
+    (List.length (Serve_journal.warm j2));
+  Serve_journal.close j2
+
+(* the torn-journal fault plan: a crash mid-append leaves frame 2 torn;
+   the next open replays frame 1 only and reports the tear as health *)
+let test_torn_journal_fault () =
+  with_temp_dir @@ fun dir ->
+  let j = Serve_journal.open_ ~dir ~name:"requests" () in
+  Serve_journal.append_admitted j ~rid:"clean#1" (quick_request ~id:"clean" ~seed:51 ());
+  Fault_plan.with_plan [ Fault_plan.Torn_journal ] (fun () ->
+      Serve_journal.append_admitted j ~rid:"torn#2" (quick_request ~id:"torn" ~seed:52 ()));
+  Serve_journal.close j;
+  let j2 = Serve_journal.open_ ~dir ~name:"requests" () in
+  (match Serve_journal.pending j2 with
+  | [ (rid, req) ] ->
+      Alcotest.(check string) "the clean admit survives" "clean#1" rid;
+      Alcotest.(check string) "request intact" "clean" req.P.id
+  | other -> Alcotest.failf "expected 1 pending, got %d" (List.length other));
+  Alcotest.(check bool) "tear surfaced" true (Serve_journal.torn j2 <> []);
+  let engine = journal_engine j2 in
+  Alcotest.(check bool) "journal-torn health event" true
+    (Health.count (Serve_engine.health engine) Health.Journal_torn >= 1);
+  Serve_engine.stop engine;
+  Serve_journal.close j2
+
+(* drained-but-unserved requests (the SIGTERM path: stop fails queued
+   tickets with [draining]) stay journaled incomplete and replay *)
+let test_sigterm_drain_preserves_journal () =
+  with_temp_dir @@ fun dir ->
+  let j1 = Serve_journal.open_ ~dir ~name:"requests" () in
+  let engine1 = journal_engine j1 in
+  let reqs = List.init 2 (fun i -> quick_request ~id:(Printf.sprintf "dr%d" i) ~seed:(61 + i) ()) in
+  let tickets =
+    List.map
+      (fun req ->
+        match Serve_engine.offer engine1 req with
+        | Serve_engine.Queued tk -> tk
+        | Serve_engine.Done _ -> Alcotest.fail "expected admission")
+      reqs
+  in
+  (* SIGTERM: drain then stop without ever running the queue *)
+  Serve_engine.drain engine1;
+  Serve_engine.stop engine1;
+  List.iter
+    (fun tk ->
+      Alcotest.(check (option bool)) "failed structurally, not served"
+        (Some false)
+        (Option.map (fun r -> Result.is_ok r.P.body) (Serve_engine.peek tk)))
+    tickets;
+  Serve_journal.close j1;
+  let j2 = Serve_journal.open_ ~dir ~name:"requests" () in
+  Alcotest.(check int) "drained-but-unserved requests still journaled" 2
+    (List.length (Serve_journal.pending j2));
+  let engine2 = journal_engine j2 in
+  Alcotest.(check int) "both replay" 2 (Serve_engine.recover engine2);
+  Alcotest.(check int) "both execute" 2 (Serve_engine.run_pending engine2);
+  List.iter
+    (fun req ->
+      match Serve_engine.offer engine2 req with
+      | Serve_engine.Done resp ->
+          Alcotest.(check bool) (req.P.id ^ " answered after restart") true
+            (ok_of "drained replay" resp).P.cache_hit
+      | Serve_engine.Queued _ -> Alcotest.failf "%s: expected a cache hit" req.P.id)
+    reqs;
+  Serve_engine.stop engine2;
+  Serve_journal.close j2
+
+(* --- watchdog ----------------------------------------------------------- *)
+
+let fake_clock () =
+  let t = ref 0.0 in
+  let sleeps = ref [] in
+  let now () = !t in
+  let sleep d =
+    sleeps := d :: !sleeps;
+    t := !t +. d
+  in
+  (now, sleep, fun () -> List.rev !sleeps)
+
+let test_watchdog_breaker () =
+  let policy =
+    { Watchdog.max_restarts = 3; window = 60.0; backoff = 0.1; max_backoff = 0.5 }
+  in
+  let run seed =
+    let now, sleep, sleeps = fake_clock () in
+    let health = Health.create () in
+    let attempts = ref 0 in
+    let spawn ~attempt =
+      Alcotest.(check int) "attempts count up" !attempts attempt;
+      incr attempts;
+      Watchdog.Signaled 9
+    in
+    let outcome =
+      Watchdog.supervise ~policy ~health ~rng:(Rng.create seed) ~sleep ~now
+        ~name:"daemon" spawn
+    in
+    (outcome, !attempts, sleeps (), health)
+  in
+  let outcome, attempts, sleeps, health = run 7 in
+  (match outcome with
+  | Watchdog.Crash_loop { crashes; window } ->
+      Alcotest.(check int) "breaker counts the crashes" 3 crashes;
+      Alcotest.(check (float 0.0)) "breaker window" 60.0 window
+  | Watchdog.Clean_exit -> Alcotest.fail "breaker should have tripped");
+  Alcotest.(check int) "spawned max_restarts times" 3 attempts;
+  Alcotest.(check int) "slept between restarts only" 2 (List.length sleeps);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "backoff positive and capped" true
+        (p > 0.0 && p <= policy.Watchdog.max_backoff))
+    sleeps;
+  (match sleeps with
+  | [ a; b ] -> Alcotest.(check bool) "backoff grows" true (b >= a)
+  | _ -> assert false);
+  Alcotest.(check int) "restart health events" 2
+    (Health.count health Health.Watchdog_restart);
+  Alcotest.(check int) "crash-loop health event" 1
+    (Health.count health Health.Crash_loop);
+  (* determinism: same seed, same pauses *)
+  let _, _, sleeps', _ = run 7 in
+  Alcotest.(check bool) "deterministic backoff" true (sleeps = sleeps');
+  let _, _, sleeps'', _ = run 8 in
+  Alcotest.(check bool) "seed changes the jitter" true (sleeps <> sleeps'')
+
+let test_watchdog_clean_exit_and_window () =
+  (* a child that crashes twice then exits cleanly: two restarts, done *)
+  let now, sleep, _ = fake_clock () in
+  let attempts = ref 0 in
+  let spawn ~attempt:_ =
+    incr attempts;
+    if !attempts <= 2 then Watchdog.Exited 70 else Watchdog.Exited 0
+  in
+  (match
+     Watchdog.supervise
+       ~policy:{ Watchdog.max_restarts = 5; window = 60.0; backoff = 0.1; max_backoff = 1.0 }
+       ~rng:(Rng.create 3) ~sleep ~now ~name:"daemon" spawn
+   with
+  | Watchdog.Clean_exit -> ()
+  | Watchdog.Crash_loop _ -> Alcotest.fail "clean exit should end supervision");
+  Alcotest.(check int) "restarted until the clean exit" 3 !attempts;
+  (* crashes spread wider than the window never trip the breaker: each
+     backoff pause (>= 0.1s) outlives the 50ms window *)
+  let now, sleep, _ = fake_clock () in
+  let attempts = ref 0 in
+  let spawn ~attempt:_ =
+    incr attempts;
+    if !attempts <= 4 then Watchdog.Signaled 9 else Watchdog.Exited 0
+  in
+  (match
+     Watchdog.supervise
+       ~policy:{ Watchdog.max_restarts = 2; window = 0.05; backoff = 0.1; max_backoff = 1.0 }
+       ~rng:(Rng.create 3) ~sleep ~now ~name:"daemon" spawn
+   with
+  | Watchdog.Clean_exit -> ()
+  | Watchdog.Crash_loop _ -> Alcotest.fail "aged-out crashes must not trip the breaker");
+  Alcotest.(check int) "survived all four crashes" 5 !attempts;
+  (* invalid policies are rejected up front *)
+  Alcotest.check_raises "zero restarts rejected"
+    (Invalid_argument "Watchdog.supervise: max restarts must be positive, got 0") (fun () ->
+      ignore
+        (Watchdog.supervise
+           ~policy:{ Watchdog.max_restarts = 0; window = 1.0; backoff = 0.1; max_backoff = 1.0 }
+           ~name:"daemon"
+           (fun ~attempt:_ -> Watchdog.Exited 0)))
+
+(* --- transport hardening ------------------------------------------------ *)
+
+let with_socket_server ?read_timeout ?max_frame f =
+  let path = Printf.sprintf "/tmp/smoothe-hard-%d.sock" (Unix.getpid ()) in
+  let engine =
+    Serve_engine.create
+      ~config:
+        { Serve_engine.default_config with Serve_engine.queue_limit = 4; executors = 1 }
+      ()
+  in
+  let srv = Serve_socket.create ?read_timeout ?max_frame ~engine ~path () in
+  let server = Thread.create (fun () -> Serve_socket.run srv) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve_socket.shutdown srv;
+      Thread.join server;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_raw fd s =
+  let n = Unix.write_substring fd s 0 (String.length s) in
+  Alcotest.(check int) "raw bytes sent" (String.length s) n
+
+(* read one response line, then confirm the server hung up *)
+let read_error_line fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let line =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file -> Alcotest.fail "server closed without a structured error"
+  in
+  (match input_line ic with
+  | _ -> Alcotest.fail "server kept the connection open"
+  | exception End_of_file -> ());
+  match P.response_of_json (Json.parse line) with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.failf "unparsable error frame: %s" msg
+
+let test_slow_loris_timeout () =
+  with_socket_server ~read_timeout:0.3 @@ fun path ->
+  let fd = raw_connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* dribble a frame fragment and then stall: the deadline covers
+         the whole frame, so the server answers and disconnects *)
+      send_raw fd "{\"op\"";
+      Thread.delay 0.1;
+      send_raw fd ":";
+      let resp = read_error_line fd in
+      Alcotest.(check (option string)) "structured timeout"
+        (Some "timeout")
+        (Option.map P.error_code_name (code_of resp)));
+  (* the daemon survives the abuse: a fresh well-formed frame works *)
+  let ping = Serve_socket.call ~path (Json.Object [ ("op", Json.String "ping") ]) in
+  Alcotest.(check string) "daemon still serves" "ok"
+    (Json.get_string (Json.member "status" ping))
+
+let test_frame_length_cap () =
+  with_socket_server ~read_timeout:5.0 ~max_frame:1024 @@ fun path ->
+  let fd = raw_connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* the cap trips before any newline arrives: an unterminated
+         flood cannot grow the carry buffer unboundedly *)
+      send_raw fd (String.make 5000 'x');
+      let resp = read_error_line fd in
+      Alcotest.(check (option string)) "structured frame_too_long"
+        (Some "frame_too_long")
+        (Option.map P.error_code_name (code_of resp)));
+  let ping = Serve_socket.call ~path (Json.Object [ ("op", Json.String "ping") ]) in
+  Alcotest.(check string) "daemon still serves" "ok"
+    (Json.get_string (Json.member "status" ping))
+
+(* the client honors the daemon's retry_after_ms shed hint: a fake
+   shedding server answers [overloaded] twice, then ok *)
+let test_client_honors_retry_hint () =
+  let path = Printf.sprintf "/tmp/smoothe-shed-%d.sock" (Unix.getpid ()) in
+  if Sys.file_exists path then Sys.remove path;
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX path);
+  Unix.listen listen 4;
+  let stopping = Atomic.make false in
+  let server =
+    Thread.create
+      (fun () ->
+        let rec accept_loop () =
+          match Unix.accept listen with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ when Atomic.get stopping ->
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+          | fd, _ ->
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              let frames = ref 0 in
+              (try
+                 let rec serve () =
+                   match input_line ic with
+                   | exception End_of_file -> ()
+                   | _line ->
+                       incr frames;
+                       let resp =
+                         if !frames <= 2 then
+                           P.response_to_json
+                             (P.error_response ~retry_after_ms:10.0 ~id:"shed"
+                                P.Overloaded "queue full")
+                         else
+                           Json.Object
+                             [
+                               ("status", Json.String "ok");
+                               ("frames", Json.Number (float_of_int !frames));
+                             ]
+                       in
+                       output_string oc (Json.to_string resp);
+                       output_char oc '\n';
+                       flush oc;
+                       serve ()
+                 in
+                 serve ()
+               with _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              accept_loop ()
+        in
+        accept_loop ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* closing the listening fd does not wake a thread parked in
+         [accept]; an arriving connection does (cf. Serve_socket) *)
+      Atomic.set stopping true;
+      (match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error _ -> ()
+      | fd ->
+          (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ()));
+      Thread.join server;
+      (try Unix.close listen with Unix.Unix_error _ -> ());
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let frame = Json.Object [ ("op", Json.String "ping") ] in
+      (* with retries, the shed hints are honored until the ok lands *)
+      let resp = Serve_socket.call ~retries:3 ~rng:(Rng.create 42) ~path frame in
+      Alcotest.(check string) "retried through the sheds" "ok"
+        (Json.get_string (Json.member "status" resp));
+      Alcotest.(check bool) "third frame won" true
+        (Json.member "frames" resp = Json.Number 3.0);
+      (* without retries the shed response comes back unchanged *)
+      let shed = Serve_socket.call ~path frame in
+      Alcotest.(check bool) "shed returned as-is" true
+        (Json.member "code" shed = Json.String "overloaded");
+      Alcotest.check_raises "negative retries rejected"
+        (Invalid_argument "Serve_socket.call_many: retries must be >= 0") (fun () ->
+          ignore (Serve_socket.call ~retries:(-1) ~path frame)))
+
 let () =
   Alcotest.run "serve"
     [
@@ -698,5 +1242,29 @@ let () =
       ( "telemetry",
         [ Alcotest.test_case "request-id propagation" `Quick test_request_id_propagation ]
       );
-      ("socket", [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ]);
+      ( "journal",
+        [
+          Alcotest.test_case "cache warm across restart" `Quick
+            test_journal_cache_warm_restart;
+          Alcotest.test_case "kill at K, replay exact" `Quick test_kill_at_k_replay;
+          Alcotest.test_case "torn tail at every byte" `Quick
+            test_journal_torn_tail_every_byte;
+          Alcotest.test_case "torn-journal fault plan" `Quick test_torn_journal_fault;
+          Alcotest.test_case "sigterm drain preserves journal" `Quick
+            test_sigterm_drain_preserves_journal;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "crash-loop breaker" `Quick test_watchdog_breaker;
+          Alcotest.test_case "clean exit and window aging" `Quick
+            test_watchdog_clean_exit_and_window;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "end to end" `Quick test_socket_end_to_end;
+          Alcotest.test_case "slow-loris timeout" `Quick test_slow_loris_timeout;
+          Alcotest.test_case "frame length cap" `Quick test_frame_length_cap;
+          Alcotest.test_case "client honors retry hint" `Quick
+            test_client_honors_retry_hint;
+        ] );
     ]
