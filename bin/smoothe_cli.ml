@@ -114,7 +114,7 @@ let method_conv =
       ("portfolio", `Portfolio);
     ]
 
-let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~health
+let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~plan ~health
     ~checkpoint_dir ~checkpoint_every ~resume ~show_term ~preflight ~jobs =
   if resume && checkpoint_dir = None then begin
     Printf.eprintf "--resume needs --checkpoint-dir (where should the snapshot come from?)\n";
@@ -168,6 +168,7 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~h
             seed;
             assumption = Smoothe_config.assumption_of_string assumption;
             lambda_ = lambda;
+            plan = Smoothe_config.plan_mode_of_string plan;
           }
         in
         let store =
@@ -234,6 +235,26 @@ let assumption_flag =
 
 let lambda_flag =
   Arg.(value & opt float 100.0 & info [ "lambda" ] ~docv:"L" ~doc:"NOTEARS penalty weight.")
+
+let plan_flag =
+  Arg.(
+    value
+    & opt (enum [ ("off", "off"); ("on", "on"); ("check", "check") ]) "off"
+    & info [ "plan" ] ~docv:"MODE"
+        ~doc:
+          "SmoothE static-plan replay: $(b,off) interprets every iteration; $(b,on) \
+           captures the iteration IR, verifies it with the plan-level dataflow analysis \
+           and replays later iterations over a preallocated arena with zero tensor \
+           allocation; $(b,check) replays AND interprets every iteration, asserting \
+           bit-identical losses, probabilities and gradients (differential testing).")
+
+let plan_check_replay_flag =
+  Arg.(
+    value & flag
+    & info [ "plan-check-replay" ]
+        ~doc:
+          "Shorthand for $(b,--plan check): run the replayed and interpreted iteration \
+           side by side and fail loudly on any bitwise divergence.")
 
 let seed_flag = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
 
@@ -353,13 +374,14 @@ let write_metrics_snapshot ?(format = `Json) = function
       Printf.printf "metrics written to %s\n" path
 
 let extract_cmd =
-  let run spec method_ time_limit batch iters assumption lambda seed fault_plan health_report
-      trace_out metrics_out checkpoint_dir checkpoint_every resume show_term no_preflight jobs
-      =
+  let run spec method_ time_limit batch iters assumption lambda seed plan plan_check_replay
+      fault_plan health_report trace_out metrics_out checkpoint_dir checkpoint_every resume
+      show_term no_preflight jobs =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1\n";
       exit 1
     end;
+    let plan = if plan_check_replay then "check" else plan in
     Pool.set_jobs jobs;
     let g = load_egraph spec in
     let health = Health.create () in
@@ -387,13 +409,14 @@ let extract_cmd =
         Fun.protect ~finally:finish (fun () ->
             ignore
               (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed
-                 ~health ~checkpoint_dir ~checkpoint_every ~resume ~show_term
+                 ~plan ~health ~checkpoint_dir ~checkpoint_every ~resume ~show_term
                  ~preflight:(not no_preflight) ~jobs)))
   in
   Cmd.v (Cmd.info "extract" ~doc:"Extract an optimised program from an e-graph.")
     Term.(
       const run $ instance_arg $ method_flag $ time_limit_flag $ batch_flag $ iters_flag
-      $ assumption_flag $ lambda_flag $ seed_flag $ fault_plan_flag $ health_report_flag
+      $ assumption_flag $ lambda_flag $ seed_flag $ plan_flag $ plan_check_replay_flag
+      $ fault_plan_flag $ health_report_flag
       $ trace_flag $ metrics_flag $ checkpoint_dir_flag $ checkpoint_every_flag $ resume_flag
       $ show_term_flag $ no_preflight_flag $ jobs_flag)
 
@@ -421,8 +444,69 @@ let tape_diagnostics g =
           (Printexc.to_string e);
       ]
 
+(* Two probe forwards at the same tiny configuration: enough to prove
+   the iteration IR static (PL006/PL007) and to run the plan-level
+   dataflow analysis — liveness, fusion, arena assignment — exactly as
+   the extraction gate would before arming a replay. *)
+let plan_diagnostics g =
+  let config =
+    { Smoothe_config.default with Smoothe_config.batch = 2; prop_iters = Some 2 }
+  in
+  match
+    let compiled = Relaxation.compile config g in
+    let model = Cost_model.of_egraph g in
+    let theta = Tensor.create ~batch:2 ~width:(Egraph.num_nodes g) in
+    let fwd1 = Relaxation.forward compiled ~config ~model ~theta in
+    let c1 = Plan.capture fwd1.Relaxation.tape ~root:fwd1.Relaxation.loss in
+    let fwd2 = Relaxation.forward compiled ~config ~model ~theta in
+    let c2 = Plan.capture fwd2.Relaxation.tape ~root:fwd2.Relaxation.loss in
+    let stab = Plan_check.stability c1.Plan.ir c2.Plan.ir in
+    let root = Ad.node_id fwd2.Relaxation.loss in
+    let outputs =
+      [|
+        Ad.node_id fwd2.Relaxation.cp;
+        Ad.node_id fwd2.Relaxation.per_seed_cost;
+        Ad.node_id fwd2.Relaxation.penalty;
+        root;
+      |]
+    in
+    let report =
+      Plan_check.analyze ~grads:[| Ad.node_id fwd2.Relaxation.theta |] ~root ~outputs
+        c2.Plan.ir
+    in
+    (stab @ report.Plan_check.diags, Some report)
+  with
+  | r -> r
+  | exception e ->
+      ( [
+          Diagnostic.error ~code:"AN001" Diagnostic.Graph
+            "building the plan probe failed: %s" (Printexc.to_string e);
+        ],
+        None )
+
+let plan_stats_line (r : Plan_check.report) =
+  Printf.sprintf
+    "plan: %d nodes, %d arena slots (%d KiB, interpreter allocates %d KiB/iter), %d \
+     fusable chains"
+    r.Plan_check.nodes
+    (Array.length r.Plan_check.slot_sizes)
+    (r.Plan_check.arena_bytes / 1024)
+    (r.Plan_check.naive_bytes / 1024)
+    (Array.length r.Plan_check.chains)
+
+let plan_stats_json (r : Plan_check.report) =
+  Json.Object
+    [
+      ("nodes", Json.Number (float_of_int r.Plan_check.nodes));
+      ("arena_slots", Json.Number (float_of_int (Array.length r.Plan_check.slot_sizes)));
+      ("arena_bytes", Json.Number (float_of_int r.Plan_check.arena_bytes));
+      ("dedicated_bytes", Json.Number (float_of_int r.Plan_check.dedicated_bytes));
+      ("naive_bytes", Json.Number (float_of_int r.Plan_check.naive_bytes));
+      ("chains", Json.Number (float_of_int (Array.length r.Plan_check.chains)));
+    ]
+
 let analyze_cmd =
-  let run specs all json strict =
+  let run specs all json strict plan =
     let targets =
       if all then
         List.concat_map
@@ -452,27 +536,41 @@ let analyze_cmd =
                     None )
           in
           let tape_ds = match g_opt with Some g -> tape_diagnostics g | None -> [] in
-          (target, g_opt, lint @ tape_ds))
+          let plan_ds, plan_report =
+            match g_opt with
+            | Some g when plan -> plan_diagnostics g
+            | _ -> ([], None)
+          in
+          (target, g_opt, lint @ tape_ds @ plan_ds, plan_report))
         targets
     in
     (if json then begin
        let doc =
          Json.Array
-           (List.map (fun (t, _, ds) -> Diagnostic.report_to_json ~source:t ds) reports)
+           (List.map
+              (fun (t, _, ds, pr) ->
+                match (Diagnostic.report_to_json ~source:t ds, pr) with
+                | Json.Object fields, Some r ->
+                    Json.Object (fields @ [ ("plan", plan_stats_json r) ])
+                | other, _ -> other)
+              reports)
        in
        print_string (Json.to_string ~pretty:true doc);
        print_newline ()
      end
      else
        List.iter
-         (fun (t, g_opt, ds) ->
+         (fun (t, g_opt, ds, pr) ->
            print_string (Diagnostic.render_report ~source:t ds);
            (match g_opt with
            | Some g -> Printf.printf "%s\n" (Egraph_lint.stats_line g)
            | None -> ());
+           (match pr with
+           | Some r -> Printf.printf "%s\n" (plan_stats_line r)
+           | None -> ());
            print_newline ())
          reports);
-    let all_ds = List.concat_map (fun (_, _, ds) -> ds) reports in
+    let all_ds = List.concat_map (fun (_, _, ds, _) -> ds) reports in
     if not (Diagnostic.ok ~strict all_ds) then exit 1
   in
   let specs =
@@ -493,13 +591,22 @@ let analyze_cmd =
       & info [ "strict" ]
           ~doc:"Exit non-zero on warnings too (errors always fail); infos never fail.")
   in
+  let plan_flag =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "Also run the plan-level dataflow analysis: capture the iteration IR twice, \
+             check iteration-stability (PL006/PL007), compute liveness, fusion chains and \
+             the buffer arena, and verify the assignment (PL001–PL005, PL008).")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Static pre-flight analysis: e-graph lint (well-formedness, costs, cycle \
-          feasibility), tape shape check and gradient-flow lint. Exits 1 when findings \
-          exceed the allowed severity.")
-    Term.(const run $ specs $ all_flag $ json_flag $ strict_flag)
+          feasibility), tape shape check, gradient-flow lint and (with $(b,--plan)) the \
+          plan-level dataflow analysis. Exits 1 when findings exceed the allowed severity.")
+    Term.(const run $ specs $ all_flag $ json_flag $ strict_flag $ plan_flag)
 
 (* --------------------------------------------------------- trace-summary *)
 
@@ -607,7 +714,7 @@ let log_flag =
 
 let serve_cmd =
   let run socket queue_limit executors default_budget max_budget retry_attempts
-      cache_capacity preflight jobs metrics_out metrics_format log_out health_report
+      cache_capacity preflight plan jobs metrics_out metrics_format log_out health_report
       trace_out journal_dir supervise max_restarts restart_window read_timeout
       max_frame_bytes =
     let queue_limit = checked_pos_int ~flag:"--queue-limit" queue_limit in
@@ -658,6 +765,7 @@ let serve_cmd =
           retry_attempts;
           cache_capacity;
           preflight;
+          plan = Smoothe_config.plan_mode_of_string plan;
         }
       in
       let journal =
@@ -836,6 +944,17 @@ let serve_cmd =
       value & flag
       & info [ "preflight" ] ~doc:"Run the static e-graph lint gate inside each request.")
   in
+  let plan =
+    Arg.(
+      value
+      & opt (enum [ ("off", "off"); ("on", "on"); ("check", "check") ]) "off"
+      & info [ "plan" ] ~docv:"MODE"
+          ~doc:
+            "Static-plan replay for SmoothE requests: $(b,on) arms verified \
+             zero-allocation replay of each request's iteration IR, $(b,check) also \
+             interprets and asserts bitwise identity; gate failures fall back to the \
+             interpreter per request.")
+  in
   let journal_dir =
     Arg.(
       value
@@ -898,7 +1017,7 @@ let serve_cmd =
           ($(b,--supervise)).")
     Term.(
       const run $ socket_flag $ queue_limit $ executors $ default_budget $ max_budget
-      $ retry_attempts $ cache_capacity $ preflight $ jobs_flag $ metrics_flag
+      $ retry_attempts $ cache_capacity $ preflight $ plan $ jobs_flag $ metrics_flag
       $ metrics_format_flag $ log_flag $ health_report_flag $ trace_flag $ journal_dir
       $ supervise $ max_restarts $ restart_window $ read_timeout $ max_frame_bytes)
 
@@ -1220,7 +1339,7 @@ let compare_cmd =
       (fun method_ ->
         ignore
           (run_method g ~method_ ~time_limit ~batch:16 ~iters:150 ~assumption:"hybrid"
-             ~lambda:100.0 ~seed:7 ~health:(Health.create ()) ~checkpoint_dir:None
+             ~lambda:100.0 ~seed:7 ~plan:"off" ~health:(Health.create ()) ~checkpoint_dir:None
              ~checkpoint_every:25 ~resume:false ~show_term:false ~preflight:false ~jobs:1))
       methods
   in

@@ -34,6 +34,19 @@ module Ir = struct
   let shape_to_string { batch; width } = Printf.sprintf "(%d,%d)" batch width
 end
 
+(* Runtime payloads the IR's [meta] summarises but does not carry: the
+   exact index arrays, segmentations, coefficient vectors and scatter
+   entries an op closed over. The plan replay engine (Plan) needs them
+   verbatim to re-execute a captured graph; analyses keep using the
+   summarised [meta]. One payload per tape node, [P_none] for ops whose
+   behaviour is fully determined by op + meta. *)
+type payload =
+  | P_none
+  | P_indices of int array  (* gather *)
+  | P_segments of Segments.t  (* segment_* *)
+  | P_coeffs of float array  (* dot_const *)
+  | P_entries of { dim : int; entries : (int * int * int) array }  (* matrix_of_entries *)
+
 type v = {
   tp : tape;
   id : int;  (* position on the tape = index into the IR *)
@@ -43,23 +56,40 @@ type v = {
       (* reads this node's adjoint and accumulates into its parents *)
 }
 
-and tape = { nodes : v Vec.t; ir : Ir.node Vec.t; mutable swept : bool }
+and tape = {
+  nodes : v Vec.t;
+  ir : Ir.node Vec.t;
+  pay : payload Vec.t;
+  mutable swept : bool;
+}
 
-let tape () = { nodes = Vec.create (); ir = Vec.create (); swept = false }
+let tape () = { nodes = Vec.create (); ir = Vec.create (); pay = Vec.create (); swept = false }
 let node_count tp = Vec.length tp.nodes
 let ir tp = Vec.to_array tp.ir
+let payloads tp = Vec.to_array tp.pay
+let values tp = Array.init (Vec.length tp.nodes) (fun i -> (Vec.get tp.nodes i).value)
 let node_id n = n.id
+let swept tp = tp.swept
 
 let value n = n.value
 
-(* Ambient provenance label recorded into every IR node, so diagnostics
-   can say where on the tape an op was built ("in smoothe.forward"). *)
-let context = ref "(toplevel)"
+(* Ambient provenance chain recorded into every IR node, so diagnostics
+   can say where on the tape an op was built. Nested [with_context]
+   calls stack; the recorded label joins the chain outermost→innermost
+   ("smoothe.forward/cost_model.relaxed"), memoised per push so [node]
+   pays one field read. Domain-local: concurrent pool extractions keep
+   independent chains. *)
+let context_key : (string list * string) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref ([], "(toplevel)"))
+
+let context_label () = snd !(Domain.DLS.get context_key)
 
 let with_context label f =
-  let saved = !context in
-  context := label;
-  Fun.protect ~finally:(fun () -> context := saved) f
+  let cell = Domain.DLS.get context_key in
+  let saved = !cell in
+  let chain = label :: fst saved in
+  cell := (chain, String.concat "/" (List.rev chain));
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 let grad_tensor n =
   match n.grad with
@@ -69,9 +99,24 @@ let grad_tensor n =
       n.grad <- Some g;
       g
 
-let grad n = grad_tensor n
+let grad n =
+  if not n.tp.swept then
+    invalid_arg
+      "Ad.grad: this node's tape has not been swept — call Ad.backward on a node of the \
+       same tape first (a node from a different tape than the one swept reads as zeros \
+       otherwise)";
+  grad_tensor n
 
-let node ?(meta = Ir.M_none) ~op ~args tp value pull =
+let node ?(meta = Ir.M_none) ?(payload = P_none) ~op ~args tp value pull =
+  Array.iter
+    (fun a ->
+      if a.tp != tp then
+        invalid_arg
+          (Printf.sprintf
+             "Ad.%s: operand node %d was built on a different tape — mixing tapes silently \
+              detaches gradients"
+             op a.id))
+    args;
   let n = { tp; id = Vec.length tp.nodes; value; grad = None; pull } in
   Vec.push tp.nodes n;
   Vec.push tp.ir
@@ -79,9 +124,10 @@ let node ?(meta = Ir.M_none) ~op ~args tp value pull =
       Ir.op;
       args = Array.map (fun a -> a.id) args;
       shape = { Ir.batch = value.Tensor.batch; width = value.Tensor.width };
-      context = !context;
+      context = context_label ();
       meta;
     };
+  Vec.push tp.pay payload;
   n
 
 let const tp t = node ~op:"const" ~args:[||] tp t None
@@ -212,7 +258,7 @@ let gather_meta idx =
 let gather a idx =
   let tp = owner a in
   let out =
-    node ~op:"gather" ~meta:(gather_meta idx) ~args:[| a |] tp
+    node ~op:"gather" ~meta:(gather_meta idx) ~payload:(P_indices idx) ~args:[| a |] tp
       (Segments.gather a.value idx) None
   in
   out.pull <- Some (fun () -> Segments.scatter_add ~into:(grad_tensor a) idx (grad_tensor out));
@@ -232,7 +278,7 @@ let segments_meta (seg : Segments.t) =
 let segment_softmax a seg =
   let tp = owner a in
   let y = Segments.softmax a.value seg in
-  let out = node ~op:"segment_softmax" ~meta:(segments_meta seg) ~args:[| a |] tp y None in
+  let out = node ~op:"segment_softmax" ~meta:(segments_meta seg) ~payload:(P_segments seg) ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -249,7 +295,7 @@ let segment_softmax a seg =
 let segment_sum a seg =
   let tp = owner a in
   let out =
-    node ~op:"segment_sum" ~meta:(segments_meta seg) ~args:[| a |] tp
+    node ~op:"segment_sum" ~meta:(segments_meta seg) ~payload:(P_segments seg) ~args:[| a |] tp
       (Segments.sum a.value seg) None
   in
   out.pull <-
@@ -263,7 +309,7 @@ let segment_sum a seg =
 let segment_prod a seg =
   let tp = owner a in
   let out =
-    node ~op:"segment_prod" ~meta:(segments_meta seg) ~args:[| a |] tp
+    node ~op:"segment_prod" ~meta:(segments_meta seg) ~payload:(P_segments seg) ~args:[| a |] tp
       (Segments.prod a.value seg) None
   in
   out.pull <-
@@ -278,7 +324,7 @@ let segment_prod a seg =
 let segment_max a seg =
   let tp = owner a in
   let y, argmax = Segments.max a.value seg in
-  let out = node ~op:"segment_max" ~meta:(segments_meta seg) ~args:[| a |] tp y None in
+  let out = node ~op:"segment_max" ~meta:(segments_meta seg) ~payload:(P_segments seg) ~args:[| a |] tp y None in
   out.pull <-
     Some
       (fun () ->
@@ -404,7 +450,7 @@ let dot_const a u =
     yd.(b) <- !acc
   done;
   let out =
-    node ~op:"dot_const" ~meta:(Ir.M_width (Array.length u)) ~args:[| a |] tp y None
+    node ~op:"dot_const" ~meta:(Ir.M_width (Array.length u)) ~payload:(P_coeffs u) ~args:[| a |] tp y None
   in
   out.pull <-
     Some
@@ -471,6 +517,7 @@ let matrix_of_entries cp ~dim entries =
   let out =
     node ~op:"matrix_of_entries"
       ~meta:(Ir.M_matrix { dim; class_min; class_max; col_max })
+      ~payload:(P_entries { dim; entries })
       ~args:[| cp |] tp a None
   in
   out.pull <-

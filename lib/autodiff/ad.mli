@@ -49,7 +49,11 @@ module Ir : sig
     op : string;
     args : int array;
     shape : shape;  (** shape the op actually produced *)
-    context : string;  (** innermost {!with_context} label at build time *)
+    context : string;
+        (** full {!with_context} provenance chain at build time,
+            outermost→innermost, joined with ["/"]
+            (e.g. ["smoothe.forward/cost_model.relaxed"]);
+            ["(toplevel)"] outside any region *)
     meta : meta;
   }
 
@@ -57,6 +61,18 @@ module Ir : sig
 
   val shape_to_string : shape -> string
 end
+
+(** Runtime payloads that {!Ir.meta} summarises but does not carry: the
+    exact index arrays, segmentations, coefficient vectors and scatter
+    entries an op closed over. The plan replay engine ({!Plan}) needs
+    them verbatim to re-execute a captured graph. *)
+type payload =
+  | P_none
+  | P_indices of int array  (** [gather] index array *)
+  | P_segments of Segments.t  (** [segment_*] segmentation *)
+  | P_coeffs of float array  (** [dot_const] coefficients *)
+  | P_entries of { dim : int; entries : (int * int * int) array }
+      (** [matrix_of_entries] scatter targets *)
 
 type tape
 type v
@@ -67,20 +83,35 @@ val node_count : tape -> int
 val ir : tape -> Ir.t
 (** Snapshot of the op-graph recorded so far (index [i] = tape node [i]). *)
 
+val payloads : tape -> payload array
+(** Per-node runtime payloads, parallel to {!ir}. *)
+
+val values : tape -> Tensor.t array
+(** Per-node forward values, parallel to {!ir} — what a plan capture
+    aliases for [const]/[param] leaves. *)
+
+val swept : tape -> bool
+(** Whether {!backward} already ran on this tape. *)
+
 val node_id : v -> int
 (** This node's position on its tape — its index into {!ir}. *)
 
 val with_context : string -> (unit -> 'a) -> 'a
-(** [with_context label f] runs [f] with [label] recorded as the
-    provenance of every node built inside (restored afterwards, also on
-    exceptions). Nested calls shadow; diagnostics show the innermost. *)
+(** [with_context label f] runs [f] with [label] pushed onto the
+    provenance chain recorded into every node built inside (restored
+    afterwards, also on exceptions). Nested calls stack: diagnostics
+    render the whole chain outermost→innermost. *)
 
 val value : v -> Tensor.t
 (** Forward value of a node. *)
 
 val grad : v -> Tensor.t
 (** Accumulated adjoint. Zero tensor if the node never received
-    gradient. Only meaningful after {!backward}. *)
+    gradient.
+    @raise Invalid_argument if this node's tape has not been swept by
+    {!backward} — in particular when the node belongs to a different
+    tape than the one swept, which would otherwise silently read as
+    zeros. *)
 
 val const : tape -> Tensor.t -> v
 (** A node that blocks gradient flow (inputs, fixed cost vectors). *)
@@ -94,7 +125,10 @@ val backward : v -> unit
     reverse. The node is normally the (1,1) scalar loss; seeding a
     wider node differentiates the *sum* of its entries.
     @raise Invalid_argument if this tape was already swept — tapes are
-    single-use, one forward/backward pair each. *)
+    single-use, one forward/backward pair each. Cross-tape operand
+    mixing is rejected earlier, at node construction: every operator
+    raises [Invalid_argument] when an operand belongs to a different
+    tape than the one being built on. *)
 
 (** {1 Pointwise} *)
 

@@ -11,6 +11,19 @@ let assumption_of_string = function
   | "hybrid" -> Hybrid
   | s -> invalid_arg (Printf.sprintf "unknown assumption %S" s)
 
+type plan_mode = Plan_off | Plan_on | Plan_check
+
+let plan_mode_name = function
+  | Plan_off -> "off"
+  | Plan_on -> "on"
+  | Plan_check -> "check"
+
+let plan_mode_of_string = function
+  | "off" -> Plan_off
+  | "on" -> Plan_on
+  | "check" -> Plan_check
+  | s -> invalid_arg (Printf.sprintf "unknown plan mode %S" s)
+
 type t = {
   assumption : assumption;
   batch : int;
@@ -29,6 +42,7 @@ type t = {
   min_temperature : float;
   entropy_weight : float;
   seed : int;
+  plan : plan_mode;
 }
 
 let default =
@@ -50,6 +64,7 @@ let default =
     min_temperature = 0.2;
     entropy_weight = 0.0;
     seed = 7;
+    plan = Plan_off;
   }
 
 let with_assumption assumption cfg = { cfg with assumption }

@@ -14,6 +14,19 @@ type assumption =
 val assumption_name : assumption -> string
 val assumption_of_string : string -> assumption
 
+type plan_mode =
+  | Plan_off  (** interpret every iteration (the baseline) *)
+  | Plan_on
+      (** capture iterations 1–2, verify with the plan_check analysis,
+          then replay 3..N over the preallocated arena; any gate failure
+          silently falls back to interpretation *)
+  | Plan_check
+      (** replay AND interpret every iteration, asserting bit-identical
+          losses, probabilities and gradients (differential testing) *)
+
+val plan_mode_name : plan_mode -> string
+val plan_mode_of_string : string -> plan_mode
+
 type t = {
   assumption : assumption;
   batch : int;  (** number of seeds optimised in parallel (B of §4.2) *)
@@ -43,6 +56,8 @@ type t = {
           (0 = off, the paper's objective): positive values penalise
           premature commitment. Our extension. *)
   seed : int;
+  plan : plan_mode;
+      (** static-plan replay of the iteration IR (see {!plan_mode}) *)
 }
 
 val default : t

@@ -29,6 +29,17 @@ type run = {
 let member = "smoothe"
 let max_recoveries = 5
 
+(* A compiled replay plan plus the node ids of the captured forward's
+   observable tensors (the only ones pinned out of the shared arena). *)
+type replayable = {
+  rp : Plan.t;
+  rp_theta : int;
+  rp_cp : int;
+  rp_per_seed : int;
+  rp_penalty : int;
+  rp_loss : int;
+}
+
 let init_theta rng ~batch ~width ~std =
   Tensor.init ~batch ~width (fun _ _ -> std *. Rng.gaussian rng)
 
@@ -283,6 +294,98 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
         ignore (Checkpoint.save st snap)
       in
       let repair = config.Smoothe_config.repair_sampling in
+      (* Static-plan replay state machine. Iterations run interpreted
+         until two consecutive successful captures are structurally
+         identical; the Plan_check dataflow analysis then derives and
+         independently verifies a buffer arena, the capture compiles
+         into a static schedule, and every later iteration replays with
+         zero tape construction and zero tensor allocation. Any gate
+         failure records a Preflight event and leaves the run on the
+         interpreter — the plan must never change results, only cost. *)
+      let plan_mode = config.Smoothe_config.plan in
+      let plan_state =
+        ref (match plan_mode with Smoothe_config.Plan_off -> `Off | _ -> `Cold)
+      in
+      let disable_plan why =
+        Health.record log ~member Health.Preflight ("plan disabled: " ^ why);
+        if !Obs.on then Metrics.incr "plan.disabled";
+        plan_state := `Disabled
+      in
+      let advance_plan (fwd : Relaxation.forward) =
+        match !plan_state with
+        | `Off | `Disabled | `Ready _ -> ()
+        | `Cold ->
+            if Tensor.Backend.current () <> Tensor.Backend.Vectorized then
+              disable_plan
+                "the scalar backend models per-element dispatch and has no replay kernels"
+            else
+              plan_state := `Armed (Plan.capture fwd.Relaxation.tape ~root:fwd.Relaxation.loss)
+        | `Armed c1 -> (
+            Trace.with_span ~cat:"smoothe" "plan.capture"
+            @@ fun () ->
+            let c2 = Plan.capture fwd.Relaxation.tape ~root:fwd.Relaxation.loss in
+            match Plan.stable c1 c2 with
+            | Error why ->
+                List.iter
+                  (fun d -> Health.record log ~member Health.Preflight (Diagnostic.render d))
+                  (Plan_check.stability c1.Plan.ir c2.Plan.ir);
+                disable_plan why
+            | Ok () -> (
+                let rp_theta = Ad.node_id fwd.Relaxation.theta
+                and rp_cp = Ad.node_id fwd.Relaxation.cp
+                and rp_per_seed = Ad.node_id fwd.Relaxation.per_seed_cost
+                and rp_penalty = Ad.node_id fwd.Relaxation.penalty
+                and rp_loss = Ad.node_id fwd.Relaxation.loss in
+                let outputs = [| rp_cp; rp_per_seed; rp_penalty; rp_loss |] in
+                let grads = [| rp_theta |] in
+                let report = Plan_check.analyze ~grads ~root:rp_loss ~outputs c2.Plan.ir in
+                let blocking =
+                  List.filter
+                    (fun d -> d.Diagnostic.severity <> Diagnostic.Info)
+                    report.Plan_check.diags
+                in
+                if !Obs.on then begin
+                  Metrics.incr
+                    ~by:(float_of_int (Diagnostic.errors report.Plan_check.diags))
+                    "analysis.errors";
+                  Metrics.incr
+                    ~by:(float_of_int (Diagnostic.warnings report.Plan_check.diags))
+                    "analysis.warnings"
+                end;
+                if blocking <> [] then begin
+                  List.iter
+                    (fun d ->
+                      Health.record log ~member Health.Preflight (Diagnostic.render d))
+                    blocking;
+                  disable_plan "the dataflow analysis rejected the captured IR"
+                end
+                else
+                  match
+                    Plan.compile
+                      ~arena:(Plan_check.arena_spec report)
+                      ~chains:(Plan_check.plan_chains report)
+                      ~outputs ~grads c2
+                  with
+                  | Error why -> disable_plan why
+                  | Ok rp ->
+                      let st = Plan.stats rp in
+                      if !Obs.on then begin
+                        Metrics.set_gauge "plan.arena_bytes"
+                          (float_of_int st.Plan.arena_bytes);
+                        Metrics.incr ~by:(float_of_int st.Plan.fused_nodes) "plan.fused_ops"
+                      end;
+                      Health.record log ~member Health.Preflight
+                        (Printf.sprintf
+                           "plan armed: %d nodes, %d KiB arena + %d KiB pinned (interpreter \
+                            allocates %d KiB per iteration), %d ops fused into %d chains"
+                           st.Plan.nodes
+                           (st.Plan.arena_bytes / 1024)
+                           (st.Plan.dedicated_bytes / 1024)
+                           (report.Plan_check.naive_bytes / 1024)
+                           st.Plan.fused_nodes st.Plan.chains);
+                      plan_state :=
+                        `Ready { rp; rp_theta; rp_cp; rp_per_seed; rp_penalty; rp_loss }))
+      in
       (* a crash (injected or real) must not lose the supervision
          timeline: merge it into the shared log before re-raising so the
          supervisor's retry sees what happened *)
@@ -337,54 +440,16 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
               end
             end
           in
-          while (not !stop) && !iter < config.Smoothe_config.max_iters do
-            incr iter;
-            iters_done := !iter;
-            Fault_plan.crash_now ~iter:!iter;
-            if !Obs.on then Metrics.incr "smoothe.iterations";
-            Trace.with_span ~cat:"smoothe"
-              ~attrs:(if !Obs.on then [ ("iteration", string_of_int !iter) ] else [])
-              "smoothe.iter"
-            @@ fun () ->
-            (* forward, under the (possibly annealed) temperature *)
-            let temperature =
-              Float.max config.Smoothe_config.min_temperature
-                (config.Smoothe_config.temperature
-                *. (config.Smoothe_config.temperature_decay ** float_of_int (!iter - 1)))
-            in
-            let fwd, t_fwd =
-              Timer.time (fun () ->
-                  Trace.with_span ~cat:"smoothe" "smoothe.forward" (fun () ->
-                      Relaxation.forward ~temperature compiled ~config ~model ~theta))
-            in
-            loss_time := !loss_time +. t_fwd;
-            let loss_ok = Tensor.all_finite (Ad.value fwd.Relaxation.loss) in
-            let grad_ok = ref false in
-            if loss_ok then begin
-              (* backward + step, guarded: a poisoned gradient skips the
-                 Adam update entirely *)
-              let (), t_bwd =
-                Timer.time (fun () ->
-                    Trace.with_span ~cat:"smoothe" "smoothe.backward" (fun () ->
-                        Ad.backward fwd.Relaxation.loss);
-                    let grad = Ad.grad fwd.Relaxation.theta in
-                    if Tensor.all_finite grad then begin
-                      grad_ok := true;
-                      Trace.with_span ~cat:"smoothe" "smoothe.adam_step" (fun () ->
-                          let norm = Optim.clip_grad_norm ~max_norm:100.0 [ grad ] in
-                          if !Obs.on then Metrics.observe "smoothe.grad_norm" norm;
-                          Optim.adam_step opt [ grad ])
-                    end)
-              in
-              grad_time := !grad_time +. t_bwd
-            end;
-            if loss_ok && !grad_ok then begin
+          (* Per-iteration tail — sampling, incumbent tracking, history —
+             identical whether the step was interpreted or replayed, so
+             both executors feed it their own output tensors. *)
+          let sample_and_log ~loss_ok ~grad_ok ~cp ~per_seed ~penalty =
+            if loss_ok && grad_ok then begin
               (* sample every iteration (§3.5) *)
               let sampled, t_smp =
                 Timer.time (fun () ->
                     Trace.with_span ~cat:"smoothe" "smoothe.sample" (fun () ->
-                        Sampler.best_of_batch ~repair g ~model
-                          ~cp:(Ad.value fwd.Relaxation.cp)))
+                        Sampler.best_of_batch ~repair g ~model ~cp))
               in
               sample_time := !sample_time +. t_smp;
               let sampled_cost =
@@ -402,8 +467,7 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
               in
               (* relaxed loss of the best seed this iteration, for Fig. 9 *)
               let relaxed_loss =
-                let per_seed = Ad.value fwd.Relaxation.per_seed_cost in
-                let h = Tensor.get (Ad.value fwd.Relaxation.penalty) 0 0 in
+                let h = Tensor.get penalty 0 0 in
                 let best = ref infinity in
                 for b = 0 to batch - 1 do
                   let v = Tensor.get per_seed b 0 in
@@ -437,7 +501,131 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
                   incumbent = !best_cost;
                 }
                 :: !history
-            end;
+            end
+          in
+          while (not !stop) && !iter < config.Smoothe_config.max_iters do
+            incr iter;
+            iters_done := !iter;
+            Fault_plan.crash_now ~iter:!iter;
+            if !Obs.on then Metrics.incr "smoothe.iterations";
+            Trace.with_span ~cat:"smoothe"
+              ~attrs:(if !Obs.on then [ ("iteration", string_of_int !iter) ] else [])
+              "smoothe.iter"
+            @@ fun () ->
+            (match (!plan_state, plan_mode) with
+            | `Ready r, Smoothe_config.Plan_on ->
+                (* verified replay: the static schedule re-runs the
+                   captured iteration over the arena — no tape, no
+                   tensor allocation *)
+                if !Obs.on then Metrics.incr "plan.replays";
+                let (), t_fwd =
+                  Timer.time (fun () ->
+                      Trace.with_span ~cat:"smoothe" "plan.replay" (fun () ->
+                          Plan.run_forward r.rp))
+                in
+                loss_time := !loss_time +. t_fwd;
+                let loss_ok = Tensor.all_finite (Plan.value r.rp r.rp_loss) in
+                let grad_ok = ref false in
+                if loss_ok then begin
+                  let (), t_bwd =
+                    Timer.time (fun () ->
+                        Trace.with_span ~cat:"smoothe" "plan.replay.backward" (fun () ->
+                            Plan.run_backward r.rp);
+                        let grad = Plan.grad_of r.rp r.rp_theta in
+                        if Tensor.all_finite grad then begin
+                          grad_ok := true;
+                          Trace.with_span ~cat:"smoothe" "smoothe.adam_step" (fun () ->
+                              let norm = Optim.clip_grad_norm ~max_norm:100.0 [ grad ] in
+                              if !Obs.on then Metrics.observe "smoothe.grad_norm" norm;
+                              Optim.adam_step opt [ grad ])
+                        end)
+                  in
+                  grad_time := !grad_time +. t_bwd
+                end;
+                sample_and_log ~loss_ok ~grad_ok:!grad_ok
+                  ~cp:(Plan.value r.rp r.rp_cp)
+                  ~per_seed:(Plan.value r.rp r.rp_per_seed)
+                  ~penalty:(Plan.value r.rp r.rp_penalty)
+            | st, _ ->
+                (* interpreted step — and, in check mode with a ready
+                   plan, a shadow replay asserted bit-identical to it *)
+                let shadow =
+                  match (st, plan_mode) with
+                  | `Ready r, Smoothe_config.Plan_check -> Some r
+                  | _ -> None
+                in
+                (* forward, under the (possibly annealed) temperature *)
+                let temperature =
+                  Float.max config.Smoothe_config.min_temperature
+                    (config.Smoothe_config.temperature
+                    *. (config.Smoothe_config.temperature_decay
+                       ** float_of_int (!iter - 1)))
+                in
+                let fwd, t_fwd =
+                  Timer.time (fun () ->
+                      Trace.with_span ~cat:"smoothe" "smoothe.forward" (fun () ->
+                          Relaxation.forward ~temperature compiled ~config ~model ~theta))
+                in
+                loss_time := !loss_time +. t_fwd;
+                (match shadow with
+                | Some r ->
+                    if !Obs.on then Metrics.incr "plan.replays";
+                    Trace.with_span ~cat:"smoothe" "plan.replay" (fun () ->
+                        Plan.run_forward r.rp);
+                    let bits what plan_t interp_t =
+                      if not (Tensor.bits_equal plan_t interp_t) then
+                        failwith
+                          (Printf.sprintf
+                             "plan check: replayed %s diverges bitwise from the \
+                              interpreter at iteration %d"
+                             what !iter)
+                    in
+                    bits "loss" (Plan.value r.rp r.rp_loss) (Ad.value fwd.Relaxation.loss);
+                    bits "cp" (Plan.value r.rp r.rp_cp) (Ad.value fwd.Relaxation.cp);
+                    bits "per-seed cost"
+                      (Plan.value r.rp r.rp_per_seed)
+                      (Ad.value fwd.Relaxation.per_seed_cost);
+                    bits "penalty"
+                      (Plan.value r.rp r.rp_penalty)
+                      (Ad.value fwd.Relaxation.penalty)
+                | None -> ());
+                let loss_ok = Tensor.all_finite (Ad.value fwd.Relaxation.loss) in
+                let grad_ok = ref false in
+                if loss_ok then begin
+                  (* backward + step, guarded: a poisoned gradient skips
+                     the Adam update entirely *)
+                  let (), t_bwd =
+                    Timer.time (fun () ->
+                        Trace.with_span ~cat:"smoothe" "smoothe.backward" (fun () ->
+                            Ad.backward fwd.Relaxation.loss);
+                        let grad = Ad.grad fwd.Relaxation.theta in
+                        (match shadow with
+                        | Some r ->
+                            Trace.with_span ~cat:"smoothe" "plan.replay.backward"
+                              (fun () -> Plan.run_backward r.rp);
+                            if not (Tensor.bits_equal (Plan.grad_of r.rp r.rp_theta) grad)
+                            then
+                              failwith
+                                (Printf.sprintf
+                                   "plan check: replayed theta gradient diverges bitwise \
+                                    from the interpreter at iteration %d"
+                                   !iter)
+                        | None -> ());
+                        if Tensor.all_finite grad then begin
+                          grad_ok := true;
+                          Trace.with_span ~cat:"smoothe" "smoothe.adam_step" (fun () ->
+                              let norm = Optim.clip_grad_norm ~max_norm:100.0 [ grad ] in
+                              if !Obs.on then Metrics.observe "smoothe.grad_norm" norm;
+                              Optim.adam_step opt [ grad ])
+                        end)
+                  in
+                  grad_time := !grad_time +. t_bwd
+                end;
+                sample_and_log ~loss_ok ~grad_ok:!grad_ok
+                  ~cp:(Ad.value fwd.Relaxation.cp)
+                  ~per_seed:(Ad.value fwd.Relaxation.per_seed_cost)
+                  ~penalty:(Ad.value fwd.Relaxation.penalty);
+                if loss_ok && !grad_ok then advance_plan fwd);
             (match checkpoint with
              | Some st when checkpoint_every > 0 && !iter mod checkpoint_every = 0 ->
                  save_checkpoint st ~iter:!iter

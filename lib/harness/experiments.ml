@@ -901,6 +901,177 @@ let preflight bank =
     "Every bundled instance must lint clean (infos allowed): %d errors, %d warnings.\n"
     total_errors total_warnings
 
+(* --------------------------------------------------------------- replay *)
+
+(* The compiled replay engine (lib/autodiff/plan) against the
+   interpreter it must reproduce bit for bit: the same captured
+   iteration run both ways over identical in-place theta updates,
+   reporting per-iteration wall clock and per-iteration tensor
+   allocation for each executor. Two hard assertions ride along —
+   every replayed loss and theta gradient must be bitwise equal to the
+   interpreter's, and steady-state replayed iterations must allocate
+   zero tensor bytes. Rows run sequentially on purpose: fanning the
+   cases over the pool would contend for cores and skew the very
+   per-iteration wall clocks the table exists to compare. *)
+let replay bank =
+  Report.heading "Plan replay: interpreted vs compiled iterations (bit-identical)";
+  let budget = Runbank.budget bank in
+  let iters = min 30 (max 6 (budget.Budget.smoothe.Smoothe_config.max_iters / 5)) in
+  let config =
+    {
+      budget.Budget.smoothe with
+      Smoothe_config.batch = min 8 budget.Budget.smoothe.Smoothe_config.batch;
+    }
+  in
+  let nudge rng theta =
+    (* the in-place update an optimiser step would make; replays see it
+       through the captured leaf reference, never through a new tape *)
+    let d = Tensor.unsafe_data theta in
+    for i = 0 to Tensor.numel theta - 1 do
+      d.(i) <- d.(i) +. (0.02 *. Rng.gaussian rng)
+    done
+  in
+  Report.set_columns [ 18; 6; 11; 11; 9; 13; 13; 10 ];
+  Report.row
+    [
+      "instance";
+      "iters";
+      "interp/it";
+      "replay/it";
+      "speedup";
+      "interp KiB/it";
+      "replay KiB/it";
+      "identical";
+    ];
+  Report.rule ();
+  let run_case name =
+    let g = Runbank.egraph bank (Registry.find_instance name) in
+    let compiled = Relaxation.compile config g in
+    let model = Cost_model.of_egraph g in
+    let rng = Rng.create 11 in
+    let theta =
+      Tensor.init ~batch:config.Smoothe_config.batch ~width:(Egraph.num_nodes g)
+        (fun _ _ -> 0.5 *. Rng.gaussian rng)
+    in
+    (* capture two consecutive iterations, gate on the dataflow
+       analysis, compile against its verified arena and fusion chains —
+       the same pipeline `--plan on' arms inside the extraction loop *)
+    let fwd1 = Relaxation.forward compiled ~config ~model ~theta in
+    let c1 = Plan.capture fwd1.Relaxation.tape ~root:fwd1.Relaxation.loss in
+    let fwd2 = Relaxation.forward compiled ~config ~model ~theta in
+    let c2 = Plan.capture fwd2.Relaxation.tape ~root:fwd2.Relaxation.loss in
+    (match Plan.stable c1 c2 with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "replay bench: %s captures unstable: %s" name e));
+    let root = Ad.node_id fwd2.Relaxation.loss in
+    let theta_id = Ad.node_id fwd2.Relaxation.theta in
+    let outputs = [| root |] in
+    let report = Plan_check.analyze ~grads:[| theta_id |] ~root ~outputs c2.Plan.ir in
+    (match
+       List.filter
+         (fun d -> d.Diagnostic.severity <> Diagnostic.Info)
+         report.Plan_check.diags
+     with
+    | [] -> ()
+    | d :: _ ->
+        failwith
+          (Printf.sprintf "replay bench: %s analysis rejected the IR: %s" name
+             (Diagnostic.render d)));
+    let plan =
+      match
+        Plan.compile
+          ~arena:(Plan_check.arena_spec report)
+          ~chains:(Plan_check.plan_chains report)
+          ~outputs ~grads:[| theta_id |] c2
+      with
+      | Ok plan -> plan
+      | Error e -> failwith (Printf.sprintf "replay bench: %s compile failed: %s" name e)
+    in
+    let theta0 = Tensor.copy theta in
+    (* untimed verification pass (doubles as the replay warm-up): every
+       iteration runs both executors over the same theta and must agree
+       bitwise on the loss and the theta gradient *)
+    let identical = ref true in
+    let rng_v = Rng.create 101 in
+    for _ = 1 to iters do
+      let fwd = Relaxation.forward compiled ~config ~model ~theta in
+      Ad.backward fwd.Relaxation.loss;
+      Plan.run_forward plan;
+      Plan.run_backward plan;
+      identical :=
+        !identical
+        && Tensor.bits_equal (Plan.value plan root) (Ad.value fwd.Relaxation.loss)
+        && Tensor.bits_equal (Plan.grad_of plan theta_id) (Ad.grad fwd.Relaxation.theta);
+      nudge rng_v theta
+    done;
+    if not !identical then
+      failwith (Printf.sprintf "replay bench: %s replay diverged from the interpreter" name);
+    (* timed interpreted loop: fresh tape and fresh intermediates every
+       iteration, exactly what the extraction loop pays under --plan off *)
+    Tensor.copy_into ~out:theta theta0;
+    let rng_i = Rng.create 101 in
+    let interp_bytes = ref 0.0 in
+    let (), interp_s =
+      Timer.time (fun () ->
+          Metrics.scoped (fun () ->
+              for _ = 1 to iters do
+                let fwd = Relaxation.forward compiled ~config ~model ~theta in
+                Ad.backward fwd.Relaxation.loss;
+                nudge rng_i theta
+              done;
+              interp_bytes := Metrics.counter_value "tensor.bytes_allocated"))
+    in
+    (* timed replay loop: the identical theta trajectory through the
+       compiled schedule; the allocation counter must not move at all *)
+    Tensor.copy_into ~out:theta theta0;
+    let rng_r = Rng.create 101 in
+    let replay_bytes = ref 0.0 in
+    let (), replay_s =
+      Timer.time (fun () ->
+          Metrics.scoped (fun () ->
+              for _ = 1 to iters do
+                Plan.run_forward plan;
+                Plan.run_backward plan;
+                nudge rng_r theta
+              done;
+              replay_bytes := Metrics.counter_value "tensor.bytes_allocated"))
+    in
+    if !replay_bytes <> 0.0 then
+      failwith
+        (Printf.sprintf "replay bench: %s replayed iterations allocated %.0f bytes" name
+           !replay_bytes);
+    let per_it s = s *. 1e3 /. float_of_int iters in
+    let st = Plan.stats plan in
+    Report.row
+      [
+        name;
+        string_of_int iters;
+        Printf.sprintf "%.2f ms" (per_it interp_s);
+        Printf.sprintf "%.2f ms" (per_it replay_s);
+        Printf.sprintf "%.2fx" (interp_s /. replay_s);
+        Printf.sprintf "%.1f" (!interp_bytes /. 1024.0 /. float_of_int iters);
+        Printf.sprintf "%.1f" (!replay_bytes /. 1024.0 /. float_of_int iters);
+        (if !identical then "yes" else "NO");
+      ];
+    (name, st)
+  in
+  let stats =
+    Obs.with_enabled (fun () ->
+        List.map run_case [ "box_3"; "mcm_8"; "set_cover_small"; "fir_5" ])
+  in
+  print_endline
+    "Replayed iterations must allocate zero tensor bytes and agree bitwise with\n\
+     the interpreter on every loss and theta gradient (both enforced above).";
+  List.iter
+    (fun (name, st) ->
+      Printf.printf
+        "%s: %d nodes, %d KiB arena + %d KiB pinned, %d ops fused into %d chains\n" name
+        st.Plan.nodes
+        ((st.Plan.arena_bytes + 1023) / 1024)
+        ((st.Plan.dedicated_bytes + 1023) / 1024)
+        st.Plan.fused_nodes st.Plan.chains)
+    stats
+
 (* ------------------------------------------------------------- parallel *)
 
 (* The --jobs machinery measured end to end: the same seeded extraction
@@ -1210,6 +1381,7 @@ let registry =
     ("phases", phases);
     ("durability", durability);
     ("preflight", preflight);
+    ("replay", replay);
     ("parallel", parallel);
     ("serve", serve);
     ("recovery", recovery);

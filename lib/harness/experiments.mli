@@ -73,6 +73,12 @@ val preflight : Runbank.t -> unit
     gradient-flow passes over every bundled instance. All must come out
     clean (info-level findings allowed). *)
 
+val replay : Runbank.t -> unit
+(** Static-plan replay vs the interpreter: per-iteration wall clock and
+    tensor allocation for both executors over identical theta
+    trajectories. Asserts replayed iterations allocate zero tensor
+    bytes and stay bit-identical to the interpreter. *)
+
 val all : Runbank.t -> unit
 
 val by_name : string -> (Runbank.t -> unit) option

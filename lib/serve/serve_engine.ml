@@ -8,6 +8,7 @@ type config = {
   retry_attempts : int;
   cache_capacity : int;
   preflight : bool;
+  plan : Smoothe_config.plan_mode;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     retry_attempts = 2;
     cache_capacity = 128;
     preflight = false;
+    plan = Smoothe_config.Plan_off;
   }
 
 let validate_config c =
@@ -178,6 +180,7 @@ let run_extraction cfg req g ~health ~time_limit =
           time_limit;
           seed = req.P.seed;
           lambda_ = req.P.lambda_;
+          plan = cfg.plan;
         }
       in
       let run = Smoothe_extract.extract ~config ~health ~preflight:cfg.preflight g in

@@ -54,6 +54,10 @@ type config = {
   retry_attempts : int;  (** {!Supervisor.run_retrying} attempts per request *)
   cache_capacity : int;  (** solution-cache entries; 0 disables *)
   preflight : bool;  (** run the e-graph lint gate inside SmoothE requests *)
+  plan : Smoothe_config.plan_mode;
+      (** static-plan replay mode applied to every SmoothE request the
+          executors run (gate failures fall back to interpretation
+          per request) *)
 }
 
 val default_config : config

@@ -66,10 +66,24 @@ let check_width name seg (x : Tensor.t) =
       (Printf.sprintf "Segments.%s: tensor width %d, segments cover %d" name x.Tensor.width
          seg.width)
 
-let softmax x seg =
+(* Each kernel has a preallocated [_into] core (used directly by the
+   plan replay engine — no allocation, same launch counters) and an
+   allocating wrapper. The cores write every element of [out] that any
+   segment covers; since segments tile [0, width), coverage is total
+   for the same-width kernels, and the reduction kernels write every
+   (row, segment) cell — so reusing an output buffer across calls is
+   safe. *)
+
+let check_out name (out : Tensor.t) ~batch ~width =
+  if out.Tensor.batch <> batch || out.Tensor.width <> width then
+    invalid_arg
+      (Printf.sprintf "Segments.%s: out (%d,%d), expected (%d,%d)" name out.Tensor.batch
+         out.Tensor.width batch width)
+
+let softmax_into ~out x seg =
   check_width "softmax" seg x;
+  check_out "softmax_into" out ~batch:x.Tensor.batch ~width:x.Tensor.width;
   count_op "softmax";
-  let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
@@ -96,14 +110,18 @@ let softmax x seg =
             done
           end
         done
-      done);
+      done)
+
+let softmax x seg =
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
+  softmax_into ~out x seg;
   out
 
-let sum x seg =
+let sum_into ~out x seg =
   check_width "sum" seg x;
-  count_op "sum";
   let nsegs = count seg in
-  let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
+  check_out "sum_into" out ~batch:x.Tensor.batch ~width:nsegs;
+  count_op "sum";
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
@@ -118,14 +136,18 @@ let sum x seg =
           done;
           dst.((b * nsegs) + s) <- !acc
         done
-      done);
+      done)
+
+let sum x seg =
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:(count seg) in
+  sum_into ~out x seg;
   out
 
-let prod x seg =
+let prod_into ~out x seg =
   check_width "prod" seg x;
-  count_op "prod";
   let nsegs = count seg in
-  let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
+  check_out "prod_into" out ~batch:x.Tensor.batch ~width:nsegs;
+  count_op "prod";
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
@@ -140,15 +162,21 @@ let prod x seg =
           done;
           dst.((b * nsegs) + s) <- !acc
         done
-      done);
+      done)
+
+let prod x seg =
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:(count seg) in
+  prod_into ~out x seg;
   out
 
 (* product-of-others via prefix/suffix sweeps: robust when a segment
-   contains zeros, where dividing the full product back out would fail. *)
-let prod_grad_scratch x seg =
+   contains zeros, where dividing the full product back out would fail.
+   Zero-length segments cover no positions, so the total-coverage
+   argument above still holds. *)
+let prod_grad_scratch_into ~out x seg =
   check_width "prod_grad_scratch" seg x;
+  check_out "prod_grad_scratch_into" out ~batch:x.Tensor.batch ~width:x.Tensor.width;
   count_op "prod_grad_scratch";
-  let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
@@ -172,15 +200,20 @@ let prod_grad_scratch x seg =
             done
           end
         done
-      done);
+      done)
+
+let prod_grad_scratch x seg =
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:x.Tensor.width in
+  prod_grad_scratch_into ~out x seg;
   out
 
-let max x seg =
+let max_into ~out ~arg x seg =
   check_width "max" seg x;
-  count_op "max";
   let nsegs = count seg in
-  let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
-  let arg = Array.make (x.Tensor.batch * nsegs) (-1) in
+  check_out "max_into" out ~batch:x.Tensor.batch ~width:nsegs;
+  if Array.length arg <> x.Tensor.batch * nsegs then
+    invalid_arg "Segments.max_into: argmax array length mismatch";
+  count_op "max";
   let src = Tensor.unsafe_data x and dst = Tensor.unsafe_data out in
   let get = reader () in
   let w = seg.width in
@@ -189,7 +222,10 @@ let max x seg =
         let base = b * w in
         for s = 0 to nsegs - 1 do
           let start = base + seg.starts.(s) and len = seg.lens.(s) in
-          if len = 0 then dst.((b * nsegs) + s) <- 0.0
+          if len = 0 then begin
+            dst.((b * nsegs) + s) <- 0.0;
+            arg.((b * nsegs) + s) <- -1
+          end
           else begin
             let best = ref (get src start) and besti = ref start in
             for i = start + 1 to start + len - 1 do
@@ -203,13 +239,19 @@ let max x seg =
             arg.((b * nsegs) + s) <- !besti
           end
         done
-      done);
+      done)
+
+let max x seg =
+  let nsegs = count seg in
+  let out = Tensor.create ~batch:x.Tensor.batch ~width:nsegs in
+  let arg = Array.make (x.Tensor.batch * nsegs) (-1) in
+  max_into ~out ~arg x seg;
   out, arg
 
-let gather src idx =
-  count_op "gather";
+let gather_into ~out src idx =
   let n = Array.length idx in
-  let out = Tensor.create ~batch:src.Tensor.batch ~width:n in
+  check_out "gather_into" out ~batch:src.Tensor.batch ~width:n;
+  count_op "gather";
   let s = Tensor.unsafe_data src and d = Tensor.unsafe_data out in
   let m = src.Tensor.width in
   (match Tensor.Backend.current () with
@@ -227,7 +269,11 @@ let gather src idx =
         for e = 0 to n - 1 do
           Array.set d ((b * n) + e) (Tensor.Backend.scalar_read s ((b * m) + Array.get idx e))
         done
-      done);
+      done)
+
+let gather src idx =
+  let out = Tensor.create ~batch:src.Tensor.batch ~width:(Array.length idx) in
+  gather_into ~out src idx;
   out
 
 let scatter_add ~into idx src =

@@ -65,3 +65,24 @@ val gather : Tensor.t -> int array -> Tensor.t
 val scatter_add : into:Tensor.t -> int array -> Tensor.t -> unit
 (** [scatter_add ~into idx src] accumulates column [e] of [src] into
     column [idx.(e)] of [into] — the adjoint of {!gather}. *)
+
+(** {1 Preallocated kernels}
+
+    [_into] variants writing into caller-owned outputs with zero
+    allocation — the cores behind the allocating kernels above and the
+    building blocks of the plan replay engine. Arithmetic and segment-op
+    counters are identical to the allocating versions; outputs must have
+    the exact result shape ([Invalid_argument] otherwise). Every cell a
+    segment covers is (re)written, so buffers can be reused across
+    calls. *)
+
+val softmax_into : out:Tensor.t -> Tensor.t -> t -> unit
+val sum_into : out:Tensor.t -> Tensor.t -> t -> unit
+val prod_into : out:Tensor.t -> Tensor.t -> t -> unit
+val prod_grad_scratch_into : out:Tensor.t -> Tensor.t -> t -> unit
+
+val max_into : out:Tensor.t -> arg:int array -> Tensor.t -> t -> unit
+(** [arg] must have length B × count; empty segments store 0 in [out]
+    and -1 in [arg]. *)
+
+val gather_into : out:Tensor.t -> Tensor.t -> int array -> unit

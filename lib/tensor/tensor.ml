@@ -320,15 +320,142 @@ let transpose t =
 
 let matmul a b = matmul_nt a (transpose b)
 
+(* ---- Preallocated (_into) kernels ---------------------------------
+
+   The plan replay engine (lib/autodiff/plan) re-runs a captured op
+   graph with zero per-iteration tensor allocation. These kernels
+   write into caller-owned output tensors and reproduce the allocating
+   kernels' arithmetic exactly — same expression trees, same
+   accumulation order, both backends — so a replayed iteration is
+   bit-identical to the interpreted one. None of them bump
+   [tensor.bytes_allocated]. *)
+
+let map_into_named name f ~out a =
+  check_same_shape name out a;
+  let n = numel a in
+  match Backend.current () with
+  | Backend.Vectorized ->
+      let da = a.data and dd = out.data in
+      Parallel.chunks n (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set dd i (f (Array.unsafe_get da i))
+          done)
+  | Backend.Scalar ->
+      for i = 0 to n - 1 do
+        let x = Backend.scalar_read a.data i in
+        Array.set out.data i ((Sys.opaque_identity f) x)
+      done
+
+let map2_into_named name f ~out a b =
+  check_same_shape name a b;
+  check_same_shape name out a;
+  let n = numel a in
+  match Backend.current () with
+  | Backend.Vectorized ->
+      let da = a.data and db = b.data and dd = out.data in
+      Parallel.chunks n (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set dd i (f (Array.unsafe_get da i) (Array.unsafe_get db i))
+          done)
+  | Backend.Scalar ->
+      for i = 0 to n - 1 do
+        let x = Backend.scalar_read a.data i in
+        let y = Backend.scalar_read b.data i in
+        Array.set out.data i ((Sys.opaque_identity f) x y)
+      done
+
+let copy_into ~out src =
+  check_same_shape "copy_into" out src;
+  Array.blit src.data 0 out.data 0 (numel src)
+
+let add_into ~out a b = map2_into_named "add_into" ( +. ) ~out a b
+let sub_into ~out a b = map2_into_named "sub_into" ( -. ) ~out a b
+let mul_into ~out a b = map2_into_named "mul_into" ( *. ) ~out a b
+let neg_into ~out a = map_into_named "neg_into" (fun x -> -.x) ~out a
+let scale_into ~out k a = map_into_named "scale_into" (fun x -> k *. x) ~out a
+let add_scalar_into ~out k a = map_into_named "add_scalar_into" (fun x -> k +. x) ~out a
+let relu_into ~out a = map_into_named "relu_into" (fun x -> if x > 0.0 then x else 0.0) ~out a
+
+let transpose_into ~out t =
+  if out.batch <> t.width || out.width <> t.batch then
+    invalid_arg
+      (Printf.sprintf "Tensor.transpose_into: out (%d,%d) for input (%d,%d)" out.batch out.width
+         t.batch t.width);
+  if out.data == t.data then invalid_arg "Tensor.transpose_into: out aliases input";
+  for b = 0 to t.batch - 1 do
+    for i = 0 to t.width - 1 do
+      out.data.((i * t.batch) + b) <- t.data.((b * t.width) + i)
+    done
+  done
+
+let matmul_nt_into ~out a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul_nt_into: inner dims differ (%d vs %d)" a.width b.width);
+  if out.batch <> a.batch || out.width <> b.batch then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul_nt_into: out (%d,%d) for result (%d,%d)" out.batch out.width
+         a.batch b.batch);
+  if out.data == a.data || out.data == b.data then
+    invalid_arg "Tensor.matmul_nt_into: out aliases an input";
+  let p = a.batch and q = b.batch and n = a.width in
+  match Backend.current () with
+  | Backend.Vectorized ->
+      let row_cost = Stdlib.max 1 (q * n) in
+      Parallel.chunks
+        ~grain:(Stdlib.max 1 (Parallel.default_grain / row_cost))
+        ~cost:row_cost p
+        (fun ilo ihi ->
+          for i = ilo to ihi - 1 do
+            let abase = i * n in
+            for j = 0 to q - 1 do
+              let bbase = j * n in
+              let acc = ref 0.0 in
+              for k = 0 to n - 1 do
+                acc :=
+                  !acc
+                  +. (Array.unsafe_get a.data (abase + k) *. Array.unsafe_get b.data (bbase + k))
+              done;
+              out.data.((i * q) + j) <- !acc
+            done
+          done)
+  | Backend.Scalar ->
+      let read = Backend.scalar_read in
+      let dot_row i j =
+        let acc = ref 0.0 in
+        for k = 0 to n - 1 do
+          acc := !acc +. (read a.data ((i * n) + k) *. read b.data ((j * n) + k))
+        done;
+        !acc
+      in
+      for i = 0 to p - 1 do
+        for j = 0 to q - 1 do
+          Array.set out.data ((i * q) + j) (dot_row i j)
+        done
+      done
+
+let bits_equal a b =
+  a.batch = b.batch && a.width = b.width
+  &&
+  let n = numel a in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if
+      Int64.bits_of_float (Array.unsafe_get a.data !i)
+      <> Int64.bits_of_float (Array.unsafe_get b.data !i)
+    then ok := false;
+    incr i
+  done;
+  !ok
+
 module Lu = struct
   type factors = { lu : t; perm : int array }
 
-  let decompose a =
-    if a.batch <> a.width then invalid_arg "Lu.decompose: not square";
-    let d = a.width in
-    let lu = copy a in
-    let m = lu.data in
-    let perm = Array.init d (fun i -> i) in
+  (* Shared elimination core: factor the square matrix held in [m]
+     (row-major, dimension [d]) in place, recording row swaps in
+     [perm]. *)
+  let factorize m perm d =
     for k = 0 to d - 1 do
       (* Partial pivoting: bring the largest remaining |entry| of column k up. *)
       let pivot = ref k in
@@ -371,15 +498,37 @@ module Lu = struct
               Array.set m ((i * d) + j) (read m ((i * d) + j) -. (factor *. read m ((k * d) + j)))
             done
           done)
-    done;
+    done
+
+  let decompose a =
+    if a.batch <> a.width then invalid_arg "Lu.decompose: not square";
+    let d = a.width in
+    let lu = copy a in
+    let perm = Array.init d (fun i -> i) in
+    factorize lu.data perm d;
     { lu; perm }
 
-  let solve f b =
+  let preallocate d =
+    if d < 1 then invalid_arg "Lu.preallocate: dimension must be positive";
+    { lu = create ~batch:d ~width:d; perm = Array.init d (fun i -> i) }
+
+  let decompose_into f a =
+    if a.batch <> a.width then invalid_arg "Lu.decompose_into: not square";
+    check_same_shape "Lu.decompose_into" f.lu a;
+    let d = a.width in
+    Array.blit a.data 0 f.lu.data 0 (numel a);
+    for i = 0 to d - 1 do
+      f.perm.(i) <- i
+    done;
+    factorize f.lu.data f.perm d
+
+  let solve_into ~out f b =
     let d = f.lu.width in
-    if b.batch <> d then invalid_arg "Lu.solve: rhs row count mismatch";
+    if b.batch <> d then invalid_arg "Lu.solve_into: rhs row count mismatch";
+    check_same_shape "Lu.solve_into" out b;
     let cols = b.width in
     let m = f.lu.data in
-    let x = create ~batch:d ~width:cols in
+    let x = out in
     (* Apply the row permutation, then forward- and back-substitute. *)
     for i = 0 to d - 1 do
       Array.blit b.data (f.perm.(i) * cols) x.data (i * cols) cols
@@ -406,7 +555,11 @@ module Lu = struct
       for c = 0 to cols - 1 do
         x.data.((i * cols) + c) <- read x.data ((i * cols) + c) /. uii
       done
-    done;
+    done
+
+  let solve f b =
+    let x = create ~batch:f.lu.width ~width:b.width in
+    solve_into ~out:x f b;
     x
 end
 
@@ -497,6 +650,126 @@ module Matfun = struct
         r := matmul !r !r
       done;
       !r
+    end
+
+  (* Preallocated workspace for [expm_into]: every intermediate the
+     allocating [expm] creates, owned by the caller and reused across
+     iterations. [w_tt] is the shared transpose scratch behind the
+     matmul-via-[matmul_nt] steps; [w_r0]/[w_r1] alternate through the
+     squaring phase, so the result lands in one of them — valid until
+     the next [expm_into] call on this workspace. *)
+  type ws = {
+    wdim : int;
+    w_x : t;
+    w_tt : t;
+    w_x2 : t;
+    w_x4 : t;
+    w_x6 : t;
+    w_acc_u : t;
+    w_u_body : t;
+    w_u : t;
+    w_acc_v : t;
+    w_v : t;
+    w_vmu : t;
+    w_vpu : t;
+    w_eye : t;
+    w_lu : Lu.factors;
+    w_r0 : t;
+    w_r1 : t;
+  }
+
+  let workspace d =
+    if d < 1 then invalid_arg "Matfun.workspace: dimension must be positive";
+    let sq () = create ~batch:d ~width:d in
+    {
+      wdim = d;
+      w_x = sq ();
+      w_tt = sq ();
+      w_x2 = sq ();
+      w_x4 = sq ();
+      w_x6 = sq ();
+      w_acc_u = sq ();
+      w_u_body = sq ();
+      w_u = sq ();
+      w_acc_v = sq ();
+      w_v = sq ();
+      w_vmu = sq ();
+      w_vpu = sq ();
+      w_eye = identity d;
+      w_lu = Lu.preallocate d;
+      w_r0 = sq ();
+      w_r1 = sq ();
+    }
+
+  let expm_into ws a =
+    if a.batch <> a.width then invalid_arg "Matfun.expm_into: not square";
+    if a.width <> ws.wdim then
+      invalid_arg
+        (Printf.sprintf "Matfun.expm_into: workspace dim %d for input dim %d" ws.wdim a.width);
+    let d = a.width in
+    if d = 1 then begin
+      ws.w_r0.data.(0) <- Stdlib.exp a.data.(0);
+      ws.w_r0
+    end
+    else begin
+      let norm = norm1_matrix a in
+      let s =
+        if norm <= theta13 then 0
+        else int_of_float (Float.ceil (Float.log (norm /. theta13) /. Float.log 2.0))
+      in
+      if !Obs.on then begin
+        Metrics.incr "tensor.matexp_calls";
+        Metrics.incr ~by:(float_of_int s) "tensor.matexp_squarings";
+        Metrics.observe "tensor.matexp_dim" (float_of_int d)
+      end;
+      (* matmul via the shared transpose scratch, mirroring
+         [matmul a b = matmul_nt a (transpose b)] *)
+      let mm out a b =
+        transpose_into ~out:ws.w_tt b;
+        matmul_nt_into ~out a ws.w_tt
+      in
+      let x = ws.w_x in
+      if s = 0 then copy_into ~out:x a else scale_into ~out:x (1.0 /. (2.0 ** float_of_int s)) a;
+      let b = pade13 in
+      let eye = ws.w_eye in
+      let x2 = ws.w_x2 and x4 = ws.w_x4 and x6 = ws.w_x6 in
+      mm x2 x x;
+      mm x4 x2 x2;
+      mm x6 x2 x4;
+      let inner_u = ws.w_acc_u in
+      scale_into ~out:inner_u b.(13) x6;
+      axpy b.(11) x4 inner_u;
+      axpy b.(9) x2 inner_u;
+      let u_body = ws.w_u_body in
+      mm u_body x6 inner_u;
+      axpy b.(7) x6 u_body;
+      axpy b.(5) x4 u_body;
+      axpy b.(3) x2 u_body;
+      axpy b.(1) eye u_body;
+      let u = ws.w_u in
+      mm u x u_body;
+      let inner_v = ws.w_acc_v in
+      scale_into ~out:inner_v b.(12) x6;
+      axpy b.(10) x4 inner_v;
+      axpy b.(8) x2 inner_v;
+      let v = ws.w_v in
+      mm v x6 inner_v;
+      axpy b.(6) x6 v;
+      axpy b.(4) x4 v;
+      axpy b.(2) x2 v;
+      axpy b.(0) eye v;
+      sub_into ~out:ws.w_vmu v u;
+      add_into ~out:ws.w_vpu v u;
+      Lu.decompose_into ws.w_lu ws.w_vmu;
+      Lu.solve_into ~out:ws.w_r0 ws.w_lu ws.w_vpu;
+      let cur = ref ws.w_r0 and other = ref ws.w_r1 in
+      for _ = 1 to s do
+        mm !other !cur !cur;
+        let tmp = !cur in
+        cur := !other;
+        other := tmp
+      done;
+      !cur
     end
 end
 

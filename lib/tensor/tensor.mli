@@ -102,6 +102,27 @@ val axpy : float -> t -> t -> unit
 
 val scale_inplace : float -> t -> unit
 
+(** {1 Preallocated kernels}
+
+    [_into] variants of the allocating kernels above: they write into a
+    caller-owned output tensor and never allocate, reproducing the
+    allocating kernels' arithmetic bit-for-bit (same expression trees,
+    same accumulation order, both backends). The plan replay engine is
+    built on these. Outputs may alias inputs for the elementwise
+    kernels; {!transpose_into} and {!matmul_nt_into} reject aliased
+    outputs. All raise [Invalid_argument] on shape mismatch. *)
+
+val copy_into : out:t -> t -> unit
+val add_into : out:t -> t -> t -> unit
+val sub_into : out:t -> t -> t -> unit
+val mul_into : out:t -> t -> t -> unit
+val neg_into : out:t -> t -> unit
+val scale_into : out:t -> float -> t -> unit
+val add_scalar_into : out:t -> float -> t -> unit
+val relu_into : out:t -> t -> unit
+val transpose_into : out:t -> t -> unit
+val matmul_nt_into : out:t -> t -> t -> unit
+
 (** {1 Reductions} *)
 
 val sum : t -> float
@@ -116,6 +137,12 @@ val abs_max : t -> float
 val all_finite : t -> bool
 (** False when any entry is NaN or ±infinity — the numeric-guard check
     run on losses and gradients each iteration. *)
+
+val bits_equal : t -> t -> bool
+(** Shape equality plus element-by-element IEEE-754 bit equality
+    ([Int64.bits_of_float]) — distinguishes [+0.] from [-0.] and treats
+    identical NaN payloads as equal. The comparison the plan replay
+    differential check ([--plan check]) uses against the interpreter. *)
 
 val norm1_matrix : t -> float
 (** Maximum absolute column sum of a square matrix — the operator 1-norm
@@ -147,6 +174,17 @@ module Lu : sig
 
   val solve : factors -> t -> t
   (** [solve f b] solves [A x = b] column-wise; [b] is square d×d. *)
+
+  val preallocate : int -> factors
+  (** Workspace for {!decompose_into}: a d×d factor store plus its
+      permutation, allocated once and refilled on every call. *)
+
+  val decompose_into : factors -> t -> unit
+  (** {!decompose} into a preallocated workspace — no allocation.
+      @raise Failure on a (numerically) singular matrix. *)
+
+  val solve_into : out:t -> factors -> t -> unit
+  (** {!solve} into a preallocated output of the rhs shape. *)
 end
 
 module Matfun : sig
@@ -155,6 +193,20 @@ module Matfun : sig
       a degree-13 Padé approximant (Higham 2005) — the same algorithm
       behind [torch.matrix_exp] that the paper identifies as the
       bottleneck (§4.3). *)
+
+  type ws
+  (** Preallocated workspace holding every intermediate of one {!expm}
+      call for a fixed dimension. *)
+
+  val workspace : int -> ws
+  (** [workspace d] allocates the intermediates for d×d inputs
+      ([d >= 1]). *)
+
+  val expm_into : ws -> t -> t
+  (** {!expm} with zero per-call allocation: all intermediates live in
+      the workspace, and the returned tensor is one of the workspace's
+      buffers — valid until the next [expm_into] on the same
+      workspace. Arithmetic is bit-identical to {!expm}. *)
 
   val trace : t -> float
 end

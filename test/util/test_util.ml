@@ -85,3 +85,8 @@ let float_close ?(tol = 1e-6) a b =
 let check_close ?tol ~msg a b =
   if not (float_close ?tol a b) then
     Alcotest.failf "%s: %.12g vs %.12g" msg a b
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
