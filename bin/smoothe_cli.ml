@@ -111,11 +111,13 @@ let method_conv =
       ("genetic", `Genetic);
       ("annealing", `Annealing);
       ("ilp-pruned", `Ilp_pruned);
+      ("hybrid", `Hybrid);
       ("portfolio", `Portfolio);
     ]
 
 let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~plan ~health
-    ~checkpoint_dir ~checkpoint_every ~resume ~show_term ~preflight ~jobs =
+    ~checkpoint_dir ~checkpoint_every ~resume ~show_term ~preflight ~jobs ~fix_threshold
+    ~hybrid_gap =
   if resume && checkpoint_dir = None then begin
     Printf.eprintf "--resume needs --checkpoint-dir (where should the snapshot come from?)\n";
     exit 1
@@ -136,6 +138,45 @@ let run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed ~p
           ~config:{ Annealing.default_config with Annealing.time_limit }
           (Rng.create seed) g
     | `Ilp_pruned -> Acyclic_prune.extract ~time_limit g
+    | `Hybrid ->
+        let config =
+          {
+            Hybrid_pipeline.default_config with
+            Hybrid_pipeline.time_budget = time_limit;
+            smoothe =
+              {
+                Smoothe_config.default with
+                Smoothe_config.batch;
+                max_iters = iters;
+                seed;
+                assumption = Smoothe_config.assumption_of_string assumption;
+                lambda_ = lambda;
+                plan = Smoothe_config.plan_mode_of_string plan;
+              };
+            fix_threshold;
+            bound_gap = hybrid_gap;
+          }
+        in
+        let run = Hybrid_pipeline.extract ~config ~health g in
+        (match run.Hybrid_pipeline.smoothe_run with
+        | Some r ->
+            Printf.printf "stage smoothe: %d iterations, incumbent %.6g\n"
+              r.Smoothe_extract.iterations r.Smoothe_extract.result.Extractor.cost
+        | None -> Printf.printf "stage smoothe: skipped (greedy incumbent)\n");
+        let h = run.Hybrid_pipeline.hybrid in
+        List.iter
+          (fun p ->
+            Printf.printf
+              "stage %s: %d e-nodes, %d B&B nodes, obj %.6g, bound %.6g%s (%.2fs)\n"
+              p.Hybrid.phase_name p.Hybrid.phase_vars p.Hybrid.phase_nodes p.Hybrid.phase_obj
+              p.Hybrid.phase_bound
+              (if p.Hybrid.phase_proved then ", proved" else "")
+              p.Hybrid.phase_time)
+          h.Hybrid.phases;
+        Printf.printf "fixed %d classes (dropped %d by fixing, %d by bound cut), gap %.6g\n"
+          h.Hybrid.fixed_classes h.Hybrid.dropped_by_fixing h.Hybrid.dropped_by_bound
+          h.Hybrid.gap;
+        run.Hybrid_pipeline.result
     | `Portfolio ->
         let out =
           Portfolio.extract
@@ -214,11 +255,32 @@ let method_flag =
     & info [ "m"; "method" ] ~docv:"METHOD"
         ~doc:
           "Extraction method: $(b,smoothe), $(b,greedy), $(b,greedy-dag), $(b,ilp-cplex), \
-           $(b,ilp-scip), $(b,ilp-cbc), $(b,ilp-pruned), $(b,genetic), $(b,annealing) or \
+           $(b,ilp-scip), $(b,ilp-cbc), $(b,ilp-pruned), $(b,hybrid) (SmoothE-pruned, \
+           bound-cut, warm-started exact solving), $(b,genetic), $(b,annealing) or \
            $(b,portfolio).")
 
 let time_limit_flag =
   Arg.(value & opt float 60.0 & info [ "t"; "time-limit" ] ~docv:"SECONDS" ~doc:"Time limit.")
+
+let fix_threshold_flag =
+  Arg.(
+    value
+    & opt float 0.9
+    & info [ "fix-threshold" ]
+        ~docv:"P"
+        ~doc:
+          "Hybrid: fix an e-class to the incumbent's choice when its within-class marginal \
+           reaches P (and it is the class argmax); values > 1 disable fixing.")
+
+let hybrid_gap_flag =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "hybrid-gap" ]
+        ~docv:"G"
+        ~doc:
+          "Hybrid: extra relative slack on the incumbent bound cut (rhs = UB + tol + \
+           G*max(1,|UB|)). 0 cuts exactly at the incumbent.")
 
 let batch_flag =
   Arg.(value & opt int 16 & info [ "b"; "batch" ] ~docv:"B" ~doc:"SmoothE seed-batch size.")
@@ -376,7 +438,7 @@ let write_metrics_snapshot ?(format = `Json) = function
 let extract_cmd =
   let run spec method_ time_limit batch iters assumption lambda seed plan plan_check_replay
       fault_plan health_report trace_out metrics_out checkpoint_dir checkpoint_every resume
-      show_term no_preflight jobs =
+      show_term no_preflight jobs fix_threshold hybrid_gap =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1\n";
       exit 1
@@ -410,7 +472,7 @@ let extract_cmd =
             ignore
               (run_method g ~method_ ~time_limit ~batch ~iters ~assumption ~lambda ~seed
                  ~plan ~health ~checkpoint_dir ~checkpoint_every ~resume ~show_term
-                 ~preflight:(not no_preflight) ~jobs)))
+                 ~preflight:(not no_preflight) ~jobs ~fix_threshold ~hybrid_gap)))
   in
   Cmd.v (Cmd.info "extract" ~doc:"Extract an optimised program from an e-graph.")
     Term.(
@@ -418,7 +480,7 @@ let extract_cmd =
       $ assumption_flag $ lambda_flag $ seed_flag $ plan_flag $ plan_check_replay_flag
       $ fault_plan_flag $ health_report_flag
       $ trace_flag $ metrics_flag $ checkpoint_dir_flag $ checkpoint_every_flag $ resume_flag
-      $ show_term_flag $ no_preflight_flag $ jobs_flag)
+      $ show_term_flag $ no_preflight_flag $ jobs_flag $ fix_threshold_flag $ hybrid_gap_flag)
 
 (* --------------------------------------------------------------- analyze *)
 
@@ -1333,14 +1395,18 @@ let compare_cmd =
     let g = load_egraph spec in
     Format.printf "%a@.@." Egraph.Stats.pp (Egraph.Stats.compute g);
     let methods =
-      [ `Greedy; `Greedy_dag; `Genetic; `Annealing; `Ilp_pruned; `Ilp Bnb.cplex_like; `Smoothe ]
+      [
+        `Greedy; `Greedy_dag; `Genetic; `Annealing; `Ilp_pruned; `Ilp Bnb.cplex_like;
+        `Smoothe; `Hybrid;
+      ]
     in
     List.iter
       (fun method_ ->
         ignore
           (run_method g ~method_ ~time_limit ~batch:16 ~iters:150 ~assumption:"hybrid"
              ~lambda:100.0 ~seed:7 ~plan:"off" ~health:(Health.create ()) ~checkpoint_dir:None
-             ~checkpoint_every:25 ~resume:false ~show_term:false ~preflight:false ~jobs:1))
+             ~checkpoint_every:25 ~resume:false ~show_term:false ~preflight:false ~jobs:1
+             ~fix_threshold:0.9 ~hybrid_gap:0.0))
       methods
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every extraction method on one e-graph.")

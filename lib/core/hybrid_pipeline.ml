@@ -1,0 +1,108 @@
+type config = {
+  time_budget : float;
+  smoothe_frac : float;
+  smoothe : Smoothe_config.t;
+  fix_threshold : float;
+  bound_gap : float;
+  profile : Bnb.profile;
+  node_limit : int;
+  verify : bool;
+}
+
+let default_config =
+  {
+    time_budget = 30.0;
+    smoothe_frac = 0.4;
+    smoothe = Smoothe_config.default;
+    fix_threshold = 0.9;
+    bound_gap = 0.0;
+    profile = Bnb.cplex_like;
+    node_limit = 200_000;
+    verify = true;
+  }
+
+type run = {
+  result : Extractor.r;
+  hybrid : Hybrid.outcome;
+  smoothe_run : Smoothe_extract.run option;
+}
+
+let extract ?(config = default_config) ?model ?health ?pool g =
+  Trace.with_span ~cat:"extraction"
+    ~attrs:(if !Obs.on then [ ("classes", string_of_int (Egraph.num_classes g)) ] else [])
+    "hybrid.pipeline"
+  @@ fun () ->
+  let deadline = Timer.deadline_after config.time_budget in
+  (* Stage 1: a SmoothE incumbent plus its marginals, on a fraction of
+     the budget. [smoothe_frac <= 0] skips straight to greedy + exact. *)
+  let smoothe_run =
+    if config.smoothe_frac > 0.0 && config.time_budget > 0.0 then begin
+      let scfg =
+        {
+          config.smoothe with
+          Smoothe_config.time_limit = config.time_budget *. config.smoothe_frac;
+        }
+      in
+      Some (Smoothe_extract.extract ~config:scfg ?model ?health g)
+    end
+    else None
+  in
+  let incumbent =
+    Option.bind smoothe_run (fun r -> r.Smoothe_extract.result.Extractor.solution)
+  in
+  let marginals = Option.bind smoothe_run (fun r -> r.Smoothe_extract.final_cp) in
+  let stage1_elapsed = Timer.elapsed deadline in
+  (* Stage 2: fix, cut, shrink, warm-start, solve, verify. *)
+  let rem = Timer.remaining deadline in
+  let hcfg =
+    {
+      Hybrid.time_limit =
+        (if Float.is_finite rem then Float.max 1e-3 rem else config.time_budget);
+      node_limit = config.node_limit;
+      profile = config.profile;
+      fix_threshold = config.fix_threshold;
+      bound_gap = config.bound_gap;
+      verify = config.verify;
+    }
+  in
+  let hybrid = Hybrid.extract ~config:hcfg ?pool ?health ?incumbent ?marginals g in
+  (* Stitch the two stages into one anytime record: SmoothE's trace as
+     is, the hybrid trace shifted by stage 1's wall clock, improvements
+     only. *)
+  let stage1_trace =
+    match smoothe_run with
+    | Some r -> r.Smoothe_extract.result.Extractor.trace
+    | None -> []
+  in
+  let merged_trace =
+    let acc = ref [] and best = ref infinity in
+    List.iter
+      (fun (t, c) ->
+        if c < !best then begin
+          best := c;
+          acc := (t, c) :: !acc
+        end)
+      (stage1_trace
+      @ List.map (fun (t, c) -> (t +. stage1_elapsed, c)) hybrid.Hybrid.result.Extractor.trace);
+    List.rev !acc
+  in
+  let notes =
+    (match smoothe_run with
+    | Some r ->
+        [
+          ("smoothe_iters", string_of_int r.Smoothe_extract.iterations);
+          ( "smoothe_cost",
+            Printf.sprintf "%.6g" r.Smoothe_extract.result.Extractor.cost );
+        ]
+    | None -> [ ("smoothe", "skipped") ])
+    @ hybrid.Hybrid.result.Extractor.notes
+  in
+  let result =
+    {
+      hybrid.Hybrid.result with
+      Extractor.time_s = Timer.elapsed deadline;
+      trace = merged_trace;
+      notes;
+    }
+  in
+  { result; hybrid; smoothe_run }

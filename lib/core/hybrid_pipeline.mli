@@ -1,0 +1,45 @@
+(** The full SmoothE -> exact pipeline (ROADMAP item 3, e-boost style).
+
+    Stage 1 runs SmoothE on [smoothe_frac] of the budget to produce an
+    incumbent and its per-node marginals; stage 2 hands both to
+    {!Hybrid.extract}, which fixes concentrated e-class choices, derives
+    the objective bound cut, shrinks the MILP encoding, warm-starts
+    branch-and-bound and finishes with a sound verification solve. The
+    stage is self-contained (it never reads another portfolio member's
+    output), so it behaves identically whether the portfolio runs its
+    members sequentially or on a pool. *)
+
+type config = {
+  time_budget : float;  (** seconds across both stages *)
+  smoothe_frac : float;
+      (** share of the budget spent producing the SmoothE incumbent
+          (default 0.4); <= 0 skips SmoothE and seeds from greedy *)
+  smoothe : Smoothe_config.t;  (** stage-1 hyper-parameters (time_limit is overridden) *)
+  fix_threshold : float;  (** see {!Hybrid.config} *)
+  bound_gap : float;  (** see {!Hybrid.config} *)
+  profile : Bnb.profile;
+  node_limit : int;
+  verify : bool;
+}
+
+val default_config : config
+
+type run = {
+  result : Extractor.r;
+      (** method_name "hybrid": best solution of both stages, merged
+          anytime trace, total wall clock, sound [proved_optimal] *)
+  hybrid : Hybrid.outcome;  (** stage-2 detail (phases, fixes, bound, gap) *)
+  smoothe_run : Smoothe_extract.run option;  (** stage-1 detail when it ran *)
+}
+
+val extract :
+  ?config:config ->
+  ?model:Cost_model.t ->
+  ?health:Health.log ->
+  ?pool:Pool.t ->
+  Egraph.t ->
+  run
+(** [model] only shapes stage 1's loss (the exact stage optimises the
+    linear costs, like the paper's ILP-star); [pool] parallelises
+    branch-and-bound waves. Health events from both stages land on
+    [health]. *)

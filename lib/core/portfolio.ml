@@ -10,6 +10,7 @@ type config = {
   use_smoothe : bool;
   use_annealing : bool;
   use_genetic : bool;
+  use_hybrid : bool;
   smoothe : Smoothe_config.t;
   checkpoint_dir : string option;
   checkpoint_every : int;
@@ -24,6 +25,7 @@ let default_config =
     use_smoothe = true;
     use_annealing = true;
     use_genetic = false;
+    use_hybrid = false;
     smoothe = Smoothe_config.default;
     checkpoint_dir = None;
     checkpoint_every = 25;
@@ -58,6 +60,7 @@ let extract ?(config = default_config) ?model ?health rng g =
       [
         ("smoothe", config.use_smoothe);
         ("ilp", config.use_ilp);
+        ("hybrid", config.use_hybrid);
         ("annealing", config.use_annealing);
         ("genetic", config.use_genetic);
       ]
@@ -132,6 +135,21 @@ let extract ?(config = default_config) ?model ?health rng g =
         let display = if Cost_model.is_linear model then "ilp" else "ilp*" in
         supervised display (fun _deadline ->
             Ilp.extract ~time_limit:share ?warm_start:warm ~profile:Bnb.cplex_like g)
+    | "hybrid" ->
+        (* members-as-a-pipeline: the e-boost stage runs its own SmoothE
+           pass and hands the incumbent + marginals to the pruned exact
+           solver. Self-contained (it never reads a rival member's
+           output), so sequential and pooled portfolios agree. *)
+        let pcfg =
+          {
+            Hybrid_pipeline.default_config with
+            Hybrid_pipeline.time_budget = share;
+            smoothe = config.smoothe;
+          }
+        in
+        supervised "hybrid" (fun _deadline ->
+            (Hybrid_pipeline.extract ~config:pcfg ~model ~health:mlog g)
+              .Hybrid_pipeline.result)
     | "annealing" ->
         supervised "annealing" (fun _deadline ->
             Annealing.extract

@@ -34,6 +34,11 @@ type config = {
   use_smoothe : bool;
   use_annealing : bool;
   use_genetic : bool;
+  use_hybrid : bool;
+      (** run the {!Hybrid_pipeline} member (SmoothE incumbent ->
+          heuristically-pruned, bound-cut, warm-started exact solve) —
+          the portfolio's members-as-a-pipeline stage. Default off: it
+          overlaps the smoothe and ilp members' budgets. *)
   smoothe : Smoothe_config.t;
   checkpoint_dir : string option;
       (** durable mode: SmoothE checkpoints here and a crashed run is

@@ -24,6 +24,7 @@ type run = {
   oom : bool;
   recoveries : int;
   health : Health.event list;
+  final_cp : float array option;
 }
 
 let member = "smoothe"
@@ -172,6 +173,7 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
           oom = true;
           recoveries = 0;
           health = [];
+          final_cp = None;
         }
   | Some { c_config; c_device; c_compiled; c_max_batch; c_desc; c_rung } ->
       let config = c_config and device = c_device and compiled = c_compiled in
@@ -246,6 +248,11 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
           None
       in
       let best_seed = restore_ref (fun s -> s.Checkpoint.best_seed) (-1) in
+      (* cp row of the seed that produced the incumbent, at the
+         iteration it was found — the marginals the hybrid pipeline
+         fixes classes with. Not checkpointed: after a resume it stays
+         None until the next improvement. *)
+      let incumbent_cp = ref None in
       let last_improvement = restore_ref (fun s -> s.Checkpoint.last_improvement) 0 in
       let trace = restore_ref (fun s -> List.rev s.Checkpoint.trace) [] in
       let history =
@@ -460,7 +467,8 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
                       best_solution := Some s;
                       best_seed := seed;
                       last_improvement := !iter;
-                      trace := (elapsed_now (), cost) :: !trace
+                      trace := (elapsed_now (), cost) :: !trace;
+                      incumbent_cp := Some (Array.init n (fun i -> Tensor.get cp seed i))
                     end;
                     cost
                 | None -> infinity
@@ -674,4 +682,5 @@ let extract ?(config = Smoothe_config.default) ?model ?(device = Device.a100) ?h
           oom = false;
           recoveries = 0;
           health = [];
+          final_cp = !incumbent_cp;
         }

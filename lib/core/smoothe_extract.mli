@@ -34,6 +34,11 @@ type run = {
   oom : bool;  (** no derating step could fit even one seed *)
   recoveries : int;  (** numeric recoveries applied during the run *)
   health : Health.event list;  (** chronological supervision events *)
+  final_cp : float array option;
+      (** per-node class-softmax probabilities (cp) of the incumbent's
+          seed, captured at the iteration the incumbent was found — the
+          marginals the hybrid extractor's fixing rule consumes. [None]
+          when no sample ever improved (or right after a resume). *)
 }
 
 val extract :

@@ -180,6 +180,64 @@ module Builder = struct
     }
 end
 
+(* Rebuild the e-graph keeping only the masked nodes. Removal cascades:
+   a surviving node whose child class loses every member is removed too,
+   until stable. The node mapping replicates freeze's renumbering (kept
+   classes ascending, surviving nodes of each class in original id
+   order, classes unreachable from the root stripped), which is what
+   lets callers lift a solution on the restricted graph back to the
+   original ids. *)
+let restrict g ~keep =
+  let n = num_nodes g and m = num_classes g in
+  if Array.length keep <> n then invalid_arg "Egraph.restrict: keep mask length mismatch";
+  let removed = Array.init n (fun i -> not keep.(i)) in
+  let class_alive c = Array.exists (fun i -> not removed.(i)) g.class_nodes.(c) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if (not removed.(i)) && Array.exists (fun j -> not (class_alive j)) g.children.(i)
+      then begin
+        removed.(i) <- true;
+        changed := true
+      end
+    done
+  done;
+  if not (class_alive g.root) then None
+  else begin
+    let b = Builder.create ~name:g.name () in
+    let ids = Array.init m (fun _ -> Builder.add_class b) in
+    for i = 0 to n - 1 do
+      if not removed.(i) then
+        ignore
+          (Builder.add_node b
+             ~cls:ids.(g.node_class.(i))
+             ~op:g.ops.(i) ~cost:g.costs.(i)
+             ~children:(Array.to_list (Array.map (fun c -> ids.(c)) g.children.(i))))
+    done;
+    let restricted = Builder.freeze b ~root:g.root in
+    let succ =
+      Array.init m (fun c ->
+          if class_alive c then begin
+            let acc = Vec.create () in
+            Array.iter
+              (fun i -> if not removed.(i) then Array.iter (Vec.push acc) g.children.(i))
+              g.class_nodes.(c);
+            Vec.to_array acc
+          end
+          else [||])
+    in
+    let reach = Graph_algo.reachable succ [ g.root ] in
+    let mapping = Vec.create () in
+    for c = 0 to m - 1 do
+      if reach.(c) && class_alive c then
+        Array.iter (fun i -> if not removed.(i) then Vec.push mapping i) g.class_nodes.(c)
+    done;
+    let old_node_of_new = Vec.to_array mapping in
+    assert (Array.length old_node_of_new = num_nodes restricted);
+    Some (restricted, old_node_of_new)
+  end
+
 module Solution = struct
   type egraph = t
 

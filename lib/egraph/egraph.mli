@@ -70,6 +70,17 @@ module Builder : sig
       @raise Invalid_argument on dangling references or an empty root. *)
 end
 
+val restrict : t -> keep:bool array -> (t * int array) option
+(** [restrict g ~keep] rebuilds [g] with only the e-nodes whose [keep]
+    bit is set, cascading the removal of any node whose child class
+    loses all members, then stripping classes no longer reachable from
+    the root. Returns the restricted e-graph and [old_node_of_new]
+    (original id of each surviving node, in the rebuilt numbering), or
+    [None] when the root class loses every member. Both the acyclicity
+    pre-pruner and the hybrid extractor's heuristic shrink go through
+    this one rebuild so their solution lifting agrees.
+    @raise Invalid_argument when [keep] is not [num_nodes g] long. *)
+
 (** {1 Extraction solutions} *)
 
 module Solution : sig

@@ -44,51 +44,16 @@ let prune g =
   for c = 0 to m - 1 do
     if not (class_alive c) then incr removed_classes
   done;
-  if not (class_alive g.Egraph.root) then
-    { removed_nodes; removed_classes = !removed_classes; egraph = None; old_node_of_new = [||] }
-  else begin
-    (* rebuild with original class layout; freeze strips dead classes.
-       Builder and freeze keep classes in id order and nodes in insertion
-       order, so the old-id mapping below mirrors the renumbering. *)
-    let b = Egraph.Builder.create ~name:(g.Egraph.name ^ "-pruned") () in
-    let ids = Array.init m (fun _ -> Egraph.Builder.add_class b) in
-    for i = 0 to n - 1 do
-      if not removed.(i) then
-        ignore
-          (Egraph.Builder.add_node b
-             ~cls:ids.(g.Egraph.node_class.(i))
-             ~op:g.Egraph.ops.(i) ~cost:g.Egraph.costs.(i)
-             ~children:(Array.to_list (Array.map (fun c -> ids.(c)) g.Egraph.children.(i))))
-    done;
-    let pruned = Egraph.Builder.freeze b ~root:g.Egraph.root in
-    (* replicate freeze's ordering: kept classes ascending, surviving
-       nodes of each kept class in original id order *)
-    let succ =
-      Array.init m (fun c ->
-          if class_alive c then begin
-            let acc = Vec.create () in
-            Array.iter
-              (fun i -> if not removed.(i) then Array.iter (Vec.push acc) g.Egraph.children.(i))
-              g.Egraph.class_nodes.(c);
-            Vec.to_array acc
-          end
-          else [||])
-    in
-    let reach = Graph_algo.reachable succ [ g.Egraph.root ] in
-    let mapping = Vec.create () in
-    for c = 0 to m - 1 do
-      if reach.(c) && class_alive c then
-        Array.iter (fun i -> if not removed.(i) then Vec.push mapping i) g.Egraph.class_nodes.(c)
-    done;
-    let old_node_of_new = Vec.to_array mapping in
-    assert (Array.length old_node_of_new = Egraph.num_nodes pruned);
-    {
-      removed_nodes;
-      removed_classes = !removed_classes;
-      egraph = Some pruned;
-      old_node_of_new;
-    }
-  end
+  match Egraph.restrict g ~keep:(Array.map not removed) with
+  | None ->
+      { removed_nodes; removed_classes = !removed_classes; egraph = None; old_node_of_new = [||] }
+  | Some (pruned, old_node_of_new) ->
+      {
+        removed_nodes;
+        removed_classes = !removed_classes;
+        egraph = Some pruned;
+        old_node_of_new;
+      }
 
 let extract ?(time_limit = 60.0) ?(profile = Bnb.cplex_like) g =
   let (rep, prune_time) = Timer.time (fun () -> prune g) in

@@ -5,7 +5,7 @@ type encoding = {
   integer_vars : int array;
 }
 
-let encode_with_costs g ~costs =
+let encode_with_costs ?cost_bound g ~costs =
   let n = Egraph.num_nodes g and m = Egraph.num_classes g in
   let nvars = n + m in
   let t_offset = n in
@@ -21,6 +21,18 @@ let encode_with_costs g ~costs =
       rel = Lp.Eq;
       rhs = 1.0;
     };
+  (* objective bound cut: sum_i cost_i s_i <= UB. Any solution at least
+     as good as the incumbent that produced UB satisfies it, so adding
+     the row never cuts off the optimum — it only tightens the LP
+     relaxation (the hybrid extractor's e-boost-style cut). *)
+  (match cost_bound with
+  | Some ub ->
+      let coeffs = ref [] in
+      for i = 0 to n - 1 do
+        if costs.(i) <> 0.0 then coeffs := (i, costs.(i)) :: !coeffs
+      done;
+      if !coeffs <> [] then addc { Lp.coeffs = !coeffs; rel = Lp.Le; rhs = ub }
+  | None -> ());
   (* (1c) completeness: s_i <= sum of child class members *)
   for i = 0 to n - 1 do
     let seen = Hashtbl.create 4 in
@@ -113,7 +125,17 @@ let warm_start_point g enc s =
     if Lp.check_feasible enc.problem x then Some x else None
   end
 
-let extract ?(time_limit = 60.0) ?(node_limit = 200_000) ?warm_start ~profile g =
+(* relative optimality gap of a solve: 0 when proved, infinite when
+   either side is unknown *)
+let gap_of (outcome : Bnb.outcome) =
+  if outcome.Bnb.objective = infinity || outcome.Bnb.best_bound = neg_infinity then infinity
+  else
+    Float.max 0.0
+      ((outcome.Bnb.objective -. outcome.Bnb.best_bound)
+      /. Float.max 1.0 (Float.abs outcome.Bnb.objective))
+
+let extract ?(time_limit = 60.0) ?(node_limit = 200_000) ?warm_start ?cost_bound ?pool
+    ?health ~profile g =
   Trace.with_span ~cat:"extraction"
     ~attrs:
       (if !Obs.on then
@@ -125,14 +147,14 @@ let extract ?(time_limit = 60.0) ?(node_limit = 200_000) ?warm_start ~profile g 
     "ilp.extract"
   @@ fun () ->
   let run () =
-    let enc = encode g in
+    let enc = encode_with_costs ?cost_bound g ~costs:g.Egraph.costs in
     let warm =
       match warm_start with
       | Some s when profile.Bnb.use_warm_start -> warm_start_point g enc s
       | Some _ | None -> None
     in
     let options = { Bnb.profile; time_limit; node_limit; warm_start = warm } in
-    let outcome = Bnb.solve enc.problem ~integer_vars:enc.integer_vars options in
+    let outcome = Bnb.solve ?pool ?health enc.problem ~integer_vars:enc.integer_vars options in
     enc, outcome
   in
   let (_, outcome), time_s = Timer.time run in
@@ -141,6 +163,7 @@ let extract ?(time_limit = 60.0) ?(node_limit = 200_000) ?warm_start ~profile g 
     [
       "nodes", string_of_int outcome.Bnb.nodes;
       "bound", Printf.sprintf "%.6g" outcome.Bnb.best_bound;
+      "gap", Printf.sprintf "%.6g" (gap_of outcome);
     ]
   in
   Extractor.make

@@ -58,9 +58,24 @@ type outcome = {
 
 let int_tol = 1e-6
 
+(* The one acceptance/pruning epsilon, scaled to the magnitude of the
+   value it guards. An absolute 1e-9 is simultaneously too tight for
+   large-cost instances (MCM datapaths with costs ~1e6+, where LP
+   round-off alone exceeds it and equal-bound nodes never prune) and
+   meaninglessly loose for unit-cost graphs. *)
+let rel_tol = 1e-9
+let tolerance v = rel_tol *. Float.max 1.0 (Float.abs v)
+
+(* How many frontier nodes each exploration wave pops and LP-solves on
+   the domain pool. Fixed — never derived from the pool size — so the
+   explored node sequence, and therefore the incumbent, the bound and
+   the node count, are bit-identical at any [--jobs]. *)
+let wave_width = 8
+
 (* A node fixes a subset of binaries: value 0 is encoded by dropping the
-   upper bound to 0; value 1 by an extra equality row. *)
-type bnode = { fixes : (int * int) list; bound : float; depth : int }
+   upper bound to 0; value 1 by an extra equality row. [seq] is a
+   monotonic push counter giving the frontier a strict total order. *)
+type bnode = { fixes : (int * int) list; bound : float; depth : int; seq : int }
 
 let is_integral x j = Float.abs (x.(j) -. Float.round x.(j)) <= int_tol
 
@@ -74,7 +89,7 @@ let apply_fixes (p : Lp.problem) fixes =
     fixes;
   { p with Lp.upper; constraints = !extra @ p.Lp.constraints }
 
-let solve (p : Lp.problem) ~integer_vars options =
+let solve ?pool ?health (p : Lp.problem) ~integer_vars options =
   Array.iter
     (fun j ->
       if p.Lp.upper.(j) > 1.0 +. int_tol then
@@ -91,8 +106,12 @@ let solve (p : Lp.problem) ~integer_vars options =
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
   let trace = ref [] in
+  (* [improves v] decides both incumbent acceptance and node pruning
+     (prune when the node's bound does NOT improve), so the two can
+     never disagree about which side of the incumbent a value is on. *)
+  let improves v = !incumbent = None || v < !incumbent_obj -. tolerance !incumbent_obj in
   let accept x obj =
-    if obj < !incumbent_obj -. 1e-9 then begin
+    if improves obj then begin
       incumbent := Some (Array.copy x);
       incumbent_obj := obj;
       trace := (Timer.elapsed deadline, obj) :: !trace;
@@ -101,8 +120,24 @@ let solve (p : Lp.problem) ~integer_vars options =
   in
   (match options.warm_start with
   | Some x when options.profile.use_warm_start ->
-      if Lp.check_feasible p x && Array.for_all (fun j -> is_integral x j) integer_vars then
-        accept x (Lp.eval_objective p x)
+      (* an infeasible or fractional warm start must not seed the
+         incumbent: pruning against its objective would cut off the
+         true optimum. Reject it loudly instead of silently. *)
+      let feasible = Lp.check_feasible p x in
+      let integral = Array.for_all (fun j -> is_integral x j) integer_vars in
+      if feasible && integral then accept x (Lp.eval_objective p x)
+      else begin
+        let why =
+          if not feasible then "violates the LP constraints"
+          else "is fractional on integer variables"
+        in
+        (match health with
+        | Some log ->
+            Health.record log ~member:"bnb" Health.Warm_start_rejected
+              (Printf.sprintf "warm start %s; solving cold" why)
+        | None -> ());
+        if !Obs.on then Metrics.incr "bnb.warm_start_rejected"
+      end
   | Some _ | None -> ());
   let try_rounding x =
     let rounded = Array.copy x in
@@ -135,63 +170,105 @@ let solve (p : Lp.problem) ~integer_vars options =
           integer_vars;
         !best
   in
-  (* Frontier: a heap for best-bound, used as a LIFO-ish stack for DFS by
-     ordering on depth (deepest first). *)
+  (* Frontier: a heap for best-bound, a LIFO-ish stack for DFS ordered
+     on depth. The [seq] tie-break makes the pop order a strict total
+     order, so exploration is deterministic however the heap happens to
+     arrange equal keys. *)
   let leq =
     match options.profile.search with
-    | Best_bound -> fun a b -> a.bound <= b.bound
-    | Depth_first -> fun a b -> a.depth >= b.depth
+    | Best_bound ->
+        fun a b -> a.bound < b.bound || (a.bound = b.bound && a.seq <= b.seq)
+    | Depth_first -> fun a b -> a.depth > b.depth || (a.depth = b.depth && a.seq >= b.seq)
   in
   let frontier = Heap.create ~leq in
-  Heap.push frontier { fixes = []; bound = neg_infinity; depth = 0 };
+  let seq = ref 0 in
+  let push ~fixes ~bound ~depth =
+    incr seq;
+    Heap.push frontier { fixes; bound; depth; seq = !seq }
+  in
+  push ~fixes:[] ~bound:neg_infinity ~depth:0;
   let nodes = ref 0 in
   let exhausted = ref false in
   let hit_limit = ref false in
   let frontier_min_bound () =
-    (* For best-bound search the heap top is the global bound; for DFS we
-       conservatively report the weakest (smallest) open bound. *)
-    match options.profile.search with
-    | Best_bound -> (
-        match Heap.peek frontier with Some n -> n.bound | None -> !incumbent_obj)
-    | Depth_first -> if Heap.is_empty frontier then !incumbent_obj else neg_infinity
+    (* the proven global lower bound is the weakest open-node bound.
+       Scan the whole frontier: the DFS heap is ordered on depth, not
+       bound, so its top says nothing about the weakest bound (the old
+       neg_infinity answer made every timed-out cbc-like gap useless). *)
+    if Heap.is_empty frontier then !incumbent_obj
+    else Heap.fold (fun acc n -> Float.min acc n.bound) infinity frontier
   in
+  let pool = match pool with Some p -> p | None -> Pool.get () in
+  let wave = Vec.create () in
   let rec loop () =
     if Heap.is_empty frontier then exhausted := true
     else if Timer.poll deadline !nodes || !nodes >= options.node_limit then hit_limit := true
     else begin
-      let node = Heap.pop frontier in
-      if node.bound >= !incumbent_obj -. 1e-9 then loop ()
+      (* Assemble one wave: up to [wave_width] not-yet-pruned nodes, in
+         strict frontier order, capped by the remaining node budget. *)
+      Vec.clear wave;
+      let width = min wave_width (options.node_limit - !nodes) in
+      while Vec.length wave < width && not (Heap.is_empty frontier) do
+        let node = Heap.pop frontier in
+        if improves node.bound then Vec.push wave node
+      done;
+      if Vec.is_empty wave then loop ()
       else begin
-        incr nodes;
-        if !Obs.on then Metrics.incr "bnb.nodes_explored";
-        let sub = apply_fixes p node.fixes in
-        (match Lp.solve ~deadline sub with
-        | Lp.Timeout -> hit_limit := true
-        | Lp.Infeasible -> ()
-        | Lp.Unbounded -> ()
-        | Lp.Optimal { x; obj } ->
-            if obj < !incumbent_obj -. 1e-9 then begin
-              let j = pick_branch x in
-              if j < 0 then accept x obj
-              else begin
-                (match options.profile.rounding_every with
-                | Some k when !nodes mod k = 0 -> try_rounding x
-                | Some _ | None -> ());
-                Heap.push frontier { fixes = (j, 0) :: node.fixes; bound = obj; depth = node.depth + 1 };
-                Heap.push frontier { fixes = (j, 1) :: node.fixes; bound = obj; depth = node.depth + 1 }
-              end
-            end);
+        (* LP-solve the wave concurrently. Each task is a pure function
+           of its node (fresh sub-problem, no shared state), and
+           [Pool.run_array] joins in input order, so the results arrive
+           exactly as a sequential left-to-right solve would produce
+           them whatever the pool size. *)
+        let results =
+          Pool.run_array pool
+            (Array.map
+               (fun node () -> Lp.solve ~deadline (apply_fixes p node.fixes))
+               (Vec.to_array wave))
+        in
+        (* Incumbent updates, rounding and branching stay sequential and
+           in wave order: the only state they touch is deterministic. *)
+        Array.iteri
+          (fun i res ->
+            let node = Vec.get wave i in
+            incr nodes;
+            if !Obs.on then Metrics.incr "bnb.nodes_explored";
+            match res with
+            | Lp.Timeout ->
+                (* the node's subtree is unexplored: put it back so the
+                   reported best_bound still accounts for it *)
+                hit_limit := true;
+                push ~fixes:node.fixes ~bound:node.bound ~depth:node.depth
+            | Lp.Infeasible | Lp.Unbounded -> ()
+            | Lp.Optimal { x; obj } ->
+                if improves obj then begin
+                  let j = pick_branch x in
+                  if j < 0 then accept x obj
+                  else begin
+                    (match options.profile.rounding_every with
+                    | Some k when !nodes mod k = 0 -> try_rounding x
+                    | Some _ | None -> ());
+                    push ~fixes:((j, 0) :: node.fixes) ~bound:obj ~depth:(node.depth + 1);
+                    push ~fixes:((j, 1) :: node.fixes) ~bound:obj ~depth:(node.depth + 1)
+                  end
+                end)
+          results;
         if not !hit_limit then loop ()
       end
     end
   in
   loop ();
-  let best_bound = if !exhausted then !incumbent_obj else frontier_min_bound () in
+  let best_bound =
+    if !exhausted then !incumbent_obj else Float.min (frontier_min_bound ()) !incumbent_obj
+  in
+  let proved_optimal =
+    !incumbent <> None
+    && (!exhausted || !incumbent_obj -. best_bound <= tolerance !incumbent_obj)
+  in
   {
     incumbent = !incumbent;
     objective = !incumbent_obj;
     best_bound;
-    proved_optimal = !exhausted && !incumbent <> None;
+    proved_optimal;
     nodes = !nodes;
     solve_time = Timer.elapsed deadline;
     trace = List.rev !trace;

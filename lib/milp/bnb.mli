@@ -9,7 +9,16 @@
 
     The three bundled {!profile}s differ in search strategy and heuristic
     effort, mirroring the commercial-vs-open-source quality split the
-    paper observes; see DESIGN.md for the substitution argument. *)
+    paper observes; see DESIGN.md for the substitution argument.
+
+    Node exploration is wave-parallel: each iteration pops a fixed-width
+    wave of frontier nodes (in a strict total order — bound or depth,
+    with a push-sequence tie-break) and LP-solves them concurrently on a
+    {!Pool}; incumbent updates and branching are then applied
+    sequentially in wave order. Because the wave width never depends on
+    the pool size and {!Pool.run_array} joins in input order, the
+    explored node sequence — and with it the incumbent, bound, node
+    count and trace costs — is bit-identical at any [--jobs]. *)
 
 type branch_rule = Most_fractional | First_fractional
 type search_order = Best_bound | Depth_first
@@ -46,13 +55,33 @@ val default_options : profile -> options
 type outcome = {
   incumbent : float array option;
   objective : float;  (** [infinity] when no feasible point was found *)
-  best_bound : float;  (** proven lower bound on the optimum *)
+  best_bound : float;
+      (** proven lower bound on the optimum: the weakest open-node bound
+          at exit (finite once the root LP has been solved, whatever the
+          search order) *)
   proved_optimal : bool;
+      (** the frontier was exhausted, or the incumbent–bound gap closed
+          to within {!tolerance} of the incumbent *)
   nodes : int;
   solve_time : float;
   trace : (float * float) list;  (** (seconds-since-start, incumbent objective) improvements *)
 }
 
-val solve : Lp.problem -> integer_vars:int array -> options -> outcome
-(** @raise Invalid_argument if an integer variable's bounds are not
+val rel_tol : float
+(** The shared relative acceptance/pruning epsilon (1e-9). *)
+
+val tolerance : float -> float
+(** [tolerance v] = [rel_tol *. Float.max 1.0 (Float.abs v)] — the
+    absolute slack used when comparing against a value of magnitude
+    [v]. One constant serves incumbent acceptance, node pruning and the
+    [proved_optimal] gap test, so they cannot disagree at any cost
+    scale. *)
+
+val solve :
+  ?pool:Pool.t -> ?health:Health.log -> Lp.problem -> integer_vars:int array -> options -> outcome
+(** [pool] (default {!Pool.get}) runs each wave's LP relaxations
+    concurrently; results are identical at any pool size. A warm start
+    that fails feasibility or integrality validation is ignored and
+    recorded on [health] as a [Warm_start_rejected] event.
+    @raise Invalid_argument if an integer variable's bounds are not
     within [0, 1] (binaries only). *)

@@ -45,3 +45,5 @@ let pop h =
   top
 
 let peek h = if is_empty h then None else Some (Vec.get h.items 0)
+let iter f h = Vec.iter f h.items
+let fold f init h = Vec.fold_left f init h.items

@@ -18,3 +18,11 @@ val pop : 'a t -> 'a
 
 val peek : 'a t -> 'a option
 val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Visit every element in unspecified (heap-internal) order. *)
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+(** Fold over every element in unspecified order — used to scan a
+    branch-and-bound frontier for the weakest open bound without
+    disturbing it. *)

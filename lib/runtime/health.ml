@@ -14,6 +14,7 @@ type kind =
   | Replayed
   | Watchdog_restart
   | Crash_loop
+  | Warm_start_rejected
 
 type event = { at : float; member : string; kind : kind; detail : string }
 
@@ -23,7 +24,7 @@ let all_kinds =
   [
     Fault_injected; Nan_detected; Recovery; Oom_derate; Timeout; Member_failed;
     Budget_reallocated; Degraded; Checkpoint_corrupt; Resumed; Preflight;
-    Journal_torn; Replayed; Watchdog_restart; Crash_loop;
+    Journal_torn; Replayed; Watchdog_restart; Crash_loop; Warm_start_rejected;
   ]
 
 let kind_name = function
@@ -42,6 +43,7 @@ let kind_name = function
   | Replayed -> "replayed"
   | Watchdog_restart -> "watchdog-restart"
   | Crash_loop -> "crash-loop"
+  | Warm_start_rejected -> "warm-start-rejected"
 
 let kind_of_name name = List.find_opt (fun k -> kind_name k = name) all_kinds
 

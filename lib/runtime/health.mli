@@ -37,6 +37,10 @@ type kind =
   | Crash_loop
       (** the watchdog's crash-loop breaker tripped (too many abnormal
           exits within the window) and it gave up restarting *)
+  | Warm_start_rejected
+      (** a warm-start point handed to a solver failed feasibility or
+          integrality validation and was ignored rather than allowed to
+          poison pruning *)
 
 type event = {
   at : float;  (** seconds since the log was created *)

@@ -339,6 +339,123 @@ let prune_never_beats_full_ilp =
       (not full.Extractor.proved_optimal)
       || pruned.Extractor.cost >= full.Extractor.cost -. 1e-9)
 
+(* --------------------------------------------------------------- hybrid *)
+
+let test_hybrid_fig1_proves_optimum () =
+  let g = Fig1.egraph () in
+  let o = Hybrid.extract g in
+  Test_util.check_close ~msg:"optimal 19" Fig1.optimal_cost o.Hybrid.result.Extractor.cost;
+  Alcotest.(check bool) "proved" true o.Hybrid.result.Extractor.proved_optimal;
+  Alcotest.(check bool) "bound meets incumbent" true
+    (o.Hybrid.bound >= Fig1.optimal_cost -. 1e-6);
+  Alcotest.(check bool) "gap closed" true (o.Hybrid.gap = 0.0)
+
+let hybrid_matches_brute_force =
+  qtest ~count:20 "hybrid proves the true optimum on random e-graphs"
+    (Test_util.arb_egraph ~max_classes:5 ()) (fun g ->
+      let bf, _ = Test_util.brute_force_optimum g in
+      let o = Hybrid.extract g in
+      if Float.is_finite bf then
+        o.Hybrid.result.Extractor.proved_optimal
+        && Test_util.float_close bf o.Hybrid.result.Extractor.cost
+      else o.Hybrid.result.Extractor.solution = None)
+
+let hybrid_valid_on_cyclic =
+  qtest ~count:15 "hybrid solutions valid (and proofs true) on cyclic e-graphs"
+    (Test_util.arb_egraph ~max_classes:5 ~cycle_prob:0.4 ()) (fun g ->
+      let bf, _ = Test_util.brute_force_optimum g in
+      let o = Hybrid.extract g in
+      match o.Hybrid.result.Extractor.solution with
+      | Some s ->
+          Egraph.Solution.is_valid g s
+          && (not o.Hybrid.result.Extractor.proved_optimal
+             || Test_util.float_close bf o.Hybrid.result.Extractor.cost)
+      | None -> not (Float.is_finite bf))
+
+let adversarial_marginals g =
+  (* marginals concentrated on whatever greedy picked: on graphs where
+     greedy is suboptimal this pushes the fixing rule to prune away the
+     true optimum *)
+  let s = Option.get (Greedy.extract g).Extractor.solution in
+  let cp = Array.make (Egraph.num_nodes g) 0.01 in
+  Array.iter (Option.iter (fun pick -> cp.(pick) <- 0.99)) s.Egraph.Solution.choice;
+  (s, cp)
+
+let test_hybrid_verify_recovers_from_bad_marginals () =
+  (* the cross-class sharing graph: greedy pays 14, the optimum is 10.
+     Marginals pointing hard at greedy's picks make the fixing rule drop
+     the shared derivation; the verification solve must recover 10 and
+     prove it anyway *)
+  let b = Egraph.Builder.create () in
+  let root = Egraph.Builder.add_class b in
+  let a_cls = Egraph.Builder.add_class b in
+  let b_cls = Egraph.Builder.add_class b in
+  let s_cls = Egraph.Builder.add_class b in
+  ignore (Egraph.Builder.add_node b ~cls:root ~op:"pair" ~cost:0.0 ~children:[ a_cls; b_cls ]);
+  ignore (Egraph.Builder.add_node b ~cls:s_cls ~op:"shared" ~cost:10.0 ~children:[]);
+  ignore (Egraph.Builder.add_node b ~cls:a_cls ~op:"a_shared" ~cost:0.0 ~children:[ s_cls ]);
+  ignore (Egraph.Builder.add_node b ~cls:a_cls ~op:"a_private" ~cost:7.0 ~children:[]);
+  ignore (Egraph.Builder.add_node b ~cls:b_cls ~op:"b_shared" ~cost:0.0 ~children:[ s_cls ]);
+  ignore (Egraph.Builder.add_node b ~cls:b_cls ~op:"b_private" ~cost:7.0 ~children:[]);
+  let g = Egraph.Builder.freeze b ~root in
+  let incumbent, cp = adversarial_marginals g in
+  let o = Hybrid.extract ~incumbent ~marginals:cp g in
+  Alcotest.(check bool) "fixing engaged" true (o.Hybrid.fixed_classes > 0);
+  Test_util.check_close ~msg:"verify recovers 10" 10.0 o.Hybrid.result.Extractor.cost;
+  Alcotest.(check bool) "proof is sound" true o.Hybrid.result.Extractor.proved_optimal;
+  Alcotest.(check bool) "ran pruned then verify" true
+    (List.map (fun p -> p.Hybrid.phase_name) o.Hybrid.phases = [ "pruned"; "verify" ]);
+  (* without the verification solve the same pruning must never claim a
+     proof — the pruned bound holds only for the shrunken space *)
+  let o2 =
+    Hybrid.extract
+      ~config:{ Hybrid.default_config with Hybrid.verify = false }
+      ~incumbent ~marginals:cp g
+  in
+  Alcotest.(check bool) "no proof without verify" true
+    (not o2.Hybrid.result.Extractor.proved_optimal)
+
+let test_hybrid_rejects_invalid_incumbent () =
+  let g = Fig1.egraph () in
+  let bogus = { Egraph.Solution.choice = Array.make (Egraph.num_classes g) None } in
+  let health = Health.create () in
+  let o = Hybrid.extract ~health ~incumbent:bogus g in
+  Alcotest.(check bool) "rejection recorded" true
+    (Health.count health Health.Warm_start_rejected >= 1);
+  Test_util.check_close ~msg:"greedy fallback still reaches 19" Fig1.optimal_cost
+    o.Hybrid.result.Extractor.cost;
+  Alcotest.(check bool) "proved" true o.Hybrid.result.Extractor.proved_optimal
+
+let test_ilp_cost_bound_row () =
+  (* the objective bound cut row: a cut above the optimum leaves it
+     reachable, a cut strictly below it makes the encoding infeasible *)
+  let g = Fig1.egraph () in
+  let solve cb =
+    let enc = Ilp.encode_with_costs ?cost_bound:cb g ~costs:g.Egraph.costs in
+    Bnb.solve enc.Ilp.problem ~integer_vars:enc.Ilp.integer_vars
+      (Bnb.default_options Bnb.cplex_like)
+  in
+  let above = solve (Some (Fig1.optimal_cost +. 0.5)) in
+  Test_util.check_close ~msg:"optimum under the cut" Fig1.optimal_cost above.Bnb.objective;
+  let below = solve (Some (Fig1.optimal_cost -. 0.5)) in
+  Alcotest.(check bool) "cut excludes everything" true (below.Bnb.incumbent = None)
+
+let test_ilp_gap_note_finite () =
+  (* with a node-limited weak profile the solve stops early; the "gap"
+     stat must still be finite (regression: a -infinity DFS frontier
+     bound used to make it infinite) *)
+  let g = Fig1.egraph () in
+  let warm = (Greedy_dag.extract g).Extractor.solution in
+  let r =
+    Ilp.extract ~time_limit:10.0 ~node_limit:1 ?warm_start:warm ~profile:Bnb.cbc_like g
+  in
+  match List.assoc_opt "gap" r.Extractor.notes with
+  | None -> Alcotest.fail "no gap note"
+  | Some s ->
+      let gap = float_of_string s in
+      Alcotest.(check bool) "gap finite" true (Float.is_finite gap);
+      Alcotest.(check bool) "gap nonnegative" true (gap >= 0.0)
+
 (* ------------------------------------------------------------ annealing *)
 
 let test_annealing_fig1 () =
@@ -405,6 +522,18 @@ let () =
           ilp_matches_brute_force;
           ilp_matches_brute_force_cyclic;
           Alcotest.test_case "warm start round trip" `Quick test_ilp_warm_start_round_trip;
+          Alcotest.test_case "cost bound row" `Quick test_ilp_cost_bound_row;
+          Alcotest.test_case "gap note finite under node limit" `Quick test_ilp_gap_note_finite;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "fig1 proved" `Quick test_hybrid_fig1_proves_optimum;
+          hybrid_matches_brute_force;
+          hybrid_valid_on_cyclic;
+          Alcotest.test_case "verify recovers from bad marginals" `Quick
+            test_hybrid_verify_recovers_from_bad_marginals;
+          Alcotest.test_case "invalid incumbent rejected" `Quick
+            test_hybrid_rejects_invalid_incumbent;
         ] );
       ( "genetic",
         [

@@ -242,6 +242,117 @@ let bnb_bound_is_valid =
       let expected = brute_force_binary p in
       if Float.is_finite expected then outcome.Bnb.best_bound <= expected +. 1e-6 else true)
 
+(* ------------------------------------------- warm-start validation *)
+
+let test_bnb_warm_start_rejected () =
+  (* an infeasible warm start must be rejected loudly (health event) and
+     must not poison the incumbent; same for a fractional one *)
+  let p =
+    lp ~nvars:2 ~objective:[| 1.0; 1.0 |]
+      ~constraints:[ constr [ (0, 1.0); (1, 1.0) ] Lp.Ge 1.0 ]
+      ~upper:[| 1.0; 1.0 |]
+  in
+  let health = Health.create () in
+  let opts =
+    { (Bnb.default_options Bnb.cplex_like) with Bnb.warm_start = Some [| 0.0; 0.0 |] }
+  in
+  let outcome = Bnb.solve ~health p ~integer_vars:[| 0; 1 |] opts in
+  Alcotest.(check int) "infeasible warm start recorded" 1
+    (Health.count health Health.Warm_start_rejected);
+  Test_util.check_close ~msg:"still solves to 1" 1.0 outcome.Bnb.objective;
+  Alcotest.(check bool) "still proved" true outcome.Bnb.proved_optimal;
+  (* [0.5; 0.7] satisfies the constraints but is fractional on the
+     integer variables: rejected for integrality, not feasibility *)
+  let health2 = Health.create () in
+  let opts2 = { opts with Bnb.warm_start = Some [| 0.5; 0.7 |] } in
+  let outcome2 = Bnb.solve ~health:health2 p ~integer_vars:[| 0; 1 |] opts2 in
+  Alcotest.(check int) "fractional warm start recorded" 1
+    (Health.count health2 Health.Warm_start_rejected);
+  Test_util.check_close ~msg:"objective unaffected" 1.0 outcome2.Bnb.objective;
+  (* a genuinely feasible integral warm start raises no event *)
+  let health3 = Health.create () in
+  let opts3 = { opts with Bnb.warm_start = Some [| 1.0; 0.0 |] } in
+  ignore (Bnb.solve ~health:health3 p ~integer_vars:[| 0; 1 |] opts3);
+  Alcotest.(check int) "valid warm start accepted silently" 0
+    (Health.count health3 Health.Warm_start_rejected)
+
+(* ----------------------------------------- frontier bound reporting *)
+
+let test_bnb_dfs_best_bound_finite () =
+  (* regression: depth-first search used to report the frontier bound as
+     -infinity whenever nodes were still open (the heap minimum is not
+     the bound minimum under DFS order); the bound must be finite once
+     the root LP has been solved, and still valid *)
+  let rng = Rng.create 21 in
+  let nvars = 14 in
+  let objective = Array.init nvars (fun _ -> Rng.float rng 10.0 -. 5.0) in
+  let constraints =
+    List.init 10 (fun _ ->
+        let coeffs = List.init nvars (fun j -> (j, Rng.float rng 3.0 -. 1.0)) in
+        constr coeffs Lp.Le (Rng.float rng 3.0))
+  in
+  let p = lp ~nvars ~objective ~constraints ~upper:(Array.make nvars 1.0) in
+  let opts =
+    { (Bnb.default_options Bnb.cbc_like) with Bnb.time_limit = 10.0; node_limit = 5 }
+  in
+  let outcome = Bnb.solve p ~integer_vars:(Array.init nvars Fun.id) opts in
+  Alcotest.(check bool) "bound finite with open nodes" true
+    (Float.is_finite outcome.Bnb.best_bound);
+  let expected = brute_force_binary p in
+  Alcotest.(check bool) "bound valid" true (outcome.Bnb.best_bound <= expected +. 1e-6)
+
+(* --------------------------------------------- parallel determinism *)
+
+let test_bnb_jobs_bit_identical () =
+  (* the wave-parallel search promises bit-identical outcomes at any
+     pool size: same incumbent, bound, node count and trace costs *)
+  let rng = Rng.create 33 in
+  let nvars = 16 in
+  let objective = Array.init nvars (fun _ -> Rng.float rng 10.0 -. 5.0) in
+  let constraints =
+    List.init 12 (fun _ ->
+        let coeffs = List.init nvars (fun j -> (j, Rng.float rng 3.0 -. 1.0)) in
+        constr coeffs Lp.Le (Rng.float rng 3.0))
+  in
+  let p = lp ~nvars ~objective ~constraints ~upper:(Array.make nvars 1.0) in
+  let opts =
+    { (Bnb.default_options Bnb.cplex_like) with Bnb.time_limit = 60.0; node_limit = 300 }
+  in
+  let solve_with jobs =
+    let pool = Pool.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Bnb.solve ~pool p ~integer_vars:(Array.init nvars Fun.id) opts)
+  in
+  let a = solve_with 1 in
+  let b = solve_with 4 in
+  Alcotest.(check bool) "objective identical" true (a.Bnb.objective = b.Bnb.objective);
+  Alcotest.(check bool) "bound identical" true (a.Bnb.best_bound = b.Bnb.best_bound);
+  Alcotest.(check int) "node count identical" a.Bnb.nodes b.Bnb.nodes;
+  Alcotest.(check bool) "incumbent identical" true (a.Bnb.incumbent = b.Bnb.incumbent);
+  Alcotest.(check (list (float 0.0))) "trace costs identical"
+    (List.map snd a.Bnb.trace) (List.map snd b.Bnb.trace)
+
+(* ---------------------------------------------- relative tolerance *)
+
+let test_bnb_relative_tolerance_scaled () =
+  (* the knapsack at 1e10 cost scale: an absolute 1e-9 epsilon is far
+     below one ulp there, so acceptance/pruning/proof must all use the
+     shared relative tolerance to still close the gap *)
+  let scale = 1e10 in
+  let p =
+    lp ~nvars:3
+      ~objective:[| -10.0 *. scale; -13.0 *. scale; -7.0 *. scale |]
+      ~constraints:[ constr [ (0, 3.0); (1, 4.0); (2, 2.0) ] Lp.Le 6.0 ]
+      ~upper:[| 1.0; 1.0; 1.0 |]
+  in
+  let outcome =
+    Bnb.solve p ~integer_vars:[| 0; 1; 2 |] (Bnb.default_options Bnb.cplex_like)
+  in
+  Alcotest.(check bool) "optimum at scale" true
+    (Float.abs (outcome.Bnb.objective -. (-20.0 *. scale)) <= Bnb.tolerance (20.0 *. scale));
+  Alcotest.(check bool) "proved at scale" true outcome.Bnb.proved_optimal
+
 let test_lp_capacity_guard () =
   (* a problem whose dense tableau would exceed the solver's capacity
      must decline quickly instead of allocating gigabytes *)
@@ -294,8 +405,13 @@ let () =
           bnb_matches_brute_force Bnb.scip_like;
           bnb_matches_brute_force Bnb.cbc_like;
           Alcotest.test_case "warm start + trace" `Quick test_bnb_warm_start_trace;
+          Alcotest.test_case "warm start rejection" `Quick test_bnb_warm_start_rejected;
           Alcotest.test_case "rejects general integers" `Quick test_bnb_rejects_general_integers;
           Alcotest.test_case "time limit" `Quick test_bnb_time_limit;
+          Alcotest.test_case "DFS bound finite" `Quick test_bnb_dfs_best_bound_finite;
+          Alcotest.test_case "jobs 1 = jobs 4" `Quick test_bnb_jobs_bit_identical;
+          Alcotest.test_case "relative tolerance at 1e10" `Quick
+            test_bnb_relative_tolerance_scaled;
           bnb_bound_is_valid;
         ] );
     ]
